@@ -1,0 +1,58 @@
+"""Ablation — the four mutation operators of Section IV-A.
+
+The paper investigates four mutation operations (complement, shuffle,
+random value, inversion) and plans to refine them in future work.  This
+ablation runs the attack with the full operator set and with a single
+operator ("random" only), comparing the best degradation reached under an
+identical budget.  The assertion is deliberately weak — it checks the
+pipeline supports operator ablation and that both variants still find
+perturbations — because operator superiority is budget- and seed-dependent.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.attack import ButterflyAttack
+from repro.core.config import AttackConfig
+from repro.core.regions import HalfImageRegion
+from repro.nsga.algorithm import NSGAConfig
+from repro.nsga.mutation import MutationConfig
+
+
+def _config(operators):
+    return AttackConfig(
+        nsga=NSGAConfig(
+            num_iterations=8,
+            population_size=12,
+            crossover_probability=0.5,
+            mutation=MutationConfig(
+                probability=0.45, window_fraction=0.01, operators=operators
+            ),
+            seed=0,
+        ),
+        region=HalfImageRegion("right"),
+    )
+
+
+def test_ablation_mutation_operators(benchmark, bench_detr, bench_dataset):
+    image = bench_dataset[0].image
+
+    def run_both_variants():
+        full = ButterflyAttack(
+            bench_detr, _config(("complement", "shuffle", "random", "inversion"))
+        ).attack(image)
+        single = ButterflyAttack(bench_detr, _config(("random",))).attack(image)
+        return full, single
+
+    full, single = run_once(benchmark, run_both_variants)
+
+    full_best = full.best_by("degradation").degradation
+    single_best = single.best_by("degradation").degradation
+    print("\nMutation-operator ablation (best obj_degrad, lower = stronger):")
+    print(f"  all four operators : {full_best:.3f}")
+    print(f"  'random' only      : {single_best:.3f}")
+
+    assert 0.0 <= full_best <= 1.0
+    assert 0.0 <= single_best <= 1.0
+    # Both variants keep the zero mask in the population, so neither can
+    # report a front without a zero-intensity solution.
+    assert any(s.intensity == 0.0 for s in full.solutions)
+    assert any(s.intensity == 0.0 for s in single.solutions)

@@ -1,0 +1,59 @@
+"""Section I (claim) — noise-augmented training is an insufficient defence.
+
+The paper's introduction argues that the existence of butterfly-effect
+perturbations "implies that training by randomly adding noise over the
+complete image is insufficient for achieving robustness".  This benchmark
+tests that claim directly on the simulated substrate: the transformer
+detector's prototype head is retrained on noise-augmented scenes (the
+classic robustness recipe) and both the defended and the undefended model
+are attacked with the same budget.
+
+Expected shape: the defended detector keeps its clean accuracy but the
+attack still finds perturbations that degrade its prediction (obj_degrad
+below 1), i.e. the defence does not close the butterfly-effect channel.
+"""
+
+from benchmarks.conftest import BENCH_LENGTH, BENCH_WIDTH, bench_training_config, run_once
+from repro.analysis.reporting import format_table
+from repro.core.config import AttackConfig
+from repro.core.regions import HalfImageRegion
+from repro.defenses.augmentation import NoiseAugmentationConfig, noise_augmented_detector
+from repro.defenses.evaluation import evaluate_defense
+from repro.detectors.zoo import build_detector
+from repro.nsga.algorithm import NSGAConfig
+
+
+def test_defense_noise_augmentation(benchmark, bench_detr, bench_dataset):
+    training = bench_training_config()
+    attack_config = AttackConfig(
+        nsga=NSGAConfig(num_iterations=8, population_size=12, seed=0),
+        region=HalfImageRegion("right"),
+    )
+    sample = bench_dataset[0]
+
+    def run_defense_evaluation():
+        defended = noise_augmented_detector(
+            build_detector("detr", seed=1, training=training),
+            training=training,
+            augmentation=NoiseAugmentationConfig(augmented_copies=2),
+        )
+        return evaluate_defense(
+            undefended=bench_detr,
+            defended=defended,
+            image=sample.image,
+            ground_truth=sample.ground_truth,
+            attack_config=attack_config,
+        )
+
+    evaluation = run_once(benchmark, run_defense_evaluation)
+
+    print("\nNoise-augmentation defence evaluation (transformer detector):")
+    print(format_table(evaluation.summary_rows()))
+
+    # The defence must not destroy clean accuracy entirely (noise-augmented
+    # prototypes do cost some recall on this substrate, which the summary
+    # table reports honestly)...
+    assert evaluation.clean_recall_defended >= 0.4
+    # ...and the butterfly attack still degrades the defended detector,
+    # which is the paper's insufficiency claim.
+    assert evaluation.attack_still_succeeds

@@ -1,0 +1,40 @@
+"""Section V-B — the five qualitative error types caused by the attack.
+
+The paper lists five impacts of the butterfly-effect attack: bounding-box
+changes, TP→FN, TN→FP, FN→TP and FP→TN.  This benchmark attacks the
+transformer detector on the benchmark scenes and classifies every transition
+observed on the Pareto fronts, reproducing the taxonomy table.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.errors import summarize_attack_errors
+from repro.analysis.reporting import format_table
+from repro.core.attack import ButterflyAttack
+from repro.detection.errors import ErrorType
+
+
+def test_error_taxonomy(benchmark, bench_detr, bench_dataset, bench_attack_config):
+    def attack_all_images():
+        attack = ButterflyAttack(bench_detr, bench_attack_config)
+        return [attack.attack(sample.image) for sample in bench_dataset]
+
+    results = run_once(benchmark, attack_all_images)
+    summary = summarize_attack_errors(results)
+
+    print("\nError taxonomy over Pareto-front solutions (Section V-B):")
+    print(format_table(summary.as_rows()))
+
+    # The attack produced front solutions and at least one genuine change.
+    assert summary.num_solutions > 0
+    assert summary.total_changes >= 1
+    # Box-level changes (the paper's impact #1) are the most common effect
+    # and must be observed; the rarer transitions are reported when found.
+    observed = set(summary.observed_types())
+    assert observed & {
+        ErrorType.BOX_CHANGED,
+        ErrorType.TP_TO_FN,
+        ErrorType.TN_TO_FP,
+        ErrorType.CLASS_CHANGED,
+        ErrorType.FN_TO_TP,
+        ErrorType.FP_TO_TN,
+    }

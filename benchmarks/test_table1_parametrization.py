@@ -1,0 +1,36 @@
+"""Table I — experiment parametrisation.
+
+Regenerates the three rows of Table I (number of models per architecture,
+images per model, ensemble size) from the :class:`ExperimentConfig` object
+and checks them against the paper's values.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.config import ExperimentConfig, experiment_table_rows
+
+
+def test_table1_parametrization(benchmark):
+    rows = benchmark(lambda: experiment_table_rows(ExperimentConfig.paper()))
+
+    print("\nTable I (reproduced):")
+    print(format_table(rows))
+
+    values = {row["Configuration"]: row["Value"] for row in rows}
+    assert "25" in values["# models generated"]
+    assert values["# images tested on each model"] == "16"
+    assert values["# models used in ensemble"] == "16"
+
+
+def test_table1_reduced_protocol_structure(benchmark):
+    """The laptop-scale protocol keeps Table I's structure."""
+    rows = benchmark(
+        lambda: experiment_table_rows(
+            ExperimentConfig.reduced(models_per_architecture=2, images_per_model=2)
+        )
+    )
+    assert len(rows) == 3
+    assert {row["Configuration"] for row in rows} == {
+        "# models generated",
+        "# images tested on each model",
+        "# models used in ensemble",
+    }

@@ -1,0 +1,48 @@
+"""Extension — transferability of butterfly masks across seed-varied models.
+
+The paper trains 25 seed-varied models per architecture (Table I) and the
+related work discusses transfer-based black-box attacks.  This benchmark
+measures how well a mask optimised against one transformer model transfers
+to another seed of the same architecture, producing the white-box vs
+transfer degradation matrix.
+
+Expected shape: masks are most effective on the model they were optimised
+for (diagonal of the matrix), and transfer to other seeds is weaker
+(off-diagonal obj_degrad closer to 1).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_training_config, run_once
+from repro.analysis.reporting import format_table
+from repro.core.config import AttackConfig
+from repro.core.regions import HalfImageRegion
+from repro.detectors.zoo import build_model_zoo
+from repro.experiments.transfer import run_transferability_experiment
+from repro.nsga.algorithm import NSGAConfig
+
+
+def test_transferability(benchmark, bench_dataset):
+    models = build_model_zoo("detr", seeds=(1, 2), training=bench_training_config())
+    config = AttackConfig(
+        nsga=NSGAConfig(num_iterations=8, population_size=12, seed=0),
+        region=HalfImageRegion("right"),
+    )
+
+    result = run_once(
+        benchmark, run_transferability_experiment, models, bench_dataset[0].image, config
+    )
+
+    print("\nTransferability of butterfly masks across model seeds:")
+    print(format_table(result.as_rows()))
+    print(
+        f"  white-box obj_degrad (diagonal mean): {result.self_degradation():.3f}; "
+        f"transfer obj_degrad (off-diagonal mean): {result.transfer_degradation():.3f}"
+    )
+
+    assert result.matrix.shape == (2, 2)
+    assert np.all(result.matrix <= 1.0 + 1e-9)
+    # Masks are effective against their own model...
+    assert result.self_degradation() < 1.0
+    # ...and transferring costs effectiveness (or at best is equal).
+    assert result.transfer_gap() >= -0.05

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Comparing the butterfly attack against baseline attacks.
+
+Three baselines are compared on the same image and detector:
+
+* random Gaussian noise of increasing strength (the classic robustness
+  test the paper's introduction argues is insufficient),
+* a GenAttack-style single-objective genetic attack (the closest related
+  work; degradation only, fixed perturbation bound),
+* the finite-difference gradient-estimation attack.
+
+The butterfly attack's advantage is not only the degradation it reaches but
+that it *simultaneously* keeps the perturbation small and far away from the
+objects — which none of the baselines optimise.
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.baselines import (
+    FiniteDifferenceAttack,
+    FiniteDifferenceConfig,
+    GenAttackBaseline,
+    GenAttackConfig,
+    RandomNoiseAttack,
+)
+from repro.core import AttackConfig, ButterflyAttack, HalfImageRegion
+from repro.core.objectives import ButterflyObjectives
+from repro.data import generate_dataset
+from repro.detectors import build_detector
+
+
+def main() -> None:
+    dataset = generate_dataset(num_images=1, seed=23, half="left")
+    image = dataset[0].image
+    detector = build_detector("detr", seed=1)
+    region = HalfImageRegion("right")
+    objectives = ButterflyObjectives(detector=detector, image=image)
+
+    rows = []
+
+    butterfly = ButterflyAttack(
+        detector, AttackConfig.fast(region=region, num_iterations=10, population_size=16)
+    ).attack(image)
+    best = butterfly.best_by("degradation")
+    rows.append(
+        {
+            "attack": "butterfly (NSGA-II)",
+            "obj_degrad": best.degradation,
+            "obj_intensity": best.intensity,
+            "obj_dist": best.distance,
+        }
+    )
+
+    genattack = GenAttackBaseline(
+        detector,
+        GenAttackConfig(population_size=16, num_iterations=10, linf_bound=24.0),
+        region=region,
+    ).attack(image)
+    rows.append(
+        {
+            "attack": "GenAttack-style (single objective)",
+            "obj_degrad": genattack.best_degradation,
+            "obj_intensity": objectives.intensity(genattack.best_mask.values),
+            "obj_dist": objectives.distance(genattack.best_mask.values),
+        }
+    )
+
+    finite = FiniteDifferenceAttack(
+        detector, FiniteDifferenceConfig(block=16, num_steps=2), region=region
+    ).attack(image)
+    rows.append(
+        {
+            "attack": "finite difference",
+            "obj_degrad": finite.best_degradation,
+            "obj_intensity": objectives.intensity(finite.best_mask.values),
+            "obj_dist": objectives.distance(finite.best_mask.values),
+        }
+    )
+
+    noise = RandomNoiseAttack(detector, region=region).evaluate(
+        image, sigmas=(8.0, 32.0, 64.0), trials_per_sigma=3
+    )
+    for level in noise:
+        rows.append(
+            {
+                "attack": f"random gaussian (sigma={level.sigma:.0f})",
+                "obj_degrad": level.mean_degradation,
+                "obj_intensity": level.mean_intensity / objectives.intensity_scale,
+                "obj_dist": float("nan"),
+            }
+        )
+
+    print("All attacks restricted to the right half; objects are on the left.")
+    print(format_table(rows))
+    print()
+    print(
+        "The butterfly attack reaches comparable or stronger degradation while "
+        "explicitly keeping the perturbation small (obj_intensity) and far from "
+        "the objects (obj_dist) — the baselines optimise neither."
+    )
+
+
+if __name__ == "__main__":
+    main()

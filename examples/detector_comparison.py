@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Architecture comparison: is the transformer more susceptible than YOLO?
+
+Reproduces the protocol behind the paper's Figure 2 at laptop scale: both
+architectures are attacked on the same images with right-half-only
+perturbations, and the Pareto objectives are compared.  The expected shape
+of the result (matching the paper) is that the transformer reaches a lower
+``obj_degrad`` at comparable or lower ``obj_intensity``.
+
+Run with::
+
+    python examples/detector_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.experiments import ExperimentConfig, run_architecture_comparison
+from repro.nsga import NSGAConfig
+
+
+def main() -> None:
+    experiment = ExperimentConfig.reduced(
+        models_per_architecture=2, images_per_model=2
+    )
+    nsga = NSGAConfig(num_iterations=10, population_size=16, seed=0)
+
+    print("Running the architecture comparison (reduced Table I protocol)...")
+    comparison = run_architecture_comparison(experiment=experiment, nsga=nsga)
+
+    print()
+    print("Per-architecture Pareto-front summary (Figure 2 analogue):")
+    print(comparison.report.to_text())
+
+    summary = comparison.susceptibility_summary()
+    rows = [
+        {"architecture": label, **values} for label, values in summary.items()
+    ]
+    print()
+    print(format_table(rows))
+
+    single_stage = comparison.best_degradation("single_stage")
+    transformer = comparison.best_degradation("transformer")
+    print()
+    print(f"Best obj_degrad — single-stage: {single_stage:.3f}, transformer: {transformer:.3f}")
+    if transformer < single_stage:
+        print(
+            "=> The transformer detector is more susceptible to butterfly-effect "
+            "attacks, matching the paper's conclusion."
+        )
+    else:
+        print(
+            "=> At this reduced budget the asymmetry did not appear; increase the "
+            "number of iterations / models to approach the paper's protocol."
+        )
+
+
+if __name__ == "__main__":
+    main()

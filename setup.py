@@ -1,0 +1,24 @@
+"""Setuptools entry point.
+
+A classic ``setup.py`` is kept (alongside ``pyproject.toml``) so that
+``pip install -e .`` works in fully offline environments where the isolated
+PEP 517 build path cannot download ``wheel``.  All metadata mirrors
+``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Butterfly Effect Attack: Tiny and Seemingly "
+        "Unrelated Perturbations for Object Detection' (DATE 2023)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["repro-attack=repro.cli:main"]},
+)

@@ -1,0 +1,20 @@
+"""Reproduction of the Butterfly Effect Attack (DATE 2023).
+
+The package is organised bottom-up:
+
+* :mod:`repro.detection` — bounding boxes, predictions, matching, metrics,
+* :mod:`repro.data` — synthetic KITTI-like scenes and sequences,
+* :mod:`repro.nn` — pure-NumPy neural-network primitives,
+* :mod:`repro.detectors` — simulated single-stage and transformer detectors,
+* :mod:`repro.nsga` — the NSGA-II multi-objective genetic algorithm,
+* :mod:`repro.core` — the butterfly-effect attack (objectives, masks,
+  orchestration, ensemble and temporal extensions),
+* :mod:`repro.baselines` — comparison attacks,
+* :mod:`repro.analysis` — heatmaps, error classification and reporting,
+* :mod:`repro.experiments` — configuration and runners for the paper's
+  tables and figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,84 @@
+"""Aggregating the Section V-B error taxonomy over attack results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.results import AttackResult
+from repro.detection.errors import ErrorType, PredictionTransition, count_error_types
+
+
+@dataclass
+class AttackErrorSummary:
+    """Counts of each qualitative error type over a set of attack results."""
+
+    counts: dict[ErrorType, int] = field(
+        default_factory=lambda: {error: 0 for error in ErrorType}
+    )
+    num_solutions: int = 0
+
+    @property
+    def total_changes(self) -> int:
+        """Number of transitions that are not UNCHANGED."""
+        return sum(
+            count
+            for error, count in self.counts.items()
+            if error is not ErrorType.UNCHANGED
+        )
+
+    def observed_types(self) -> list[ErrorType]:
+        """Error types observed at least once (excluding UNCHANGED)."""
+        return [
+            error
+            for error, count in self.counts.items()
+            if count > 0 and error is not ErrorType.UNCHANGED
+        ]
+
+    def merge(self, other: "AttackErrorSummary") -> "AttackErrorSummary":
+        """Combine two summaries."""
+        merged = AttackErrorSummary()
+        for error in ErrorType:
+            merged.counts[error] = self.counts[error] + other.counts[error]
+        merged.num_solutions = self.num_solutions + other.num_solutions
+        return merged
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Rows for tabular reporting."""
+        return [
+            {"error_type": error.value, "count": count}
+            for error, count in self.counts.items()
+        ]
+
+
+def summarize_transitions(
+    transitions: Iterable[PredictionTransition],
+) -> AttackErrorSummary:
+    """Summarise a flat iterable of transitions."""
+    summary = AttackErrorSummary()
+    counts = count_error_types(list(transitions))
+    for error, count in counts.items():
+        summary.counts[error] += count
+    summary.num_solutions = 1
+    return summary
+
+
+def summarize_attack_errors(
+    results: AttackResult | Sequence[AttackResult],
+) -> AttackErrorSummary:
+    """Aggregate error-type counts over the Pareto fronts of attack results.
+
+    Only front solutions carry perturbed predictions (the attack fills them
+    in lazily), so the summary reflects the non-dominated perturbations —
+    the same solutions the paper inspects qualitatively.
+    """
+    if isinstance(results, AttackResult):
+        results = [results]
+    summary = AttackErrorSummary()
+    for result in results:
+        for solution in result.pareto_front:
+            counts = count_error_types(solution.transitions)
+            for error, count in counts.items():
+                summary.counts[error] += count
+            summary.num_solutions += 1
+    return summary

@@ -1,0 +1,89 @@
+"""Feature heatmaps and the grey-box feature-distance objective.
+
+The paper interprets NSGA-II results "with the feature heatmap of the
+detection" and notes that including a feature-level distance turns the
+black-box method into a grey-box one.  For the simulated detectors the
+backbone feature maps (and, for the transformer, the attention matrix) play
+the role of the network's internal activations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.masks import apply_mask
+from repro.detection.prediction import Prediction
+from repro.detectors.base import Detector
+from repro.detectors.transformer import TransformerDetector
+
+
+def feature_heatmap(detector: Detector, image: np.ndarray) -> np.ndarray:
+    """Per-cell feature-activation heatmap (rows, cols), normalised to [0, 1].
+
+    The heatmap is the L2 norm of the backbone feature vector of every cell,
+    which highlights the regions the detector's features respond to.
+    """
+    features = detector.backbone_features(np.asarray(image, dtype=np.float64))
+    magnitude = np.linalg.norm(features, axis=-1)
+    span = magnitude.max() - magnitude.min()
+    if span <= 0:
+        return np.zeros_like(magnitude)
+    return (magnitude - magnitude.min()) / span
+
+
+def heatmap_difference(
+    detector: Detector, image: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Absolute difference between clean and perturbed feature heatmaps."""
+    clean = feature_heatmap(detector, image)
+    perturbed = feature_heatmap(detector, apply_mask(image, mask))
+    return np.abs(perturbed - clean)
+
+
+def attention_heatmap(
+    detector: TransformerDetector, image: np.ndarray, cell_index: int | None = None
+) -> np.ndarray:
+    """Attention received by every cell (transformer detectors only).
+
+    When ``cell_index`` is given, returns the attention *row* of that query
+    cell reshaped to the grid (where does this cell look?); otherwise the
+    column-sum (how much attention does each cell attract from the whole
+    image?), normalised to [0, 1].
+    """
+    if not isinstance(detector, TransformerDetector):
+        raise TypeError("attention heatmaps require a TransformerDetector")
+    image = np.asarray(image, dtype=np.float64)
+    weights = detector.attention_matrix(image)
+    rows, cols = detector.extractor.grid_shape(image)
+    if cell_index is not None:
+        if not 0 <= cell_index < weights.shape[0]:
+            raise IndexError(f"cell_index {cell_index} out of range")
+        heat = weights[cell_index]
+    else:
+        heat = weights.sum(axis=0)
+    heat = heat.reshape(rows, cols)
+    span = heat.max() - heat.min()
+    if span <= 0:
+        return np.zeros_like(heat)
+    return (heat - heat.min()) / span
+
+
+def feature_distance_objective(
+    detector: Detector,
+) -> Callable[[np.ndarray, np.ndarray, Prediction], float]:
+    """Build the grey-box extra objective for ``ButterflyObjectives``.
+
+    The returned callable measures the (negated) mean absolute change of
+    the backbone feature map caused by the perturbation.  It is *minimised*
+    by NSGA-II, so minimising it maximises the internal feature disruption —
+    the grey-box signal the paper describes as an additional objective.
+    """
+
+    def objective(image: np.ndarray, mask: np.ndarray, _: Prediction) -> float:
+        clean_features = detector.backbone_features(image)
+        perturbed_features = detector.backbone_features(apply_mask(image, mask))
+        return -float(np.mean(np.abs(perturbed_features - clean_features)))
+
+    return objective

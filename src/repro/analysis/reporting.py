@@ -1,0 +1,168 @@
+"""Tabular reporting helpers used by the experiment harness and benchmarks."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.results import AttackResult
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """Render rows of dictionaries as a fixed-width plain-text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    rendered = [[cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    separator = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(value.ljust(w) for value, w in zip(line, widths))
+        for line in rendered
+    )
+    return "\n".join([header, separator, body])
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, object]],
+    path: str | Path,
+    columns: Sequence[str] | None = None,
+) -> None:
+    """Write rows of dictionaries to a CSV file."""
+    if not rows:
+        Path(path).write_text("")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({column: row.get(column, "") for column in columns})
+
+
+def objectives_to_rows(
+    result: AttackResult, label: str = "", front_only: bool = True
+) -> list[dict[str, object]]:
+    """Flatten an attack result's solutions into report rows."""
+    solutions = result.pareto_front if front_only else result.solutions
+    rows: list[dict[str, object]] = []
+    for index, solution in enumerate(solutions):
+        rows.append(
+            {
+                "label": label or result.detector_name,
+                "solution": index,
+                "intensity": solution.intensity,
+                "degradation": solution.degradation,
+                "distance": solution.distance,
+                "rank": solution.rank,
+            }
+        )
+    return rows
+
+
+@dataclass
+class ComparisonReport:
+    """Aggregated comparison between detector architectures (Figure 2 data).
+
+    Rows are accumulated per architecture label; :meth:`summary_rows`
+    reduces them to the statistics the paper's comparison relies on: the
+    best (lowest) degradation reachable, the intensity needed for it and the
+    distance achieved.
+    """
+
+    rows: list[dict[str, object]] = field(default_factory=list)
+
+    def add_result(self, label: str, result: AttackResult) -> None:
+        """Add all front solutions of one attack result."""
+        self.rows.extend(objectives_to_rows(result, label=label))
+
+    def labels(self) -> list[str]:
+        return sorted({str(row["label"]) for row in self.rows})
+
+    def rows_for(self, label: str) -> list[dict[str, object]]:
+        return [row for row in self.rows if row["label"] == label]
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        """One summary row per label."""
+        summary: list[dict[str, object]] = []
+        for label in self.labels():
+            rows = self.rows_for(label)
+            degradations = np.array([float(row["degradation"]) for row in rows])
+            intensities = np.array([float(row["intensity"]) for row in rows])
+            distances = np.array([float(row["distance"]) for row in rows])
+            summary.append(
+                {
+                    "label": label,
+                    "solutions": len(rows),
+                    "best_degradation": float(degradations.min()),
+                    "mean_degradation": float(degradations.mean()),
+                    "mean_intensity": float(intensities.mean()),
+                    "best_distance": float(distances.max()),
+                    "mean_distance": float(distances.mean()),
+                }
+            )
+        return summary
+
+    def to_text(self) -> str:
+        """Plain-text rendering of the summary."""
+        return format_table(self.summary_rows())
+
+    def dominates_comparison(
+        self, first_label: str, second_label: str
+    ) -> dict[str, float]:
+        """Compare two architectures in the (intensity, degradation) plane.
+
+        Returns the fraction of ``first_label`` front points that are
+        dominated by at least one ``second_label`` point (and vice versa)
+        considering the two minimised objectives.  The paper's Figure 2
+        conclusion ("for DETR, with a smaller amount of perturbation, one
+        can generate larger performance degradation") corresponds to the
+        transformer dominating the single-stage detector more often than
+        the converse.
+        """
+        first = np.array(
+            [
+                (float(row["intensity"]), float(row["degradation"]))
+                for row in self.rows_for(first_label)
+            ]
+        )
+        second = np.array(
+            [
+                (float(row["intensity"]), float(row["degradation"]))
+                for row in self.rows_for(second_label)
+            ]
+        )
+        if first.size == 0 or second.size == 0:
+            return {"first_dominated": 0.0, "second_dominated": 0.0}
+
+        def dominated_fraction(points: np.ndarray, by: np.ndarray) -> float:
+            dominated = 0
+            for point in points:
+                better_or_equal = np.all(by <= point + 1e-12, axis=1)
+                strictly_better = np.any(by < point - 1e-12, axis=1)
+                if np.any(better_or_equal & strictly_better):
+                    dominated += 1
+            return dominated / len(points)
+
+        return {
+            "first_dominated": dominated_fraction(first, second),
+            "second_dominated": dominated_fraction(second, first),
+        }

@@ -1,0 +1,124 @@
+"""Parameter sweeps over the attack's hyper-parameters.
+
+The attack has a handful of knobs that the paper fixes (Table II) or leaves
+implicit: the Algorithm 2 buffer ``ϵ`` around bounding boxes, the mutation
+window size ``w`` and the NSGA-II budget.  These helpers run the attack
+across a grid of one parameter and collect the front statistics, providing
+the data for ablation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.attack import ButterflyAttack
+from repro.core.config import AttackConfig
+from repro.core.results import AttackResult
+from repro.detectors.base import Detector
+from repro.nsga.algorithm import NSGAConfig
+from repro.nsga.front import hypervolume_2d
+from repro.nsga.mutation import MutationConfig
+
+
+def _front_statistics(result: AttackResult) -> dict[str, float]:
+    """Summary statistics of one attack result's Pareto front."""
+    points = result.objectives_array(front_only=True)
+    if points.size == 0:
+        return {
+            "front_size": 0.0,
+            "best_degradation": 1.0,
+            "mean_intensity": 0.0,
+            "best_distance": 0.0,
+            "hypervolume": 0.0,
+        }
+    return {
+        "front_size": float(points.shape[0]),
+        "best_degradation": float(points[:, 1].min()),
+        "mean_intensity": float(points[:, 0].mean()),
+        "best_distance": float(points[:, 2].max()),
+        "hypervolume": hypervolume_2d(points[:, :2], reference=(1.0, 1.0)),
+    }
+
+
+def epsilon_sweep(
+    detector: Detector,
+    image: np.ndarray,
+    epsilons: Sequence[float],
+    base_config: AttackConfig | None = None,
+) -> list[dict[str, float]]:
+    """Sweep the Algorithm 2 buffer ``ϵ`` and collect front statistics.
+
+    Larger buffers penalise perturbations near the objects more aggressively,
+    trading attack strength for "unrelatedness".
+    """
+    base_config = base_config if base_config is not None else AttackConfig.fast()
+    rows: list[dict[str, float]] = []
+    for epsilon in epsilons:
+        config = replace(base_config, epsilon=float(epsilon))
+        result = ButterflyAttack(detector, config).attack(image)
+        rows.append({"epsilon": float(epsilon), **_front_statistics(result)})
+    return rows
+
+
+def mutation_window_sweep(
+    detector: Detector,
+    image: np.ndarray,
+    window_fractions: Sequence[float],
+    base_config: AttackConfig | None = None,
+) -> list[dict[str, float]]:
+    """Sweep the mutation window size ``w`` (Table II fixes it at 1 %)."""
+    base_config = base_config if base_config is not None else AttackConfig.fast()
+    rows: list[dict[str, float]] = []
+    for fraction in window_fractions:
+        mutation = MutationConfig(
+            probability=base_config.nsga.mutation.probability,
+            window_fraction=float(fraction),
+            max_value=base_config.nsga.mutation.max_value,
+            operators=base_config.nsga.mutation.operators,
+        )
+        nsga = NSGAConfig(
+            num_iterations=base_config.nsga.num_iterations,
+            population_size=base_config.nsga.population_size,
+            crossover_probability=base_config.nsga.crossover_probability,
+            mutation=mutation,
+            initialization=base_config.nsga.initialization,
+            seed=base_config.nsga.seed,
+        )
+        config = replace(base_config, nsga=nsga)
+        result = ButterflyAttack(detector, config).attack(image)
+        rows.append({"window_fraction": float(fraction), **_front_statistics(result)})
+    return rows
+
+
+def budget_sweep(
+    detector: Detector,
+    image: np.ndarray,
+    budgets: Sequence[tuple[int, int]],
+    base_config: AttackConfig | None = None,
+) -> list[dict[str, float]]:
+    """Sweep the (iterations, population) budget of the genetic search."""
+    base_config = base_config if base_config is not None else AttackConfig.fast()
+    rows: list[dict[str, float]] = []
+    for iterations, population in budgets:
+        nsga = NSGAConfig(
+            num_iterations=int(iterations),
+            population_size=int(population),
+            crossover_probability=base_config.nsga.crossover_probability,
+            mutation=base_config.nsga.mutation,
+            initialization=base_config.nsga.initialization,
+            seed=base_config.nsga.seed,
+        )
+        config = replace(base_config, nsga=nsga)
+        result = ButterflyAttack(detector, config).attack(image)
+        rows.append(
+            {
+                "iterations": float(iterations),
+                "population": float(population),
+                "evaluations": float(result.num_evaluations),
+                **_front_statistics(result),
+            }
+        )
+    return rows

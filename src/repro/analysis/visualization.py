@@ -1,0 +1,130 @@
+"""Dependency-free visualisation: ASCII rendering and PPM export.
+
+The environment has no plotting library, so qualitative results (the
+counterparts of the paper's Figures 1 and 3–5) are rendered as ASCII scene
+sketches and, when an image file is desired, as binary PPM files that any
+image viewer can open.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.templates import CLASS_NAMES
+from repro.detection.prediction import Prediction
+
+#: Glyph used for each class in ASCII renderings, indexed by class id.
+_CLASS_GLYPHS = "CPYVT"
+
+
+def prediction_to_ascii(
+    prediction: Prediction,
+    image_length: int,
+    image_width: int,
+    columns: int = 80,
+    rows: int = 18,
+) -> str:
+    """Render bounding boxes as an ASCII sketch of the image plane.
+
+    Each box is drawn as a rectangle of its class glyph (C=Car,
+    P=Pedestrian, Y=Cyclist, V=Van, T=Truck); overlapping boxes overwrite
+    earlier ones.  A vertical ``|`` marks the image mid-line so the
+    left/right protocol of the paper is visible at a glance.
+    """
+    if columns < 4 or rows < 4:
+        raise ValueError("ascii canvas must be at least 4x4")
+    canvas = np.full((rows, columns), ".", dtype="<U1")
+    canvas[:, columns // 2] = "|"
+
+    for box in prediction.valid_boxes:
+        glyph = _CLASS_GLYPHS[box.cl] if 0 <= box.cl < len(_CLASS_GLYPHS) else "?"
+        row_lo = int(np.floor(box.x_min / image_length * rows))
+        row_hi = int(np.ceil(box.x_max / image_length * rows))
+        col_lo = int(np.floor(box.y_min / image_width * columns))
+        col_hi = int(np.ceil(box.y_max / image_width * columns))
+        row_lo, row_hi = max(0, row_lo), min(rows, row_hi)
+        col_lo, col_hi = max(0, col_lo), min(columns, col_hi)
+        if row_hi > row_lo and col_hi > col_lo:
+            canvas[row_lo:row_hi, col_lo:col_hi] = glyph
+
+    legend = " ".join(
+        f"{_CLASS_GLYPHS[i]}={name}" for i, name in enumerate(CLASS_NAMES)
+    )
+    return "\n".join("".join(line) for line in canvas) + "\n" + legend
+
+
+def mask_to_ascii(
+    mask: np.ndarray, columns: int = 80, rows: int = 18, levels: str = " .:-=+*#%@"
+) -> str:
+    """Render the per-pixel perturbation magnitude as ASCII art."""
+    mask = np.asarray(mask, dtype=np.float64)
+    if mask.ndim == 3:
+        magnitude = np.max(np.abs(mask), axis=2)
+    else:
+        magnitude = np.abs(mask)
+    length, width = magnitude.shape
+    row_edges = np.linspace(0, length, rows + 1).astype(int)
+    col_edges = np.linspace(0, width, columns + 1).astype(int)
+    canvas = []
+    peak = magnitude.max()
+    for r in range(rows):
+        line = []
+        for c in range(columns):
+            block = magnitude[row_edges[r] : row_edges[r + 1], col_edges[c] : col_edges[c + 1]]
+            value = float(block.mean()) if block.size else 0.0
+            level = 0 if peak <= 0 else int(round(value / peak * (len(levels) - 1)))
+            line.append(levels[level])
+        canvas.append("".join(line))
+    return "\n".join(canvas)
+
+
+def side_by_side(left: str, right: str, gap: int = 4) -> str:
+    """Join two multi-line ASCII blocks horizontally."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    height = max(len(left_lines), len(right_lines))
+    left_width = max((len(line) for line in left_lines), default=0)
+    padded = []
+    for index in range(height):
+        l = left_lines[index] if index < len(left_lines) else ""
+        r = right_lines[index] if index < len(right_lines) else ""
+        padded.append(l.ljust(left_width + gap) + r)
+    return "\n".join(padded)
+
+
+def save_ppm(image: np.ndarray, path: str | Path) -> Path:
+    """Write an RGB image in [0, 255] to a binary PPM (P6) file."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError("save_ppm expects an (L, W, 3) RGB image")
+    data = np.clip(image, 0, 255).astype(np.uint8)
+    path = Path(path)
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{data.shape[1]} {data.shape[0]}\n255\n".encode("ascii"))
+        handle.write(data.tobytes())
+    return path
+
+
+def overlay_boxes(
+    image: np.ndarray,
+    prediction: Prediction,
+    color: tuple[int, int, int] = (255, 255, 0),
+    thickness: int = 1,
+) -> np.ndarray:
+    """Draw bounding-box outlines onto a copy of the image."""
+    image = np.asarray(image, dtype=np.float64).copy()
+    length, width = image.shape[:2]
+    for box in prediction.valid_boxes:
+        x_lo = int(np.clip(np.floor(box.x_min), 0, length - 1))
+        x_hi = int(np.clip(np.ceil(box.x_max), 0, length - 1))
+        y_lo = int(np.clip(np.floor(box.y_min), 0, width - 1))
+        y_hi = int(np.clip(np.ceil(box.y_max), 0, width - 1))
+        for offset in range(thickness):
+            image[min(x_lo + offset, length - 1), y_lo : y_hi + 1] = color
+            image[max(x_hi - offset, 0), y_lo : y_hi + 1] = color
+            image[x_lo : x_hi + 1, min(y_lo + offset, width - 1)] = color
+            image[x_lo : x_hi + 1, max(y_hi - offset, 0)] = color
+    return image

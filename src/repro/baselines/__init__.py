@@ -1,0 +1,30 @@
+"""Baseline attacks for comparison.
+
+The related-work section of the paper positions the butterfly attack against
+other black-box strategies.  Three baselines are provided:
+
+* :class:`GenAttackBaseline` — a GenAttack-style single-objective genetic
+  attack (the closest related work): the only optimised objective is the
+  performance degradation, with the perturbation bound handled as a fixed
+  hyper-parameter rather than an objective,
+* :class:`RandomNoiseAttack` — random Gaussian / salt-and-pepper noise of
+  increasing strength (the classic robustness-testing baseline),
+* :class:`FiniteDifferenceAttack` — a grey-box attack estimating the
+  degradation gradient with finite differences on a coarse grid.
+"""
+
+from repro.baselines.genattack import GenAttackBaseline, GenAttackConfig
+from repro.baselines.random_noise import RandomNoiseAttack, RandomNoiseResult
+from repro.baselines.finite_difference import (
+    FiniteDifferenceAttack,
+    FiniteDifferenceConfig,
+)
+
+__all__ = [
+    "GenAttackBaseline",
+    "GenAttackConfig",
+    "RandomNoiseAttack",
+    "RandomNoiseResult",
+    "FiniteDifferenceAttack",
+    "FiniteDifferenceConfig",
+]

@@ -1,0 +1,105 @@
+"""Random-noise robustness baseline.
+
+Adding random Gaussian or salt-and-pepper noise over the whole image is the
+classic robustness test the paper's introduction argues is insufficient:
+"training by randomly adding noise over the complete image is insufficient
+for achieving robustness".  This baseline measures how much random noise of
+a given strength degrades the prediction, for comparison with the targeted
+butterfly masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.masks import FilterMask
+from repro.core.objectives import objective_degradation, objective_intensity
+from repro.core.regions import FullImageRegion, Region
+from repro.data.noise import gaussian_mask, salt_and_pepper_mask
+from repro.detection.prediction import Prediction
+from repro.detectors.base import Detector
+
+
+@dataclass
+class RandomNoiseResult:
+    """Degradation statistics of random noise at one strength level."""
+
+    sigma: float
+    mean_degradation: float
+    min_degradation: float
+    mean_intensity: float
+    num_trials: int
+
+    def as_row(self) -> dict[str, float]:
+        """Dictionary row for tabular reporting."""
+        return {
+            "sigma": self.sigma,
+            "mean_degradation": self.mean_degradation,
+            "min_degradation": self.min_degradation,
+            "mean_intensity": self.mean_intensity,
+            "num_trials": float(self.num_trials),
+        }
+
+
+class RandomNoiseAttack:
+    """Measures prediction degradation under untargeted random noise."""
+
+    def __init__(
+        self,
+        detector: Detector,
+        region: Region | None = None,
+        noise_type: str = "gaussian",
+        seed: int = 0,
+    ) -> None:
+        if noise_type not in ("gaussian", "salt_and_pepper"):
+            raise ValueError("noise_type must be 'gaussian' or 'salt_and_pepper'")
+        self.detector = detector
+        self.region = region if region is not None else FullImageRegion()
+        self.noise_type = noise_type
+        self.seed = seed
+
+    def _sample_mask(
+        self, shape: tuple[int, int, int], sigma: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.noise_type == "gaussian":
+            mask = gaussian_mask(shape, sigma, rng)
+        else:
+            # For salt-and-pepper, ``sigma`` is interpreted as the affected
+            # pixel fraction in percent.
+            mask = salt_and_pepper_mask(shape, min(1.0, sigma / 100.0), rng)
+        return self.region.project(mask)
+
+    def evaluate(
+        self,
+        image: np.ndarray,
+        sigmas: Sequence[float] = (4.0, 8.0, 16.0, 32.0, 64.0),
+        trials_per_sigma: int = 5,
+    ) -> list[RandomNoiseResult]:
+        """Sweep noise strengths and measure the degradation objective."""
+        if trials_per_sigma < 1:
+            raise ValueError("trials_per_sigma must be at least 1")
+        image = np.asarray(image, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        clean: Prediction = self.detector.predict(image)
+
+        results: list[RandomNoiseResult] = []
+        for sigma in sigmas:
+            degradations, intensities = [], []
+            for _ in range(trials_per_sigma):
+                mask = self._sample_mask(image.shape, sigma, rng)
+                perturbed = self.detector.predict(FilterMask(mask).apply(image))
+                degradations.append(objective_degradation(clean, perturbed))
+                intensities.append(objective_intensity(mask))
+            results.append(
+                RandomNoiseResult(
+                    sigma=float(sigma),
+                    mean_degradation=float(np.mean(degradations)),
+                    min_degradation=float(np.min(degradations)),
+                    mean_intensity=float(np.mean(intensities)),
+                    num_trials=trials_per_sigma,
+                )
+            )
+        return results

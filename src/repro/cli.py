@@ -1,0 +1,197 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows:
+
+* ``repro-attack attack``    — run a butterfly-effect attack on a synthetic
+  scene (or the full-paper budget with ``--paper-budget``) and optionally
+  save the result,
+* ``repro-attack compare``   — run the reduced Figure 2 architecture
+  comparison and print the summary table,
+* ``repro-attack figures``   — regenerate the qualitative figure scenarios,
+* ``repro-attack table``     — print Table I / Table II.
+
+The CLI works entirely on the synthetic substrate, so every command runs
+offline on a laptop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.attack import ButterflyAttack
+from repro.core.config import AttackConfig
+from repro.core.regions import region_from_name
+from repro.data.dataset import generate_dataset
+from repro.detectors.zoo import build_detector
+from repro.experiments.config import (
+    ExperimentConfig,
+    NSGA_TABLE_II,
+    experiment_table_rows,
+    nsga_table_rows,
+)
+from repro.experiments.figures import (
+    figure1_disappearing_objects,
+    figure3_figure4_contrast,
+    figure5_ghost_objects,
+)
+from repro.experiments.runner import run_architecture_comparison
+from repro.io.serialization import save_attack_result
+from repro.nsga.algorithm import NSGAConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro-attack`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-attack",
+        description="Butterfly Effect Attack (DATE 2023) reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    attack = subparsers.add_parser("attack", help="attack one synthetic scene")
+    attack.add_argument("--detector", default="detr", help="yolo or detr")
+    attack.add_argument("--seed", type=int, default=1, help="detector seed")
+    attack.add_argument("--scene-seed", type=int, default=7, help="scene generator seed")
+    attack.add_argument(
+        "--region", default="right", help="perturbable region: full, left or right"
+    )
+    attack.add_argument("--iterations", type=int, default=10)
+    attack.add_argument("--population", type=int, default=16)
+    attack.add_argument(
+        "--paper-budget",
+        action="store_true",
+        help="use the paper's Table II budget (100 generations x 101 individuals)",
+    )
+    attack.add_argument("--output", default=None, help="directory to save the result")
+
+    compare = subparsers.add_parser(
+        "compare", help="run the reduced Figure 2 architecture comparison"
+    )
+    compare.add_argument("--models", type=int, default=2, help="models per architecture")
+    compare.add_argument("--images", type=int, default=1, help="images per model")
+    compare.add_argument("--iterations", type=int, default=8)
+    compare.add_argument("--population", type=int, default=14)
+
+    figures = subparsers.add_parser("figures", help="regenerate a figure scenario")
+    figures.add_argument(
+        "name", choices=["fig1", "fig3-4", "fig5"], help="which figure to regenerate"
+    )
+    figures.add_argument("--iterations", type=int, default=12)
+    figures.add_argument("--population", type=int, default=16)
+
+    table = subparsers.add_parser("table", help="print Table I or Table II")
+    table.add_argument("name", choices=["1", "2"], help="table number")
+
+    return parser
+
+
+def _attack_config(args: argparse.Namespace) -> AttackConfig:
+    region = region_from_name(args.region) if hasattr(args, "region") else region_from_name("right")
+    if getattr(args, "paper_budget", False):
+        return AttackConfig.paper_defaults(region=region)
+    return AttackConfig(
+        nsga=NSGAConfig(
+            num_iterations=args.iterations, population_size=args.population, seed=0
+        ),
+        region=region,
+    )
+
+
+def _run_attack(args: argparse.Namespace) -> int:
+    dataset = generate_dataset(num_images=1, seed=args.scene_seed, half="left")
+    sample = dataset[0]
+    detector = build_detector(args.detector, seed=args.seed)
+    print(f"Detector: {detector.name}")
+    print(f"Clean prediction: {detector.predict(sample.image).summary()}")
+
+    result = ButterflyAttack(detector, _attack_config(args)).attack(sample.image)
+    print(result.summary())
+    rows = [
+        {
+            "solution": index,
+            "obj_intensity": solution.intensity,
+            "obj_degrad": solution.degradation,
+            "obj_dist": solution.distance,
+        }
+        for index, solution in enumerate(result.pareto_front)
+    ]
+    print(format_table(rows))
+
+    if args.output:
+        path = save_attack_result(result, args.output)
+        print(f"Saved attack result to {path}")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    experiment = ExperimentConfig.reduced(
+        models_per_architecture=args.models,
+        images_per_model=args.images,
+        ensemble_size=min(args.models, 2),
+    )
+    nsga = NSGAConfig(
+        num_iterations=args.iterations, population_size=args.population, seed=0
+    )
+    comparison = run_architecture_comparison(experiment=experiment, nsga=nsga)
+    print(comparison.report.to_text())
+    summary = comparison.susceptibility_summary()
+    single_stage = summary["single_stage"]["best_degradation"]
+    transformer = summary["transformer"]["best_degradation"]
+    print(
+        f"best obj_degrad: single_stage={single_stage:.3f} transformer={transformer:.3f}"
+    )
+    return 0
+
+
+def _run_figures(args: argparse.Namespace) -> int:
+    config = AttackConfig(
+        nsga=NSGAConfig(
+            num_iterations=args.iterations, population_size=args.population, seed=0
+        ),
+        region=region_from_name("right"),
+    )
+    if args.name == "fig1":
+        outcome = figure1_disappearing_objects(
+            build_detector("detr", seed=1), attack_config=config
+        )
+    elif args.name == "fig3-4":
+        outcome = figure3_figure4_contrast(
+            build_detector("yolo", seed=1),
+            build_detector("detr", seed=1),
+            attack_config=config,
+        )
+    else:
+        outcome = figure5_ghost_objects(
+            build_detector("detr", seed=1), attack_config=config
+        )
+    print(outcome.summary())
+    if outcome.rendering:
+        print(outcome.rendering)
+    return 0
+
+
+def _run_table(args: argparse.Namespace) -> int:
+    if args.name == "1":
+        print(format_table(experiment_table_rows(ExperimentConfig.paper())))
+    else:
+        print(format_table(nsga_table_rows(NSGA_TABLE_II)))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "attack": _run_attack,
+        "compare": _run_compare,
+        "figures": _run_figures,
+        "table": _run_table,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""The butterfly-effect attack: the paper's primary contribution.
+
+* :mod:`repro.core.objectives` — the three objective functions of
+  Section III-B (``obj_intensity``, ``obj_degrad`` — Algorithm 1,
+  ``obj_dist`` — Algorithm 2),
+* :mod:`repro.core.masks` — filter-mask representation and application,
+* :mod:`repro.core.regions` — spatial constraints on where the mask may
+  perturb (e.g. "right half only"),
+* :mod:`repro.core.attack` — the :class:`ButterflyAttack` orchestrator
+  driving NSGA-II,
+* :mod:`repro.core.ensemble` — ensemble objectives (Equations 1–3),
+* :mod:`repro.core.temporal` — temporally stable attacks across frames,
+* :mod:`repro.core.results` — attack results and Pareto-front access,
+* :mod:`repro.core.config` — attack configuration.
+"""
+
+from repro.core.objectives import (
+    ButterflyObjectives,
+    objective_degradation,
+    objective_distance,
+    objective_intensity,
+    distance_weight_matrix,
+)
+from repro.core.masks import FilterMask, apply_mask
+from repro.core.regions import (
+    FullImageRegion,
+    HalfImageRegion,
+    RectangleRegion,
+    Region,
+    region_from_name,
+)
+from repro.core.config import AttackConfig
+from repro.core.results import AttackResult, ParetoSolution
+from repro.core.attack import ButterflyAttack
+from repro.core.ensemble import EnsembleAttack, EnsembleObjectives
+from repro.core.temporal import TemporalAttack, TemporalObjectives
+
+__all__ = [
+    "ButterflyObjectives",
+    "objective_degradation",
+    "objective_distance",
+    "objective_intensity",
+    "distance_weight_matrix",
+    "FilterMask",
+    "apply_mask",
+    "FullImageRegion",
+    "HalfImageRegion",
+    "RectangleRegion",
+    "Region",
+    "region_from_name",
+    "AttackConfig",
+    "AttackResult",
+    "ParetoSolution",
+    "ButterflyAttack",
+    "EnsembleAttack",
+    "EnsembleObjectives",
+    "TemporalAttack",
+    "TemporalObjectives",
+]

@@ -1,0 +1,130 @@
+"""The butterfly-effect attack orchestrator.
+
+:class:`ButterflyAttack` wires everything together: it builds the
+three-objective evaluator for a detector/image pair, applies the spatial
+region constraint (e.g. "perturb only the right half"), runs NSGA-II and
+packages the final population into an :class:`~repro.core.results.AttackResult`
+with paper-oriented objective values and error-type transitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import AttackConfig
+from repro.core.masks import FilterMask, apply_mask
+from repro.core.objectives import ButterflyObjectives
+from repro.core.results import AttackResult, ParetoSolution
+from repro.detection.errors import classify_transitions
+from repro.detection.prediction import Prediction
+from repro.detectors.base import Detector
+from repro.nsga.algorithm import NSGAII, NSGAResult
+
+
+class ButterflyAttack:
+    """Multi-objective black-box attack against one object detector.
+
+    Parameters
+    ----------
+    detector:
+        The attacked detector (any object with a ``predict(image)`` method
+        following the :class:`~repro.detectors.base.Detector` interface).
+    config:
+        Attack configuration (NSGA-II parametrisation, perturbable region,
+        Algorithm 2 buffer).  Defaults to the paper's Table II values with
+        no region restriction.
+    extra_objectives:
+        Optional additional minimised objectives forwarded to
+        :class:`~repro.core.objectives.ButterflyObjectives` (grey-box
+        extension).
+    """
+
+    def __init__(
+        self,
+        detector: Detector,
+        config: AttackConfig | None = None,
+        extra_objectives: Sequence[
+            Callable[[np.ndarray, np.ndarray, Prediction], float]
+        ] = (),
+    ) -> None:
+        self.detector = detector
+        self.config = config if config is not None else AttackConfig()
+        self.extra_objectives = tuple(extra_objectives)
+
+    def build_objectives(self, image: np.ndarray) -> ButterflyObjectives:
+        """Create the cached objective evaluator for one image."""
+        return ButterflyObjectives(
+            detector=self.detector,
+            image=image,
+            epsilon=self.config.epsilon,
+            extra_objectives=self.extra_objectives,
+        )
+
+    def _constraint(self, mask: np.ndarray) -> np.ndarray:
+        projected = self.config.region.project(mask)
+        if self.config.round_masks:
+            projected = np.round(projected)
+        return np.clip(projected, -255.0, 255.0)
+
+    def _package(
+        self,
+        image: np.ndarray,
+        objectives: ButterflyObjectives,
+        nsga_result: NSGAResult,
+    ) -> AttackResult:
+        solutions: list[ParetoSolution] = []
+        for individual in nsga_result.population:
+            intensity, degradation, negated_distance = individual.objectives[:3]
+            extras = {
+                f"extra_{i}": float(value)
+                for i, value in enumerate(individual.objectives[3:])
+            }
+            solution = ParetoSolution(
+                mask=FilterMask(individual.genome),
+                intensity=float(intensity),
+                degradation=float(degradation),
+                distance=float(-negated_distance),
+                rank=int(individual.rank if individual.rank is not None else 0),
+                extras=extras,
+            )
+            solutions.append(solution)
+
+        result = AttackResult(
+            image=image,
+            clean_prediction=objectives.clean_prediction,
+            solutions=solutions,
+            detector_name=getattr(self.detector, "name", repr(self.detector)),
+            num_evaluations=nsga_result.num_evaluations,
+            history=nsga_result.history,
+        )
+
+        # Fill in perturbed predictions and error transitions for the front
+        # only (re-running the detector for all 101+ solutions would double
+        # the attack cost for no benefit).
+        for solution in result.pareto_front:
+            perturbed = self.detector.predict(apply_mask(image, solution.mask.values))
+            solution.perturbed_prediction = perturbed
+            solution.transitions = classify_transitions(
+                objectives.clean_prediction, perturbed
+            )
+        return result
+
+    def attack(
+        self,
+        image: np.ndarray,
+        callback: Optional[Callable[[int, list], None]] = None,
+    ) -> AttackResult:
+        """Run the full NSGA-II search against one image."""
+        image = np.asarray(image, dtype=np.float64)
+        objectives = self.build_objectives(image)
+        optimizer = NSGAII(
+            objective_function=objectives,
+            genome_shape=image.shape,
+            config=self.config.nsga,
+            constraint=self._constraint,
+            callback=callback,
+        )
+        nsga_result = optimizer.run()
+        return self._package(image, objectives, nsga_result)

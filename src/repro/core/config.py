@@ -1,0 +1,64 @@
+"""Attack configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.regions import FullImageRegion, Region
+from repro.nsga.algorithm import NSGAConfig
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """Configuration of a butterfly-effect attack run.
+
+    Attributes
+    ----------
+    nsga:
+        NSGA-II parametrisation (the paper's Table II by default).
+    region:
+        Spatial constraint on the perturbation (paper: right half only).
+    epsilon:
+        Buffer ``ϵ`` around bounding boxes used by Algorithm 2.
+    round_masks:
+        Round filter masks to integer values (the paper encodes masks as
+        signed integers in ``[-255, 255]``).
+    """
+
+    nsga: NSGAConfig = field(default_factory=NSGAConfig)
+    region: Region = field(default_factory=FullImageRegion)
+    epsilon: float = 2.0
+    round_masks: bool = True
+
+    @staticmethod
+    def paper_defaults(region: Region | None = None, seed: int = 0) -> "AttackConfig":
+        """Table II parametrisation; optionally with a perturbation region."""
+        return AttackConfig(
+            nsga=NSGAConfig.paper_defaults(seed=seed),
+            region=region if region is not None else FullImageRegion(),
+        )
+
+    @staticmethod
+    def fast(
+        region: Region | None = None,
+        seed: int = 0,
+        num_iterations: int = 10,
+        population_size: int = 16,
+    ) -> "AttackConfig":
+        """A reduced configuration for tests, examples and CI benchmarks.
+
+        The search dynamics are identical to the paper's; only the budget
+        (population and generations) is smaller.
+        """
+        from repro.nsga.mutation import MutationConfig
+
+        return AttackConfig(
+            nsga=NSGAConfig(
+                num_iterations=num_iterations,
+                population_size=population_size,
+                crossover_probability=0.5,
+                mutation=MutationConfig(probability=0.45, window_fraction=0.01),
+                seed=seed,
+            ),
+            region=region if region is not None else FullImageRegion(),
+        )

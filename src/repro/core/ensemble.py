@@ -1,0 +1,181 @@
+"""Ensemble objectives (Section IV-B, Equations 1–3).
+
+The same filter mask is applied to all ``K`` detectors of an ensemble:
+
+* the intensity objective is identical for every member (Eq. 1),
+* the degradation objective is the average of the members' obj_degrad
+  (Eq. 2),
+* the distance objective is the average of the members' obj_dist (Eq. 3).
+
+:class:`EnsembleObjectives` is a drop-in replacement for
+:class:`~repro.core.objectives.ButterflyObjectives`: the
+:class:`~repro.core.attack.ButterflyAttack` orchestrator can attack an
+ensemble by constructing an :class:`EnsembleAttack` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import AttackConfig
+from repro.core.masks import FilterMask, apply_mask
+from repro.core.objectives import ButterflyObjectives
+from repro.core.results import AttackResult, ParetoSolution
+from repro.detection.errors import classify_transitions
+from repro.detectors.base import Detector
+from repro.detectors.ensemble import DetectorEnsemble
+from repro.nsga.algorithm import NSGAII
+
+
+@dataclass
+class EnsembleObjectives:
+    """The three ensemble objectives of Equations 1–3.
+
+    One :class:`ButterflyObjectives` evaluator is built per member so that
+    each member's clean prediction and distance matrix are cached; the
+    ensemble objective vector averages the members' degradation and
+    distance terms.
+    """
+
+    ensemble: DetectorEnsemble | Sequence[Detector]
+    image: np.ndarray
+    epsilon: float = 2.0
+    members: list[ButterflyObjectives] = field(init=False)
+
+    def __post_init__(self) -> None:
+        detectors = (
+            list(self.ensemble)
+            if isinstance(self.ensemble, DetectorEnsemble)
+            else list(self.ensemble)
+        )
+        if not detectors:
+            raise ValueError("the ensemble must contain at least one detector")
+        self.image = np.asarray(self.image, dtype=np.float64)
+        self.members = [
+            ButterflyObjectives(detector=d, image=self.image, epsilon=self.epsilon)
+            for d in detectors
+        ]
+
+    @property
+    def num_members(self) -> int:
+        return len(self.members)
+
+    @property
+    def clean_predictions(self):
+        """Clean predictions of every ensemble member."""
+        return [member.clean_prediction for member in self.members]
+
+    def intensity(self, mask: np.ndarray) -> float:
+        """Eq. 1: identical to every member's intensity objective."""
+        return self.members[0].intensity(mask)
+
+    def degradation(self, mask: np.ndarray) -> float:
+        """Eq. 2: average of the members' obj_degrad."""
+        perturbed_image = apply_mask(self.image, mask)
+        values = [
+            member.degradation(mask, member.detector.predict(perturbed_image))
+            for member in self.members
+        ]
+        return float(np.mean(values))
+
+    def distance(self, mask: np.ndarray) -> float:
+        """Eq. 3: average of the members' obj_dist."""
+        return float(np.mean([member.distance(mask) for member in self.members]))
+
+    def raw_objectives(self, mask: np.ndarray) -> dict[str, float]:
+        """Paper-oriented objective values for reporting."""
+        return {
+            "intensity": self.intensity(mask),
+            "degradation": self.degradation(mask),
+            "distance": self.distance(mask),
+        }
+
+    def __call__(self, mask: np.ndarray) -> np.ndarray:
+        """Minimisation vector (intensity, mean degradation, -mean distance)."""
+        perturbed_image = apply_mask(self.image, mask)
+        degradations = [
+            member.degradation(mask, member.detector.predict(perturbed_image))
+            for member in self.members
+        ]
+        distances = [member.distance(mask) for member in self.members]
+        return np.asarray(
+            [
+                self.intensity(mask),
+                float(np.mean(degradations)),
+                -float(np.mean(distances)),
+            ],
+            dtype=np.float64,
+        )
+
+
+class EnsembleAttack:
+    """Butterfly-effect attack against an ensemble of detectors."""
+
+    def __init__(
+        self,
+        ensemble: DetectorEnsemble | Sequence[Detector],
+        config: AttackConfig | None = None,
+    ) -> None:
+        self.ensemble = (
+            ensemble
+            if isinstance(ensemble, DetectorEnsemble)
+            else DetectorEnsemble(list(ensemble))
+        )
+        self.config = config if config is not None else AttackConfig()
+
+    def _constraint(self, mask: np.ndarray) -> np.ndarray:
+        projected = self.config.region.project(mask)
+        if self.config.round_masks:
+            projected = np.round(projected)
+        return np.clip(projected, -255.0, 255.0)
+
+    def attack(self, image: np.ndarray) -> AttackResult:
+        """Run NSGA-II against the whole ensemble and package the result."""
+        image = np.asarray(image, dtype=np.float64)
+        objectives = EnsembleObjectives(
+            ensemble=self.ensemble, image=image, epsilon=self.config.epsilon
+        )
+        optimizer = NSGAII(
+            objective_function=objectives,
+            genome_shape=image.shape,
+            config=self.config.nsga,
+            constraint=self._constraint,
+        )
+        nsga_result = optimizer.run()
+
+        solutions: list[ParetoSolution] = []
+        for individual in nsga_result.population:
+            intensity, degradation, negated_distance = individual.objectives[:3]
+            solutions.append(
+                ParetoSolution(
+                    mask=FilterMask(individual.genome),
+                    intensity=float(intensity),
+                    degradation=float(degradation),
+                    distance=float(-negated_distance),
+                    rank=int(individual.rank if individual.rank is not None else 0),
+                )
+            )
+
+        # The reference prediction of the result is the first member's; the
+        # per-member analysis can be recomputed from the masks if needed.
+        reference = objectives.members[0]
+        result = AttackResult(
+            image=image,
+            clean_prediction=reference.clean_prediction,
+            solutions=solutions,
+            detector_name=self.ensemble.name,
+            num_evaluations=nsga_result.num_evaluations,
+            history=nsga_result.history,
+        )
+        for solution in result.pareto_front:
+            perturbed = reference.detector.predict(
+                apply_mask(image, solution.mask.values)
+            )
+            solution.perturbed_prediction = perturbed
+            solution.transitions = classify_transitions(
+                reference.clean_prediction, perturbed
+            )
+        return result

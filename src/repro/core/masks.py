@@ -1,0 +1,111 @@
+"""Filter masks: the explicit perturbation encoding of the paper.
+
+A filter mask is a signed perturbation ``δ`` of the same shape as the image
+with values in ``[-255, 255]``.  Applying the mask means ``clip(img + δ,
+0, 255)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Bound of the signed perturbation range used throughout the paper.
+MAX_PERTURBATION = 255.0
+
+
+def apply_mask(image: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Apply a filter mask to an image and clip to the valid pixel range."""
+    image = np.asarray(image, dtype=np.float64)
+    mask = np.asarray(mask, dtype=np.float64)
+    if image.shape != mask.shape:
+        raise ValueError(
+            f"mask shape {mask.shape} does not match image shape {image.shape}"
+        )
+    return np.clip(image + mask, 0.0, 255.0)
+
+
+@dataclass
+class FilterMask:
+    """A perturbation mask with convenience accessors.
+
+    Attributes
+    ----------
+    values:
+        Signed perturbation array of shape (L, W, 3) in ``[-255, 255]``.
+    """
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 3 or self.values.shape[2] != 3:
+            raise ValueError(
+                f"a filter mask must have shape (L, W, 3), got {self.values.shape}"
+            )
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.values.shape  # type: ignore[return-value]
+
+    @property
+    def l1_norm(self) -> float:
+        """Sum of absolute perturbation values."""
+        return float(np.sum(np.abs(self.values)))
+
+    @property
+    def l2_norm(self) -> float:
+        """Euclidean norm of the perturbation (the paper's obj_intensity)."""
+        return float(np.linalg.norm(self.values.ravel(), ord=2))
+
+    @property
+    def linf_norm(self) -> float:
+        """Largest absolute perturbation value."""
+        return float(np.max(np.abs(self.values))) if self.values.size else 0.0
+
+    @property
+    def per_pixel_max(self) -> np.ndarray:
+        """Largest absolute perturbation over the RGB channels, shape (L, W).
+
+        This is ``δ_abs^max`` of Algorithm 2 (line 20).
+        """
+        return np.max(np.abs(self.values), axis=2)
+
+    @property
+    def perturbed_pixel_count(self) -> int:
+        """Number of pixels with a non-zero perturbation in any channel."""
+        return int(np.count_nonzero(self.per_pixel_max))
+
+    @property
+    def is_zero(self) -> bool:
+        return self.perturbed_pixel_count == 0
+
+    def apply(self, image: np.ndarray) -> np.ndarray:
+        """Return the perturbed image ``clip(img + δ, 0, 255)``."""
+        return apply_mask(image, self.values)
+
+    def clipped(self, max_value: float = MAX_PERTURBATION) -> "FilterMask":
+        """Return a copy clipped to ``[-max_value, max_value]``."""
+        return FilterMask(np.clip(self.values, -max_value, max_value))
+
+    def rounded(self) -> "FilterMask":
+        """Return a copy rounded to integer values (the paper's encoding)."""
+        return FilterMask(np.round(self.values))
+
+    @staticmethod
+    def zeros(shape: tuple[int, int, int]) -> "FilterMask":
+        """The all-zero mask (keeps the original image)."""
+        return FilterMask(np.zeros(shape, dtype=np.float64))
+
+    @staticmethod
+    def random_gaussian(
+        shape: tuple[int, int, int],
+        sigma: float,
+        rng: np.random.Generator | int | None = None,
+        max_value: float = MAX_PERTURBATION,
+    ) -> "FilterMask":
+        """A Gaussian random mask clipped to the valid range."""
+        if rng is None or isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(rng if rng is not None else 0)
+        return FilterMask(np.clip(rng.normal(0.0, sigma, size=shape), -max_value, max_value))

@@ -1,0 +1,244 @@
+"""The three butterfly-effect objectives of Section III-B.
+
+* ``obj_intensity(δ) = ||δ||_2`` — the amount of perturbation (minimised),
+* ``obj_degrad(img, δ, f)`` — Algorithm 1: the average best same-class IoU
+  between the clean and the perturbed prediction (minimised; 1 means the
+  prediction did not change, 0 means every object was lost or changed
+  class),
+* ``obj_dist(img, δ, f)`` — Algorithm 2: the perturbation-weighted distance
+  between perturbed pixels and the detected objects, normalised by the
+  number of perturbed pixels (maximised; the further from the objects the
+  perturbation sits, the larger the value).
+
+:class:`ButterflyObjectives` bundles the three into the minimisation vector
+``(obj_intensity, obj_degrad, -obj_dist)`` consumed by NSGA-II, caching
+everything that only depends on the clean image (the clean prediction and
+the distance matrix ``D`` of Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.masks import apply_mask
+from repro.detection.boxes import BoundingBox, iou
+from repro.detection.prediction import Prediction
+from repro.detectors.base import Detector
+
+
+def objective_intensity(mask: np.ndarray) -> float:
+    """``obj_intensity(δ) := ||δ||_2`` (Section III-B(a))."""
+    return float(np.linalg.norm(np.asarray(mask, dtype=np.float64).ravel(), ord=2))
+
+
+def objective_degradation(
+    clean_prediction: Prediction, perturbed_prediction: Prediction
+) -> float:
+    """Algorithm 1: average best same-class IoU against the clean prediction.
+
+    For every valid box of the clean prediction, the best IoU over
+    same-class boxes of the perturbed prediction is accumulated; the sum is
+    divided by the number of valid clean boxes.  A value of 1 means no
+    change, 0 means every clean box lost its class or disappeared.  When the
+    clean prediction has no valid boxes the objective is defined as 1 (there
+    is nothing to degrade).
+    """
+    clean_boxes = clean_prediction.valid_boxes
+    if not clean_boxes:
+        return 1.0
+    perturbed_boxes = perturbed_prediction.valid_boxes
+    accumulated = 0.0
+    for clean_box in clean_boxes:
+        best_overlap = 0.0
+        for perturbed_box in perturbed_boxes:
+            if perturbed_box.cl == clean_box.cl:
+                best_overlap = max(best_overlap, iou(clean_box, perturbed_box))
+        accumulated += best_overlap
+    return accumulated / len(clean_boxes)
+
+
+def distance_weight_matrix(
+    clean_prediction: Prediction,
+    image_length: int,
+    image_width: int,
+    epsilon: float = 0.0,
+) -> np.ndarray:
+    """The matrix ``D`` of Algorithm 2 (lines 1–16), precomputed per image.
+
+    ``D[i, j]`` is the distance from pixel ``(i, j)`` to the nearest valid
+    bounding-box *centre*; pixels inside any valid box (grown by the buffer
+    ``ϵ``) are set to the negative average distance, so that perturbing them
+    is penalised.  When there are no valid boxes every entry is the image
+    diagonal (any perturbation is maximally "unrelated").
+    """
+    diagonal = float(np.sqrt(image_length**2 + image_width**2))
+    rows = np.arange(image_length, dtype=np.float64)[:, None]
+    cols = np.arange(image_width, dtype=np.float64)[None, :]
+
+    distance = np.full((image_length, image_width), diagonal, dtype=np.float64)
+    valid_boxes = clean_prediction.valid_boxes
+    for box in valid_boxes:
+        box_distance = np.sqrt((box.x - rows) ** 2 + (box.y - cols) ** 2)
+        np.minimum(distance, box_distance, out=distance)
+
+    if not valid_boxes:
+        return distance
+
+    negative_average = -float(distance.mean())
+    inside = np.zeros((image_length, image_width), dtype=bool)
+    for box in valid_boxes:
+        x_lo = box.x - box.l / 2.0 - epsilon
+        x_hi = box.x + box.l / 2.0 + epsilon
+        y_lo = box.y - box.w / 2.0 - epsilon
+        y_hi = box.y + box.w / 2.0 + epsilon
+        inside |= (rows >= x_lo) & (rows <= x_hi) & (cols >= y_lo) & (cols <= y_hi)
+    # Inside-the-box pixels get the (negative) average distance so that
+    # perturbing them pulls the objective down (Algorithm 2, line 13).
+    distance[inside] = negative_average
+    return distance
+
+
+def objective_distance(
+    mask: np.ndarray,
+    weight_matrix: np.ndarray,
+) -> float:
+    """Algorithm 2 (lines 17–24) given the precomputed matrix ``D``.
+
+    The per-pixel maximum absolute perturbation over the RGB channels
+    weighs the distance matrix; the weighted sum is divided by the number
+    of perturbed pixels.  A zero mask has no perturbed pixels; its
+    "unrelatedness" is defined as 0.
+    """
+    mask = np.asarray(mask, dtype=np.float64)
+    per_pixel_max = np.max(np.abs(mask), axis=2)
+    perturbed_count = int(np.count_nonzero(per_pixel_max))
+    if perturbed_count == 0:
+        return 0.0
+    weighted = per_pixel_max * weight_matrix
+    return float(weighted.sum() / perturbed_count)
+
+
+@dataclass
+class ButterflyObjectives:
+    """Evaluates the three objectives for one detector and one image.
+
+    The returned minimisation vector is ``(obj_intensity, obj_degrad,
+    -obj_dist)``; :meth:`raw_objectives` returns the paper's original
+    orientation (``obj_dist`` to be maximised).
+
+    Parameters
+    ----------
+    detector:
+        The attacked (black-box) detector.
+    image:
+        The clean image.
+    epsilon:
+        Buffer ``ϵ`` around the bounding boxes used by Algorithm 2.
+    extra_objectives:
+        Optional additional minimised objectives, each a callable
+        ``(image, mask, perturbed_prediction) -> float``.  Used for the
+        grey-box feature-distance extension.
+    normalize_intensity:
+        When True (default) the L2 intensity is divided by the norm of a
+        worst-case mask (every pixel at the maximum perturbation), giving a
+        value in [0, 1] that is comparable across image sizes.
+    normalize_distance:
+        When True (default) obj_dist is divided by (image diagonal × 255),
+        the value a single maximally strong perturbation at the largest
+        possible distance would reach, giving a value in roughly [-1, 1]
+        comparable across image sizes (the paper's Figure 2 reports
+        obj_dist values around 0.5 on a comparable scale).
+    """
+
+    detector: Detector
+    image: np.ndarray
+    epsilon: float = 2.0
+    extra_objectives: Sequence[
+        Callable[[np.ndarray, np.ndarray, Prediction], float]
+    ] = field(default_factory=tuple)
+    normalize_intensity: bool = True
+    normalize_distance: bool = True
+
+    def __post_init__(self) -> None:
+        self.image = np.asarray(self.image, dtype=np.float64)
+        if self.image.ndim != 3 or self.image.shape[2] != 3:
+            raise ValueError("image must have shape (L, W, 3)")
+        self.clean_prediction: Prediction = self.detector.predict(self.image)
+        self.weight_matrix: np.ndarray = distance_weight_matrix(
+            self.clean_prediction,
+            self.image.shape[0],
+            self.image.shape[1],
+            epsilon=self.epsilon,
+        )
+        self._intensity_scale = float(
+            np.linalg.norm(np.full(self.image.shape, 255.0).ravel(), ord=2)
+        )
+        self._distance_scale = float(
+            np.hypot(self.image.shape[0], self.image.shape[1]) * 255.0
+        )
+
+    @property
+    def num_objectives(self) -> int:
+        """Number of minimised objectives returned by :meth:`__call__`."""
+        return 3 + len(self.extra_objectives)
+
+    @property
+    def intensity_scale(self) -> float:
+        """L2 norm of the worst-case mask, used to normalise obj_intensity."""
+        return self._intensity_scale
+
+    @property
+    def distance_scale(self) -> float:
+        """Normalisation constant of obj_dist (image diagonal × 255)."""
+        return self._distance_scale
+
+    def intensity(self, mask: np.ndarray) -> float:
+        """obj_intensity, optionally normalised to [0, 1]."""
+        value = objective_intensity(mask)
+        if self.normalize_intensity:
+            return value / self._intensity_scale
+        return value
+
+    def degradation(self, mask: np.ndarray, perturbed: Prediction | None = None) -> float:
+        """obj_degrad for a mask (running the detector unless given)."""
+        if perturbed is None:
+            perturbed = self.detector.predict(apply_mask(self.image, mask))
+        return objective_degradation(self.clean_prediction, perturbed)
+
+    def distance(self, mask: np.ndarray) -> float:
+        """obj_dist for a mask, using the cached weight matrix."""
+        value = objective_distance(mask, self.weight_matrix)
+        if self.normalize_distance:
+            return value / self._distance_scale
+        return value
+
+    def raw_objectives(self, mask: np.ndarray) -> dict[str, float]:
+        """The paper-oriented objective values for reporting.
+
+        ``intensity`` and ``degradation`` are minimised, ``distance`` is
+        maximised, exactly as the paper presents them.
+        """
+        perturbed = self.detector.predict(apply_mask(self.image, mask))
+        values = {
+            "intensity": self.intensity(mask),
+            "degradation": self.degradation(mask, perturbed),
+            "distance": self.distance(mask),
+        }
+        for index, extra in enumerate(self.extra_objectives):
+            values[f"extra_{index}"] = float(extra(self.image, mask, perturbed))
+        return values
+
+    def __call__(self, mask: np.ndarray) -> np.ndarray:
+        """Minimisation vector for NSGA-II."""
+        perturbed = self.detector.predict(apply_mask(self.image, mask))
+        vector = [
+            self.intensity(mask),
+            self.degradation(mask, perturbed),
+            -self.distance(mask),
+        ]
+        for extra in self.extra_objectives:
+            vector.append(float(extra(self.image, mask, perturbed)))
+        return np.asarray(vector, dtype=np.float64)

@@ -1,0 +1,133 @@
+"""Temporally stable attacks (Section IV-B, last paragraph).
+
+A single filter mask ``δ`` is optimised to stay effective across a sequence
+of frames: the degradation and distance objectives are averaged over the
+frames of the sequence, while the intensity objective is the norm of the
+(shared) mask.  The paper omits the formal definition for space reasons;
+this is the natural analogue of the ensemble aggregation with frames taking
+the place of detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import AttackConfig
+from repro.core.masks import FilterMask, apply_mask
+from repro.core.objectives import ButterflyObjectives
+from repro.core.results import AttackResult, ParetoSolution
+from repro.data.sequences import SceneSequence
+from repro.detectors.base import Detector
+from repro.nsga.algorithm import NSGAII
+
+
+@dataclass
+class TemporalObjectives:
+    """Objectives for a mask shared across all frames of a sequence."""
+
+    detector: Detector
+    frames: Sequence[np.ndarray]
+    epsilon: float = 2.0
+    per_frame: list[ButterflyObjectives] = field(init=False)
+
+    def __post_init__(self) -> None:
+        frames = [np.asarray(frame, dtype=np.float64) for frame in self.frames]
+        if not frames:
+            raise ValueError("the sequence must contain at least one frame")
+        shapes = {frame.shape for frame in frames}
+        if len(shapes) != 1:
+            raise ValueError("all frames must have the same shape")
+        self.frames = frames
+        self.per_frame = [
+            ButterflyObjectives(detector=self.detector, image=frame, epsilon=self.epsilon)
+            for frame in frames
+        ]
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.per_frame)
+
+    def intensity(self, mask: np.ndarray) -> float:
+        """Intensity of the single shared mask."""
+        return self.per_frame[0].intensity(mask)
+
+    def degradation(self, mask: np.ndarray) -> float:
+        """Average obj_degrad over the frames."""
+        return float(np.mean([obj.degradation(mask) for obj in self.per_frame]))
+
+    def distance(self, mask: np.ndarray) -> float:
+        """Average obj_dist over the frames."""
+        return float(np.mean([obj.distance(mask) for obj in self.per_frame]))
+
+    def raw_objectives(self, mask: np.ndarray) -> dict[str, float]:
+        """Paper-oriented objective values for reporting."""
+        return {
+            "intensity": self.intensity(mask),
+            "degradation": self.degradation(mask),
+            "distance": self.distance(mask),
+        }
+
+    def __call__(self, mask: np.ndarray) -> np.ndarray:
+        return np.asarray(
+            [self.intensity(mask), self.degradation(mask), -self.distance(mask)],
+            dtype=np.float64,
+        )
+
+
+class TemporalAttack:
+    """Butterfly-effect attack with one mask shared across a frame sequence."""
+
+    def __init__(
+        self,
+        detector: Detector,
+        config: AttackConfig | None = None,
+    ) -> None:
+        self.detector = detector
+        self.config = config if config is not None else AttackConfig()
+
+    def _constraint(self, mask: np.ndarray) -> np.ndarray:
+        projected = self.config.region.project(mask)
+        if self.config.round_masks:
+            projected = np.round(projected)
+        return np.clip(projected, -255.0, 255.0)
+
+    def attack(
+        self, sequence: SceneSequence | Sequence[np.ndarray]
+    ) -> AttackResult:
+        """Run NSGA-II over a frame sequence; one shared mask for all frames."""
+        frames = list(sequence.images if isinstance(sequence, SceneSequence) else sequence)
+        objectives = TemporalObjectives(
+            detector=self.detector, frames=frames, epsilon=self.config.epsilon
+        )
+        optimizer = NSGAII(
+            objective_function=objectives,
+            genome_shape=frames[0].shape,
+            config=self.config.nsga,
+            constraint=self._constraint,
+        )
+        nsga_result = optimizer.run()
+
+        solutions: list[ParetoSolution] = []
+        for individual in nsga_result.population:
+            intensity, degradation, negated_distance = individual.objectives[:3]
+            solutions.append(
+                ParetoSolution(
+                    mask=FilterMask(individual.genome),
+                    intensity=float(intensity),
+                    degradation=float(degradation),
+                    distance=float(-negated_distance),
+                    rank=int(individual.rank if individual.rank is not None else 0),
+                )
+            )
+        result = AttackResult(
+            image=frames[0],
+            clean_prediction=objectives.per_frame[0].clean_prediction,
+            solutions=solutions,
+            detector_name=f"{getattr(self.detector, 'name', 'detector')}@{len(frames)}frames",
+            num_evaluations=nsga_result.num_evaluations,
+            history=nsga_result.history,
+        )
+        return result

@@ -1,0 +1,54 @@
+"""Synthetic KITTI-like data substrate.
+
+The paper evaluates on the KITTI vision benchmark.  This repository has no
+access to the real dataset, so this package provides a drop-in substitute:
+
+* :mod:`repro.data.templates` — textured object templates (car, pedestrian,
+  cyclist, van, truck) with per-class colour statistics,
+* :mod:`repro.data.scene` — scene specifications placing objects on a road,
+* :mod:`repro.data.renderer` — rendering specifications to RGB images,
+* :mod:`repro.data.dataset` — seeded dataset generators mirroring the
+  paper's "16 images tested on each model" protocol,
+* :mod:`repro.data.sequences` — temporal sequences of moving objects for the
+  paper's across-frames attack extension,
+* :mod:`repro.data.kitti` — readers/writers for KITTI-format label files so
+  the real dataset can be dropped in,
+* :mod:`repro.data.noise` — classic noise models (Gaussian, salt & pepper)
+  used as related-work baselines.
+"""
+
+from repro.data.templates import (
+    CLASS_NAMES,
+    KittiClass,
+    ObjectTemplate,
+    default_template,
+    template_bank,
+)
+from repro.data.scene import ObjectSpec, SceneSpec, random_scene
+from repro.data.renderer import render_scene
+from repro.data.dataset import SyntheticDataset, SceneSample, generate_dataset
+from repro.data.sequences import SceneSequence, generate_sequence
+from repro.data.kitti import KittiLabel, parse_kitti_label, write_kitti_label
+from repro.data.noise import add_gaussian_noise, add_salt_and_pepper_noise
+
+__all__ = [
+    "CLASS_NAMES",
+    "KittiClass",
+    "ObjectTemplate",
+    "default_template",
+    "template_bank",
+    "ObjectSpec",
+    "SceneSpec",
+    "random_scene",
+    "render_scene",
+    "SyntheticDataset",
+    "SceneSample",
+    "generate_dataset",
+    "SceneSequence",
+    "generate_sequence",
+    "KittiLabel",
+    "parse_kitti_label",
+    "write_kitti_label",
+    "add_gaussian_noise",
+    "add_salt_and_pepper_noise",
+]

@@ -1,0 +1,182 @@
+"""KITTI label-file I/O.
+
+The real evaluation of the paper uses the KITTI object-detection benchmark.
+This module implements the KITTI label text format (one object per line with
+type, truncation, occlusion, alpha, 2-D bbox, 3-D dimensions, location and
+rotation) so that real KITTI annotations can be loaded into the same
+:class:`~repro.detection.prediction.Prediction` containers used by the
+synthetic data, and synthetic ground truth can be exported for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.data.templates import CLASS_NAMES, KittiClass
+from repro.detection.boxes import BoundingBox
+from repro.detection.prediction import Prediction
+
+#: KITTI type strings that map onto our class ids; everything else becomes
+#: "DontCare" on write and is skipped on read unless ``keep_dontcare``.
+_TYPE_TO_CLASS: dict[str, int] = {
+    "Car": int(KittiClass.CAR),
+    "Pedestrian": int(KittiClass.PEDESTRIAN),
+    "Person_sitting": int(KittiClass.PEDESTRIAN),
+    "Cyclist": int(KittiClass.CYCLIST),
+    "Van": int(KittiClass.VAN),
+    "Truck": int(KittiClass.TRUCK),
+}
+
+
+@dataclass(frozen=True)
+class KittiLabel:
+    """One line of a KITTI label file (2-D fields only are used here)."""
+
+    object_type: str
+    truncation: float
+    occlusion: int
+    alpha: float
+    bbox_left: float
+    bbox_top: float
+    bbox_right: float
+    bbox_bottom: float
+    height: float = -1.0
+    width: float = -1.0
+    length: float = -1.0
+    loc_x: float = -1000.0
+    loc_y: float = -1000.0
+    loc_z: float = -1000.0
+    rotation_y: float = -10.0
+    score: float = 1.0
+
+    def to_box(self) -> BoundingBox | None:
+        """Convert to a :class:`BoundingBox`; None for unknown/DontCare types.
+
+        KITTI bounding boxes are given as (left, top, right, bottom) in
+        (column, row) pixel coordinates; our convention is rows = x and
+        columns = y.
+        """
+        class_id = _TYPE_TO_CLASS.get(self.object_type)
+        if class_id is None:
+            return None
+        return BoundingBox.from_corners(
+            cl=class_id,
+            x_min=self.bbox_top,
+            y_min=self.bbox_left,
+            x_max=self.bbox_bottom,
+            y_max=self.bbox_right,
+            score=self.score,
+        )
+
+    def to_line(self) -> str:
+        """Serialise back to the KITTI text format."""
+        fields = [
+            self.object_type,
+            f"{self.truncation:.2f}",
+            str(self.occlusion),
+            f"{self.alpha:.2f}",
+            f"{self.bbox_left:.2f}",
+            f"{self.bbox_top:.2f}",
+            f"{self.bbox_right:.2f}",
+            f"{self.bbox_bottom:.2f}",
+            f"{self.height:.2f}",
+            f"{self.width:.2f}",
+            f"{self.length:.2f}",
+            f"{self.loc_x:.2f}",
+            f"{self.loc_y:.2f}",
+            f"{self.loc_z:.2f}",
+            f"{self.rotation_y:.2f}",
+        ]
+        return " ".join(fields)
+
+
+def parse_kitti_line(line: str) -> KittiLabel:
+    """Parse one line of a KITTI label file."""
+    parts = line.split()
+    if len(parts) < 15:
+        raise ValueError(f"KITTI label line has {len(parts)} fields, expected >= 15")
+    return KittiLabel(
+        object_type=parts[0],
+        truncation=float(parts[1]),
+        occlusion=int(float(parts[2])),
+        alpha=float(parts[3]),
+        bbox_left=float(parts[4]),
+        bbox_top=float(parts[5]),
+        bbox_right=float(parts[6]),
+        bbox_bottom=float(parts[7]),
+        height=float(parts[8]),
+        width=float(parts[9]),
+        length=float(parts[10]),
+        loc_x=float(parts[11]),
+        loc_y=float(parts[12]),
+        loc_z=float(parts[13]),
+        rotation_y=float(parts[14]),
+        score=float(parts[15]) if len(parts) > 15 else 1.0,
+    )
+
+
+def parse_kitti_label(
+    source: str | Path | Iterable[str], keep_dontcare: bool = False
+) -> Prediction:
+    """Read a KITTI label file (or iterable of lines) into a Prediction."""
+    if isinstance(source, (str, Path)) and Path(source).exists():
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    elif isinstance(source, str):
+        lines = source.splitlines()
+    else:
+        lines = list(source)  # type: ignore[arg-type]
+
+    boxes: list[BoundingBox] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        label = parse_kitti_line(line)
+        box = label.to_box()
+        if box is None:
+            if keep_dontcare:
+                continue
+            continue
+        boxes.append(box)
+    return Prediction(boxes)
+
+
+def boxes_to_kitti_labels(boxes: Sequence[BoundingBox] | Prediction) -> list[KittiLabel]:
+    """Convert boxes back into KITTI label records."""
+    if isinstance(boxes, Prediction):
+        boxes = boxes.valid_boxes
+    labels: list[KittiLabel] = []
+    for box in boxes:
+        if not box.is_valid:
+            continue
+        if 0 <= box.cl < len(CLASS_NAMES):
+            type_name = CLASS_NAMES[box.cl]
+        else:
+            type_name = "DontCare"
+        labels.append(
+            KittiLabel(
+                object_type=type_name,
+                truncation=0.0,
+                occlusion=0,
+                alpha=0.0,
+                bbox_left=box.y_min,
+                bbox_top=box.x_min,
+                bbox_right=box.y_max,
+                bbox_bottom=box.x_max,
+                score=box.score,
+            )
+        )
+    return labels
+
+
+def write_kitti_label(
+    boxes: Sequence[BoundingBox] | Prediction, path: str | Path
+) -> None:
+    """Write boxes to a KITTI-format label file."""
+    labels = boxes_to_kitti_labels(boxes)
+    with open(path, "w", encoding="utf-8") as handle:
+        for label in labels:
+            handle.write(label.to_line() + "\n")

@@ -1,0 +1,87 @@
+"""Classic image-noise models used as related-work baselines.
+
+The related-work section of the paper cites random-noise robustness testing
+(Gaussian, salt-and-pepper).  These helpers are used by the baseline attacks
+and by the population initialisation of the genetic algorithm ("upon these
+masks various noise types of digital image processing are applied").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def add_gaussian_noise(
+    image: np.ndarray,
+    sigma: float = 10.0,
+    rng: np.random.Generator | int | None = None,
+    clip: bool = True,
+) -> np.ndarray:
+    """Return a copy of ``image`` with i.i.d. Gaussian noise added."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if rng is None or isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(rng if rng is not None else 0)
+    noisy = image.astype(np.float64) + rng.normal(0.0, sigma, size=image.shape)
+    if clip:
+        noisy = np.clip(noisy, 0.0, 255.0)
+    return noisy
+
+
+def add_salt_and_pepper_noise(
+    image: np.ndarray,
+    amount: float = 0.01,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Return a copy of ``image`` with salt (255) and pepper (0) pixels.
+
+    ``amount`` is the fraction of pixels affected; half become salt, half
+    pepper.  All RGB channels of an affected pixel are set together.
+    """
+    if not 0.0 <= amount <= 1.0:
+        raise ValueError("amount must be in [0, 1]")
+    if rng is None or isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(rng if rng is not None else 0)
+    noisy = image.astype(np.float64).copy()
+    length, width = image.shape[:2]
+    num_pixels = int(round(amount * length * width))
+    if num_pixels == 0:
+        return noisy
+    flat_indices = rng.choice(length * width, size=num_pixels, replace=False)
+    rows, cols = np.unravel_index(flat_indices, (length, width))
+    half = num_pixels // 2
+    noisy[rows[:half], cols[:half]] = 255.0
+    noisy[rows[half:], cols[half:]] = 0.0
+    return noisy
+
+
+def gaussian_mask(
+    shape: tuple[int, int, int],
+    sigma: float,
+    rng: np.random.Generator,
+    max_value: float = 255.0,
+) -> np.ndarray:
+    """A Gaussian-distributed signed perturbation mask clipped to ±``max_value``."""
+    mask = rng.normal(0.0, sigma, size=shape)
+    return np.clip(mask, -max_value, max_value)
+
+
+def salt_and_pepper_mask(
+    shape: tuple[int, int, int],
+    amount: float,
+    rng: np.random.Generator,
+    max_value: float = 255.0,
+) -> np.ndarray:
+    """A sparse signed mask: isolated pixels pushed to ±``max_value``."""
+    if not 0.0 <= amount <= 1.0:
+        raise ValueError("amount must be in [0, 1]")
+    mask = np.zeros(shape, dtype=np.float64)
+    length, width = shape[0], shape[1]
+    num_pixels = int(round(amount * length * width))
+    if num_pixels == 0:
+        return mask
+    flat_indices = rng.choice(length * width, size=num_pixels, replace=False)
+    rows, cols = np.unravel_index(flat_indices, (length, width))
+    signs = rng.choice([-1.0, 1.0], size=num_pixels)
+    mask[rows, cols] = signs[:, None] * max_value
+    return mask

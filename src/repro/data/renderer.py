@@ -1,0 +1,89 @@
+"""Render scene specifications to RGB images.
+
+The rendered scenes intentionally look like simplified road scenes: a sky
+gradient at the top, a textured road surface at the bottom, lane markings,
+and the objects drawn from their class templates.  Pixel values are floats
+in ``[0, 255]``, matching the paper's signed-integer perturbation range of
+``[-255, 255]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.scene import SceneSpec
+
+
+def _render_background(scene: SceneSpec) -> np.ndarray:
+    """Sky + road background with mild texture, deterministic per scene seed."""
+    length, width = scene.image_length, scene.image_width
+    rng = np.random.default_rng(scene.background_seed)
+    image = np.empty((length, width, 3), dtype=np.float64)
+
+    horizon = int(length * (1.0 - scene.road_fraction))
+    rows = np.arange(length)[:, None]
+
+    # Sky: vertical gradient from light blue to pale.
+    sky_mix = np.clip(rows / max(1, horizon), 0.0, 1.0)
+    sky_top = np.array([140.0, 170.0, 230.0])
+    sky_bottom = np.array([200.0, 215.0, 235.0])
+    sky = sky_top[None, None, :] * (1 - sky_mix[..., None]) + sky_bottom[
+        None, None, :
+    ] * sky_mix[..., None]
+
+    # Road: dark grey with slight vertical gradient.
+    road_mix = np.clip((rows - horizon) / max(1, length - horizon), 0.0, 1.0)
+    road_far = np.array([110.0, 110.0, 112.0])
+    road_near = np.array([70.0, 70.0, 74.0])
+    road = road_far[None, None, :] * (1 - road_mix[..., None]) + road_near[
+        None, None, :
+    ] * road_mix[..., None]
+
+    image[:horizon] = sky[:horizon]
+    image[horizon:] = road[horizon:]
+
+    # Lane marking: a dashed light stripe down the middle of the road.
+    lane_col = width // 2
+    for row in range(horizon, length):
+        if (row // 4) % 2 == 0:
+            image[row, max(0, lane_col - 1) : lane_col + 1] = [210.0, 210.0, 190.0]
+
+    # Mild background texture so detectors cannot rely on perfectly flat areas.
+    image += rng.normal(0.0, 2.0, size=image.shape)
+    return np.clip(image, 0.0, 255.0)
+
+
+def render_scene(scene: SceneSpec, rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Render a :class:`SceneSpec` to an ``L x W x 3`` float image in [0, 255].
+
+    Parameters
+    ----------
+    rng:
+        Optional generator (or seed) for per-object texture jitter.  When
+        omitted the scene's background seed is reused, making rendering
+        fully deterministic for a given scene.
+    """
+    if rng is None:
+        rng = np.random.default_rng(scene.background_seed + 1)
+    elif isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+
+    image = _render_background(scene)
+    length, width = scene.image_length, scene.image_width
+
+    for obj in scene.objects:
+        template = obj.resolved_template()
+        patch_l = max(2, int(round(template.nominal_length * obj.scale)))
+        patch_w = max(2, int(round(template.nominal_width * obj.scale)))
+        patch = template.render_patch(patch_l, patch_w, rng=rng)
+
+        x_min = int(round(obj.x - patch_l / 2.0))
+        y_min = int(round(obj.y - patch_w / 2.0))
+        x_lo, x_hi = max(0, x_min), min(length, x_min + patch_l)
+        y_lo, y_hi = max(0, y_min), min(width, y_min + patch_w)
+        if x_hi <= x_lo or y_hi <= y_lo:
+            continue
+        patch_view = patch[x_lo - x_min : x_hi - x_min, y_lo - y_min : y_hi - y_min]
+        image[x_lo:x_hi, y_lo:y_hi] = patch_view
+
+    return np.clip(image, 0.0, 255.0)

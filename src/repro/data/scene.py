@@ -1,0 +1,184 @@
+"""Scene specifications: which objects sit where in a synthetic image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.templates import KittiClass, ObjectTemplate, default_template
+from repro.detection.boxes import BoundingBox, box_intersection_area
+from repro.detection.prediction import Prediction
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """One object placed in a scene.
+
+    Attributes
+    ----------
+    class_id:
+        The object class.
+    x, y:
+        Centre of the object in image coordinates (rows, columns).
+    scale:
+        Size multiplier applied to the template's nominal extent.
+    template:
+        Optional explicit template; defaults to the class default.
+    """
+
+    class_id: KittiClass
+    x: float
+    y: float
+    scale: float = 1.0
+    template: Optional[ObjectTemplate] = None
+
+    def resolved_template(self) -> ObjectTemplate:
+        """Return the template to draw (explicit or class default)."""
+        return self.template if self.template is not None else default_template(self.class_id)
+
+    @property
+    def length(self) -> float:
+        return self.resolved_template().nominal_length * self.scale
+
+    @property
+    def width(self) -> float:
+        return self.resolved_template().nominal_width * self.scale
+
+    def to_box(self, score: float = 1.0) -> BoundingBox:
+        """Ground-truth bounding box of this object."""
+        return BoundingBox(
+            cl=int(self.class_id), x=self.x, y=self.y, l=self.length, w=self.width,
+            score=score,
+        )
+
+    def moved(self, dx: float, dy: float) -> "ObjectSpec":
+        """Return a copy of the object translated by ``(dx, dy)``."""
+        return replace(self, x=self.x + dx, y=self.y + dy)
+
+
+@dataclass
+class SceneSpec:
+    """A full scene: image size, background style and placed objects."""
+
+    image_length: int
+    image_width: int
+    objects: list[ObjectSpec] = field(default_factory=list)
+    background_seed: int = 0
+    road_fraction: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.image_length <= 0 or self.image_width <= 0:
+            raise ValueError("image dimensions must be positive")
+        if not 0.0 <= self.road_fraction <= 1.0:
+            raise ValueError("road_fraction must be in [0, 1]")
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.image_length, self.image_width, 3)
+
+    def ground_truth(self) -> Prediction:
+        """Ground-truth prediction: one box per placed object."""
+        return Prediction([obj.to_box() for obj in self.objects])
+
+    def objects_in_half(self, half: str) -> list[ObjectSpec]:
+        """Objects whose centre lies in the left or right half of the image.
+
+        ``half`` is ``"left"`` (columns ``< W/2``) or ``"right"``.
+        """
+        middle = self.image_width / 2.0
+        if half == "left":
+            return [obj for obj in self.objects if obj.y < middle]
+        if half == "right":
+            return [obj for obj in self.objects if obj.y >= middle]
+        raise ValueError(f"half must be 'left' or 'right', got {half!r}")
+
+    def with_objects(self, objects: Sequence[ObjectSpec]) -> "SceneSpec":
+        """Return a copy of the scene with a different object list."""
+        return SceneSpec(
+            image_length=self.image_length,
+            image_width=self.image_width,
+            objects=list(objects),
+            background_seed=self.background_seed,
+            road_fraction=self.road_fraction,
+        )
+
+
+def random_scene(
+    rng: np.random.Generator | int,
+    image_length: int = 96,
+    image_width: int = 320,
+    num_objects: tuple[int, int] = (2, 4),
+    classes: Sequence[KittiClass] = (
+        KittiClass.CAR,
+        KittiClass.PEDESTRIAN,
+        KittiClass.CYCLIST,
+    ),
+    half: Optional[str] = None,
+    scale_range: tuple[float, float] = (1.2, 1.8),
+    min_separation: float = 12.0,
+) -> SceneSpec:
+    """Generate a random scene with non-overlapping objects on a road.
+
+    Parameters
+    ----------
+    rng:
+        A NumPy generator or an integer seed.
+    num_objects:
+        Inclusive (minimum, maximum) number of objects to place.
+    half:
+        When ``"left"`` or ``"right"``, objects are restricted to that half
+        of the image — the protocol used by the paper's figures ("perturb
+        the right, observe the left").
+    min_separation:
+        Minimum distance between object centres.
+    """
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+    if num_objects[0] < 0 or num_objects[1] < num_objects[0]:
+        raise ValueError("num_objects must be a non-decreasing pair of non-negatives")
+
+    count = int(rng.integers(num_objects[0], num_objects[1] + 1))
+    scene = SceneSpec(
+        image_length=image_length,
+        image_width=image_width,
+        background_seed=int(rng.integers(0, 2**31 - 1)),
+    )
+
+    if half == "left":
+        y_low, y_high = 0.15 * image_width, 0.42 * image_width
+    elif half == "right":
+        y_low, y_high = 0.58 * image_width, 0.85 * image_width
+    elif half is None:
+        y_low, y_high = 0.12 * image_width, 0.88 * image_width
+    else:
+        raise ValueError(f"half must be 'left', 'right' or None, got {half!r}")
+
+    placed: list[ObjectSpec] = []
+    attempts = 0
+    while len(placed) < count and attempts < 200:
+        attempts += 1
+        class_id = KittiClass(int(rng.choice([int(c) for c in classes])))
+        scale = float(rng.uniform(*scale_range))
+        template = default_template(class_id)
+        half_l = template.nominal_length * scale / 2.0
+        half_w = template.nominal_width * scale / 2.0
+        # Objects sit in the lower (road) part of the image.
+        x_low = max(half_l, image_length * 0.45)
+        x_high = image_length - half_l - 1
+        if x_high <= x_low:
+            x_high = x_low + 1
+        x = float(rng.uniform(x_low, x_high))
+        y = float(rng.uniform(max(half_w, y_low), min(image_width - half_w - 1, y_high)))
+        candidate = ObjectSpec(class_id=class_id, x=x, y=y, scale=scale)
+        candidate_box = candidate.to_box()
+        separated = all(
+            np.hypot(candidate.x - other.x, candidate.y - other.y) >= min_separation
+            and box_intersection_area(candidate_box, other.to_box()) == 0.0
+            for other in placed
+        )
+        if separated:
+            placed.append(candidate)
+
+    return scene.with_objects(placed)

@@ -1,0 +1,32 @@
+"""Defence evaluation.
+
+The paper's introduction argues that "training by randomly adding noise
+over the complete image is insufficient for achieving robustness" against
+butterfly-effect perturbations, and its Section IV-B shows the attack can be
+aimed at ensembles (a common adversarial defence).  This package provides
+the machinery to test both claims on the simulated substrate:
+
+* :func:`noise_augmented_detector` — retrains a detector's prototype head on
+  noise-augmented scenes (the classic robustness recipe),
+* :class:`DefenseEvaluation` / :func:`evaluate_defense` — attacks an
+  undefended and a defended detector with the same budget and compares the
+  outcome,
+* :func:`ensemble_defense_evaluation` — measures how much an ensemble's
+  fused (consensus) prediction is affected by a mask optimised against the
+  whole ensemble.
+"""
+
+from repro.defenses.augmentation import NoiseAugmentationConfig, noise_augmented_detector
+from repro.defenses.evaluation import (
+    DefenseEvaluation,
+    ensemble_defense_evaluation,
+    evaluate_defense,
+)
+
+__all__ = [
+    "NoiseAugmentationConfig",
+    "noise_augmented_detector",
+    "DefenseEvaluation",
+    "ensemble_defense_evaluation",
+    "evaluate_defense",
+]

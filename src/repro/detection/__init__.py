@@ -1,0 +1,64 @@
+"""Object-detection substrate: boxes, predictions, matching and metrics.
+
+This package provides everything the attack needs to talk about detector
+output: the :class:`BoundingBox` representation used throughout the paper
+(class, centre, length, width), intersection-over-union, non-maximum
+suppression, prediction containers, matching between two predictions,
+the detection-error taxonomy of Section V-B and standard metrics.
+"""
+
+from repro.detection.boxes import (
+    BACKGROUND_CLASS,
+    BoundingBox,
+    box_area,
+    box_intersection_area,
+    box_union_area,
+    boxes_overlap,
+    clip_box_to_image,
+    iou,
+)
+from repro.detection.prediction import Prediction
+from repro.detection.nms import non_max_suppression
+from repro.detection.matching import (
+    MatchResult,
+    greedy_match,
+    hungarian_match,
+    match_predictions,
+)
+from repro.detection.errors import (
+    ErrorType,
+    PredictionTransition,
+    classify_transitions,
+    count_error_types,
+)
+from repro.detection.metrics import (
+    average_precision,
+    mean_average_precision,
+    precision_recall,
+    prediction_agreement,
+)
+
+__all__ = [
+    "BACKGROUND_CLASS",
+    "BoundingBox",
+    "box_area",
+    "box_intersection_area",
+    "box_union_area",
+    "boxes_overlap",
+    "clip_box_to_image",
+    "iou",
+    "Prediction",
+    "non_max_suppression",
+    "MatchResult",
+    "greedy_match",
+    "hungarian_match",
+    "match_predictions",
+    "ErrorType",
+    "PredictionTransition",
+    "classify_transitions",
+    "count_error_types",
+    "average_precision",
+    "mean_average_precision",
+    "precision_recall",
+    "prediction_agreement",
+]

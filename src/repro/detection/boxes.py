@@ -1,0 +1,204 @@
+"""Bounding boxes in the paper's centre/length/width representation.
+
+The paper (Section III-A) models a detector output as a tuple
+``B := (cl, x, y, l, w)`` — a class label, a centre position ``(x, y)`` in
+the image plane, a length ``l`` (extent along the image's first axis) and a
+width ``w`` (extent along the second axis).  The reserved class ``⊥``
+("background") marks a prediction slot that contains no object; it is
+represented here by :data:`BACKGROUND_CLASS`.
+
+Throughout this repository axis 0 of an image array is the *x* axis of the
+paper (rows, length ``L``) and axis 1 is the *y* axis (columns, width ``W``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+#: The paper's ``⊥`` class: a prediction slot that does not contain an object.
+BACKGROUND_CLASS: int = -1
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """A single bounding-box prediction ``B = (cl, x, y, l, w)``.
+
+    Parameters
+    ----------
+    cl:
+        Integer class label in ``{0, ..., C-1}`` or :data:`BACKGROUND_CLASS`
+        for the paper's ``⊥`` (no object).
+    x, y:
+        Centre of the box in image coordinates (axis 0 and axis 1).
+    l, w:
+        Full extent of the box along axis 0 (length) and axis 1 (width).
+    score:
+        Detector confidence in ``[0, 1]``.  The paper's abstract detector
+        does not carry a score, but real detectors (and our simulated ones)
+        do; it is used for NMS and metric computation only.
+    """
+
+    cl: int
+    x: float
+    y: float
+    l: float
+    w: float
+    score: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.l < 0 or self.w < 0:
+            raise ValueError(
+                f"box extents must be non-negative, got l={self.l}, w={self.w}"
+            )
+
+    @property
+    def is_valid(self) -> bool:
+        """True when this is a *valid* bounding box (``cl != ⊥``)."""
+        return self.cl != BACKGROUND_CLASS
+
+    @property
+    def x_min(self) -> float:
+        return self.x - self.l / 2.0
+
+    @property
+    def x_max(self) -> float:
+        return self.x + self.l / 2.0
+
+    @property
+    def y_min(self) -> float:
+        return self.y - self.w / 2.0
+
+    @property
+    def y_max(self) -> float:
+        return self.y + self.w / 2.0
+
+    @property
+    def area(self) -> float:
+        return self.l * self.w
+
+    @property
+    def corners(self) -> tuple[float, float, float, float]:
+        """Return ``(x_min, y_min, x_max, y_max)``."""
+        return (self.x_min, self.y_min, self.x_max, self.y_max)
+
+    def contains_point(self, px: float, py: float, buffer: float = 0.0) -> bool:
+        """Return True if ``(px, py)`` lies inside the box (± ``buffer``).
+
+        This is the membership test used by Algorithm 2 (line 12) with the
+        buffer ``ϵ`` surrounding the bounding box.
+        """
+        return (
+            self.x_min - buffer <= px <= self.x_max + buffer
+            and self.y_min - buffer <= py <= self.y_max + buffer
+        )
+
+    def center_distance(self, other: "BoundingBox") -> float:
+        """Euclidean distance between the centres of two boxes."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def with_class(self, cl: int) -> "BoundingBox":
+        """Return a copy of this box with a different class label."""
+        return replace(self, cl=cl)
+
+    def with_score(self, score: float) -> "BoundingBox":
+        """Return a copy of this box with a different confidence score."""
+        return replace(self, score=score)
+
+    def scaled(self, factor: float) -> "BoundingBox":
+        """Return a copy with length and width scaled by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return replace(self, l=self.l * factor, w=self.w * factor)
+
+    def translated(self, dx: float, dy: float) -> "BoundingBox":
+        """Return a copy with the centre shifted by ``(dx, dy)``."""
+        return replace(self, x=self.x + dx, y=self.y + dy)
+
+    @staticmethod
+    def from_corners(
+        cl: int,
+        x_min: float,
+        y_min: float,
+        x_max: float,
+        y_max: float,
+        score: float = 1.0,
+    ) -> "BoundingBox":
+        """Build a box from its corner coordinates."""
+        if x_max < x_min or y_max < y_min:
+            raise ValueError("corner coordinates are inverted")
+        return BoundingBox(
+            cl=cl,
+            x=(x_min + x_max) / 2.0,
+            y=(y_min + y_max) / 2.0,
+            l=x_max - x_min,
+            w=y_max - y_min,
+            score=score,
+        )
+
+    @staticmethod
+    def background() -> "BoundingBox":
+        """Return a ``⊥`` (no-object) prediction slot."""
+        return BoundingBox(cl=BACKGROUND_CLASS, x=0.0, y=0.0, l=0.0, w=0.0, score=0.0)
+
+
+def box_area(box: BoundingBox) -> float:
+    """Area of a bounding box (``l * w``)."""
+    return box.area
+
+
+def box_intersection_area(a: BoundingBox, b: BoundingBox) -> float:
+    """Area of the intersection of two boxes (0 when they do not overlap)."""
+    dx = min(a.x_max, b.x_max) - max(a.x_min, b.x_min)
+    dy = min(a.y_max, b.y_max) - max(a.y_min, b.y_min)
+    if dx <= 0.0 or dy <= 0.0:
+        return 0.0
+    return dx * dy
+
+
+def box_union_area(a: BoundingBox, b: BoundingBox) -> float:
+    """Area of the union of two boxes."""
+    return a.area + b.area - box_intersection_area(a, b)
+
+
+def boxes_overlap(a: BoundingBox, b: BoundingBox) -> bool:
+    """Return True when the two boxes have a non-empty intersection."""
+    return box_intersection_area(a, b) > 0.0
+
+
+def iou(a: BoundingBox, b: BoundingBox) -> float:
+    """Intersection-over-union (Jaccard index) of two boxes, in ``[0, 1]``.
+
+    This is the metric used by Algorithm 1 (line 6) of the paper to quantify
+    how much a prediction box overlaps with the corresponding box on the
+    clean image.  Two empty boxes have an IoU of 0.
+    """
+    inter = box_intersection_area(a, b)
+    if inter == 0.0:
+        return 0.0
+    union = a.area + b.area - inter
+    if union <= 0.0:
+        return 0.0
+    value = inter / union
+    # Guard against floating-point excursions outside [0, 1].
+    return min(1.0, max(0.0, value))
+
+
+def clip_box_to_image(
+    box: BoundingBox, image_length: int, image_width: int
+) -> Optional[BoundingBox]:
+    """Clip a box to the image extent ``[0, L] x [0, W]``.
+
+    Returns ``None`` when the clipped box would be empty (fully outside the
+    image).  Background boxes are returned unchanged.
+    """
+    if not box.is_valid:
+        return box
+    x_min = max(0.0, box.x_min)
+    y_min = max(0.0, box.y_min)
+    x_max = min(float(image_length), box.x_max)
+    y_max = min(float(image_width), box.y_max)
+    if x_max <= x_min or y_max <= y_min:
+        return None
+    return BoundingBox.from_corners(box.cl, x_min, y_min, x_max, y_max, score=box.score)

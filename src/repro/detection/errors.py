@@ -1,0 +1,163 @@
+"""Detection-error taxonomy of Section V-B.
+
+The paper lists five qualitative impacts of the butterfly effect attack:
+
+1. the bounding box changes its size,
+2. TP becomes FN (a previously detected object disappears),
+3. TN becomes FP (a ghost object appears),
+4. FN becomes TP (a previously missed object is now detected),
+5. FP becomes TN (a previous ghost object disappears).
+
+:func:`classify_transitions` compares the clean prediction, the perturbed
+prediction and (optionally) the ground truth, and labels every observed
+transition with one of these categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+from repro.detection.boxes import BoundingBox, iou
+from repro.detection.matching import hungarian_match
+from repro.detection.prediction import Prediction
+
+
+class ErrorType(Enum):
+    """The qualitative outcome categories of Section V-B."""
+
+    UNCHANGED = "unchanged"
+    BOX_CHANGED = "box_changed"
+    CLASS_CHANGED = "class_changed"
+    TP_TO_FN = "tp_to_fn"
+    TN_TO_FP = "tn_to_fp"
+    FN_TO_TP = "fn_to_tp"
+    FP_TO_TN = "fp_to_tn"
+
+
+@dataclass(frozen=True)
+class PredictionTransition:
+    """One observed change between clean and perturbed predictions."""
+
+    error_type: ErrorType
+    clean_box: Optional[BoundingBox]
+    perturbed_box: Optional[BoundingBox]
+    iou: float
+
+    def describe(self) -> str:
+        """A short human-readable description of the transition."""
+        parts = [self.error_type.value]
+        if self.clean_box is not None:
+            parts.append(f"clean=cl{self.clean_box.cl}")
+        if self.perturbed_box is not None:
+            parts.append(f"perturbed=cl{self.perturbed_box.cl}")
+        parts.append(f"iou={self.iou:.2f}")
+        return " ".join(parts)
+
+
+def _matches_ground_truth(
+    box: BoundingBox, ground_truth: Sequence[BoundingBox], iou_threshold: float
+) -> bool:
+    """True when ``box`` overlaps a same-class ground-truth object."""
+    for gt in ground_truth:
+        if gt.is_valid and gt.cl == box.cl and iou(gt, box) >= iou_threshold:
+            return True
+    return False
+
+
+def classify_transitions(
+    clean: Prediction,
+    perturbed: Prediction,
+    ground_truth: Optional[Prediction | Sequence[BoundingBox]] = None,
+    iou_threshold: float = 0.5,
+    box_change_tolerance: float = 0.95,
+) -> list[PredictionTransition]:
+    """Classify every change between the clean and perturbed predictions.
+
+    Without ground truth, the clean prediction is treated as correct (the
+    paper's assumption "the generated prediction f(img) is correct"), so a
+    disappearing clean box is a TP→FN and a new perturbed box is a TN→FP.
+    With ground truth, new boxes that actually overlap an unmatched true
+    object are classified as FN→TP instead, and disappearing boxes that did
+    *not* correspond to a true object are classified FP→TN.
+
+    Parameters
+    ----------
+    iou_threshold:
+        Overlap required to consider a box matched (to the other prediction
+        or to the ground truth).
+    box_change_tolerance:
+        Matched same-class pairs with IoU below this value (but above the
+        matching threshold) are reported as ``BOX_CHANGED``.
+    """
+    gt_boxes: list[BoundingBox] = []
+    if ground_truth is not None:
+        if isinstance(ground_truth, Prediction):
+            gt_boxes = ground_truth.valid_boxes
+        else:
+            gt_boxes = [b for b in ground_truth if b.is_valid]
+
+    transitions: list[PredictionTransition] = []
+    clean_boxes = clean.valid_boxes
+    perturbed_boxes = perturbed.valid_boxes
+
+    match = hungarian_match(
+        clean_boxes, perturbed_boxes, same_class_only=False, min_iou=0.0
+    )
+
+    for ref_idx, cand_idx, overlap in match.pairs:
+        clean_box = clean_boxes[ref_idx]
+        perturbed_box = perturbed_boxes[cand_idx]
+        if overlap < iou_threshold:
+            # Treat as an unmatched pair: the clean box disappeared and the
+            # perturbed box is new; handled below by re-adding the indices.
+            match.unmatched_reference.append(ref_idx)
+            match.unmatched_candidate.append(cand_idx)
+            continue
+        if clean_box.cl != perturbed_box.cl:
+            transitions.append(
+                PredictionTransition(
+                    ErrorType.CLASS_CHANGED, clean_box, perturbed_box, overlap
+                )
+            )
+        elif overlap < box_change_tolerance:
+            transitions.append(
+                PredictionTransition(
+                    ErrorType.BOX_CHANGED, clean_box, perturbed_box, overlap
+                )
+            )
+        else:
+            transitions.append(
+                PredictionTransition(
+                    ErrorType.UNCHANGED, clean_box, perturbed_box, overlap
+                )
+            )
+
+    for ref_idx in match.unmatched_reference:
+        clean_box = clean_boxes[ref_idx]
+        if gt_boxes and not _matches_ground_truth(clean_box, gt_boxes, iou_threshold):
+            error = ErrorType.FP_TO_TN
+        else:
+            error = ErrorType.TP_TO_FN
+        transitions.append(PredictionTransition(error, clean_box, None, 0.0))
+
+    for cand_idx in match.unmatched_candidate:
+        perturbed_box = perturbed_boxes[cand_idx]
+        if gt_boxes and _matches_ground_truth(perturbed_box, gt_boxes, iou_threshold):
+            error = ErrorType.FN_TO_TP
+        else:
+            error = ErrorType.TN_TO_FP
+        transitions.append(PredictionTransition(error, None, perturbed_box, 0.0))
+
+    return transitions
+
+
+def count_error_types(
+    transitions: Sequence[PredictionTransition],
+) -> dict[ErrorType, int]:
+    """Histogram of error types over a list of transitions."""
+    counts = {error: 0 for error in ErrorType}
+    for transition in transitions:
+        counts[transition.error_type] += 1
+    return counts

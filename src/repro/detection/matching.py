@@ -1,0 +1,155 @@
+"""Matching boxes between two predictions (clean vs perturbed, or pred vs GT).
+
+Two matchers are provided:
+
+* :func:`greedy_match` — the paper's implicit strategy in Algorithm 1: for
+  every clean box, take the same-class perturbed box with the largest IoU
+  (boxes may be reused, matching the paper's inner ``max``).
+* :func:`hungarian_match` — a globally optimal one-to-one assignment via the
+  Hungarian algorithm, used by the metrics module for TP/FP/FN counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.detection.boxes import BoundingBox, iou
+from repro.detection.prediction import Prediction
+
+
+@dataclass
+class MatchResult:
+    """Result of matching ``reference`` boxes against ``candidate`` boxes.
+
+    Attributes
+    ----------
+    pairs:
+        List of ``(reference_index, candidate_index, iou)`` triples.
+    unmatched_reference:
+        Indices of reference boxes that found no partner.
+    unmatched_candidate:
+        Indices of candidate boxes that were not used by any pair.
+    """
+
+    pairs: list[tuple[int, int, float]] = field(default_factory=list)
+    unmatched_reference: list[int] = field(default_factory=list)
+    unmatched_candidate: list[int] = field(default_factory=list)
+
+    @property
+    def mean_iou(self) -> float:
+        """Average IoU over matched pairs (0 when there are no pairs)."""
+        if not self.pairs:
+            return 0.0
+        return float(np.mean([p[2] for p in self.pairs]))
+
+    @property
+    def num_matched(self) -> int:
+        return len(self.pairs)
+
+
+def _as_boxes(prediction: Prediction | Sequence[BoundingBox]) -> list[BoundingBox]:
+    if isinstance(prediction, Prediction):
+        return prediction.valid_boxes
+    return [b for b in prediction if b.is_valid]
+
+
+def greedy_match(
+    reference: Prediction | Sequence[BoundingBox],
+    candidate: Prediction | Sequence[BoundingBox],
+    same_class_only: bool = True,
+    min_iou: float = 0.0,
+) -> MatchResult:
+    """Match each reference box to its best-overlapping candidate box.
+
+    Candidate boxes may be matched to multiple reference boxes; this mirrors
+    the per-box ``max`` of Algorithm 1.  A pair is only recorded when its IoU
+    strictly exceeds ``min_iou``.
+    """
+    ref_boxes = _as_boxes(reference)
+    cand_boxes = _as_boxes(candidate)
+
+    result = MatchResult()
+    used_candidates: set[int] = set()
+    for ref_idx, ref_box in enumerate(ref_boxes):
+        best_iou = 0.0
+        best_idx: Optional[int] = None
+        for cand_idx, cand_box in enumerate(cand_boxes):
+            if same_class_only and cand_box.cl != ref_box.cl:
+                continue
+            overlap = iou(ref_box, cand_box)
+            if overlap > best_iou:
+                best_iou = overlap
+                best_idx = cand_idx
+        if best_idx is not None and best_iou > min_iou:
+            result.pairs.append((ref_idx, best_idx, best_iou))
+            used_candidates.add(best_idx)
+        else:
+            result.unmatched_reference.append(ref_idx)
+    result.unmatched_candidate = [
+        i for i in range(len(cand_boxes)) if i not in used_candidates
+    ]
+    return result
+
+
+def hungarian_match(
+    reference: Prediction | Sequence[BoundingBox],
+    candidate: Prediction | Sequence[BoundingBox],
+    same_class_only: bool = True,
+    min_iou: float = 0.0,
+) -> MatchResult:
+    """Optimal one-to-one matching maximising total IoU.
+
+    Pairs whose IoU does not exceed ``min_iou`` (or which mix classes when
+    ``same_class_only`` is set) are discarded after the assignment.
+    """
+    ref_boxes = _as_boxes(reference)
+    cand_boxes = _as_boxes(candidate)
+    result = MatchResult()
+    if not ref_boxes or not cand_boxes:
+        result.unmatched_reference = list(range(len(ref_boxes)))
+        result.unmatched_candidate = list(range(len(cand_boxes)))
+        return result
+
+    cost = np.zeros((len(ref_boxes), len(cand_boxes)), dtype=float)
+    for i, ref_box in enumerate(ref_boxes):
+        for j, cand_box in enumerate(cand_boxes):
+            if same_class_only and ref_box.cl != cand_box.cl:
+                cost[i, j] = 0.0
+            else:
+                cost[i, j] = iou(ref_box, cand_box)
+
+    row_idx, col_idx = linear_sum_assignment(-cost)
+    matched_refs: set[int] = set()
+    matched_cands: set[int] = set()
+    for i, j in zip(row_idx, col_idx):
+        overlap = cost[i, j]
+        if overlap > min_iou:
+            result.pairs.append((int(i), int(j), float(overlap)))
+            matched_refs.add(int(i))
+            matched_cands.add(int(j))
+    result.unmatched_reference = [
+        i for i in range(len(ref_boxes)) if i not in matched_refs
+    ]
+    result.unmatched_candidate = [
+        j for j in range(len(cand_boxes)) if j not in matched_cands
+    ]
+    return result
+
+
+def match_predictions(
+    reference: Prediction | Sequence[BoundingBox],
+    candidate: Prediction | Sequence[BoundingBox],
+    strategy: str = "greedy",
+    same_class_only: bool = True,
+    min_iou: float = 0.0,
+) -> MatchResult:
+    """Dispatch to :func:`greedy_match` or :func:`hungarian_match`."""
+    if strategy == "greedy":
+        return greedy_match(reference, candidate, same_class_only, min_iou)
+    if strategy == "hungarian":
+        return hungarian_match(reference, candidate, same_class_only, min_iou)
+    raise ValueError(f"unknown matching strategy: {strategy!r}")

@@ -1,0 +1,135 @@
+"""Standard detection metrics: precision/recall, AP, mAP, agreement."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.detection.boxes import BoundingBox, iou
+from repro.detection.matching import greedy_match
+from repro.detection.prediction import Prediction
+
+
+def precision_recall(
+    predictions: Prediction | Sequence[BoundingBox],
+    ground_truth: Prediction | Sequence[BoundingBox],
+    iou_threshold: float = 0.5,
+) -> tuple[float, float]:
+    """Precision and recall of a prediction against ground truth.
+
+    A predicted box counts as a true positive when a same-class ground-truth
+    box overlaps it with IoU >= ``iou_threshold``; each ground-truth box can
+    satisfy at most one prediction (highest score first).
+    """
+    if isinstance(predictions, Prediction):
+        pred_boxes = predictions.sorted_by_score().valid_boxes
+    else:
+        pred_boxes = sorted(
+            [b for b in predictions if b.is_valid], key=lambda b: b.score, reverse=True
+        )
+    if isinstance(ground_truth, Prediction):
+        gt_boxes = ground_truth.valid_boxes
+    else:
+        gt_boxes = [b for b in ground_truth if b.is_valid]
+
+    matched_gt: set[int] = set()
+    true_positives = 0
+    for pred in pred_boxes:
+        best_iou, best_idx = 0.0, -1
+        for gt_idx, gt in enumerate(gt_boxes):
+            if gt_idx in matched_gt or gt.cl != pred.cl:
+                continue
+            overlap = iou(pred, gt)
+            if overlap > best_iou:
+                best_iou, best_idx = overlap, gt_idx
+        if best_idx >= 0 and best_iou >= iou_threshold:
+            true_positives += 1
+            matched_gt.add(best_idx)
+
+    precision = true_positives / len(pred_boxes) if pred_boxes else 0.0
+    recall = true_positives / len(gt_boxes) if gt_boxes else 0.0
+    return precision, recall
+
+
+def average_precision(
+    predictions: Sequence[tuple[Prediction, Prediction]],
+    class_id: int,
+    iou_threshold: float = 0.5,
+) -> float:
+    """11-point interpolated average precision for one class.
+
+    Parameters
+    ----------
+    predictions:
+        A sequence of ``(prediction, ground_truth)`` pairs, one per image.
+    class_id:
+        The object class to evaluate.
+    """
+    scored: list[tuple[float, bool]] = []
+    total_gt = 0
+    for prediction, ground_truth in predictions:
+        gt_boxes = [b for b in ground_truth.valid_boxes if b.cl == class_id]
+        total_gt += len(gt_boxes)
+        matched: set[int] = set()
+        pred_boxes = sorted(
+            prediction.boxes_of_class(class_id), key=lambda b: b.score, reverse=True
+        )
+        for pred in pred_boxes:
+            best_iou, best_idx = 0.0, -1
+            for gt_idx, gt in enumerate(gt_boxes):
+                if gt_idx in matched:
+                    continue
+                overlap = iou(pred, gt)
+                if overlap > best_iou:
+                    best_iou, best_idx = overlap, gt_idx
+            is_tp = best_idx >= 0 and best_iou >= iou_threshold
+            if is_tp:
+                matched.add(best_idx)
+            scored.append((pred.score, is_tp))
+
+    if total_gt == 0 or not scored:
+        return 0.0
+
+    scored.sort(key=lambda item: item[0], reverse=True)
+    tp_cumulative = 0
+    precisions, recalls = [], []
+    for rank, (_, is_tp) in enumerate(scored, start=1):
+        if is_tp:
+            tp_cumulative += 1
+        precisions.append(tp_cumulative / rank)
+        recalls.append(tp_cumulative / total_gt)
+
+    ap = 0.0
+    for recall_point in np.linspace(0.0, 1.0, 11):
+        candidates = [p for p, r in zip(precisions, recalls) if r >= recall_point]
+        ap += max(candidates) if candidates else 0.0
+    return ap / 11.0
+
+
+def mean_average_precision(
+    predictions: Sequence[tuple[Prediction, Prediction]],
+    class_ids: Sequence[int],
+    iou_threshold: float = 0.5,
+) -> float:
+    """Mean of per-class average precision over ``class_ids``."""
+    if not class_ids:
+        return 0.0
+    aps = [average_precision(predictions, c, iou_threshold) for c in class_ids]
+    return float(np.mean(aps))
+
+
+def prediction_agreement(
+    first: Prediction, second: Prediction, min_iou: float = 0.5
+) -> float:
+    """Fraction of first-prediction boxes that the second prediction agrees on.
+
+    Agreement requires a same-class box with IoU above ``min_iou``.  This is
+    a convenience metric (1.0 = identical detections) used by the analysis
+    and experiment reporting code.
+    """
+    first_boxes = first.valid_boxes
+    if not first_boxes:
+        return 1.0 if not second.valid_boxes else 0.0
+    match = greedy_match(first, second, same_class_only=True, min_iou=min_iou)
+    return match.num_matched / len(first_boxes)

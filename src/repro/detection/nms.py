@@ -1,0 +1,56 @@
+"""Non-maximum suppression for detector post-processing."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.detection.boxes import BoundingBox, iou
+from repro.detection.prediction import Prediction
+
+
+def non_max_suppression(
+    boxes: Sequence[BoundingBox] | Prediction,
+    iou_threshold: float = 0.5,
+    score_threshold: float = 0.0,
+    class_agnostic: bool = False,
+) -> Prediction:
+    """Greedy non-maximum suppression.
+
+    Boxes are processed in descending score order; a box is kept unless it
+    overlaps (IoU above ``iou_threshold``) with an already-kept box of the
+    same class (or of any class when ``class_agnostic`` is True).
+
+    Parameters
+    ----------
+    boxes:
+        Candidate boxes (background boxes are ignored).
+    iou_threshold:
+        Overlap above which a lower-scoring box is suppressed.
+    score_threshold:
+        Boxes scoring below this value are dropped before suppression.
+    class_agnostic:
+        When True, suppression happens across classes.
+    """
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ValueError(f"iou_threshold must be in [0, 1], got {iou_threshold}")
+
+    if isinstance(boxes, Prediction):
+        candidates = boxes.valid_boxes
+    else:
+        candidates = [b for b in boxes if b.is_valid]
+
+    candidates = [b for b in candidates if b.score >= score_threshold]
+    candidates.sort(key=lambda b: b.score, reverse=True)
+
+    kept: list[BoundingBox] = []
+    for candidate in candidates:
+        suppressed = False
+        for keeper in kept:
+            if not class_agnostic and keeper.cl != candidate.cl:
+                continue
+            if iou(keeper, candidate) > iou_threshold:
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(candidate)
+    return Prediction(kept)

@@ -1,0 +1,106 @@
+"""Prediction containers: the output of an object detector on one image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.detection.boxes import BACKGROUND_CLASS, BoundingBox
+
+
+@dataclass
+class Prediction:
+    """The list of bounding-box predictions ``f(img)`` for a single image.
+
+    The paper's abstract detector returns a fixed-length list of ``n``
+    predictions, some of which may be background (``⊥``).  This container
+    keeps all slots and offers convenient access to the *valid* boxes only,
+    which is what Algorithms 1 and 2 iterate over.
+    """
+
+    boxes: list[BoundingBox] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[BoundingBox]:
+        return iter(self.boxes)
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def __getitem__(self, index: int) -> BoundingBox:
+        return self.boxes[index]
+
+    @property
+    def valid_boxes(self) -> list[BoundingBox]:
+        """All predictions whose class is not ``⊥``."""
+        return [b for b in self.boxes if b.is_valid]
+
+    @property
+    def num_valid(self) -> int:
+        """Number of valid (non-background) predictions."""
+        return len(self.valid_boxes)
+
+    @property
+    def classes(self) -> list[int]:
+        """Class labels of the valid predictions."""
+        return [b.cl for b in self.valid_boxes]
+
+    def boxes_of_class(self, cl: int) -> list[BoundingBox]:
+        """All valid predictions of a specific class."""
+        return [b for b in self.valid_boxes if b.cl == cl]
+
+    def filtered_by_score(self, threshold: float) -> "Prediction":
+        """Return a new prediction keeping only boxes with score >= threshold."""
+        return Prediction([b for b in self.valid_boxes if b.score >= threshold])
+
+    def add(self, box: BoundingBox) -> None:
+        """Append a bounding box to the prediction."""
+        self.boxes.append(box)
+
+    @staticmethod
+    def from_boxes(boxes: Iterable[BoundingBox]) -> "Prediction":
+        """Build a prediction from an iterable of boxes."""
+        return Prediction(list(boxes))
+
+    @staticmethod
+    def empty() -> "Prediction":
+        """A prediction containing no boxes at all."""
+        return Prediction([])
+
+    def sorted_by_score(self, descending: bool = True) -> "Prediction":
+        """Return a copy with valid boxes sorted by confidence score."""
+        return Prediction(
+            sorted(self.valid_boxes, key=lambda b: b.score, reverse=descending)
+        )
+
+    def class_histogram(self) -> dict[int, int]:
+        """Count valid predictions per class label."""
+        histogram: dict[int, int] = {}
+        for box in self.valid_boxes:
+            histogram[box.cl] = histogram.get(box.cl, 0) + 1
+        return histogram
+
+    def summary(self, class_names: Sequence[str] | None = None) -> str:
+        """Human-readable one-line summary of the prediction."""
+        if not self.valid_boxes:
+            return "Prediction(empty)"
+        parts = []
+        for box in self.valid_boxes:
+            if class_names is not None and 0 <= box.cl < len(class_names):
+                label = class_names[box.cl]
+            else:
+                label = f"class{box.cl}"
+            parts.append(
+                f"{label}@({box.x:.0f},{box.y:.0f}) {box.l:.0f}x{box.w:.0f} "
+                f"s={box.score:.2f}"
+            )
+        return "Prediction[" + "; ".join(parts) + "]"
+
+    def without_background(self) -> "Prediction":
+        """Return a copy containing only the valid boxes."""
+        return Prediction(self.valid_boxes)
+
+    def count_of_class(self, cl: int) -> int:
+        """Number of valid predictions of class ``cl``."""
+        if cl == BACKGROUND_CLASS:
+            return sum(1 for b in self.boxes if not b.is_valid)
+        return len(self.boxes_of_class(cl))

@@ -1,0 +1,94 @@
+"""Detector interface and shared configuration."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detection.prediction import Prediction
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Configuration shared by both simulated detector families.
+
+    Attributes
+    ----------
+    cell:
+        Pixel side length of one grid cell / patch token.
+    num_classes:
+        Number of foreground classes.
+    objectness_threshold:
+        A cell seeds a detection only when its foreground probability
+        exceeds this value.
+    nms_iou_threshold:
+        IoU above which overlapping detections are merged.
+    class_agnostic_nms:
+        When True (default) overlapping detections suppress each other
+        regardless of class, which removes duplicate boxes of confusable
+        classes (car vs van) on the same object.
+    decode_window:
+        Half-width (in cells) of the neighbourhood used to estimate the box
+        extent around a seed cell.
+    score_temperature:
+        Softmax temperature applied to prototype-distance logits; smaller is
+        sharper.  ``None`` means "use the value calibrated during training".
+    background_bias:
+        Additive bias on the background logit; larger values make the
+        detector more conservative (fewer detections).
+    """
+
+    cell: int = 8
+    num_classes: int = 5
+    objectness_threshold: float = 0.7
+    nms_iou_threshold: float = 0.3
+    class_agnostic_nms: bool = True
+    decode_window: int = 2
+    score_temperature: float | None = None
+    background_bias: float = 0.0
+
+
+class Detector(abc.ABC):
+    """Abstract object detector: image in, :class:`Prediction` out.
+
+    The attack treats detectors as black boxes — only :meth:`predict` is
+    required — but the simulated implementations also expose their per-cell
+    class-probability maps and backbone features for the grey-box analysis
+    utilities (feature heatmaps).
+    """
+
+    #: Short architecture name, e.g. ``"single_stage"`` or ``"transformer"``.
+    architecture: str = "abstract"
+
+    def __init__(self, config: DetectorConfig | None = None, seed: int = 0) -> None:
+        self.config = config if config is not None else DetectorConfig()
+        self.seed = int(seed)
+
+    @property
+    def name(self) -> str:
+        """Unique human-readable detector name (architecture + seed)."""
+        return f"{self.architecture}-seed{self.seed}"
+
+    @abc.abstractmethod
+    def predict(self, image: np.ndarray) -> Prediction:
+        """Run the detector on an RGB image in ``[0, 255]``."""
+
+    @abc.abstractmethod
+    def backbone_features(self, image: np.ndarray) -> np.ndarray:
+        """Return the processed per-cell feature map (rows, cols, dim)."""
+
+    def __call__(self, image: np.ndarray) -> Prediction:
+        return self.predict(image)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.__class__.__name__}(seed={self.seed})"
+
+
+def validate_image(image: np.ndarray) -> np.ndarray:
+    """Check that ``image`` is an (L, W, 3) array and return it as float64."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected an RGB image of shape (L, W, 3), got {image.shape}")
+    return image

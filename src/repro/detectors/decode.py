@@ -1,0 +1,107 @@
+"""Decoding per-cell class probabilities into bounding boxes.
+
+Both simulated detectors produce a grid of per-cell class probabilities
+(the last channel being background).  Decoding turns that grid into boxes:
+
+1. every cell whose foreground probability exceeds the objectness threshold
+   becomes a *seed*,
+2. around each seed, a window of cells supporting the same class is used to
+   estimate the box centre and extent via weighted first/second moments,
+3. greedy same-class non-maximum suppression removes duplicates.
+
+The moment-based extent makes the decoded boxes respond *continuously* to
+probability changes, which is what lets the attack produce the paper's
+"bounding box changes its size" effect (Fig. 4) rather than only hard
+class flips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.boxes import BoundingBox, clip_box_to_image
+from repro.detection.nms import non_max_suppression
+from repro.detection.prediction import Prediction
+from repro.detectors.base import DetectorConfig
+
+
+def decode_cell_probabilities(
+    probabilities: np.ndarray,
+    config: DetectorConfig,
+    image_shape: tuple[int, int],
+) -> Prediction:
+    """Decode a (rows, cols, num_classes + 1) probability grid into boxes.
+
+    Parameters
+    ----------
+    probabilities:
+        Per-cell class probabilities; the last channel is background.
+    config:
+        Detector configuration (cell size, thresholds, decode window).
+    image_shape:
+        ``(image_length, image_width)`` in pixels, used to clip boxes.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 3:
+        raise ValueError("probabilities must have shape (rows, cols, classes + 1)")
+    rows, cols, channels = probabilities.shape
+    num_classes = channels - 1
+    cell = config.cell
+
+    objectness = 1.0 - probabilities[:, :, -1]
+    class_probs = probabilities[:, :, :num_classes]
+
+    seed_rows, seed_cols = np.where(objectness > config.objectness_threshold)
+    if seed_rows.size == 0:
+        return Prediction.empty()
+
+    # Process strongest seeds first so NMS keeps the best-supported boxes.
+    order = np.argsort(-objectness[seed_rows, seed_cols])
+    seed_rows, seed_cols = seed_rows[order], seed_cols[order]
+
+    row_centers = (np.arange(rows) + 0.5) * cell
+    col_centers = (np.arange(cols) + 0.5) * cell
+
+    boxes: list[BoundingBox] = []
+    window = config.decode_window
+    for seed_row, seed_col in zip(seed_rows, seed_cols):
+        class_id = int(np.argmax(class_probs[seed_row, seed_col]))
+
+        row_lo, row_hi = max(0, seed_row - window), min(rows, seed_row + window + 1)
+        col_lo, col_hi = max(0, seed_col - window), min(cols, seed_col + window + 1)
+
+        local_class = class_probs[row_lo:row_hi, col_lo:col_hi, class_id]
+        local_object = objectness[row_lo:row_hi, col_lo:col_hi]
+        weights = local_class * local_object
+        # Keep only the cells that clearly support this detection; weakly
+        # supporting neighbours would otherwise inflate the box extent.
+        weights = np.where(weights >= 0.4 * weights.max(), weights, 0.0)
+        total = weights.sum()
+        if total <= 1e-12:
+            continue
+
+        local_rows = row_centers[row_lo:row_hi][:, None]
+        local_cols = col_centers[col_lo:col_hi][None, :]
+        center_x = float((weights * local_rows).sum() / total)
+        center_y = float((weights * local_cols).sum() / total)
+        var_x = float((weights * (local_rows - center_x) ** 2).sum() / total)
+        var_y = float((weights * (local_cols - center_y) ** 2).sum() / total)
+
+        # sqrt(12 * var) is the extent of a uniform distribution with that
+        # variance; one extra cell accounts for the within-cell spread.
+        length = float(np.sqrt(12.0 * var_x) + cell)
+        width = float(np.sqrt(12.0 * var_y) + cell)
+        score = float(class_probs[seed_row, seed_col, class_id])
+
+        box = BoundingBox(
+            cl=class_id, x=center_x, y=center_y, l=length, w=width, score=score
+        )
+        clipped = clip_box_to_image(box, image_shape[0], image_shape[1])
+        if clipped is not None:
+            boxes.append(clipped)
+
+    return non_max_suppression(
+        boxes,
+        iou_threshold=config.nms_iou_threshold,
+        class_agnostic=config.class_agnostic_nms,
+    )

@@ -1,0 +1,105 @@
+"""Detector ensembles.
+
+The paper's Section IV-B extends the attack to ensembles of detectors
+(Table I uses 16-model ensembles).  An ensemble here is simply a collection
+of detectors that can be attacked jointly; a fused prediction (majority-vote
+style box merging) is also provided because ensembling is commonly used as
+an adversarial defence — the very setting the paper argues the butterfly
+attack can still break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.detection.boxes import BoundingBox, iou
+from repro.detection.nms import non_max_suppression
+from repro.detection.prediction import Prediction
+from repro.detectors.base import Detector
+
+
+@dataclass
+class DetectorEnsemble:
+    """A fixed set of detectors attacked (and optionally fused) together."""
+
+    detectors: list[Detector]
+
+    def __post_init__(self) -> None:
+        if not self.detectors:
+            raise ValueError("an ensemble needs at least one detector")
+
+    def __len__(self) -> int:
+        return len(self.detectors)
+
+    def __iter__(self) -> Iterator[Detector]:
+        return iter(self.detectors)
+
+    def __getitem__(self, index: int) -> Detector:
+        return self.detectors[index]
+
+    @property
+    def name(self) -> str:
+        architectures = sorted({d.architecture for d in self.detectors})
+        return f"ensemble[{'+'.join(architectures)}]x{len(self.detectors)}"
+
+    def predict_all(self, image: np.ndarray) -> list[Prediction]:
+        """Run every member detector on the image."""
+        return [detector.predict(image) for detector in self.detectors]
+
+    def predict_fused(
+        self,
+        image: np.ndarray,
+        vote_fraction: float = 0.5,
+        iou_threshold: float = 0.5,
+    ) -> Prediction:
+        """Consensus prediction: keep boxes supported by enough members.
+
+        Boxes from all members are clustered greedily by same-class IoU; a
+        cluster whose supporting members reach ``vote_fraction`` of the
+        ensemble produces one averaged box.
+        """
+        if not 0.0 < vote_fraction <= 1.0:
+            raise ValueError("vote_fraction must be in (0, 1]")
+        all_boxes: list[tuple[int, BoundingBox]] = []
+        for member_index, prediction in enumerate(self.predict_all(image)):
+            for box in prediction.valid_boxes:
+                all_boxes.append((member_index, box))
+        all_boxes.sort(key=lambda item: item[1].score, reverse=True)
+
+        used = [False] * len(all_boxes)
+        fused: list[BoundingBox] = []
+        min_votes = max(1, int(np.ceil(vote_fraction * len(self.detectors))))
+        for i, (_, seed_box) in enumerate(all_boxes):
+            if used[i]:
+                continue
+            cluster = [seed_box]
+            members = {all_boxes[i][0]}
+            used[i] = True
+            for j in range(i + 1, len(all_boxes)):
+                if used[j]:
+                    continue
+                member_index, candidate = all_boxes[j]
+                if candidate.cl == seed_box.cl and iou(seed_box, candidate) >= iou_threshold:
+                    cluster.append(candidate)
+                    members.add(member_index)
+                    used[j] = True
+            if len(members) >= min_votes:
+                fused.append(
+                    BoundingBox(
+                        cl=seed_box.cl,
+                        x=float(np.mean([b.x for b in cluster])),
+                        y=float(np.mean([b.y for b in cluster])),
+                        l=float(np.mean([b.l for b in cluster])),
+                        w=float(np.mean([b.w for b in cluster])),
+                        score=float(np.mean([b.score for b in cluster])),
+                    )
+                )
+        return non_max_suppression(fused, iou_threshold=iou_threshold)
+
+    @staticmethod
+    def from_detectors(detectors: Sequence[Detector]) -> "DetectorEnsemble":
+        """Build an ensemble from any sequence of detectors."""
+        return DetectorEnsemble(list(detectors))

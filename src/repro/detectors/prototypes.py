@@ -1,0 +1,91 @@
+"""Prototype-based classification head shared by the simulated detectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.ops import softmax
+
+
+@dataclass
+class PrototypeBank:
+    """Class prototypes plus background prototypes in backbone-feature space.
+
+    Scoring a cell feature ``f`` produces logits ``-||f - p_c||^2 / T`` for
+    every class prototype and ``-min_b ||f - p_b||^2 / T + bias`` for the
+    background, followed by a softmax.
+
+    Attributes
+    ----------
+    class_prototypes:
+        Array of shape (num_classes, dim).
+    background_prototypes:
+        Array of shape (num_background, dim).
+    temperature:
+        Softmax temperature calibrated during training.
+    background_bias:
+        Additive bias on the background logit.
+    """
+
+    class_prototypes: np.ndarray
+    background_prototypes: np.ndarray
+    temperature: float = 0.05
+    background_bias: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.class_prototypes = np.asarray(self.class_prototypes, dtype=np.float64)
+        self.background_prototypes = np.asarray(
+            self.background_prototypes, dtype=np.float64
+        )
+        if self.class_prototypes.ndim != 2:
+            raise ValueError("class_prototypes must be 2-D (num_classes, dim)")
+        if self.background_prototypes.ndim != 2:
+            raise ValueError("background_prototypes must be 2-D (num_bg, dim)")
+        if self.class_prototypes.shape[1] != self.background_prototypes.shape[1]:
+            raise ValueError("prototype feature dimensions differ")
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+
+    @property
+    def num_classes(self) -> int:
+        return self.class_prototypes.shape[0]
+
+    @property
+    def feature_dim(self) -> int:
+        return self.class_prototypes.shape[1]
+
+    def logits(self, features: np.ndarray) -> np.ndarray:
+        """Class + background logits for features of shape (..., dim).
+
+        Returns an array of shape (..., num_classes + 1); the last channel
+        is the background.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[-1] != self.feature_dim:
+            raise ValueError(
+                f"feature dim {features.shape[-1]} does not match prototypes "
+                f"({self.feature_dim})"
+            )
+        flat = features.reshape(-1, self.feature_dim)
+
+        class_dist = np.sum(
+            (flat[:, None, :] - self.class_prototypes[None, :, :]) ** 2, axis=-1
+        )
+        bg_dist = np.sum(
+            (flat[:, None, :] - self.background_prototypes[None, :, :]) ** 2, axis=-1
+        )
+        bg_min = np.min(bg_dist, axis=-1, keepdims=True)
+
+        logits = np.concatenate([-class_dist, -bg_min], axis=-1) / self.temperature
+        logits[:, -1] += self.background_bias
+        return logits.reshape(*features.shape[:-1], self.num_classes + 1)
+
+    def probabilities(self, features: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities, background in the last channel."""
+        return softmax(self.logits(features), axis=-1)
+
+    def classify(self, features: np.ndarray) -> np.ndarray:
+        """Hard class assignment; ``num_classes`` denotes background."""
+        return np.argmax(self.logits(features), axis=-1)

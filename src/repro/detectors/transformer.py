@@ -1,0 +1,146 @@
+"""Transformer (DETR-like) simulated detector.
+
+The defining architectural property reproduced here is *global attention*:
+before classification, every cell's features are mixed with the features of
+every other cell through a content-dependent softmax attention matrix.  Any
+pixel in the image can therefore influence any prediction — the mechanism
+the paper conjectures makes transformer detectors more susceptible to
+butterfly-effect attacks ("the attention mechanisms connecting two arbitrary
+regions in an image").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.prediction import Prediction
+from repro.detectors.base import Detector, DetectorConfig, validate_image
+from repro.detectors.decode import decode_cell_probabilities
+from repro.detectors.prototypes import PrototypeBank
+from repro.nn.attention import MultiHeadSelfAttention, scaled_dot_product_attention
+from repro.nn.features import CELL_FEATURE_DIM, GridFeatureExtractor
+from repro.nn.linear import Linear
+from repro.nn.ops import grid_positional_encoding, layer_norm
+
+
+class TransformerDetector(Detector):
+    """Grid-token detector with global self-attention feature mixing.
+
+    The forward pass is:
+
+    1. extract raw per-cell features (the "patch embedding" input),
+    2. embed them (seeded linear projection + 2-D positional encoding),
+    3. run ``num_layers`` of multi-head self-attention to obtain contextual
+       token embeddings,
+    4. compute a content-dependent attention matrix from the contextual
+       embeddings and use it to mix the *raw* cell features globally,
+    5. classify the mixed features against the trained prototype bank and
+       decode boxes exactly like the single-stage detector.
+
+    Because step 4 mixes features across the whole image with softmax
+    weights, a strong perturbation anywhere can capture attention mass from
+    an object's cells and drag their mixed features away from the class
+    prototype — changing class scores, box moments or both.
+
+    Parameters
+    ----------
+    attention_mix:
+        Weight ``α`` of the attention-mixed features; ``(1 - α)`` stays on
+        the cell's own features.
+    embed_dim:
+        Dimension of the token embeddings used to compute attention.
+    num_layers:
+        Number of self-attention refinement layers.
+    attention_sharpness:
+        Multiplier on the attention logits; larger values concentrate
+        attention on fewer cells.
+    """
+
+    architecture = "transformer"
+
+    def __init__(
+        self,
+        prototypes: PrototypeBank,
+        config: DetectorConfig | None = None,
+        seed: int = 0,
+        attention_mix: float = 0.45,
+        embed_dim: int = 16,
+        num_heads: int = 2,
+        num_layers: int = 2,
+        attention_sharpness: float = 2.0,
+    ) -> None:
+        super().__init__(config, seed)
+        if not 0.0 <= attention_mix <= 1.0:
+            raise ValueError("attention_mix must be in [0, 1]")
+        if attention_sharpness <= 0:
+            raise ValueError("attention_sharpness must be positive")
+        self.prototypes = prototypes
+        self.attention_mix = attention_mix
+        self.embed_dim = embed_dim
+        self.attention_sharpness = attention_sharpness
+        self.extractor = GridFeatureExtractor(cell=self.config.cell)
+
+        rng = np.random.default_rng(seed)
+        self.embedding = Linear(CELL_FEATURE_DIM, embed_dim, rng)
+        self.layers = [
+            MultiHeadSelfAttention(embed_dim, num_heads=num_heads, rng=rng)
+            for _ in range(num_layers)
+        ]
+        self.query_proj = Linear(embed_dim, embed_dim, rng)
+        self.key_proj = Linear(embed_dim, embed_dim, rng)
+        self._last_mixing_attention: np.ndarray | None = None
+        self._positional_cache: dict[tuple[int, int], np.ndarray] = {}
+
+    @property
+    def last_mixing_attention(self) -> np.ndarray | None:
+        """The (tokens, tokens) attention matrix of the last forward pass."""
+        return self._last_mixing_attention
+
+    def _positional(self, rows: int, cols: int) -> np.ndarray:
+        key = (rows, cols)
+        if key not in self._positional_cache:
+            self._positional_cache[key] = grid_positional_encoding(
+                rows, cols, self.embed_dim
+            )
+        return self._positional_cache[key]
+
+    def attention_matrix(self, image: np.ndarray) -> np.ndarray:
+        """Content-dependent (tokens, tokens) attention matrix for an image."""
+        image = validate_image(image)
+        raw = self.extractor(image)
+        rows, cols, _ = raw.shape
+        tokens = self.embedding(raw.reshape(-1, raw.shape[2]))
+        tokens = layer_norm(tokens + self._positional(rows, cols), axis=-1)
+        for layer in self.layers:
+            tokens = layer(tokens)
+        query = self.query_proj(tokens)
+        key = self.key_proj(tokens)
+        _, weights = scaled_dot_product_attention(
+            query, key, tokens,
+            temperature=np.sqrt(self.embed_dim) / self.attention_sharpness,
+        )
+        return weights
+
+    def backbone_features(self, image: np.ndarray) -> np.ndarray:
+        """Attention-mixed cell features (rows, cols, feature_dim)."""
+        image = validate_image(image)
+        raw = self.extractor(image)
+        rows, cols, dim = raw.shape
+        flat_raw = raw.reshape(-1, dim)
+
+        weights = self.attention_matrix(image)
+        self._last_mixing_attention = weights
+        mixed = weights @ flat_raw
+        blended = (1.0 - self.attention_mix) * flat_raw + self.attention_mix * mixed
+        return blended.reshape(rows, cols, dim)
+
+    def cell_probabilities(self, image: np.ndarray) -> np.ndarray:
+        """Per-cell class probabilities (rows, cols, num_classes + 1)."""
+        return self.prototypes.probabilities(self.backbone_features(image))
+
+    def predict(self, image: np.ndarray) -> Prediction:
+        image = validate_image(image)
+        probabilities = self.cell_probabilities(image)
+        return decode_cell_probabilities(
+            probabilities, self.config, (image.shape[0], image.shape[1])
+        )

@@ -1,0 +1,43 @@
+"""Experiment harness reproducing the paper's tables and figures.
+
+* :mod:`repro.experiments.config` — Table I (experiment parametrisation)
+  and Table II (NSGA-II configuration) as configuration objects, plus
+  reduced variants for laptop-scale runs,
+* :mod:`repro.experiments.runner` — the Figure 2 sweep comparing the
+  single-stage and transformer architectures over seeded models and images,
+* :mod:`repro.experiments.figures` — the qualitative scenarios of
+  Figures 1, 3, 4 and 5.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    NSGA_TABLE_II,
+    experiment_table_rows,
+    nsga_table_rows,
+)
+from repro.experiments.runner import ArchitectureComparison, run_architecture_comparison
+from repro.experiments.figures import (
+    FigureOutcome,
+    figure1_disappearing_objects,
+    figure3_figure4_contrast,
+    figure5_ghost_objects,
+)
+from repro.experiments.transfer import (
+    TransferabilityResult,
+    run_transferability_experiment,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "NSGA_TABLE_II",
+    "experiment_table_rows",
+    "nsga_table_rows",
+    "ArchitectureComparison",
+    "run_architecture_comparison",
+    "FigureOutcome",
+    "figure1_disappearing_objects",
+    "figure3_figure4_contrast",
+    "figure5_ghost_objects",
+    "TransferabilityResult",
+    "run_transferability_experiment",
+]

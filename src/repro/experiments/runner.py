@@ -1,0 +1,151 @@
+"""The Figure 2 sweep: attacking seed-varied models of both architectures.
+
+The paper applies NSGA-II to 25 YOLOv5 and 25 DETR models on 16 KITTI images
+each (Table I) with perturbations restricted to the right half, then plots
+the resulting Pareto objectives (Figure 2).  :func:`run_architecture_comparison`
+reproduces that sweep at a configurable scale and returns the per-run
+results plus a :class:`~repro.analysis.reporting.ComparisonReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import ComparisonReport
+from repro.core.attack import ButterflyAttack
+from repro.core.config import AttackConfig
+from repro.core.regions import HalfImageRegion
+from repro.core.results import AttackResult
+from repro.data.dataset import SyntheticDataset, generate_dataset
+from repro.detectors.training import TrainingConfig
+from repro.detectors.zoo import build_model_zoo
+from repro.experiments.config import ExperimentConfig
+from repro.nsga.algorithm import NSGAConfig
+
+
+@dataclass
+class ArchitectureComparison:
+    """Results of the architecture-comparison sweep (Figure 2 data)."""
+
+    report: ComparisonReport
+    results: dict[str, list[AttackResult]] = field(default_factory=dict)
+    experiment: ExperimentConfig | None = None
+
+    def front_points(self, label: str) -> np.ndarray:
+        """All front objective triples of one architecture, shape (n, 3)."""
+        points = [
+            result.objectives_array(front_only=True)
+            for result in self.results.get(label, [])
+        ]
+        if not points:
+            return np.zeros((0, 3))
+        return np.concatenate(points, axis=0)
+
+    def best_degradation(self, label: str) -> float:
+        """Lowest obj_degrad reached by an architecture (lower = stronger attack)."""
+        points = self.front_points(label)
+        return float(points[:, 1].min()) if points.size else 1.0
+
+    def mean_intensity_of_successful(self, label: str) -> float:
+        """Mean intensity of front solutions that changed the prediction."""
+        points = self.front_points(label)
+        if points.size == 0:
+            return 0.0
+        successful = points[points[:, 1] < 1.0 - 1e-9]
+        if successful.size == 0:
+            return 0.0
+        return float(successful[:, 0].mean())
+
+    def susceptibility_summary(self) -> dict[str, dict[str, float]]:
+        """Per-architecture summary of the Figure 2 comparison."""
+        summary: dict[str, dict[str, float]] = {}
+        for label in self.results:
+            points = self.front_points(label)
+            if points.size == 0:
+                summary[label] = {
+                    "best_degradation": 1.0,
+                    "mean_degradation": 1.0,
+                    "mean_intensity": 0.0,
+                    "mean_distance": 0.0,
+                }
+                continue
+            summary[label] = {
+                "best_degradation": float(points[:, 1].min()),
+                "mean_degradation": float(points[:, 1].mean()),
+                "mean_intensity": float(points[:, 0].mean()),
+                "mean_distance": float(points[:, 2].mean()),
+            }
+        return summary
+
+
+def run_architecture_comparison(
+    experiment: ExperimentConfig | None = None,
+    nsga: NSGAConfig | None = None,
+    architectures: Sequence[str] = ("yolo", "detr"),
+    dataset: SyntheticDataset | None = None,
+    perturbation_half: str = "right",
+    object_half: str | None = "left",
+    dataset_seed: int = 11,
+    training: TrainingConfig | None = None,
+) -> ArchitectureComparison:
+    """Run the paper's architecture-comparison protocol.
+
+    Parameters
+    ----------
+    experiment:
+        Table I-style protocol; defaults to a reduced laptop-scale variant.
+        Pass :meth:`ExperimentConfig.paper` for the full 25x16 sweep.
+    nsga:
+        NSGA-II configuration; defaults to a reduced budget.  Pass
+        :data:`repro.experiments.config.NSGA_TABLE_II` for the paper's.
+    architectures:
+        Architecture names understood by
+        :func:`repro.detectors.zoo.build_model_zoo`.
+    dataset:
+        Evaluation images; generated from ``dataset_seed`` when omitted.
+    perturbation_half / object_half:
+        The spatial protocol: perturbations restricted to one half,
+        objects placed in the other so that any observed degradation is a
+        butterfly effect.
+    """
+    experiment = experiment if experiment is not None else ExperimentConfig.reduced()
+    nsga = nsga if nsga is not None else NSGAConfig(num_iterations=8, population_size=16)
+    if training is None:
+        training = TrainingConfig(
+            image_length=experiment.image_length, image_width=experiment.image_width
+        )
+    if dataset is None:
+        dataset = generate_dataset(
+            num_images=experiment.images_per_model,
+            seed=dataset_seed,
+            image_length=experiment.image_length,
+            image_width=experiment.image_width,
+            half=object_half,
+        )
+
+    attack_config = AttackConfig(
+        nsga=nsga, region=HalfImageRegion(perturbation_half)
+    )
+
+    report = ComparisonReport()
+    all_results: dict[str, list[AttackResult]] = {}
+    seeds = experiment.model_seeds[: experiment.models_per_architecture]
+
+    for architecture in architectures:
+        models = build_model_zoo(architecture, seeds=seeds, training=training)
+        label = models[0].architecture
+        results: list[AttackResult] = []
+        for model in models:
+            attack = ButterflyAttack(model, attack_config)
+            for sample in dataset:
+                result = attack.attack(sample.image)
+                results.append(result)
+                report.add_result(label, result)
+        all_results[label] = results
+
+    return ArchitectureComparison(
+        report=report, results=all_results, experiment=experiment
+    )

@@ -1,0 +1,104 @@
+"""Transferability of butterfly masks across seed-varied models.
+
+The related-work section cites transfer-based black-box attacks (reusing a
+perturbation found against one model on another).  Since the paper trains 25
+seed-varied models per architecture (Table I), the natural follow-up
+question is: does a mask optimised against seed ``i`` also degrade seed
+``j``?  This module measures exactly that and produces a transfer matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.attack import ButterflyAttack
+from repro.core.config import AttackConfig
+from repro.core.masks import apply_mask
+from repro.core.objectives import objective_degradation
+from repro.detectors.base import Detector
+
+
+@dataclass
+class TransferabilityResult:
+    """Transfer matrix of attack degradation across models.
+
+    ``matrix[i, j]`` is the obj_degrad that the mask optimised against model
+    ``i`` achieves on model ``j`` (diagonal = white-box effectiveness,
+    off-diagonal = transfer).  Lower values mean stronger degradation.
+    """
+
+    model_names: list[str]
+    matrix: np.ndarray
+    masks_intensity: list[float] = field(default_factory=list)
+
+    @property
+    def num_models(self) -> int:
+        return len(self.model_names)
+
+    def self_degradation(self) -> float:
+        """Mean obj_degrad of each mask on the model it was optimised for."""
+        return float(np.mean(np.diag(self.matrix)))
+
+    def transfer_degradation(self) -> float:
+        """Mean obj_degrad of masks on models they were *not* optimised for."""
+        if self.num_models < 2:
+            return 1.0
+        off_diagonal = self.matrix[~np.eye(self.num_models, dtype=bool)]
+        return float(np.mean(off_diagonal))
+
+    def transfer_gap(self) -> float:
+        """How much effectiveness is lost when transferring (>= 0 usually)."""
+        return self.transfer_degradation() - self.self_degradation()
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Rows (source model, target model, degradation) for reporting."""
+        rows: list[dict[str, object]] = []
+        for i, source in enumerate(self.model_names):
+            for j, target in enumerate(self.model_names):
+                rows.append(
+                    {
+                        "source": source,
+                        "target": target,
+                        "degradation": float(self.matrix[i, j]),
+                        "is_transfer": i != j,
+                    }
+                )
+        return rows
+
+
+def run_transferability_experiment(
+    models: Sequence[Detector],
+    image: np.ndarray,
+    attack_config: AttackConfig | None = None,
+) -> TransferabilityResult:
+    """Optimise one mask per model and evaluate every mask on every model."""
+    if not models:
+        raise ValueError("at least one model is required")
+    attack_config = attack_config if attack_config is not None else AttackConfig.fast()
+    image = np.asarray(image, dtype=np.float64)
+
+    best_masks = []
+    intensities = []
+    for model in models:
+        result = ButterflyAttack(model, attack_config).attack(image)
+        best = result.best_by("degradation")
+        best_masks.append(best.mask.values)
+        intensities.append(best.intensity)
+
+    matrix = np.ones((len(models), len(models)))
+    clean_predictions = [model.predict(image) for model in models]
+    for i, mask in enumerate(best_masks):
+        perturbed_image = apply_mask(image, mask)
+        for j, model in enumerate(models):
+            matrix[i, j] = objective_degradation(
+                clean_predictions[j], model.predict(perturbed_image)
+            )
+
+    return TransferabilityResult(
+        model_names=[model.name for model in models],
+        matrix=matrix,
+        masks_intensity=intensities,
+    )

@@ -1,0 +1,31 @@
+"""Persistence: saving and loading masks, predictions and attack results.
+
+Attack runs are expensive (the paper's Table II budget is ~10,000 detector
+queries per image), so their outcomes need to be stored and reloaded for
+later analysis.  Everything is serialised with NumPy ``.npz`` archives for
+arrays and JSON for metadata — no extra dependencies.
+"""
+
+from repro.io.serialization import (
+    load_attack_result,
+    load_mask,
+    load_prediction,
+    prediction_from_dict,
+    prediction_to_dict,
+    save_attack_result,
+    save_mask,
+    save_prediction,
+)
+from repro.io.archive import ExperimentArchive
+
+__all__ = [
+    "load_attack_result",
+    "load_mask",
+    "load_prediction",
+    "prediction_from_dict",
+    "prediction_to_dict",
+    "save_attack_result",
+    "save_mask",
+    "save_prediction",
+    "ExperimentArchive",
+]

@@ -1,0 +1,99 @@
+"""Experiment archives: a directory of attack results plus a CSV index."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.reporting import write_csv
+from repro.core.results import AttackResult
+from repro.io.serialization import load_attack_result, save_attack_result
+
+
+@dataclass
+class ExperimentArchive:
+    """Stores many attack results under one root directory.
+
+    Layout::
+
+        <root>/
+          index.json          # run id -> label mapping
+          index.csv           # flat table of front objectives per run
+          runs/<run_id>/      # one saved AttackResult per run
+
+    The archive is append-only; :meth:`rebuild_index` regenerates the CSV
+    from the stored runs.
+    """
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        (self.root / "runs").mkdir(parents=True, exist_ok=True)
+        if not self._index_path.exists():
+            self._index_path.write_text(json.dumps({}))
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _read_index(self) -> dict[str, str]:
+        return json.loads(self._index_path.read_text())
+
+    def _write_index(self, index: dict[str, str]) -> None:
+        self._index_path.write_text(json.dumps(index, indent=2, sort_keys=True))
+
+    def __len__(self) -> int:
+        return len(self._read_index())
+
+    def run_ids(self) -> list[str]:
+        """All stored run identifiers, sorted."""
+        return sorted(self._read_index())
+
+    def add(self, result: AttackResult, label: str, run_id: str | None = None) -> str:
+        """Store one attack result under ``label``; returns the run id."""
+        index = self._read_index()
+        if run_id is None:
+            run_id = f"run{len(index):04d}"
+        if run_id in index:
+            raise ValueError(f"run id {run_id!r} already exists in the archive")
+        save_attack_result(result, self.root / "runs" / run_id)
+        index[run_id] = label
+        self._write_index(index)
+        return run_id
+
+    def load(self, run_id: str) -> AttackResult:
+        """Load one stored attack result."""
+        index = self._read_index()
+        if run_id not in index:
+            raise KeyError(f"unknown run id: {run_id!r}")
+        return load_attack_result(self.root / "runs" / run_id)
+
+    def label_of(self, run_id: str) -> str:
+        return self._read_index()[run_id]
+
+    def iter_results(self) -> Iterator[tuple[str, str, AttackResult]]:
+        """Yield ``(run_id, label, result)`` for every stored run."""
+        for run_id, label in sorted(self._read_index().items()):
+            yield run_id, label, self.load(run_id)
+
+    def rebuild_index(self) -> Path:
+        """Regenerate ``index.csv`` with one row per front solution."""
+        rows = []
+        for run_id, label, result in self.iter_results():
+            for position, solution in enumerate(result.pareto_front):
+                rows.append(
+                    {
+                        "run_id": run_id,
+                        "label": label,
+                        "solution": position,
+                        "intensity": solution.intensity,
+                        "degradation": solution.degradation,
+                        "distance": solution.distance,
+                    }
+                )
+        path = self.root / "index.csv"
+        write_csv(rows, path)
+        return path

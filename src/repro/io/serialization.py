@@ -1,0 +1,152 @@
+"""Serialisation of masks, predictions and attack results.
+
+File formats:
+
+* filter masks — ``.npz`` with a single ``values`` array,
+* predictions — JSON (list of box dictionaries),
+* attack results — a directory containing ``meta.json`` (objectives,
+  detector name, clean prediction, per-solution metadata) and
+  ``arrays.npz`` (the image and every solution's mask).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.masks import FilterMask
+from repro.core.results import AttackResult, ParetoSolution
+from repro.detection.boxes import BoundingBox
+from repro.detection.prediction import Prediction
+
+
+def save_mask(mask: FilterMask | np.ndarray, path: str | Path) -> Path:
+    """Save a filter mask to an ``.npz`` file (the suffix is added if missing)."""
+    values = mask.values if isinstance(mask, FilterMask) else np.asarray(mask)
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez_compressed(path, values=values)
+    return path
+
+
+def load_mask(path: str | Path) -> FilterMask:
+    """Load a filter mask saved by :func:`save_mask`."""
+    with np.load(path) as archive:
+        return FilterMask(archive["values"])
+
+
+def prediction_to_dict(prediction: Prediction) -> list[dict[str, Any]]:
+    """Convert a prediction to a JSON-serialisable list of box dicts."""
+    return [
+        {
+            "cl": int(box.cl),
+            "x": float(box.x),
+            "y": float(box.y),
+            "l": float(box.l),
+            "w": float(box.w),
+            "score": float(box.score),
+        }
+        for box in prediction.boxes
+    ]
+
+
+def prediction_from_dict(data: list[dict[str, Any]]) -> Prediction:
+    """Rebuild a prediction from :func:`prediction_to_dict` output."""
+    return Prediction(
+        [
+            BoundingBox(
+                cl=int(item["cl"]),
+                x=float(item["x"]),
+                y=float(item["y"]),
+                l=float(item["l"]),
+                w=float(item["w"]),
+                score=float(item.get("score", 1.0)),
+            )
+            for item in data
+        ]
+    )
+
+
+def save_prediction(prediction: Prediction, path: str | Path) -> Path:
+    """Save a prediction as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(prediction_to_dict(prediction), indent=2))
+    return path
+
+
+def load_prediction(path: str | Path) -> Prediction:
+    """Load a prediction saved by :func:`save_prediction`."""
+    return prediction_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_attack_result(result: AttackResult, directory: str | Path) -> Path:
+    """Save an attack result (metadata + masks + image) to a directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    meta: dict[str, Any] = {
+        "detector_name": result.detector_name,
+        "num_evaluations": result.num_evaluations,
+        "clean_prediction": prediction_to_dict(result.clean_prediction),
+        "solutions": [],
+    }
+    arrays: dict[str, np.ndarray] = {"image": result.image}
+    for index, solution in enumerate(result.solutions):
+        meta["solutions"].append(
+            {
+                "intensity": solution.intensity,
+                "degradation": solution.degradation,
+                "distance": solution.distance,
+                "rank": solution.rank,
+                "extras": solution.extras,
+                "perturbed_prediction": (
+                    prediction_to_dict(solution.perturbed_prediction)
+                    if solution.perturbed_prediction is not None
+                    else None
+                ),
+            }
+        )
+        arrays[f"mask_{index}"] = solution.mask.values
+
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    np.savez_compressed(directory / "arrays.npz", **arrays)
+    return directory
+
+
+def load_attack_result(directory: str | Path) -> AttackResult:
+    """Load an attack result saved by :func:`save_attack_result`.
+
+    Error transitions are not persisted (they can be recomputed from the
+    stored predictions); history is not persisted either.
+    """
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    with np.load(directory / "arrays.npz") as arrays:
+        image = arrays["image"]
+        solutions: list[ParetoSolution] = []
+        for index, solution_meta in enumerate(meta["solutions"]):
+            perturbed = solution_meta.get("perturbed_prediction")
+            solutions.append(
+                ParetoSolution(
+                    mask=FilterMask(arrays[f"mask_{index}"]),
+                    intensity=float(solution_meta["intensity"]),
+                    degradation=float(solution_meta["degradation"]),
+                    distance=float(solution_meta["distance"]),
+                    rank=int(solution_meta["rank"]),
+                    extras=dict(solution_meta.get("extras", {})),
+                    perturbed_prediction=(
+                        prediction_from_dict(perturbed) if perturbed is not None else None
+                    ),
+                )
+            )
+    return AttackResult(
+        image=image,
+        clean_prediction=prediction_from_dict(meta["clean_prediction"]),
+        solutions=solutions,
+        detector_name=meta.get("detector_name", ""),
+        num_evaluations=int(meta.get("num_evaluations", 0)),
+    )

@@ -1,0 +1,46 @@
+"""Minimal neural-network substrate in pure NumPy.
+
+The simulated detectors in :mod:`repro.detectors` are built from these
+primitives.  Only the forward pass is needed — the attack is black-box — so
+this package implements inference-time operators: activation functions,
+layer normalisation, 2-D convolution / pooling, grid (cell) feature
+extraction, positional encodings and multi-head self-attention.
+"""
+
+from repro.nn.ops import (
+    layer_norm,
+    log_softmax,
+    positional_encoding,
+    relu,
+    sigmoid,
+    softmax,
+)
+from repro.nn.conv import (
+    avg_pool,
+    box_filter,
+    conv2d,
+    gradient_magnitude,
+    sobel_gradients,
+)
+from repro.nn.features import GridFeatureExtractor, cell_grid_shape
+from repro.nn.attention import MultiHeadSelfAttention, scaled_dot_product_attention
+from repro.nn.linear import Linear
+
+__all__ = [
+    "layer_norm",
+    "log_softmax",
+    "positional_encoding",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "avg_pool",
+    "box_filter",
+    "conv2d",
+    "gradient_magnitude",
+    "sobel_gradients",
+    "GridFeatureExtractor",
+    "cell_grid_shape",
+    "MultiHeadSelfAttention",
+    "scaled_dot_product_attention",
+    "Linear",
+]

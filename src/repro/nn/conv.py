@@ -1,0 +1,88 @@
+"""2-D convolution, pooling and gradient filters (pure NumPy)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.signal import convolve2d
+
+
+def conv2d(image: np.ndarray, kernel: np.ndarray, mode: str = "same") -> np.ndarray:
+    """2-D convolution of a single-channel image with a kernel.
+
+    Multi-channel images are convolved channel-wise and the results summed,
+    mirroring a convolution layer with a single output channel.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    kernel = np.asarray(kernel, dtype=np.float64)
+    if image.ndim == 2:
+        return convolve2d(image, kernel, mode=mode, boundary="symm")
+    if image.ndim == 3:
+        channels = [
+            convolve2d(image[:, :, c], kernel, mode=mode, boundary="symm")
+            for c in range(image.shape[2])
+        ]
+        return np.sum(channels, axis=0)
+    raise ValueError(f"expected a 2-D or 3-D image, got shape {image.shape}")
+
+
+def box_filter(image: np.ndarray, size: int = 3) -> np.ndarray:
+    """Mean filter with a ``size x size`` box kernel."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    kernel = np.ones((size, size), dtype=np.float64) / (size * size)
+    return conv2d(image, kernel)
+
+
+def sobel_gradients(image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sobel gradients (d/drow, d/dcol) of an image (channels summed)."""
+    sobel_row = np.array([[-1, -2, -1], [0, 0, 0], [1, 2, 1]], dtype=np.float64)
+    sobel_col = sobel_row.T
+    return conv2d(image, sobel_row), conv2d(image, sobel_col)
+
+
+def gradient_magnitude(image: np.ndarray) -> np.ndarray:
+    """Magnitude of the Sobel gradient."""
+    grad_row, grad_col = sobel_gradients(image)
+    return np.hypot(grad_row, grad_col)
+
+
+def avg_pool(image: np.ndarray, cell: int) -> np.ndarray:
+    """Average-pool an image over non-overlapping ``cell x cell`` blocks.
+
+    Trailing rows/columns that do not fill a whole cell are dropped.  Works
+    on 2-D (H, W) and 3-D (H, W, C) arrays; returns (H//cell, W//cell[, C]).
+    """
+    if cell <= 0:
+        raise ValueError("cell must be positive")
+    image = np.asarray(image, dtype=np.float64)
+    rows = (image.shape[0] // cell) * cell
+    cols = (image.shape[1] // cell) * cell
+    if rows == 0 or cols == 0:
+        raise ValueError("image smaller than one pooling cell")
+    trimmed = image[:rows, :cols]
+    if image.ndim == 2:
+        return trimmed.reshape(rows // cell, cell, cols // cell, cell).mean(axis=(1, 3))
+    if image.ndim == 3:
+        return trimmed.reshape(
+            rows // cell, cell, cols // cell, cell, image.shape[2]
+        ).mean(axis=(1, 3))
+    raise ValueError(f"expected a 2-D or 3-D image, got shape {image.shape}")
+
+
+def std_pool(image: np.ndarray, cell: int) -> np.ndarray:
+    """Per-cell standard deviation over non-overlapping blocks."""
+    if cell <= 0:
+        raise ValueError("cell must be positive")
+    image = np.asarray(image, dtype=np.float64)
+    rows = (image.shape[0] // cell) * cell
+    cols = (image.shape[1] // cell) * cell
+    if rows == 0 or cols == 0:
+        raise ValueError("image smaller than one pooling cell")
+    trimmed = image[:rows, :cols]
+    if image.ndim == 2:
+        return trimmed.reshape(rows // cell, cell, cols // cell, cell).std(axis=(1, 3))
+    if image.ndim == 3:
+        return trimmed.reshape(
+            rows // cell, cell, cols // cell, cell, image.shape[2]
+        ).std(axis=(1, 3))
+    raise ValueError(f"expected a 2-D or 3-D image, got shape {image.shape}")

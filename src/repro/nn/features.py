@@ -1,0 +1,73 @@
+"""Grid (cell) feature extraction shared by both simulated detectors.
+
+Both detector families pool the image into a grid of cells (the single-stage
+detector's anchor grid, the transformer's patch tokens).  Each cell is
+described by a small feature vector: mean RGB, per-channel standard
+deviation and mean gradient magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.conv import avg_pool, gradient_magnitude, std_pool
+
+#: Number of features per cell produced by :class:`GridFeatureExtractor`.
+CELL_FEATURE_DIM = 7
+
+
+def cell_grid_shape(image_length: int, image_width: int, cell: int) -> tuple[int, int]:
+    """Number of (rows, cols) of grid cells for an image and cell size."""
+    if cell <= 0:
+        raise ValueError("cell size must be positive")
+    return image_length // cell, image_width // cell
+
+
+@dataclass(frozen=True)
+class GridFeatureExtractor:
+    """Pools an image into per-cell feature vectors.
+
+    Parameters
+    ----------
+    cell:
+        Side length of one square cell in pixels.
+    normalize:
+        When True, pixel values are scaled by 1/255 before pooling so the
+        features are in roughly unit range.
+    """
+
+    cell: int = 8
+    normalize: bool = True
+
+    def grid_shape(self, image: np.ndarray) -> tuple[int, int]:
+        """Grid shape (rows, cols) for a given image."""
+        return cell_grid_shape(image.shape[0], image.shape[1], self.cell)
+
+    def cell_centers(self, image: np.ndarray) -> np.ndarray:
+        """Pixel coordinates of every cell centre; shape (rows*cols, 2)."""
+        rows, cols = self.grid_shape(image)
+        row_centers = (np.arange(rows) + 0.5) * self.cell
+        col_centers = (np.arange(cols) + 0.5) * self.cell
+        grid_row, grid_col = np.meshgrid(row_centers, col_centers, indexing="ij")
+        return np.stack([grid_row.ravel(), grid_col.ravel()], axis=1)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        """Extract features; returns array of shape (rows, cols, 7)."""
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim != 3 or image.shape[2] != 3:
+            raise ValueError(f"expected an RGB image (L, W, 3), got {image.shape}")
+        if self.normalize:
+            image = image / 255.0
+        mean_rgb = avg_pool(image, self.cell)
+        std_rgb = std_pool(image, self.cell)
+        grad = gradient_magnitude(image)
+        mean_grad = avg_pool(grad, self.cell)[..., None]
+        features = np.concatenate([mean_rgb, std_rgb, mean_grad], axis=-1)
+        return features
+
+    def flat(self, image: np.ndarray) -> np.ndarray:
+        """Extract features flattened to (rows*cols, 7)."""
+        features = self(image)
+        return features.reshape(-1, features.shape[-1])

@@ -1,0 +1,70 @@
+"""NSGA-II multi-objective genetic algorithm (Deb et al., 2002).
+
+Implemented from scratch for the butterfly-effect attack:
+
+* :mod:`repro.nsga.individual` — individuals carrying a genome and its
+  evaluated objective vector,
+* :mod:`repro.nsga.sorting` — fast non-dominated sorting and Pareto ranks,
+* :mod:`repro.nsga.crowding` — crowding-distance assignment,
+* :mod:`repro.nsga.selection` — the Pareto-sorted binary tournament,
+* :mod:`repro.nsga.crossover` — one-point crossover on flattened genomes,
+* :mod:`repro.nsga.mutation` — the paper's four pixel-level mutation
+  operators with a parametrisable window size,
+* :mod:`repro.nsga.initialization` — Gaussian / noise-based initial
+  population plus the all-zero individual,
+* :mod:`repro.nsga.algorithm` — the NSGA-II main loop,
+* :mod:`repro.nsga.front` — Pareto-front utilities (extraction,
+  hypervolume, best-per-objective selection).
+
+All objectives are *minimised*; callers that want to maximise an objective
+(the paper's ``obj_dist``) negate it before handing it to the optimiser.
+"""
+
+from repro.nsga.individual import Individual
+from repro.nsga.sorting import dominates, fast_non_dominated_sort, pareto_ranks
+from repro.nsga.crowding import crowding_distance
+from repro.nsga.selection import binary_tournament, crowded_comparison
+from repro.nsga.crossover import one_point_crossover, uniform_crossover
+from repro.nsga.mutation import (
+    MutationConfig,
+    complement_mutation,
+    inversion_mutation,
+    mutate,
+    random_value_mutation,
+    shuffle_mutation,
+)
+from repro.nsga.initialization import InitializationConfig, initialize_population
+from repro.nsga.algorithm import NSGAConfig, NSGAII, NSGAResult
+from repro.nsga.front import (
+    best_per_objective,
+    hypervolume_2d,
+    pareto_front,
+    pareto_front_objectives,
+)
+
+__all__ = [
+    "Individual",
+    "dominates",
+    "fast_non_dominated_sort",
+    "pareto_ranks",
+    "crowding_distance",
+    "binary_tournament",
+    "crowded_comparison",
+    "one_point_crossover",
+    "uniform_crossover",
+    "MutationConfig",
+    "complement_mutation",
+    "inversion_mutation",
+    "mutate",
+    "random_value_mutation",
+    "shuffle_mutation",
+    "InitializationConfig",
+    "initialize_population",
+    "NSGAConfig",
+    "NSGAII",
+    "NSGAResult",
+    "best_per_objective",
+    "hypervolume_2d",
+    "pareto_front",
+    "pareto_front_objectives",
+]

@@ -1,0 +1,242 @@
+"""The NSGA-II main loop.
+
+The algorithm follows Deb et al. (2002) with the implementation choices of
+the paper's Section IV-A: explicit filter-mask genomes, one-point crossover
+with probability ``pc``, the four pixel mutation operators with probability
+``pm`` and window size ``w``, an initial population of Gaussian masks plus
+the all-zero mask, and Pareto-sorted binary tournament selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.nsga.crossover import one_point_crossover
+from repro.nsga.crowding import crowding_distance
+from repro.nsga.individual import Individual
+from repro.nsga.initialization import InitializationConfig, initialize_population
+from repro.nsga.mutation import MutationConfig, mutate
+from repro.nsga.selection import binary_tournament
+from repro.nsga.sorting import fast_non_dominated_sort
+
+#: An objective function maps a genome to a vector of minimised objectives.
+ObjectiveFunction = Callable[[np.ndarray], np.ndarray]
+
+#: Optional constraint applied to every genome (e.g. zero out the left half).
+GenomeConstraint = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class NSGAConfig:
+    """NSGA-II parametrisation (paper Table II).
+
+    Attributes
+    ----------
+    num_iterations:
+        Number of generations (paper: 100).
+    population_size:
+        Number of individuals (paper: 101).
+    crossover_probability:
+        Probability of applying one-point crossover to a parent pair
+        (paper: pc = 0.5).
+    mutation:
+        Mutation configuration (paper: pm = 0.45, window 1 %).
+    initialization:
+        Initial-population configuration; its ``population_size`` is kept in
+        sync with this config's value.
+    seed:
+        Seed of the random generator driving the evolutionary process.
+    """
+
+    num_iterations: int = 100
+    population_size: int = 101
+    crossover_probability: float = 0.5
+    mutation: MutationConfig = field(default_factory=MutationConfig)
+    initialization: InitializationConfig = field(default_factory=InitializationConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_iterations < 0:
+            raise ValueError("num_iterations must be non-negative")
+        if self.population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if not 0.0 <= self.crossover_probability <= 1.0:
+            raise ValueError("crossover_probability must be in [0, 1]")
+
+    @staticmethod
+    def paper_defaults(seed: int = 0) -> "NSGAConfig":
+        """The exact configuration of Table II."""
+        return NSGAConfig(
+            num_iterations=100,
+            population_size=101,
+            crossover_probability=0.5,
+            mutation=MutationConfig(probability=0.45, window_fraction=0.01),
+            seed=seed,
+        )
+
+
+@dataclass
+class NSGAResult:
+    """Outcome of an NSGA-II run."""
+
+    population: list[Individual]
+    fronts: list[list[int]]
+    history: list[dict] = field(default_factory=list)
+    num_evaluations: int = 0
+
+    @property
+    def pareto_front(self) -> list[Individual]:
+        """Rank-1 individuals of the final population."""
+        if not self.fronts:
+            return []
+        return [self.population[i] for i in self.fronts[0]]
+
+    def objectives_matrix(self) -> np.ndarray:
+        """All final objective vectors stacked, shape (pop, num_objectives)."""
+        return np.stack([ind.objectives for ind in self.population], axis=0)
+
+
+class NSGAII:
+    """NSGA-II optimiser over filter-mask genomes.
+
+    Parameters
+    ----------
+    objective_function:
+        Maps a genome to a minimised objective vector.
+    genome_shape:
+        Shape of the genomes (for the attack: the image shape).
+    config:
+        Algorithm parametrisation.
+    constraint:
+        Optional projection applied to every genome after initialisation,
+        crossover and mutation (used for the paper's "perturb only the
+        right half" restriction).
+    callback:
+        Optional per-generation callback receiving ``(generation, population)``.
+    """
+
+    def __init__(
+        self,
+        objective_function: ObjectiveFunction,
+        genome_shape: tuple[int, ...],
+        config: NSGAConfig | None = None,
+        constraint: Optional[GenomeConstraint] = None,
+        callback: Optional[Callable[[int, list[Individual]], None]] = None,
+    ) -> None:
+        self.objective_function = objective_function
+        self.genome_shape = tuple(genome_shape)
+        self.config = config if config is not None else NSGAConfig()
+        self.constraint = constraint
+        self.callback = callback
+        self.rng = np.random.default_rng(self.config.seed)
+        self.num_evaluations = 0
+
+    def _apply_constraint(self, genome: np.ndarray) -> np.ndarray:
+        if self.constraint is None:
+            return genome
+        return self.constraint(genome)
+
+    def _evaluate(self, population: Sequence[Individual]) -> None:
+        for individual in population:
+            if not individual.is_evaluated:
+                individual.set_objectives(self.objective_function(individual.genome))
+                self.num_evaluations += 1
+
+    def _rank_population(self, population: list[Individual]) -> list[list[int]]:
+        fronts = fast_non_dominated_sort(population)
+        for front in fronts:
+            crowding_distance(population, front)
+        return fronts
+
+    def _initial_population(self) -> list[Individual]:
+        init_config = InitializationConfig(
+            population_size=self.config.population_size,
+            gaussian_sigma=self.config.initialization.gaussian_sigma,
+            include_zero_mask=self.config.initialization.include_zero_mask,
+            salt_and_pepper_fraction=self.config.initialization.salt_and_pepper_fraction,
+            max_value=self.config.initialization.max_value,
+        )
+        population = initialize_population(self.genome_shape, self.rng, init_config)
+        for individual in population:
+            individual.genome = self._apply_constraint(individual.genome)
+        return population
+
+    def _make_offspring(self, population: list[Individual]) -> list[Individual]:
+        parents = binary_tournament(population, self.rng, self.config.population_size)
+        offspring: list[Individual] = []
+        for index in range(0, len(parents) - 1, 2):
+            parent_a, parent_b = parents[index], parents[index + 1]
+            child_a, child_b = one_point_crossover(
+                parent_a.genome,
+                parent_b.genome,
+                self.rng,
+                probability=self.config.crossover_probability,
+            )
+            child_a = self._apply_constraint(
+                mutate(child_a, self.rng, self.config.mutation)
+            )
+            child_b = self._apply_constraint(
+                mutate(child_b, self.rng, self.config.mutation)
+            )
+            offspring.append(Individual(genome=child_a))
+            offspring.append(Individual(genome=child_b))
+        # Odd population sizes (the paper uses 101) get one extra mutant of
+        # the last parent so that |offspring| == |population|.
+        while len(offspring) < self.config.population_size:
+            extra = mutate(parents[-1].genome, self.rng, self.config.mutation)
+            offspring.append(Individual(genome=self._apply_constraint(extra)))
+        return offspring[: self.config.population_size]
+
+    def _environmental_selection(
+        self, combined: list[Individual]
+    ) -> list[Individual]:
+        fronts = self._rank_population(combined)
+        survivors: list[Individual] = []
+        for front in fronts:
+            if len(survivors) + len(front) <= self.config.population_size:
+                survivors.extend(combined[i] for i in front)
+            else:
+                remaining = self.config.population_size - len(survivors)
+                members = sorted(
+                    (combined[i] for i in front),
+                    key=lambda ind: (ind.crowding if ind.crowding is not None else 0.0),
+                    reverse=True,
+                )
+                survivors.extend(members[:remaining])
+                break
+        return survivors
+
+    def run(self) -> NSGAResult:
+        """Execute the configured number of generations and return the result."""
+        population = self._initial_population()
+        self._evaluate(population)
+        self._rank_population(population)
+
+        history: list[dict] = []
+        for generation in range(self.config.num_iterations):
+            offspring = self._make_offspring(population)
+            self._evaluate(offspring)
+            population = self._environmental_selection(population + offspring)
+
+            objectives = np.stack([ind.objectives for ind in population], axis=0)
+            history.append(
+                {
+                    "generation": generation,
+                    "best_per_objective": objectives.min(axis=0),
+                    "mean_per_objective": objectives.mean(axis=0),
+                    "front_size": sum(1 for ind in population if ind.rank == 1),
+                }
+            )
+            if self.callback is not None:
+                self.callback(generation, population)
+
+        fronts = self._rank_population(population)
+        return NSGAResult(
+            population=population,
+            fronts=fronts,
+            history=history,
+            num_evaluations=self.num_evaluations,
+        )

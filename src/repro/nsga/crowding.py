@@ -1,0 +1,50 @@
+"""Crowding-distance assignment (NSGA-II, Deb 2002)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nsga.individual import Individual
+
+
+def crowding_distance(
+    population: Sequence[Individual], front: Sequence[int]
+) -> np.ndarray:
+    """Crowding distance for the individuals of one front.
+
+    The distance of an individual is the sum, over objectives, of the
+    normalised gap between its two neighbours when the front is sorted
+    along that objective; boundary individuals get infinite distance.
+    Individuals' ``crowding`` attributes are updated in place.
+    """
+    front = list(front)
+    size = len(front)
+    if size == 0:
+        return np.array([])
+    distances = np.zeros(size, dtype=np.float64)
+    if size <= 2:
+        distances[:] = np.inf
+        for position, index in enumerate(front):
+            population[index].crowding = float(distances[position])
+        return distances
+
+    objectives = np.stack([population[i].objectives for i in front], axis=0)
+    num_objectives = objectives.shape[1]
+
+    for objective in range(num_objectives):
+        order = np.argsort(objectives[:, objective], kind="stable")
+        sorted_values = objectives[order, objective]
+        span = sorted_values[-1] - sorted_values[0]
+        distances[order[0]] = np.inf
+        distances[order[-1]] = np.inf
+        if span <= 0:
+            continue
+        for position in range(1, size - 1):
+            gap = sorted_values[position + 1] - sorted_values[position - 1]
+            distances[order[position]] += gap / span
+
+    for position, index in enumerate(front):
+        population[index].crowding = float(distances[position])
+    return distances

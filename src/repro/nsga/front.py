@@ -1,0 +1,85 @@
+"""Pareto-front utilities: extraction, per-objective champions, hypervolume."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nsga.individual import Individual
+from repro.nsga.sorting import fast_non_dominated_sort
+
+
+def pareto_front(population: Sequence[Individual]) -> list[Individual]:
+    """Return the non-dominated individuals (rank-1 front) of a population."""
+    if not population:
+        return []
+    fronts = fast_non_dominated_sort(list(population))
+    return [population[i] for i in fronts[0]]
+
+
+def pareto_front_objectives(population: Sequence[Individual]) -> np.ndarray:
+    """Objective vectors of the rank-1 front, shape (front_size, num_obj)."""
+    front = pareto_front(population)
+    if not front:
+        return np.zeros((0, 0))
+    return np.stack([ind.objectives for ind in front], axis=0)
+
+
+def best_per_objective(population: Sequence[Individual]) -> list[Individual]:
+    """The best individual for each objective (paper's Figure 2 protocol).
+
+    The paper only visualises "the resulting 3 perturbations reflecting the
+    best of three objectives with each being the best for one objective".
+    """
+    evaluated = [ind for ind in population if ind.is_evaluated]
+    if not evaluated:
+        return []
+    num_objectives = evaluated[0].num_objectives
+    champions: list[Individual] = []
+    for objective in range(num_objectives):
+        champions.append(
+            min(evaluated, key=lambda ind: float(ind.objectives[objective]))
+        )
+    return champions
+
+
+def hypervolume_2d(
+    points: np.ndarray, reference: tuple[float, float]
+) -> float:
+    """Hypervolume (area) dominated by a 2-D minimisation front.
+
+    Parameters
+    ----------
+    points:
+        Array of shape (n, 2) of objective vectors (minimised).
+    reference:
+        Reference point that should be dominated by every front point;
+        points beyond the reference contribute nothing.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("hypervolume_2d expects points of shape (n, 2)")
+    if points.shape[0] == 0:
+        return 0.0
+    ref_x, ref_y = float(reference[0]), float(reference[1])
+
+    # Keep only points that dominate the reference point.
+    mask = (points[:, 0] <= ref_x) & (points[:, 1] <= ref_y)
+    points = points[mask]
+    if points.shape[0] == 0:
+        return 0.0
+
+    order = np.argsort(points[:, 0], kind="stable")
+    points = points[order]
+
+    volume = 0.0
+    best_y = ref_y
+    for x, y in points:
+        if y >= best_y:
+            continue
+        # Each point that improves on the lowest y seen so far contributes a
+        # horizontal strip [x, ref_x] x [y, best_y] of new dominated area.
+        volume += (ref_x - x) * (best_y - y)
+        best_y = y
+    return float(volume)

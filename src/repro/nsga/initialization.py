@@ -1,0 +1,76 @@
+"""Initial population of filter masks.
+
+The paper's initial population has 101 individuals: 100 filter masks drawn
+from a Gaussian distribution (with various digital-image-processing noise
+types applied on top) plus one all-zero mask that keeps the original image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.noise import salt_and_pepper_mask
+from repro.nsga.individual import Individual
+
+
+@dataclass(frozen=True)
+class InitializationConfig:
+    """Configuration of the initial population.
+
+    Attributes
+    ----------
+    population_size:
+        Total number of individuals including the all-zero mask
+        (Table II: 101).
+    gaussian_sigma:
+        Standard deviation of the Gaussian initial masks, in pixel-value
+        units.
+    include_zero_mask:
+        Whether to add the all-zero individual (keeps the original image).
+    salt_and_pepper_fraction:
+        Fraction of the random individuals that additionally receive a
+        sparse salt-and-pepper component ("various noise types of digital
+        image processing are applied").
+    max_value:
+        Bound of the signed perturbation range (paper: 255).
+    """
+
+    population_size: int = 101
+    gaussian_sigma: float = 12.0
+    include_zero_mask: bool = True
+    salt_and_pepper_fraction: float = 0.3
+    max_value: float = 255.0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 1:
+            raise ValueError("population_size must be at least 1")
+        if self.gaussian_sigma < 0:
+            raise ValueError("gaussian_sigma must be non-negative")
+        if not 0.0 <= self.salt_and_pepper_fraction <= 1.0:
+            raise ValueError("salt_and_pepper_fraction must be in [0, 1]")
+
+
+def initialize_population(
+    genome_shape: tuple[int, ...],
+    rng: np.random.Generator,
+    config: InitializationConfig | None = None,
+) -> list[Individual]:
+    """Create the initial population of filter-mask individuals."""
+    config = config if config is not None else InitializationConfig()
+    population: list[Individual] = []
+
+    num_random = config.population_size - (1 if config.include_zero_mask else 0)
+    for index in range(num_random):
+        mask = rng.normal(0.0, config.gaussian_sigma, size=genome_shape)
+        if rng.random() < config.salt_and_pepper_fraction and len(genome_shape) == 3:
+            mask += salt_and_pepper_mask(
+                genome_shape, amount=0.002, rng=rng, max_value=config.max_value
+            )
+        mask = np.clip(mask, -config.max_value, config.max_value)
+        population.append(Individual(genome=mask))
+
+    if config.include_zero_mask:
+        population.append(Individual(genome=np.zeros(genome_shape, dtype=np.float64)))
+    return population

@@ -1,0 +1,61 @@
+"""Pareto-sorted binary tournament selection (NSGA-II)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nsga.individual import Individual
+
+
+def crowded_comparison(first: Individual, second: Individual) -> int:
+    """The crowded-comparison operator ``≺_n`` of NSGA-II.
+
+    Returns -1 when ``first`` is preferred, +1 when ``second`` is preferred
+    and 0 when they are indistinguishable.  Between two solutions with
+    different Pareto ranks the lower rank wins; with equal ranks the one in
+    the less crowded region (larger crowding distance) wins.
+    """
+    if first.rank is None or second.rank is None:
+        raise ValueError("individuals must be ranked before comparison")
+    if first.rank < second.rank:
+        return -1
+    if first.rank > second.rank:
+        return 1
+    first_crowding = first.crowding if first.crowding is not None else 0.0
+    second_crowding = second.crowding if second.crowding is not None else 0.0
+    if first_crowding > second_crowding:
+        return -1
+    if first_crowding < second_crowding:
+        return 1
+    return 0
+
+
+def binary_tournament(
+    population: Sequence[Individual],
+    rng: np.random.Generator,
+    num_selected: int | None = None,
+) -> list[Individual]:
+    """Select parents by repeated binary tournaments.
+
+    Each tournament draws two individuals uniformly at random and keeps the
+    one preferred by :func:`crowded_comparison`; ties are broken randomly.
+    """
+    if not population:
+        raise ValueError("cannot select from an empty population")
+    if num_selected is None:
+        num_selected = len(population)
+    selected: list[Individual] = []
+    size = len(population)
+    for _ in range(num_selected):
+        i, j = rng.integers(0, size, size=2)
+        outcome = crowded_comparison(population[i], population[j])
+        if outcome < 0:
+            winner = population[i]
+        elif outcome > 0:
+            winner = population[j]
+        else:
+            winner = population[i] if rng.random() < 0.5 else population[j]
+        selected.append(winner)
+    return selected

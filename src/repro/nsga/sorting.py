@@ -1,0 +1,72 @@
+"""Pareto dominance and fast non-dominated sorting (NSGA-II, Deb 2002)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nsga.individual import Individual
+
+
+def dominates(first: np.ndarray, second: np.ndarray) -> bool:
+    """True when objective vector ``first`` Pareto-dominates ``second``.
+
+    All objectives are minimised: ``first`` dominates ``second`` when it is
+    no worse in every objective and strictly better in at least one.
+    """
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    if first.shape != second.shape:
+        raise ValueError("objective vectors must have the same shape")
+    return bool(np.all(first <= second) and np.any(first < second))
+
+
+def fast_non_dominated_sort(population: Sequence[Individual]) -> list[list[int]]:
+    """Sort a population into Pareto fronts.
+
+    Returns a list of fronts, each a list of population indices; the first
+    front contains the non-dominated individuals (rank 1).  Individuals'
+    ``rank`` attributes are updated in place.
+    """
+    size = len(population)
+    for individual in population:
+        if not individual.is_evaluated:
+            raise ValueError("all individuals must be evaluated before sorting")
+
+    objectives = np.stack([ind.objectives for ind in population], axis=0)
+
+    dominated_by: list[list[int]] = [[] for _ in range(size)]
+    domination_count = np.zeros(size, dtype=np.int64)
+
+    for p in range(size):
+        for q in range(p + 1, size):
+            if dominates(objectives[p], objectives[q]):
+                dominated_by[p].append(q)
+                domination_count[q] += 1
+            elif dominates(objectives[q], objectives[p]):
+                dominated_by[q].append(p)
+                domination_count[p] += 1
+
+    fronts: list[list[int]] = []
+    current = [p for p in range(size) if domination_count[p] == 0]
+    rank = 1
+    while current:
+        for index in current:
+            population[index].rank = rank
+        fronts.append(current)
+        next_front: list[int] = []
+        for p in current:
+            for q in dominated_by[p]:
+                domination_count[q] -= 1
+                if domination_count[q] == 0:
+                    next_front.append(q)
+        current = next_front
+        rank += 1
+    return fronts
+
+
+def pareto_ranks(population: Sequence[Individual]) -> np.ndarray:
+    """Convenience: return the array of Pareto ranks (1-based)."""
+    fast_non_dominated_sort(population)
+    return np.array([ind.rank for ind in population], dtype=np.int64)

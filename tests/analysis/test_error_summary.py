@@ -1,0 +1,81 @@
+"""Tests for aggregating the Section V-B error taxonomy."""
+
+import numpy as np
+
+from repro.analysis.errors import (
+    AttackErrorSummary,
+    summarize_attack_errors,
+    summarize_transitions,
+)
+from repro.core.masks import FilterMask
+from repro.core.results import AttackResult, ParetoSolution
+from repro.detection.boxes import BoundingBox
+from repro.detection.errors import ErrorType, PredictionTransition
+from repro.detection.prediction import Prediction
+
+
+def _transition(error):
+    return PredictionTransition(error, None, None, 0.0)
+
+
+def _result_with_transitions(transitions):
+    solution = ParetoSolution(
+        mask=FilterMask.zeros((4, 4, 3)),
+        intensity=0.1,
+        degradation=0.5,
+        distance=0.2,
+        rank=1,
+        transitions=transitions,
+    )
+    return AttackResult(
+        image=np.zeros((4, 4, 3)),
+        clean_prediction=Prediction([BoundingBox(cl=0, x=2, y=2, l=2, w=2)]),
+        solutions=[solution],
+    )
+
+
+class TestAttackErrorSummary:
+    def test_counts_initialised_for_all_types(self):
+        summary = AttackErrorSummary()
+        assert set(summary.counts) == set(ErrorType)
+        assert summary.total_changes == 0
+
+    def test_total_changes_excludes_unchanged(self):
+        summary = summarize_transitions(
+            [_transition(ErrorType.UNCHANGED), _transition(ErrorType.TP_TO_FN)]
+        )
+        assert summary.total_changes == 1
+        assert summary.observed_types() == [ErrorType.TP_TO_FN]
+
+    def test_merge(self):
+        first = summarize_transitions([_transition(ErrorType.TP_TO_FN)])
+        second = summarize_transitions([_transition(ErrorType.TN_TO_FP)])
+        merged = first.merge(second)
+        assert merged.counts[ErrorType.TP_TO_FN] == 1
+        assert merged.counts[ErrorType.TN_TO_FP] == 1
+        assert merged.num_solutions == 2
+
+    def test_as_rows(self):
+        rows = AttackErrorSummary().as_rows()
+        assert len(rows) == len(ErrorType)
+        assert {"error_type", "count"} == set(rows[0])
+
+
+class TestSummarizeAttackErrors:
+    def test_single_result(self):
+        result = _result_with_transitions(
+            [_transition(ErrorType.BOX_CHANGED), _transition(ErrorType.TP_TO_FN)]
+        )
+        summary = summarize_attack_errors(result)
+        assert summary.counts[ErrorType.BOX_CHANGED] == 1
+        assert summary.counts[ErrorType.TP_TO_FN] == 1
+        assert summary.num_solutions == 1
+
+    def test_multiple_results_accumulate(self):
+        results = [
+            _result_with_transitions([_transition(ErrorType.TN_TO_FP)]),
+            _result_with_transitions([_transition(ErrorType.TN_TO_FP)]),
+        ]
+        summary = summarize_attack_errors(results)
+        assert summary.counts[ErrorType.TN_TO_FP] == 2
+        assert summary.num_solutions == 2

@@ -1,0 +1,83 @@
+"""Tests for feature heatmaps and the grey-box objective."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import (
+    attention_heatmap,
+    feature_distance_objective,
+    feature_heatmap,
+    heatmap_difference,
+)
+from repro.core.objectives import ButterflyObjectives
+
+
+class TestFeatureHeatmap:
+    def test_shape_and_range(self, yolo_detector, small_dataset):
+        heat = feature_heatmap(yolo_detector, small_dataset[0].image)
+        rows, cols = yolo_detector.extractor.grid_shape(small_dataset[0].image)
+        assert heat.shape == (rows, cols)
+        assert heat.min() >= 0.0 and heat.max() <= 1.0
+
+    def test_object_cells_activate(self, yolo_detector, small_dataset):
+        sample = small_dataset[0]
+        heat = feature_heatmap(yolo_detector, sample.image)
+        cell = yolo_detector.config.cell
+        object_values = []
+        for box in sample.ground_truth.valid_boxes:
+            object_values.append(heat[int(box.x // cell), int(box.y // cell)])
+        assert max(object_values) > heat.mean()
+
+    def test_heatmap_difference_localised_for_single_stage(
+        self, yolo_detector, small_dataset
+    ):
+        image = small_dataset[0].image
+        mask = np.zeros_like(image)
+        mask[:, -32:, :] = 80.0
+        difference = heatmap_difference(yolo_detector, image, mask)
+        cols = difference.shape[1]
+        # The perturbed (right) side changes far more than the left side.
+        assert difference[:, -4:].mean() > 5 * max(difference[:, : cols // 2].mean(), 1e-9)
+
+
+class TestAttentionHeatmap:
+    def test_shape_and_normalisation(self, detr_detector, small_dataset):
+        heat = attention_heatmap(detr_detector, small_dataset[0].image)
+        rows, cols = detr_detector.extractor.grid_shape(small_dataset[0].image)
+        assert heat.shape == (rows, cols)
+        assert heat.min() >= 0.0 and heat.max() <= 1.0
+
+    def test_single_cell_attention_row(self, detr_detector, small_dataset):
+        heat = attention_heatmap(detr_detector, small_dataset[0].image, cell_index=0)
+        assert heat.shape == detr_detector.extractor.grid_shape(small_dataset[0].image)
+
+    def test_cell_index_out_of_range(self, detr_detector, small_dataset):
+        with pytest.raises(IndexError):
+            attention_heatmap(detr_detector, small_dataset[0].image, cell_index=10**6)
+
+    def test_requires_transformer(self, yolo_detector, small_dataset):
+        with pytest.raises(TypeError):
+            attention_heatmap(yolo_detector, small_dataset[0].image)
+
+
+class TestFeatureDistanceObjective:
+    def test_zero_mask_gives_zero(self, yolo_detector, small_dataset):
+        objective = feature_distance_objective(yolo_detector)
+        image = small_dataset[0].image
+        assert objective(image, np.zeros_like(image), None) == pytest.approx(0.0)
+
+    def test_stronger_perturbation_is_more_negative(self, yolo_detector, small_dataset):
+        objective = feature_distance_objective(yolo_detector)
+        image = small_dataset[0].image
+        weak = np.full_like(image, 5.0)
+        strong = np.full_like(image, 60.0)
+        assert objective(image, strong, None) < objective(image, weak, None)
+
+    def test_integrates_as_extra_objective(self, yolo_detector, small_dataset):
+        evaluator = ButterflyObjectives(
+            detector=yolo_detector,
+            image=small_dataset[0].image,
+            extra_objectives=(feature_distance_objective(yolo_detector),),
+        )
+        vector = evaluator(np.zeros(small_dataset[0].image.shape))
+        assert vector.shape == (4,)

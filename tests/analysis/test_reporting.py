@@ -1,0 +1,114 @@
+"""Tests for tabular reporting and the architecture comparison report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    ComparisonReport,
+    format_table,
+    objectives_to_rows,
+    write_csv,
+)
+from repro.core.masks import FilterMask
+from repro.core.results import AttackResult, ParetoSolution
+from repro.detection.boxes import BoundingBox
+from repro.detection.prediction import Prediction
+
+
+def _result(objective_triples, detector_name="det"):
+    solutions = [
+        ParetoSolution(
+            mask=FilterMask.zeros((2, 2, 3)),
+            intensity=i,
+            degradation=d,
+            distance=s,
+            rank=1,
+        )
+        for i, d, s in objective_triples
+    ]
+    return AttackResult(
+        image=np.zeros((2, 2, 3)),
+        clean_prediction=Prediction([BoundingBox(cl=0, x=1, y=1, l=1, w=1)]),
+        solutions=solutions,
+        detector_name=detector_name,
+    )
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_header_and_alignment(self):
+        rows = [{"name": "a", "value": 1.0}, {"name": "bb", "value": 2.5}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert len(lines) == 4
+        assert "2.5000" in text
+
+    def test_explicit_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        rows = [{"x": 1, "y": "hello"}, {"x": 2, "y": "world"}]
+        path = tmp_path / "table.csv"
+        write_csv(rows, path)
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "x,y"
+        assert content[1] == "1,hello"
+
+    def test_empty_rows_create_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv([], path)
+        assert path.read_text() == ""
+
+
+class TestObjectivesToRows:
+    def test_rows_contain_objectives(self):
+        result = _result([(0.1, 0.5, 0.3)])
+        rows = objectives_to_rows(result, label="yolo")
+        assert rows[0]["label"] == "yolo"
+        assert rows[0]["intensity"] == 0.1
+        assert rows[0]["degradation"] == 0.5
+        assert rows[0]["distance"] == 0.3
+
+    def test_label_defaults_to_detector_name(self):
+        rows = objectives_to_rows(_result([(0.1, 0.5, 0.3)], detector_name="abc"))
+        assert rows[0]["label"] == "abc"
+
+
+class TestComparisonReport:
+    def test_summary_rows(self):
+        report = ComparisonReport()
+        report.add_result("yolo", _result([(0.2, 0.9, 0.1), (0.4, 0.8, 0.2)]))
+        report.add_result("detr", _result([(0.1, 0.4, 0.3)]))
+        summary = {row["label"]: row for row in report.summary_rows()}
+        assert summary["yolo"]["solutions"] == 2
+        assert summary["yolo"]["best_degradation"] == pytest.approx(0.8)
+        assert summary["detr"]["best_degradation"] == pytest.approx(0.4)
+        assert "yolo" in report.to_text()
+
+    def test_labels_sorted(self):
+        report = ComparisonReport()
+        report.add_result("zzz", _result([(0.1, 0.5, 0.1)]))
+        report.add_result("aaa", _result([(0.1, 0.5, 0.1)]))
+        assert report.labels() == ["aaa", "zzz"]
+
+    def test_dominates_comparison_detects_dominance(self):
+        report = ComparisonReport()
+        # detr points dominate yolo points in (intensity, degradation).
+        report.add_result("yolo", _result([(0.5, 0.9, 0.0), (0.6, 0.8, 0.0)]))
+        report.add_result("detr", _result([(0.1, 0.3, 0.0)]))
+        outcome = report.dominates_comparison("yolo", "detr")
+        assert outcome["first_dominated"] == 1.0
+        assert outcome["second_dominated"] == 0.0
+
+    def test_dominates_comparison_empty_label(self):
+        report = ComparisonReport()
+        report.add_result("yolo", _result([(0.5, 0.9, 0.0)]))
+        outcome = report.dominates_comparison("yolo", "missing")
+        assert outcome == {"first_dominated": 0.0, "second_dominated": 0.0}

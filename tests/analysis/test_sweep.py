@@ -1,0 +1,70 @@
+"""Tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.analysis.sweep import budget_sweep, epsilon_sweep, mutation_window_sweep
+from repro.core.config import AttackConfig
+from repro.core.regions import HalfImageRegion
+from repro.nsga.algorithm import NSGAConfig
+
+
+@pytest.fixture()
+def tiny_base_config():
+    return AttackConfig(
+        nsga=NSGAConfig(num_iterations=2, population_size=5, seed=0),
+        region=HalfImageRegion("right"),
+    )
+
+
+EXPECTED_KEYS = {
+    "front_size",
+    "best_degradation",
+    "mean_intensity",
+    "best_distance",
+    "hypervolume",
+}
+
+
+class TestEpsilonSweep:
+    def test_one_row_per_epsilon(self, yolo_detector, small_dataset, tiny_base_config):
+        rows = epsilon_sweep(
+            yolo_detector, small_dataset[0].image, epsilons=(0.0, 4.0), base_config=tiny_base_config
+        )
+        assert len(rows) == 2
+        assert [row["epsilon"] for row in rows] == [0.0, 4.0]
+        assert EXPECTED_KEYS <= set(rows[0])
+
+    def test_statistics_bounded(self, yolo_detector, small_dataset, tiny_base_config):
+        rows = epsilon_sweep(
+            yolo_detector, small_dataset[0].image, epsilons=(2.0,), base_config=tiny_base_config
+        )
+        row = rows[0]
+        assert 0.0 <= row["best_degradation"] <= 1.0 + 1e-9
+        assert row["front_size"] >= 1
+
+
+class TestMutationWindowSweep:
+    def test_rows_and_keys(self, yolo_detector, small_dataset, tiny_base_config):
+        rows = mutation_window_sweep(
+            yolo_detector,
+            small_dataset[0].image,
+            window_fractions=(0.005, 0.05),
+            base_config=tiny_base_config,
+        )
+        assert [row["window_fraction"] for row in rows] == [0.005, 0.05]
+        assert EXPECTED_KEYS <= set(rows[0])
+
+
+class TestBudgetSweep:
+    def test_evaluation_counts_increase_with_budget(
+        self, yolo_detector, small_dataset, tiny_base_config
+    ):
+        rows = budget_sweep(
+            yolo_detector,
+            small_dataset[0].image,
+            budgets=((1, 4), (2, 6)),
+            base_config=tiny_base_config,
+        )
+        assert len(rows) == 2
+        assert rows[1]["evaluations"] > rows[0]["evaluations"]
+        assert rows[0]["iterations"] == 1.0 and rows[0]["population"] == 4.0

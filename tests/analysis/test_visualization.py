@@ -1,0 +1,93 @@
+"""Tests for ASCII rendering and PPM export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.visualization import (
+    mask_to_ascii,
+    overlay_boxes,
+    prediction_to_ascii,
+    save_ppm,
+    side_by_side,
+)
+from repro.detection.boxes import BoundingBox
+from repro.detection.prediction import Prediction
+
+
+class TestPredictionToAscii:
+    def test_canvas_dimensions(self):
+        text = prediction_to_ascii(Prediction.empty(), 96, 320, columns=40, rows=10)
+        lines = text.splitlines()
+        # 10 canvas rows plus the legend line.
+        assert len(lines) == 11
+        assert all(len(line) == 40 for line in lines[:10])
+
+    def test_box_glyph_drawn(self):
+        prediction = Prediction([BoundingBox(cl=0, x=48, y=80, l=30, w=60)])
+        text = prediction_to_ascii(prediction, 96, 320)
+        assert "C" in text
+
+    def test_midline_marker_present(self):
+        text = prediction_to_ascii(Prediction.empty(), 96, 320, columns=40, rows=10)
+        assert "|" in text.splitlines()[0]
+
+    def test_left_object_drawn_left_of_midline(self):
+        prediction = Prediction([BoundingBox(cl=1, x=48, y=40, l=20, w=30)])
+        text = prediction_to_ascii(prediction, 96, 320, columns=40, rows=10)
+        for line in text.splitlines()[:10]:
+            if "P" in line:
+                assert line.index("P") < 20
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            prediction_to_ascii(Prediction.empty(), 96, 320, columns=2, rows=2)
+
+
+class TestMaskToAscii:
+    def test_zero_mask_renders_blank(self):
+        text = mask_to_ascii(np.zeros((32, 64, 3)), columns=20, rows=5)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_strong_region_renders_dense_glyphs(self):
+        mask = np.zeros((32, 64, 3))
+        mask[:, 48:, :] = 255.0
+        text = mask_to_ascii(mask, columns=20, rows=5)
+        assert "@" in text
+
+    def test_accepts_2d_mask(self):
+        text = mask_to_ascii(np.ones((16, 16)), columns=8, rows=4)
+        assert len(text.splitlines()) == 4
+
+
+class TestSideBySide:
+    def test_blocks_joined_line_by_line(self):
+        combined = side_by_side("ab\ncd", "XY\nZW", gap=2)
+        lines = combined.splitlines()
+        assert lines[0] == "ab  XY"
+        assert lines[1] == "cd  ZW"
+
+    def test_uneven_heights(self):
+        combined = side_by_side("ab", "XY\nZW")
+        assert len(combined.splitlines()) == 2
+
+
+class TestImageExport:
+    def test_save_ppm_writes_header_and_payload(self, tmp_path):
+        image = np.zeros((4, 6, 3))
+        image[..., 0] = 255.0
+        path = save_ppm(image, tmp_path / "out.ppm")
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n6 4\n255\n")
+        assert len(data) == len(b"P6\n6 4\n255\n") + 4 * 6 * 3
+
+    def test_save_ppm_rejects_non_rgb(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_ppm(np.zeros((4, 6)), tmp_path / "out.ppm")
+
+    def test_overlay_boxes_draws_outline(self):
+        image = np.zeros((20, 20, 3))
+        prediction = Prediction([BoundingBox(cl=0, x=10, y=10, l=8, w=8)])
+        overlaid = overlay_boxes(image, prediction, color=(255, 0, 0))
+        assert overlaid[6, 10, 0] == 255.0  # top edge
+        assert overlaid[10, 10, 0] == 0.0  # interior untouched
+        assert np.allclose(image, 0.0)  # original unchanged

@@ -1,0 +1,57 @@
+"""Tests for the finite-difference baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.finite_difference import (
+    FiniteDifferenceAttack,
+    FiniteDifferenceConfig,
+)
+from repro.core.regions import HalfImageRegion
+
+
+class TestFiniteDifferenceConfig:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteDifferenceConfig(block=0)
+        with pytest.raises(ValueError):
+            FiniteDifferenceConfig(num_steps=0)
+
+
+class TestFiniteDifferenceAttack:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        detector = request.getfixturevalue("detr_detector")
+        dataset = request.getfixturevalue("small_dataset")
+        config = FiniteDifferenceConfig(block=16, num_steps=1, linf_bound=48.0)
+        attack = FiniteDifferenceAttack(
+            detector, config, region=HalfImageRegion("right")
+        )
+        return attack.attack(dataset[0].image), dataset[0].image
+
+    def test_mask_respects_bound_and_region(self, result):
+        attack_result, image = result
+        assert attack_result.best_mask.linf_norm <= 48.0 + 1e-9
+        middle = image.shape[1] // 2
+        assert np.allclose(attack_result.best_mask.values[:, :middle, :], 0.0)
+
+    def test_sensitivity_map_shape(self, result):
+        attack_result, image = result
+        rows, cols = image.shape[0] // 16, image.shape[1] // 16
+        assert attack_result.sensitivity_map.shape == (rows, cols)
+
+    def test_degradation_range(self, result):
+        attack_result, _ = result
+        assert 0.0 <= attack_result.best_degradation <= 1.0 + 1e-9
+
+    def test_evaluations_counted(self, result):
+        attack_result, image = result
+        # At least one evaluation per probed block plus the base/final passes.
+        assert attack_result.num_evaluations > (image.shape[1] // 16)
+
+    def test_full_region_probes_every_block(self, yolo_detector, small_dataset):
+        config = FiniteDifferenceConfig(block=32, num_steps=1)
+        attack = FiniteDifferenceAttack(yolo_detector, config)
+        result = attack.attack(small_dataset[0].image)
+        assert result.sensitivity_map is not None
+        assert result.best_mask.values.shape == small_dataset[0].image.shape

@@ -1,0 +1,72 @@
+"""Tests for the GenAttack-style single-objective baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.genattack import GenAttackBaseline, GenAttackConfig
+from repro.core.regions import HalfImageRegion
+
+
+class TestGenAttackConfig:
+    def test_defaults_valid(self):
+        config = GenAttackConfig()
+        assert config.population_size >= 2
+        assert config.linf_bound > 0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            GenAttackConfig(population_size=1)
+        with pytest.raises(ValueError):
+            GenAttackConfig(linf_bound=0.0)
+        with pytest.raises(ValueError):
+            GenAttackConfig(elite_fraction=0.0)
+
+
+class TestGenAttackBaseline:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        detector = request.getfixturevalue("detr_detector")
+        dataset = request.getfixturevalue("small_dataset")
+        config = GenAttackConfig(
+            population_size=6, num_iterations=3, linf_bound=32.0, seed=0
+        )
+        attack = GenAttackBaseline(detector, config, region=HalfImageRegion("right"))
+        return attack.attack(dataset[0].image), dataset[0].image
+
+    def test_mask_respects_linf_bound(self, result):
+        attack_result, _ = result
+        assert attack_result.best_mask.linf_norm <= 32.0 + 1e-9
+
+    def test_mask_respects_region(self, result):
+        attack_result, image = result
+        middle = image.shape[1] // 2
+        assert np.allclose(attack_result.best_mask.values[:, :middle, :], 0.0)
+
+    def test_degradation_in_valid_range(self, result):
+        attack_result, _ = result
+        assert 0.0 <= attack_result.best_degradation <= 1.0 + 1e-9
+
+    def test_history_tracks_best_fitness(self, result):
+        attack_result, _ = result
+        # Initial entry plus one per iteration; elitism keeps it non-increasing.
+        assert len(attack_result.history) == 4
+        assert all(
+            later <= earlier + 1e-9
+            for earlier, later in zip(attack_result.history, attack_result.history[1:])
+        )
+
+    def test_evaluation_budget(self, result):
+        attack_result, _ = result
+        assert attack_result.num_evaluations == 6 + 3 * 6
+
+    def test_clean_prediction_available(self, result):
+        attack_result, _ = result
+        assert attack_result.clean_prediction.num_valid >= 1
+
+    def test_reproducible_given_seed(self, yolo_detector, small_dataset):
+        config = GenAttackConfig(population_size=4, num_iterations=2, seed=7)
+        image = small_dataset[1].image
+        first = GenAttackBaseline(yolo_detector, config).attack(image)
+        second = GenAttackBaseline(yolo_detector, config).attack(image)
+        assert first.best_degradation == pytest.approx(second.best_degradation)
+        assert np.allclose(first.best_mask.values, second.best_mask.values)

@@ -1,0 +1,73 @@
+"""Tests for the random-noise baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_noise import RandomNoiseAttack
+from repro.core.regions import HalfImageRegion
+
+
+class TestRandomNoiseAttack:
+    def test_invalid_noise_type_rejected(self, yolo_detector):
+        with pytest.raises(ValueError):
+            RandomNoiseAttack(yolo_detector, noise_type="speckle")
+
+    def test_invalid_trial_count_rejected(self, yolo_detector, small_dataset):
+        attack = RandomNoiseAttack(yolo_detector)
+        with pytest.raises(ValueError):
+            attack.evaluate(small_dataset[0].image, trials_per_sigma=0)
+
+    def test_one_result_per_sigma(self, yolo_detector, small_dataset):
+        attack = RandomNoiseAttack(yolo_detector, seed=0)
+        results = attack.evaluate(
+            small_dataset[0].image, sigmas=(4.0, 16.0), trials_per_sigma=2
+        )
+        assert [r.sigma for r in results] == [4.0, 16.0]
+        assert all(r.num_trials == 2 for r in results)
+
+    def test_degradation_values_in_range(self, detr_detector, small_dataset):
+        attack = RandomNoiseAttack(detr_detector, seed=0)
+        results = attack.evaluate(
+            small_dataset[0].image, sigmas=(8.0,), trials_per_sigma=2
+        )
+        for level in results:
+            assert 0.0 <= level.min_degradation <= level.mean_degradation <= 1.0 + 1e-9
+
+    def test_intensity_grows_with_sigma(self, yolo_detector, small_dataset):
+        attack = RandomNoiseAttack(yolo_detector, seed=0)
+        weak, strong = attack.evaluate(
+            small_dataset[0].image, sigmas=(4.0, 64.0), trials_per_sigma=2
+        )
+        assert strong.mean_intensity > weak.mean_intensity
+
+    def test_region_restriction_respected(self, yolo_detector, small_dataset):
+        # With a right-half region and a single-stage (local) detector whose
+        # objects are all on the left, even strong noise barely degrades.
+        attack = RandomNoiseAttack(
+            yolo_detector, region=HalfImageRegion("right"), seed=0
+        )
+        results = attack.evaluate(
+            small_dataset[0].image, sigmas=(64.0,), trials_per_sigma=2
+        )
+        assert results[0].mean_degradation > 0.7
+
+    def test_salt_and_pepper_mode(self, yolo_detector, small_dataset):
+        attack = RandomNoiseAttack(yolo_detector, noise_type="salt_and_pepper", seed=0)
+        results = attack.evaluate(
+            small_dataset[0].image, sigmas=(1.0,), trials_per_sigma=1
+        )
+        assert len(results) == 1
+        assert results[0].mean_intensity > 0.0
+
+    def test_as_row(self, yolo_detector, small_dataset):
+        attack = RandomNoiseAttack(yolo_detector, seed=0)
+        row = attack.evaluate(
+            small_dataset[0].image, sigmas=(8.0,), trials_per_sigma=1
+        )[0].as_row()
+        assert set(row) == {
+            "sigma",
+            "mean_degradation",
+            "min_degradation",
+            "mean_intensity",
+            "num_trials",
+        }

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.command == "attack"
+        assert args.detector == "detr"
+        assert args.region == "right"
+        assert args.paper_budget is False
+
+    def test_compare_arguments(self):
+        args = build_parser().parse_args(["compare", "--models", "3", "--images", "2"])
+        assert args.models == 3
+        assert args.images == 2
+
+    def test_figures_choices(self):
+        args = build_parser().parse_args(["figures", "fig1"])
+        assert args.name == "fig1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "fig9"])
+
+    def test_table_choices(self):
+        assert build_parser().parse_args(["table", "1"]).name == "1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "3"])
+
+
+class TestCommands:
+    def test_table_1(self, capsys):
+        assert main(["table", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "# models generated" in output
+        assert "16" in output
+
+    def test_table_2(self, capsys):
+        assert main(["table", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Population size" in output
+        assert "101" in output
+
+    def test_attack_command_runs_and_saves(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "attack",
+                "--detector",
+                "yolo",
+                "--iterations",
+                "1",
+                "--population",
+                "4",
+                "--output",
+                str(tmp_path / "run"),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "single_stage-seed1" in output
+        assert "obj_degrad" in output
+        assert (tmp_path / "run" / "meta.json").exists()
+        assert (tmp_path / "run" / "arrays.npz").exists()

@@ -1,0 +1,36 @@
+"""Tests for attack configuration."""
+
+from repro.core.config import AttackConfig
+from repro.core.regions import FullImageRegion, HalfImageRegion
+
+
+class TestAttackConfig:
+    def test_defaults(self):
+        config = AttackConfig()
+        assert isinstance(config.region, FullImageRegion)
+        assert config.epsilon == 2.0
+        assert config.round_masks is True
+
+    def test_paper_defaults_match_table_ii(self):
+        config = AttackConfig.paper_defaults(region=HalfImageRegion("right"), seed=5)
+        assert config.nsga.num_iterations == 100
+        assert config.nsga.population_size == 101
+        assert config.nsga.crossover_probability == 0.5
+        assert config.nsga.mutation.probability == 0.45
+        assert config.nsga.mutation.window_fraction == 0.01
+        assert config.nsga.seed == 5
+        assert isinstance(config.region, HalfImageRegion)
+
+    def test_fast_config_reduces_budget_only(self):
+        fast = AttackConfig.fast(num_iterations=5, population_size=10)
+        paper = AttackConfig.paper_defaults()
+        assert fast.nsga.num_iterations == 5
+        assert fast.nsga.population_size == 10
+        # The evolutionary operators stay at the paper's values.
+        assert fast.nsga.crossover_probability == paper.nsga.crossover_probability
+        assert fast.nsga.mutation.probability == paper.nsga.mutation.probability
+        assert fast.nsga.mutation.window_fraction == paper.nsga.mutation.window_fraction
+
+    def test_fast_config_accepts_region(self):
+        config = AttackConfig.fast(region=HalfImageRegion("left"))
+        assert config.region.half == "left"

@@ -1,0 +1,89 @@
+"""Tests for filter masks."""
+
+import numpy as np
+import pytest
+
+from repro.core.masks import MAX_PERTURBATION, FilterMask, apply_mask
+
+
+class TestApplyMask:
+    def test_addition_and_clipping(self):
+        image = np.full((4, 4, 3), 250.0)
+        mask = np.full((4, 4, 3), 20.0)
+        perturbed = apply_mask(image, mask)
+        assert np.allclose(perturbed, 255.0)
+
+    def test_negative_perturbation_clipped_at_zero(self):
+        image = np.full((4, 4, 3), 5.0)
+        mask = np.full((4, 4, 3), -20.0)
+        assert np.allclose(apply_mask(image, mask), 0.0)
+
+    def test_zero_mask_is_identity(self):
+        image = np.random.default_rng(0).uniform(0, 255, size=(4, 4, 3))
+        assert np.allclose(apply_mask(image, np.zeros_like(image)), image)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            apply_mask(np.zeros((4, 4, 3)), np.zeros((4, 5, 3)))
+
+    def test_original_image_unchanged(self):
+        image = np.full((4, 4, 3), 100.0)
+        apply_mask(image, np.full((4, 4, 3), 10.0))
+        assert np.allclose(image, 100.0)
+
+
+class TestFilterMask:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            FilterMask(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            FilterMask(np.zeros((4, 4, 4)))
+
+    def test_norms(self):
+        values = np.zeros((2, 2, 3))
+        values[0, 0] = [3.0, -4.0, 0.0]
+        mask = FilterMask(values)
+        assert mask.l1_norm == pytest.approx(7.0)
+        assert mask.l2_norm == pytest.approx(5.0)
+        assert mask.linf_norm == pytest.approx(4.0)
+
+    def test_per_pixel_max(self):
+        values = np.zeros((2, 2, 3))
+        values[0, 0] = [1.0, -5.0, 2.0]
+        values[1, 1] = [0.0, 0.0, 3.0]
+        mask = FilterMask(values)
+        per_pixel = mask.per_pixel_max
+        assert per_pixel.shape == (2, 2)
+        assert per_pixel[0, 0] == 5.0
+        assert per_pixel[1, 1] == 3.0
+        assert per_pixel[0, 1] == 0.0
+
+    def test_perturbed_pixel_count_and_is_zero(self):
+        mask = FilterMask.zeros((3, 3, 3))
+        assert mask.is_zero
+        assert mask.perturbed_pixel_count == 0
+        values = mask.values.copy()
+        values[1, 1, 0] = 1.0
+        non_zero = FilterMask(values)
+        assert not non_zero.is_zero
+        assert non_zero.perturbed_pixel_count == 1
+
+    def test_apply(self):
+        image = np.full((2, 2, 3), 100.0)
+        mask = FilterMask(np.full((2, 2, 3), 50.0))
+        assert np.allclose(mask.apply(image), 150.0)
+
+    def test_clipped(self):
+        mask = FilterMask(np.full((2, 2, 3), 400.0))
+        assert mask.clipped().values.max() == MAX_PERTURBATION
+        assert mask.clipped(10.0).values.max() == 10.0
+
+    def test_rounded(self):
+        mask = FilterMask(np.full((2, 2, 3), 1.6))
+        assert np.allclose(mask.rounded().values, 2.0)
+
+    def test_random_gaussian_reproducible(self):
+        a = FilterMask.random_gaussian((4, 4, 3), sigma=10.0, rng=7)
+        b = FilterMask.random_gaussian((4, 4, 3), sigma=10.0, rng=7)
+        assert np.allclose(a.values, b.values)
+        assert np.abs(a.values).max() <= MAX_PERTURBATION

@@ -1,0 +1,97 @@
+"""Tests for perturbation region constraints."""
+
+import numpy as np
+import pytest
+
+from repro.core.regions import (
+    FullImageRegion,
+    HalfImageRegion,
+    RectangleRegion,
+    region_from_name,
+)
+
+
+class TestFullImageRegion:
+    def test_everything_allowed(self):
+        region = FullImageRegion()
+        assert region.pixel_mask(10, 20).all()
+        assert region.allowed_fraction(10, 20) == 1.0
+
+    def test_project_is_identity(self):
+        region = FullImageRegion()
+        mask = np.random.default_rng(0).normal(size=(6, 8, 3))
+        assert np.allclose(region.project(mask), mask)
+
+
+class TestHalfImageRegion:
+    def test_right_half(self):
+        region = HalfImageRegion("right")
+        pixel_mask = region.pixel_mask(10, 20)
+        assert not pixel_mask[:, :10].any()
+        assert pixel_mask[:, 10:].all()
+
+    def test_left_half(self):
+        region = HalfImageRegion("left")
+        pixel_mask = region.pixel_mask(10, 20)
+        assert pixel_mask[:, :10].all()
+        assert not pixel_mask[:, 10:].any()
+
+    def test_project_zeroes_forbidden_half(self):
+        region = HalfImageRegion("right")
+        mask = np.ones((10, 20, 3))
+        projected = region.project(mask)
+        assert np.allclose(projected[:, :10], 0.0)
+        assert np.allclose(projected[:, 10:], 1.0)
+
+    def test_allowed_fraction_is_half(self):
+        region = HalfImageRegion("right")
+        assert region.allowed_fraction(10, 20) == pytest.approx(0.5)
+
+    def test_odd_width_split(self):
+        region = HalfImageRegion("right")
+        pixel_mask = region.pixel_mask(4, 9)
+        assert pixel_mask.sum() == 4 * 5
+
+    def test_invalid_half_rejected(self):
+        with pytest.raises(ValueError):
+            HalfImageRegion("top")
+
+    def test_project_does_not_modify_input(self):
+        region = HalfImageRegion("right")
+        mask = np.ones((4, 8, 3))
+        region.project(mask)
+        assert np.allclose(mask, 1.0)
+
+
+class TestRectangleRegion:
+    def test_pixel_mask(self):
+        region = RectangleRegion(2, 3, 5, 7)
+        pixel_mask = region.pixel_mask(10, 10)
+        assert pixel_mask[2:5, 3:7].all()
+        assert pixel_mask.sum() == 3 * 4
+
+    def test_rectangle_clipped_to_image(self):
+        region = RectangleRegion(5, 5, 100, 100)
+        pixel_mask = region.pixel_mask(10, 10)
+        assert pixel_mask[5:, 5:].all()
+        assert pixel_mask.sum() == 25
+
+    def test_empty_rectangle_rejected(self):
+        with pytest.raises(ValueError):
+            RectangleRegion(5, 5, 5, 10)
+
+    def test_rectangle_outside_image_allows_nothing(self):
+        region = RectangleRegion(20, 20, 30, 30)
+        assert region.pixel_mask(10, 10).sum() == 0
+
+
+class TestRegionFromName:
+    def test_known_names(self):
+        assert isinstance(region_from_name("full"), FullImageRegion)
+        assert isinstance(region_from_name("right"), HalfImageRegion)
+        assert region_from_name("LEFT").half == "left"
+        assert region_from_name("right_half").half == "right"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            region_from_name("bottom")

@@ -1,0 +1,88 @@
+"""Tests for attack results and Pareto solutions."""
+
+import numpy as np
+import pytest
+
+from repro.core.masks import FilterMask
+from repro.core.results import AttackResult, ParetoSolution
+from repro.detection.boxes import BoundingBox
+from repro.detection.prediction import Prediction
+
+
+def _solution(intensity, degradation, distance, rank=1):
+    return ParetoSolution(
+        mask=FilterMask.zeros((4, 4, 3)),
+        intensity=intensity,
+        degradation=degradation,
+        distance=distance,
+        rank=rank,
+    )
+
+
+def _result(solutions):
+    return AttackResult(
+        image=np.zeros((4, 4, 3)),
+        clean_prediction=Prediction([BoundingBox(cl=0, x=2, y=2, l=2, w=2)]),
+        solutions=solutions,
+        detector_name="test-detector",
+        num_evaluations=10,
+    )
+
+
+class TestParetoSolution:
+    def test_objectives_tuple(self):
+        solution = _solution(0.1, 0.5, 0.3)
+        assert solution.objectives == (0.1, 0.5, 0.3)
+
+    def test_is_successful(self):
+        assert _solution(0.1, 0.5, 0.3).is_successful
+        assert not _solution(0.0, 1.0, 0.0).is_successful
+
+
+class TestAttackResult:
+    def test_pareto_front_filters_rank(self):
+        result = _result([_solution(0.1, 0.5, 0.3, rank=1), _solution(0.2, 0.6, 0.1, rank=2)])
+        assert len(result.pareto_front) == 1
+
+    def test_successful_solutions(self):
+        result = _result([_solution(0.0, 1.0, 0.0), _solution(0.1, 0.4, 0.2)])
+        assert len(result.successful_solutions) == 1
+
+    def test_best_by_each_objective(self):
+        solutions = [
+            _solution(0.05, 0.9, 0.1),
+            _solution(0.5, 0.2, 0.2),
+            _solution(0.3, 0.7, 0.9),
+        ]
+        result = _result(solutions)
+        assert result.best_by("intensity") is solutions[0]
+        assert result.best_by("degradation") is solutions[1]
+        assert result.best_by("distance") is solutions[2]
+
+    def test_best_by_unknown_objective_rejected(self):
+        result = _result([_solution(0.1, 0.5, 0.3)])
+        with pytest.raises(ValueError):
+            result.best_by("speed")
+
+    def test_best_by_on_empty_result_rejected(self):
+        with pytest.raises(ValueError):
+            _result([]).best_by("intensity")
+
+    def test_objectives_array(self):
+        result = _result([_solution(0.1, 0.5, 0.3, rank=1), _solution(0.2, 0.6, 0.1, rank=2)])
+        front_only = result.objectives_array(front_only=True)
+        everything = result.objectives_array(front_only=False)
+        assert front_only.shape == (1, 3)
+        assert everything.shape == (2, 3)
+
+    def test_objectives_array_empty(self):
+        assert _result([]).objectives_array().shape == (0, 3)
+
+    def test_summary_mentions_detector_and_front(self):
+        result = _result([_solution(0.1, 0.5, 0.3)])
+        text = result.summary()
+        assert "test-detector" in text
+        assert "front=1" in text
+
+    def test_summary_empty_front(self):
+        assert "empty front" in _result([]).summary()

@@ -1,0 +1,67 @@
+"""Tests for dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import generate_dataset
+from repro.data.templates import KittiClass
+
+
+class TestGenerateDataset:
+    def test_number_of_samples(self):
+        dataset = generate_dataset(num_images=4, seed=0, image_length=48, image_width=96)
+        assert len(dataset) == 4
+
+    def test_sample_contents(self):
+        dataset = generate_dataset(num_images=2, seed=1, image_length=48, image_width=96)
+        sample = dataset[0]
+        assert sample.image.shape == (48, 96, 3)
+        assert sample.ground_truth.num_valid == len(sample.scene.objects)
+        assert sample.index == 0
+        assert dataset[1].index == 1
+
+    def test_reproducibility(self):
+        first = generate_dataset(num_images=3, seed=9, image_length=48, image_width=96)
+        second = generate_dataset(num_images=3, seed=9, image_length=48, image_width=96)
+        for a, b in zip(first, second):
+            assert np.allclose(a.image, b.image)
+
+    def test_different_seeds_differ(self):
+        first = generate_dataset(num_images=1, seed=1, image_length=48, image_width=96)
+        second = generate_dataset(num_images=1, seed=2, image_length=48, image_width=96)
+        assert not np.allclose(first[0].image, second[0].image)
+
+    def test_half_restriction_propagates(self):
+        dataset = generate_dataset(
+            num_images=3, seed=3, image_length=48, image_width=160, half="left"
+        )
+        for sample in dataset:
+            assert all(obj.y < 80 for obj in sample.scene.objects)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_dataset(num_images=-1)
+
+    def test_images_and_ground_truths_accessors(self):
+        dataset = generate_dataset(num_images=2, seed=4, image_length=48, image_width=96)
+        assert len(dataset.images) == 2
+        assert len(dataset.ground_truths) == 2
+
+    def test_subset(self):
+        dataset = generate_dataset(num_images=4, seed=5, image_length=48, image_width=96)
+        subset = dataset.subset([0, 2])
+        assert len(subset) == 2
+        assert np.allclose(subset[1].image, dataset[2].image)
+
+    def test_class_restriction(self):
+        dataset = generate_dataset(
+            num_images=2,
+            seed=6,
+            image_length=48,
+            image_width=96,
+            classes=(KittiClass.PEDESTRIAN,),
+        )
+        for sample in dataset:
+            assert all(
+                obj.class_id is KittiClass.PEDESTRIAN for obj in sample.scene.objects
+            )

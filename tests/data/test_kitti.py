@@ -1,0 +1,108 @@
+"""Tests for KITTI label-format I/O."""
+
+import pytest
+
+from repro.data.kitti import (
+    KittiLabel,
+    boxes_to_kitti_labels,
+    parse_kitti_label,
+    parse_kitti_line,
+    write_kitti_label,
+)
+from repro.data.templates import KittiClass
+from repro.detection.boxes import BoundingBox
+from repro.detection.prediction import Prediction
+
+SAMPLE_LINE = (
+    "Car 0.00 0 -1.58 587.01 173.33 614.12 200.12 1.65 1.67 3.64 -0.65 1.71 46.70 -1.59"
+)
+
+
+class TestParseLine:
+    def test_parse_sample_line(self):
+        label = parse_kitti_line(SAMPLE_LINE)
+        assert label.object_type == "Car"
+        assert label.bbox_left == pytest.approx(587.01)
+        assert label.bbox_top == pytest.approx(173.33)
+        assert label.rotation_y == pytest.approx(-1.59)
+
+    def test_parse_line_with_score(self):
+        label = parse_kitti_line(SAMPLE_LINE + " 0.87")
+        assert label.score == pytest.approx(0.87)
+
+    def test_short_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_kitti_line("Car 0.0 0 0.0")
+
+    def test_to_box_converts_corner_convention(self):
+        label = parse_kitti_line(SAMPLE_LINE)
+        box = label.to_box()
+        assert box is not None
+        assert box.cl == int(KittiClass.CAR)
+        # KITTI x = columns (our y), KITTI y = rows (our x).
+        assert box.y_min == pytest.approx(587.01)
+        assert box.x_min == pytest.approx(173.33)
+
+    def test_dontcare_maps_to_none(self):
+        line = SAMPLE_LINE.replace("Car", "DontCare")
+        assert parse_kitti_line(line).to_box() is None
+
+    def test_person_sitting_maps_to_pedestrian(self):
+        line = SAMPLE_LINE.replace("Car", "Person_sitting")
+        box = parse_kitti_line(line).to_box()
+        assert box is not None and box.cl == int(KittiClass.PEDESTRIAN)
+
+
+class TestParseLabelFile:
+    def test_parse_multi_line_string(self):
+        content = SAMPLE_LINE + "\n" + SAMPLE_LINE.replace("Car", "Cyclist") + "\n\n"
+        prediction = parse_kitti_label(content)
+        assert prediction.num_valid == 2
+        assert sorted(prediction.classes) == [int(KittiClass.CAR), int(KittiClass.CYCLIST)]
+
+    def test_unknown_types_skipped(self):
+        content = SAMPLE_LINE.replace("Car", "Tram")
+        assert parse_kitti_label(content).num_valid == 0
+
+    def test_round_trip_via_file(self, tmp_path):
+        boxes = Prediction(
+            [
+                BoundingBox(cl=int(KittiClass.CAR), x=60.0, y=100.0, l=24.0, w=40.0),
+                BoundingBox(cl=int(KittiClass.PEDESTRIAN), x=55.0, y=220.0, l=30.0, w=12.0),
+            ]
+        )
+        path = tmp_path / "000000.txt"
+        write_kitti_label(boxes, path)
+        parsed = parse_kitti_label(path)
+        assert parsed.num_valid == 2
+        for original, recovered in zip(boxes.valid_boxes, parsed.valid_boxes):
+            assert recovered.cl == original.cl
+            assert recovered.x == pytest.approx(original.x, abs=0.01)
+            assert recovered.y == pytest.approx(original.y, abs=0.01)
+            assert recovered.l == pytest.approx(original.l, abs=0.01)
+            assert recovered.w == pytest.approx(original.w, abs=0.01)
+
+
+class TestBoxesToLabels:
+    def test_background_boxes_skipped(self):
+        labels = boxes_to_kitti_labels([BoundingBox.background()])
+        assert labels == []
+
+    def test_unknown_class_becomes_dontcare(self):
+        labels = boxes_to_kitti_labels(
+            [BoundingBox(cl=17, x=10.0, y=10.0, l=5.0, w=5.0)]
+        )
+        assert labels[0].object_type == "DontCare"
+
+    def test_to_line_has_15_fields(self):
+        label = KittiLabel(
+            object_type="Car",
+            truncation=0.0,
+            occlusion=0,
+            alpha=0.0,
+            bbox_left=1.0,
+            bbox_top=2.0,
+            bbox_right=3.0,
+            bbox_bottom=4.0,
+        )
+        assert len(label.to_line().split()) == 15

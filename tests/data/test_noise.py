@@ -1,0 +1,85 @@
+"""Tests for the classic noise models."""
+
+import numpy as np
+import pytest
+
+from repro.data.noise import (
+    add_gaussian_noise,
+    add_salt_and_pepper_noise,
+    gaussian_mask,
+    salt_and_pepper_mask,
+)
+
+
+@pytest.fixture()
+def image():
+    return np.full((20, 30, 3), 128.0)
+
+
+class TestGaussianNoise:
+    def test_changes_pixels(self, image):
+        noisy = add_gaussian_noise(image, sigma=10.0, rng=0)
+        assert noisy.shape == image.shape
+        assert not np.allclose(noisy, image)
+
+    def test_zero_sigma_is_identity(self, image):
+        assert np.allclose(add_gaussian_noise(image, sigma=0.0, rng=0), image)
+
+    def test_clipping(self, image):
+        noisy = add_gaussian_noise(image, sigma=500.0, rng=0)
+        assert noisy.min() >= 0.0 and noisy.max() <= 255.0
+
+    def test_no_clipping_option(self, image):
+        noisy = add_gaussian_noise(image, sigma=500.0, rng=0, clip=False)
+        assert noisy.min() < 0.0 or noisy.max() > 255.0
+
+    def test_negative_sigma_rejected(self, image):
+        with pytest.raises(ValueError):
+            add_gaussian_noise(image, sigma=-1.0)
+
+    def test_reproducible(self, image):
+        assert np.allclose(
+            add_gaussian_noise(image, 5.0, rng=3), add_gaussian_noise(image, 5.0, rng=3)
+        )
+
+
+class TestSaltAndPepperNoise:
+    def test_fraction_of_pixels_affected(self, image):
+        noisy = add_salt_and_pepper_noise(image, amount=0.1, rng=0)
+        changed = np.any(noisy != image, axis=2).sum()
+        assert changed == int(round(0.1 * 20 * 30))
+
+    def test_salt_and_pepper_values(self, image):
+        noisy = add_salt_and_pepper_noise(image, amount=0.2, rng=0)
+        changed_values = noisy[np.any(noisy != image, axis=2)]
+        assert set(np.unique(changed_values)) <= {0.0, 255.0}
+
+    def test_zero_amount_is_identity(self, image):
+        assert np.allclose(add_salt_and_pepper_noise(image, amount=0.0), image)
+
+    def test_invalid_amount_rejected(self, image):
+        with pytest.raises(ValueError):
+            add_salt_and_pepper_noise(image, amount=1.5)
+
+
+class TestMaskGenerators:
+    def test_gaussian_mask_range(self):
+        rng = np.random.default_rng(0)
+        mask = gaussian_mask((10, 10, 3), sigma=1000.0, rng=rng, max_value=255.0)
+        assert mask.shape == (10, 10, 3)
+        assert np.abs(mask).max() <= 255.0
+
+    def test_salt_and_pepper_mask_sparsity(self):
+        rng = np.random.default_rng(0)
+        mask = salt_and_pepper_mask((20, 20, 3), amount=0.05, rng=rng)
+        affected = np.any(mask != 0, axis=2).sum()
+        assert affected == int(round(0.05 * 400))
+        assert set(np.unique(np.abs(mask[mask != 0]))) == {255.0}
+
+    def test_salt_and_pepper_mask_zero_amount(self):
+        rng = np.random.default_rng(0)
+        assert np.count_nonzero(salt_and_pepper_mask((10, 10, 3), 0.0, rng)) == 0
+
+    def test_salt_and_pepper_mask_invalid_amount(self):
+        with pytest.raises(ValueError):
+            salt_and_pepper_mask((10, 10, 3), 2.0, np.random.default_rng(0))

@@ -1,0 +1,69 @@
+"""Tests for scene rendering."""
+
+import numpy as np
+import pytest
+
+from repro.data.renderer import render_scene
+from repro.data.scene import ObjectSpec, SceneSpec, random_scene
+from repro.data.templates import KittiClass, default_template
+
+
+class TestRenderScene:
+    def test_shape_and_value_range(self):
+        scene = random_scene(5, image_length=64, image_width=160)
+        image = render_scene(scene)
+        assert image.shape == (64, 160, 3)
+        assert image.min() >= 0.0
+        assert image.max() <= 255.0
+
+    def test_deterministic_for_same_scene(self):
+        scene = random_scene(5)
+        assert np.allclose(render_scene(scene), render_scene(scene))
+
+    def test_different_background_seeds_differ(self):
+        base = SceneSpec(image_length=48, image_width=96, background_seed=1)
+        other = SceneSpec(image_length=48, image_width=96, background_seed=2)
+        assert not np.allclose(render_scene(base), render_scene(other))
+
+    def test_object_changes_pixels_at_its_location(self):
+        empty = SceneSpec(image_length=96, image_width=320, background_seed=3)
+        car = ObjectSpec(KittiClass.CAR, x=70.0, y=100.0, scale=1.5)
+        with_car = empty.with_objects([car])
+        image_empty = render_scene(empty)
+        image_car = render_scene(with_car)
+        box = car.to_box()
+        region = (
+            slice(int(box.x_min), int(box.x_max)),
+            slice(int(box.y_min), int(box.y_max)),
+        )
+        assert np.abs(image_car[region] - image_empty[region]).mean() > 10.0
+
+    def test_object_does_not_change_far_away_pixels(self):
+        empty = SceneSpec(image_length=96, image_width=320, background_seed=3)
+        car = ObjectSpec(KittiClass.CAR, x=70.0, y=60.0, scale=1.2)
+        with_car = empty.with_objects([car])
+        image_empty = render_scene(empty)
+        image_car = render_scene(with_car)
+        # The right-most quarter is far from the car on the left.
+        assert np.allclose(image_car[:, 240:], image_empty[:, 240:])
+
+    def test_sky_is_brighter_than_road(self):
+        scene = SceneSpec(image_length=96, image_width=320, background_seed=7)
+        image = render_scene(scene)
+        sky_mean = image[:20].mean()
+        road_mean = image[-20:].mean()
+        assert sky_mean > road_mean
+
+    def test_object_partially_outside_image_is_clipped(self):
+        scene = SceneSpec(
+            image_length=96,
+            image_width=320,
+            objects=[ObjectSpec(KittiClass.TRUCK, x=92.0, y=316.0, scale=2.0)],
+        )
+        image = render_scene(scene)
+        assert image.shape == (96, 320, 3)
+
+    def test_render_accepts_explicit_rng(self):
+        scene = random_scene(9)
+        image = render_scene(scene, rng=np.random.default_rng(0))
+        assert image.shape == scene.shape

@@ -1,0 +1,115 @@
+"""Tests for scene specifications and random scene generation."""
+
+import numpy as np
+import pytest
+
+from repro.data.scene import ObjectSpec, SceneSpec, random_scene
+from repro.data.templates import KittiClass
+from repro.detection.boxes import box_intersection_area
+
+
+class TestObjectSpec:
+    def test_box_matches_template_size(self):
+        spec = ObjectSpec(class_id=KittiClass.CAR, x=50.0, y=100.0, scale=2.0)
+        box = spec.to_box()
+        assert box.cl == int(KittiClass.CAR)
+        assert box.l == spec.length
+        assert box.w == spec.width
+        assert box.x == 50.0 and box.y == 100.0
+
+    def test_moved(self):
+        spec = ObjectSpec(class_id=KittiClass.CAR, x=50.0, y=100.0)
+        moved = spec.moved(5.0, -10.0)
+        assert moved.x == 55.0 and moved.y == 90.0
+        assert spec.x == 50.0  # original unchanged
+
+
+class TestSceneSpec:
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            SceneSpec(image_length=0, image_width=100)
+        with pytest.raises(ValueError):
+            SceneSpec(image_length=100, image_width=100, road_fraction=1.5)
+
+    def test_ground_truth_has_one_box_per_object(self):
+        scene = SceneSpec(
+            image_length=96,
+            image_width=320,
+            objects=[
+                ObjectSpec(KittiClass.CAR, 60, 80),
+                ObjectSpec(KittiClass.CYCLIST, 70, 200),
+            ],
+        )
+        assert scene.ground_truth().num_valid == 2
+
+    def test_objects_in_half(self):
+        scene = SceneSpec(
+            image_length=96,
+            image_width=320,
+            objects=[
+                ObjectSpec(KittiClass.CAR, 60, 80),
+                ObjectSpec(KittiClass.CYCLIST, 70, 240),
+            ],
+        )
+        assert len(scene.objects_in_half("left")) == 1
+        assert len(scene.objects_in_half("right")) == 1
+        with pytest.raises(ValueError):
+            scene.objects_in_half("top")
+
+    def test_with_objects_preserves_metadata(self):
+        scene = SceneSpec(image_length=96, image_width=320, background_seed=42)
+        updated = scene.with_objects([ObjectSpec(KittiClass.CAR, 60, 80)])
+        assert updated.background_seed == 42
+        assert len(updated.objects) == 1
+        assert len(scene.objects) == 0
+
+
+class TestRandomScene:
+    def test_reproducible_with_seed(self):
+        first = random_scene(7)
+        second = random_scene(7)
+        assert len(first.objects) == len(second.objects)
+        for a, b in zip(first.objects, second.objects):
+            assert a.class_id == b.class_id
+            assert a.x == pytest.approx(b.x)
+            assert a.y == pytest.approx(b.y)
+
+    def test_object_count_within_bounds(self):
+        scene = random_scene(3, num_objects=(2, 4))
+        assert 2 <= len(scene.objects) <= 4
+
+    def test_objects_inside_image(self):
+        scene = random_scene(11, image_length=96, image_width=320)
+        for obj in scene.objects:
+            box = obj.to_box()
+            assert box.x_min >= 0 and box.x_max <= 96
+            assert box.y_min >= 0 and box.y_max <= 320
+
+    def test_objects_do_not_overlap(self):
+        scene = random_scene(13, num_objects=(3, 4))
+        boxes = [obj.to_box() for obj in scene.objects]
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                assert box_intersection_area(boxes[i], boxes[j]) == 0.0
+
+    def test_half_restriction(self):
+        left_scene = random_scene(17, half="left")
+        assert all(obj.y < 320 / 2 for obj in left_scene.objects)
+        right_scene = random_scene(17, half="right")
+        assert all(obj.y >= 320 / 2 for obj in right_scene.objects)
+
+    def test_invalid_half_rejected(self):
+        with pytest.raises(ValueError):
+            random_scene(1, half="middle")
+
+    def test_restricted_classes(self):
+        scene = random_scene(19, classes=(KittiClass.CAR,), num_objects=(2, 3))
+        assert all(obj.class_id is KittiClass.CAR for obj in scene.objects)
+
+    def test_invalid_num_objects_rejected(self):
+        with pytest.raises(ValueError):
+            random_scene(1, num_objects=(3, 2))
+
+    def test_accepts_generator_instance(self):
+        scene = random_scene(np.random.default_rng(23))
+        assert isinstance(scene, SceneSpec)

@@ -1,0 +1,64 @@
+"""Tests for temporal scene sequences."""
+
+import numpy as np
+import pytest
+
+from repro.data.sequences import generate_sequence
+
+
+class TestGenerateSequence:
+    def test_number_of_frames(self):
+        sequence = generate_sequence(num_frames=4, seed=0, image_length=48, image_width=96)
+        assert len(sequence) == 4
+        assert len(sequence.scenes) == 4
+
+    def test_invalid_frame_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_sequence(num_frames=0)
+
+    def test_frames_have_consistent_shape(self):
+        sequence = generate_sequence(num_frames=3, seed=1, image_length=48, image_width=96)
+        shapes = {frame.shape for frame in sequence}
+        assert shapes == {(48, 96, 3)}
+
+    def test_objects_move_between_frames(self):
+        sequence = generate_sequence(
+            num_frames=3, seed=2, image_length=64, image_width=160, max_speed=6.0
+        )
+        first = sequence.scenes[0].objects
+        last = sequence.scenes[-1].objects
+        assert len(first) == len(last)
+        moved = any(
+            abs(a.x - b.x) > 1e-6 or abs(a.y - b.y) > 1e-6 for a, b in zip(first, last)
+        )
+        assert moved
+
+    def test_object_count_constant_across_frames(self):
+        sequence = generate_sequence(num_frames=5, seed=3, image_length=48, image_width=96)
+        counts = {len(scene.objects) for scene in sequence.scenes}
+        assert len(counts) == 1
+
+    def test_objects_stay_inside_image(self):
+        sequence = generate_sequence(
+            num_frames=6, seed=4, image_length=48, image_width=96, max_speed=20.0
+        )
+        for scene in sequence.scenes:
+            for obj in scene.objects:
+                box = obj.to_box()
+                assert box.x_min >= -1e-6 and box.x_max <= 48 + 1e-6
+                assert box.y_min >= -1e-6 and box.y_max <= 96 + 1e-6
+
+    def test_ground_truth_accessors(self):
+        sequence = generate_sequence(num_frames=2, seed=5, image_length=48, image_width=96)
+        assert sequence.ground_truth(0).num_valid == len(sequence.scenes[0].objects)
+        assert len(sequence.ground_truths) == 2
+
+    def test_frame_accessor_matches_iteration(self):
+        sequence = generate_sequence(num_frames=3, seed=6, image_length=48, image_width=96)
+        assert np.allclose(sequence.frame(1), list(sequence)[1])
+
+    def test_reproducibility(self):
+        a = generate_sequence(num_frames=3, seed=7, image_length=48, image_width=96)
+        b = generate_sequence(num_frames=3, seed=7, image_length=48, image_width=96)
+        for frame_a, frame_b in zip(a, b):
+            assert np.allclose(frame_a, frame_b)

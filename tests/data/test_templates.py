@@ -1,0 +1,74 @@
+"""Tests for object templates."""
+
+import numpy as np
+import pytest
+
+from repro.data.templates import (
+    CLASS_NAMES,
+    KittiClass,
+    ObjectTemplate,
+    default_template,
+    template_bank,
+)
+
+
+class TestTemplateBank:
+    def test_every_class_has_a_template(self):
+        bank = template_bank()
+        assert set(bank.keys()) == set(KittiClass)
+
+    def test_class_names_align_with_enum(self):
+        assert len(CLASS_NAMES) == len(KittiClass)
+        assert CLASS_NAMES[KittiClass.CAR] == "Car"
+        assert CLASS_NAMES[KittiClass.PEDESTRIAN] == "Pedestrian"
+
+    def test_default_template_accepts_int(self):
+        assert default_template(0).class_id is KittiClass.CAR
+        assert default_template(KittiClass.CYCLIST).class_id is KittiClass.CYCLIST
+
+    def test_templates_have_positive_sizes(self):
+        for template in template_bank().values():
+            assert template.nominal_length > 0
+            assert template.nominal_width > 0
+
+
+class TestRenderPatch:
+    @pytest.mark.parametrize("class_id", list(KittiClass))
+    def test_patch_shape_and_range(self, class_id):
+        template = default_template(class_id)
+        patch = template.render_patch(20, 30)
+        assert patch.shape == (20, 30, 3)
+        assert patch.min() >= 0.0
+        assert patch.max() <= 255.0
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            default_template(KittiClass.CAR).render_patch(0, 10)
+
+    def test_rng_jitter_changes_pixels_not_shape(self):
+        template = default_template(KittiClass.CAR)
+        base = template.render_patch(16, 16)
+        jittered = template.render_patch(16, 16, rng=np.random.default_rng(0))
+        assert base.shape == jittered.shape
+        assert not np.allclose(base, jittered)
+
+    def test_unknown_texture_rejected(self):
+        template = ObjectTemplate(
+            class_id=KittiClass.CAR,
+            base_color=(1, 2, 3),
+            accent_color=(4, 5, 6),
+            nominal_length=10,
+            nominal_width=10,
+            texture="sparkles",
+        )
+        with pytest.raises(ValueError):
+            template.render_patch(8, 8)
+
+    def test_distinct_classes_render_distinct_patches(self):
+        car = default_template(KittiClass.CAR).render_patch(16, 16)
+        pedestrian = default_template(KittiClass.PEDESTRIAN).render_patch(16, 16)
+        assert np.abs(car - pedestrian).mean() > 10.0
+
+    def test_textures_cover_all_branches(self):
+        textures = {t.texture for t in template_bank().values()}
+        assert {"solid", "stripes", "checker", "gradient"} <= textures

@@ -1,0 +1,66 @@
+"""Tests for the noise-augmentation defence."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import generate_dataset
+from repro.defenses.augmentation import NoiseAugmentationConfig, noise_augmented_detector
+from repro.detection.metrics import precision_recall
+from repro.detectors.zoo import build_detector
+
+from tests.conftest import SMALL_LENGTH, SMALL_WIDTH
+
+
+class TestNoiseAugmentationConfig:
+    def test_defaults_valid(self):
+        config = NoiseAugmentationConfig()
+        assert config.gaussian_sigma >= 0
+        assert config.augmented_copies >= 1
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseAugmentationConfig(gaussian_sigma=-1.0)
+        with pytest.raises(ValueError):
+            NoiseAugmentationConfig(salt_and_pepper_amount=1.5)
+        with pytest.raises(ValueError):
+            NoiseAugmentationConfig(augmented_copies=0)
+
+
+class TestNoiseAugmentedDetector:
+    @pytest.fixture(scope="class")
+    def defended(self, request):
+        training = request.getfixturevalue("small_training_config")
+        detector = build_detector("yolo", seed=4, training=training)
+        return noise_augmented_detector(
+            detector,
+            training=training,
+            augmentation=NoiseAugmentationConfig(augmented_copies=1),
+        )
+
+    def test_prototypes_replaced(self, defended, small_training_config):
+        baseline = build_detector("yolo", seed=4, training=small_training_config)
+        assert not np.allclose(
+            defended.prototypes.class_prototypes,
+            baseline.prototypes.class_prototypes,
+        )
+
+    def test_clean_accuracy_preserved(self, defended):
+        dataset = generate_dataset(
+            num_images=3,
+            seed=29,
+            image_length=SMALL_LENGTH,
+            image_width=SMALL_WIDTH,
+            num_objects=(2, 3),
+        )
+        recalls = []
+        for sample in dataset:
+            _, recall = precision_recall(
+                defended.predict(sample.image), sample.ground_truth, iou_threshold=0.3
+            )
+            recalls.append(recall)
+        assert np.mean(recalls) >= 0.5
+
+    def test_prototype_bank_shape_unchanged(self, defended, small_training_config):
+        assert defended.prototypes.num_classes == len(small_training_config.classes)
+        assert defended.prototypes.feature_dim == 7
+        assert defended.prototypes.temperature > 0

@@ -1,0 +1,69 @@
+"""Tests for defence evaluation against the butterfly attack."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AttackConfig
+from repro.core.regions import HalfImageRegion
+from repro.defenses.augmentation import NoiseAugmentationConfig, noise_augmented_detector
+from repro.defenses.evaluation import (
+    DefenseEvaluation,
+    ensemble_defense_evaluation,
+    evaluate_defense,
+)
+from repro.detectors.ensemble import DetectorEnsemble
+from repro.detectors.zoo import build_detector
+from repro.nsga.algorithm import NSGAConfig
+
+
+@pytest.fixture()
+def tiny_config():
+    return AttackConfig(
+        nsga=NSGAConfig(num_iterations=3, population_size=6, seed=0),
+        region=HalfImageRegion("right"),
+    )
+
+
+class TestEvaluateDefense:
+    def test_noise_augmentation_defense_evaluation(
+        self, detr_detector, small_dataset, small_training_config, tiny_config
+    ):
+        defended = noise_augmented_detector(
+            build_detector("detr", seed=1, training=small_training_config),
+            training=small_training_config,
+            augmentation=NoiseAugmentationConfig(augmented_copies=1),
+        )
+        sample = small_dataset[0]
+        evaluation = evaluate_defense(
+            undefended=detr_detector,
+            defended=defended,
+            image=sample.image,
+            ground_truth=sample.ground_truth,
+            attack_config=tiny_config,
+        )
+        assert isinstance(evaluation, DefenseEvaluation)
+        assert 0.0 <= evaluation.undefended_best_degradation <= 1.0 + 1e-9
+        assert 0.0 <= evaluation.defended_best_degradation <= 1.0 + 1e-9
+        assert 0.0 <= evaluation.clean_recall_defended <= 1.0
+        rows = evaluation.summary_rows()
+        assert {row["detector"] for row in rows} == {"undefended", "defended"}
+        # robustness_gain is simply the difference of the two degradations.
+        assert evaluation.robustness_gain == pytest.approx(
+            evaluation.defended_best_degradation
+            - evaluation.undefended_best_degradation
+        )
+
+
+class TestEnsembleDefense:
+    def test_ensemble_defense_evaluation(
+        self, yolo_detector, detr_detector, small_dataset, tiny_config
+    ):
+        ensemble = DetectorEnsemble([yolo_detector, detr_detector])
+        evaluation = ensemble_defense_evaluation(
+            ensemble, small_dataset[0].image, attack_config=tiny_config
+        )
+        assert len(evaluation.member_degradations) == 2
+        assert all(0.0 <= value <= 1.0 + 1e-9 for value in evaluation.member_degradations)
+        assert 0.0 <= evaluation.fused_degradation <= 1.0 + 1e-9
+        assert isinstance(evaluation.fusion_helps, bool)
+        assert evaluation.attack_result.pareto_front

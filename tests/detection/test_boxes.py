@@ -1,0 +1,150 @@
+"""Tests for bounding boxes, IoU and geometric helpers."""
+
+import math
+
+import pytest
+
+from repro.detection.boxes import (
+    BACKGROUND_CLASS,
+    BoundingBox,
+    box_area,
+    box_intersection_area,
+    box_union_area,
+    boxes_overlap,
+    clip_box_to_image,
+    iou,
+)
+
+
+class TestBoundingBoxBasics:
+    def test_corner_properties(self):
+        box = BoundingBox(cl=0, x=10.0, y=20.0, l=4.0, w=6.0)
+        assert box.x_min == 8.0
+        assert box.x_max == 12.0
+        assert box.y_min == 17.0
+        assert box.y_max == 23.0
+        assert box.corners == (8.0, 17.0, 12.0, 23.0)
+
+    def test_area(self):
+        box = BoundingBox(cl=0, x=0.0, y=0.0, l=3.0, w=5.0)
+        assert box.area == 15.0
+        assert box_area(box) == 15.0
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(cl=0, x=0.0, y=0.0, l=-1.0, w=2.0)
+        with pytest.raises(ValueError):
+            BoundingBox(cl=0, x=0.0, y=0.0, l=1.0, w=-2.0)
+
+    def test_background_box_is_not_valid(self):
+        assert not BoundingBox.background().is_valid
+        assert BoundingBox(cl=BACKGROUND_CLASS, x=0, y=0, l=1, w=1).is_valid is False
+        assert BoundingBox(cl=2, x=0, y=0, l=1, w=1).is_valid
+
+    def test_from_corners_round_trip(self):
+        box = BoundingBox.from_corners(1, 2.0, 3.0, 10.0, 9.0, score=0.5)
+        assert box.cl == 1
+        assert box.x == pytest.approx(6.0)
+        assert box.y == pytest.approx(6.0)
+        assert box.l == pytest.approx(8.0)
+        assert box.w == pytest.approx(6.0)
+        assert box.score == 0.5
+
+    def test_from_corners_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_corners(0, 5.0, 0.0, 1.0, 1.0)
+
+    def test_contains_point_with_buffer(self):
+        box = BoundingBox(cl=0, x=10.0, y=10.0, l=4.0, w=4.0)
+        assert box.contains_point(10.0, 10.0)
+        assert box.contains_point(12.0, 12.0)
+        assert not box.contains_point(13.0, 10.0)
+        assert box.contains_point(13.0, 10.0, buffer=1.5)
+
+    def test_center_distance(self):
+        a = BoundingBox(cl=0, x=0.0, y=0.0, l=1.0, w=1.0)
+        b = BoundingBox(cl=0, x=3.0, y=4.0, l=1.0, w=1.0)
+        assert a.center_distance(b) == pytest.approx(5.0)
+
+    def test_with_class_and_score(self):
+        box = BoundingBox(cl=0, x=1.0, y=2.0, l=3.0, w=4.0, score=0.9)
+        assert box.with_class(2).cl == 2
+        assert box.with_score(0.1).score == 0.1
+        # original unchanged (frozen dataclass)
+        assert box.cl == 0 and box.score == 0.9
+
+    def test_scaled_and_translated(self):
+        box = BoundingBox(cl=0, x=10.0, y=10.0, l=4.0, w=8.0)
+        scaled = box.scaled(0.5)
+        assert scaled.l == 2.0 and scaled.w == 4.0
+        moved = box.translated(1.0, -2.0)
+        assert moved.x == 11.0 and moved.y == 8.0
+        with pytest.raises(ValueError):
+            box.scaled(-1.0)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        box = BoundingBox(cl=0, x=10.0, y=10.0, l=6.0, w=6.0)
+        assert iou(box, box) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        a = BoundingBox(cl=0, x=0.0, y=0.0, l=2.0, w=2.0)
+        b = BoundingBox(cl=0, x=10.0, y=10.0, l=2.0, w=2.0)
+        assert iou(a, b) == 0.0
+        assert not boxes_overlap(a, b)
+
+    def test_half_overlap(self):
+        a = BoundingBox.from_corners(0, 0.0, 0.0, 2.0, 2.0)
+        b = BoundingBox.from_corners(0, 0.0, 1.0, 2.0, 3.0)
+        # Intersection area 2, union 6.
+        assert iou(a, b) == pytest.approx(2.0 / 6.0)
+
+    def test_contained_box(self):
+        outer = BoundingBox.from_corners(0, 0.0, 0.0, 10.0, 10.0)
+        inner = BoundingBox.from_corners(0, 2.0, 2.0, 4.0, 4.0)
+        assert iou(outer, inner) == pytest.approx(4.0 / 100.0)
+
+    def test_iou_is_symmetric(self):
+        a = BoundingBox.from_corners(0, 0.0, 0.0, 5.0, 4.0)
+        b = BoundingBox.from_corners(0, 2.0, 1.0, 7.0, 6.0)
+        assert iou(a, b) == pytest.approx(iou(b, a))
+
+    def test_zero_area_boxes(self):
+        a = BoundingBox(cl=0, x=1.0, y=1.0, l=0.0, w=0.0)
+        b = BoundingBox(cl=0, x=1.0, y=1.0, l=0.0, w=0.0)
+        assert iou(a, b) == 0.0
+
+    def test_touching_boxes_have_zero_iou(self):
+        a = BoundingBox.from_corners(0, 0.0, 0.0, 2.0, 2.0)
+        b = BoundingBox.from_corners(0, 0.0, 2.0, 2.0, 4.0)
+        assert iou(a, b) == 0.0
+
+
+class TestAreasAndClipping:
+    def test_intersection_and_union_areas(self):
+        a = BoundingBox.from_corners(0, 0.0, 0.0, 4.0, 4.0)
+        b = BoundingBox.from_corners(0, 2.0, 2.0, 6.0, 6.0)
+        assert box_intersection_area(a, b) == pytest.approx(4.0)
+        assert box_union_area(a, b) == pytest.approx(16.0 + 16.0 - 4.0)
+
+    def test_clip_inside_image_is_identity(self):
+        box = BoundingBox.from_corners(0, 5.0, 5.0, 10.0, 10.0)
+        clipped = clip_box_to_image(box, 20, 20)
+        assert clipped is not None
+        assert clipped.corners == pytest.approx(box.corners)
+
+    def test_clip_partially_outside(self):
+        box = BoundingBox.from_corners(0, -5.0, -5.0, 10.0, 10.0)
+        clipped = clip_box_to_image(box, 20, 20)
+        assert clipped is not None
+        assert clipped.x_min == 0.0 and clipped.y_min == 0.0
+        assert clipped.x_max == 10.0 and clipped.y_max == 10.0
+
+    def test_clip_fully_outside_returns_none(self):
+        box = BoundingBox.from_corners(0, 30.0, 30.0, 40.0, 40.0)
+        assert clip_box_to_image(box, 20, 20) is None
+
+    def test_clip_background_box_passthrough(self):
+        background = BoundingBox.background()
+        assert clip_box_to_image(background, 20, 20) is background

@@ -1,0 +1,110 @@
+"""Tests for the Section V-B error taxonomy."""
+
+import pytest
+
+from repro.detection.boxes import BoundingBox
+from repro.detection.errors import (
+    ErrorType,
+    classify_transitions,
+    count_error_types,
+)
+from repro.detection.prediction import Prediction
+
+
+def _box(cl, x, y, l=10.0, w=10.0, score=1.0):
+    return BoundingBox(cl=cl, x=x, y=y, l=l, w=w, score=score)
+
+
+class TestClassifyTransitionsWithoutGroundTruth:
+    def test_unchanged(self):
+        clean = Prediction([_box(0, 10, 10)])
+        transitions = classify_transitions(clean, Prediction([_box(0, 10, 10)]))
+        assert [t.error_type for t in transitions] == [ErrorType.UNCHANGED]
+
+    def test_box_changed(self):
+        clean = Prediction([_box(0, 10, 10, l=10, w=10)])
+        perturbed = Prediction([_box(0, 10, 11, l=10, w=8)])
+        transitions = classify_transitions(clean, perturbed)
+        assert [t.error_type for t in transitions] == [ErrorType.BOX_CHANGED]
+        assert 0.0 < transitions[0].iou < 1.0
+
+    def test_class_changed(self):
+        clean = Prediction([_box(0, 10, 10)])
+        perturbed = Prediction([_box(2, 10, 10)])
+        transitions = classify_transitions(clean, perturbed)
+        assert [t.error_type for t in transitions] == [ErrorType.CLASS_CHANGED]
+
+    def test_tp_to_fn_when_box_disappears(self):
+        clean = Prediction([_box(0, 10, 10)])
+        transitions = classify_transitions(clean, Prediction.empty())
+        assert [t.error_type for t in transitions] == [ErrorType.TP_TO_FN]
+        assert transitions[0].perturbed_box is None
+
+    def test_tn_to_fp_when_ghost_appears(self):
+        perturbed = Prediction([_box(1, 40, 40)])
+        transitions = classify_transitions(Prediction.empty(), perturbed)
+        assert [t.error_type for t in transitions] == [ErrorType.TN_TO_FP]
+        assert transitions[0].clean_box is None
+
+    def test_disjoint_boxes_become_disappearance_plus_ghost(self):
+        clean = Prediction([_box(0, 10, 10)])
+        perturbed = Prediction([_box(0, 50, 50)])
+        transitions = classify_transitions(clean, perturbed)
+        kinds = sorted(t.error_type.value for t in transitions)
+        assert kinds == sorted(
+            [ErrorType.TP_TO_FN.value, ErrorType.TN_TO_FP.value]
+        )
+
+    def test_describe_contains_classes(self):
+        clean = Prediction([_box(0, 10, 10)])
+        perturbed = Prediction([_box(2, 10, 10)])
+        description = classify_transitions(clean, perturbed)[0].describe()
+        assert "cl0" in description and "cl2" in description
+
+
+class TestClassifyTransitionsWithGroundTruth:
+    def test_fn_to_tp_with_ground_truth(self):
+        # The clean prediction missed an object; the perturbed prediction
+        # finds it -> FN becomes TP.
+        ground_truth = Prediction([_box(0, 10, 10), _box(1, 40, 40)])
+        clean = Prediction([_box(0, 10, 10)])
+        perturbed = Prediction([_box(0, 10, 10), _box(1, 40, 40)])
+        transitions = classify_transitions(clean, perturbed, ground_truth)
+        kinds = {t.error_type for t in transitions}
+        assert ErrorType.FN_TO_TP in kinds
+        assert ErrorType.TN_TO_FP not in kinds
+
+    def test_fp_to_tn_with_ground_truth(self):
+        # The clean prediction hallucinated a ghost; the perturbed one drops
+        # it -> FP becomes TN.
+        ground_truth = Prediction([_box(0, 10, 10)])
+        clean = Prediction([_box(0, 10, 10), _box(1, 40, 40)])
+        perturbed = Prediction([_box(0, 10, 10)])
+        transitions = classify_transitions(clean, perturbed, ground_truth)
+        kinds = {t.error_type for t in transitions}
+        assert ErrorType.FP_TO_TN in kinds
+        assert ErrorType.TP_TO_FN not in kinds
+
+    def test_ground_truth_as_box_list(self):
+        ground_truth = [_box(0, 10, 10)]
+        clean = Prediction([_box(0, 10, 10)])
+        perturbed = Prediction.empty()
+        transitions = classify_transitions(clean, perturbed, ground_truth)
+        assert transitions[0].error_type is ErrorType.TP_TO_FN
+
+
+class TestCounting:
+    def test_count_error_types_covers_all_enum_members(self):
+        counts = count_error_types([])
+        assert set(counts.keys()) == set(ErrorType)
+        assert all(value == 0 for value in counts.values())
+
+    def test_count_error_types(self):
+        clean = Prediction([_box(0, 10, 10), _box(1, 40, 40)])
+        perturbed = Prediction([_box(0, 10, 10)])
+        counts = count_error_types(classify_transitions(clean, perturbed))
+        assert counts[ErrorType.UNCHANGED] == 1
+        assert counts[ErrorType.TP_TO_FN] == 1
+
+    def test_both_empty_predictions(self):
+        assert classify_transitions(Prediction.empty(), Prediction.empty()) == []

@@ -1,0 +1,113 @@
+"""Tests for greedy and Hungarian prediction matching."""
+
+import pytest
+
+from repro.detection.boxes import BoundingBox
+from repro.detection.matching import greedy_match, hungarian_match, match_predictions
+from repro.detection.prediction import Prediction
+
+
+def _box(cl, x, y, l=10.0, w=10.0, score=1.0):
+    return BoundingBox(cl=cl, x=x, y=y, l=l, w=w, score=score)
+
+
+class TestGreedyMatch:
+    def test_perfect_match(self):
+        boxes = [_box(0, 10, 10), _box(1, 40, 40)]
+        result = greedy_match(Prediction(boxes), Prediction(list(boxes)))
+        assert result.num_matched == 2
+        assert result.mean_iou == pytest.approx(1.0)
+        assert result.unmatched_reference == []
+        assert result.unmatched_candidate == []
+
+    def test_class_mismatch_not_matched(self):
+        reference = Prediction([_box(0, 10, 10)])
+        candidate = Prediction([_box(1, 10, 10)])
+        result = greedy_match(reference, candidate, same_class_only=True)
+        assert result.num_matched == 0
+        assert result.unmatched_reference == [0]
+        assert result.unmatched_candidate == [0]
+
+    def test_class_mismatch_matched_when_class_agnostic(self):
+        reference = Prediction([_box(0, 10, 10)])
+        candidate = Prediction([_box(1, 10, 10)])
+        result = greedy_match(reference, candidate, same_class_only=False)
+        assert result.num_matched == 1
+
+    def test_candidate_can_be_reused(self):
+        # Two reference boxes overlap the same candidate; the greedy matcher
+        # (mirroring Algorithm 1's per-box max) may reuse it for both.
+        reference = Prediction([_box(0, 10, 10), _box(0, 12, 12)])
+        candidate = Prediction([_box(0, 11, 11)])
+        result = greedy_match(reference, candidate)
+        assert result.num_matched == 2
+
+    def test_min_iou_filters_weak_matches(self):
+        reference = Prediction([_box(0, 10, 10)])
+        candidate = Prediction([_box(0, 18, 18)])
+        weak = greedy_match(reference, candidate, min_iou=0.5)
+        assert weak.num_matched == 0
+        permissive = greedy_match(reference, candidate, min_iou=0.0)
+        assert permissive.num_matched == 1
+
+    def test_empty_inputs(self):
+        result = greedy_match(Prediction.empty(), Prediction([_box(0, 1, 1)]))
+        assert result.num_matched == 0
+        assert result.mean_iou == 0.0
+        assert result.unmatched_candidate == [0]
+
+
+class TestHungarianMatch:
+    def test_one_to_one_assignment(self):
+        # Greedy would assign both references to the same best candidate;
+        # Hungarian must produce a one-to-one assignment.
+        reference = Prediction([_box(0, 10, 10), _box(0, 14, 14)])
+        candidate = Prediction([_box(0, 11, 11), _box(0, 15, 15)])
+        result = hungarian_match(reference, candidate)
+        assert result.num_matched == 2
+        matched_candidates = {pair[1] for pair in result.pairs}
+        assert matched_candidates == {0, 1}
+
+    def test_empty_candidate(self):
+        result = hungarian_match(Prediction([_box(0, 1, 1)]), Prediction.empty())
+        assert result.num_matched == 0
+        assert result.unmatched_reference == [0]
+
+    def test_respects_same_class_only(self):
+        reference = Prediction([_box(0, 10, 10)])
+        candidate = Prediction([_box(1, 10, 10)])
+        assert hungarian_match(reference, candidate).num_matched == 0
+        assert (
+            hungarian_match(reference, candidate, same_class_only=False).num_matched
+            == 1
+        )
+
+    def test_prefers_total_iou(self):
+        # Candidate 0 overlaps reference 0 strongly and reference 1 weakly;
+        # candidate 1 overlaps reference 0 weakly only.  Optimal assignment
+        # pairs (0,0); reference 1 should take candidate 1 only if the IoU
+        # is positive, otherwise stay unmatched.
+        reference = Prediction([_box(0, 10, 10), _box(0, 30, 30)])
+        candidate = Prediction([_box(0, 11, 11), _box(0, 16, 16)])
+        result = hungarian_match(reference, candidate)
+        pairs = dict((r, c) for r, c, _ in result.pairs)
+        assert pairs[0] == 0
+
+
+class TestDispatch:
+    def test_match_predictions_greedy(self):
+        reference = Prediction([_box(0, 10, 10)])
+        candidate = Prediction([_box(0, 10, 10)])
+        assert match_predictions(reference, candidate, strategy="greedy").num_matched == 1
+
+    def test_match_predictions_hungarian(self):
+        reference = Prediction([_box(0, 10, 10)])
+        candidate = Prediction([_box(0, 10, 10)])
+        assert (
+            match_predictions(reference, candidate, strategy="hungarian").num_matched
+            == 1
+        )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            match_predictions(Prediction.empty(), Prediction.empty(), strategy="magic")

@@ -1,0 +1,126 @@
+"""Tests for precision/recall, AP/mAP and prediction agreement."""
+
+import pytest
+
+from repro.detection.boxes import BoundingBox
+from repro.detection.metrics import (
+    average_precision,
+    mean_average_precision,
+    precision_recall,
+    prediction_agreement,
+)
+from repro.detection.prediction import Prediction
+
+
+def _box(cl, x, y, l=10.0, w=10.0, score=1.0):
+    return BoundingBox(cl=cl, x=x, y=y, l=l, w=w, score=score)
+
+
+class TestPrecisionRecall:
+    def test_perfect_prediction(self):
+        ground_truth = Prediction([_box(0, 10, 10), _box(1, 40, 40)])
+        precision, recall = precision_recall(ground_truth, ground_truth)
+        assert precision == 1.0
+        assert recall == 1.0
+
+    def test_missed_object_reduces_recall(self):
+        ground_truth = Prediction([_box(0, 10, 10), _box(1, 40, 40)])
+        prediction = Prediction([_box(0, 10, 10)])
+        precision, recall = precision_recall(prediction, ground_truth)
+        assert precision == 1.0
+        assert recall == 0.5
+
+    def test_false_positive_reduces_precision(self):
+        ground_truth = Prediction([_box(0, 10, 10)])
+        prediction = Prediction([_box(0, 10, 10), _box(0, 60, 60)])
+        precision, recall = precision_recall(prediction, ground_truth)
+        assert precision == 0.5
+        assert recall == 1.0
+
+    def test_class_must_match(self):
+        ground_truth = Prediction([_box(0, 10, 10)])
+        prediction = Prediction([_box(1, 10, 10)])
+        precision, recall = precision_recall(prediction, ground_truth)
+        assert precision == 0.0
+        assert recall == 0.0
+
+    def test_each_ground_truth_matched_once(self):
+        ground_truth = Prediction([_box(0, 10, 10)])
+        prediction = Prediction([_box(0, 10, 10, score=0.9), _box(0, 11, 11, score=0.8)])
+        precision, recall = precision_recall(prediction, ground_truth)
+        assert precision == 0.5
+        assert recall == 1.0
+
+    def test_empty_prediction_and_ground_truth(self):
+        assert precision_recall(Prediction.empty(), Prediction.empty()) == (0.0, 0.0)
+
+    def test_iou_threshold_matters(self):
+        ground_truth = Prediction([_box(0, 10, 10)])
+        prediction = Prediction([_box(0, 14, 14)])
+        _, recall_strict = precision_recall(prediction, ground_truth, iou_threshold=0.5)
+        _, recall_loose = precision_recall(prediction, ground_truth, iou_threshold=0.1)
+        assert recall_strict == 0.0
+        assert recall_loose == 1.0
+
+
+class TestAveragePrecision:
+    def test_perfect_detection_gives_ap_one(self):
+        pairs = [
+            (Prediction([_box(0, 10, 10, score=0.9)]), Prediction([_box(0, 10, 10)]))
+        ]
+        assert average_precision(pairs, class_id=0) == pytest.approx(1.0)
+
+    def test_no_detections_gives_zero(self):
+        pairs = [(Prediction.empty(), Prediction([_box(0, 10, 10)]))]
+        assert average_precision(pairs, class_id=0) == 0.0
+
+    def test_no_ground_truth_gives_zero(self):
+        pairs = [(Prediction([_box(0, 10, 10, score=0.9)]), Prediction.empty())]
+        assert average_precision(pairs, class_id=0) == 0.0
+
+    def test_false_positives_lower_ap(self):
+        perfect = [
+            (Prediction([_box(0, 10, 10, score=0.9)]), Prediction([_box(0, 10, 10)]))
+        ]
+        noisy = [
+            (
+                Prediction(
+                    [_box(0, 10, 10, score=0.5), _box(0, 60, 60, score=0.9)]
+                ),
+                Prediction([_box(0, 10, 10)]),
+            )
+        ]
+        assert average_precision(noisy, 0) < average_precision(perfect, 0)
+
+    def test_mean_average_precision_averages_classes(self):
+        pairs = [
+            (
+                Prediction([_box(0, 10, 10, score=0.9)]),
+                Prediction([_box(0, 10, 10), _box(1, 40, 40)]),
+            )
+        ]
+        map_value = mean_average_precision(pairs, class_ids=[0, 1])
+        # class 0 AP = 1, class 1 AP = 0.
+        assert map_value == pytest.approx(0.5)
+
+    def test_mean_average_precision_empty_classes(self):
+        assert mean_average_precision([], class_ids=[]) == 0.0
+
+
+class TestPredictionAgreement:
+    def test_identical_predictions_agree(self):
+        prediction = Prediction([_box(0, 10, 10), _box(1, 40, 40)])
+        assert prediction_agreement(prediction, prediction) == 1.0
+
+    def test_empty_vs_empty_agrees(self):
+        assert prediction_agreement(Prediction.empty(), Prediction.empty()) == 1.0
+
+    def test_empty_vs_nonempty_disagrees(self):
+        assert (
+            prediction_agreement(Prediction.empty(), Prediction([_box(0, 1, 1)])) == 0.0
+        )
+
+    def test_partial_agreement(self):
+        first = Prediction([_box(0, 10, 10), _box(1, 40, 40)])
+        second = Prediction([_box(0, 10, 10)])
+        assert prediction_agreement(first, second) == 0.5

@@ -1,0 +1,73 @@
+"""Tests for non-maximum suppression."""
+
+import pytest
+
+from repro.detection.boxes import BoundingBox
+from repro.detection.nms import non_max_suppression
+from repro.detection.prediction import Prediction
+
+
+def _box(cl, x, y, l=10.0, w=10.0, score=1.0):
+    return BoundingBox(cl=cl, x=x, y=y, l=l, w=w, score=score)
+
+
+class TestNonMaxSuppression:
+    def test_keeps_highest_scoring_of_overlapping_pair(self):
+        strong = _box(0, 10, 10, score=0.9)
+        weak = _box(0, 11, 11, score=0.5)
+        result = non_max_suppression([strong, weak], iou_threshold=0.3)
+        assert result.num_valid == 1
+        assert result[0].score == 0.9
+
+    def test_keeps_non_overlapping_boxes(self):
+        a = _box(0, 10, 10, score=0.9)
+        b = _box(0, 50, 50, score=0.8)
+        result = non_max_suppression([a, b], iou_threshold=0.3)
+        assert result.num_valid == 2
+
+    def test_different_classes_not_suppressed_by_default(self):
+        a = _box(0, 10, 10, score=0.9)
+        b = _box(1, 10, 10, score=0.8)
+        result = non_max_suppression([a, b], iou_threshold=0.3, class_agnostic=False)
+        assert result.num_valid == 2
+
+    def test_class_agnostic_suppression(self):
+        a = _box(0, 10, 10, score=0.9)
+        b = _box(1, 10, 10, score=0.8)
+        result = non_max_suppression([a, b], iou_threshold=0.3, class_agnostic=True)
+        assert result.num_valid == 1
+        assert result[0].cl == 0
+
+    def test_score_threshold_drops_weak_boxes(self):
+        a = _box(0, 10, 10, score=0.9)
+        b = _box(0, 50, 50, score=0.05)
+        result = non_max_suppression([a, b], score_threshold=0.1)
+        assert result.num_valid == 1
+
+    def test_background_boxes_ignored(self):
+        result = non_max_suppression([BoundingBox.background(), _box(0, 10, 10)])
+        assert result.num_valid == 1
+
+    def test_accepts_prediction_input(self):
+        prediction = Prediction([_box(0, 10, 10, score=0.9), _box(0, 11, 11, score=0.2)])
+        result = non_max_suppression(prediction, iou_threshold=0.3)
+        assert result.num_valid == 1
+
+    def test_empty_input(self):
+        assert non_max_suppression([]).num_valid == 0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            non_max_suppression([], iou_threshold=1.5)
+
+    def test_chain_suppression_keeps_best_only(self):
+        # Three boxes in a chain; the middle overlaps both ends, ends do not
+        # overlap each other above threshold.
+        a = _box(0, 10, 10, score=0.9)
+        b = _box(0, 10, 14, score=0.8)
+        c = _box(0, 10, 24, score=0.7)
+        result = non_max_suppression([a, b, c], iou_threshold=0.3)
+        kept_scores = sorted(b.score for b in result)
+        assert 0.9 in kept_scores
+        assert 0.8 not in kept_scores  # suppressed by a
+        assert 0.7 in kept_scores  # does not overlap a enough

@@ -1,0 +1,85 @@
+"""Tests for the Prediction container."""
+
+import pytest
+
+from repro.detection.boxes import BACKGROUND_CLASS, BoundingBox
+from repro.detection.prediction import Prediction
+
+
+def _box(cl=0, x=10.0, y=10.0, l=4.0, w=4.0, score=1.0):
+    return BoundingBox(cl=cl, x=x, y=y, l=l, w=w, score=score)
+
+
+class TestPredictionBasics:
+    def test_empty_prediction(self):
+        prediction = Prediction.empty()
+        assert len(prediction) == 0
+        assert prediction.num_valid == 0
+        assert prediction.valid_boxes == []
+        assert prediction.summary() == "Prediction(empty)"
+
+    def test_valid_boxes_filters_background(self):
+        prediction = Prediction([_box(cl=0), BoundingBox.background(), _box(cl=2)])
+        assert len(prediction) == 3
+        assert prediction.num_valid == 2
+        assert prediction.classes == [0, 2]
+
+    def test_boxes_of_class(self):
+        prediction = Prediction([_box(cl=0), _box(cl=1), _box(cl=0, x=20.0)])
+        assert len(prediction.boxes_of_class(0)) == 2
+        assert len(prediction.boxes_of_class(1)) == 1
+        assert prediction.boxes_of_class(4) == []
+
+    def test_count_of_class_including_background(self):
+        prediction = Prediction([_box(cl=0), BoundingBox.background()])
+        assert prediction.count_of_class(0) == 1
+        assert prediction.count_of_class(BACKGROUND_CLASS) == 1
+
+    def test_iteration_and_indexing(self):
+        boxes = [_box(cl=0), _box(cl=1)]
+        prediction = Prediction(boxes)
+        assert list(prediction) == boxes
+        assert prediction[1] is boxes[1]
+
+    def test_add(self):
+        prediction = Prediction.empty()
+        prediction.add(_box(cl=3))
+        assert prediction.num_valid == 1
+
+    def test_from_boxes_generator(self):
+        prediction = Prediction.from_boxes(_box(cl=c) for c in range(3))
+        assert prediction.num_valid == 3
+
+
+class TestPredictionTransformations:
+    def test_filtered_by_score(self):
+        prediction = Prediction([_box(score=0.9), _box(score=0.2), _box(score=0.5)])
+        filtered = prediction.filtered_by_score(0.5)
+        assert filtered.num_valid == 2
+        assert all(b.score >= 0.5 for b in filtered)
+
+    def test_sorted_by_score(self):
+        prediction = Prediction([_box(score=0.2), _box(score=0.9), _box(score=0.5)])
+        scores = [b.score for b in prediction.sorted_by_score()]
+        assert scores == sorted(scores, reverse=True)
+        ascending = [b.score for b in prediction.sorted_by_score(descending=False)]
+        assert ascending == sorted(scores)
+
+    def test_class_histogram(self):
+        prediction = Prediction([_box(cl=0), _box(cl=0), _box(cl=2)])
+        assert prediction.class_histogram() == {0: 2, 2: 1}
+
+    def test_without_background(self):
+        prediction = Prediction([_box(cl=0), BoundingBox.background()])
+        cleaned = prediction.without_background()
+        assert len(cleaned) == 1
+        assert cleaned.num_valid == 1
+
+    def test_summary_with_class_names(self):
+        prediction = Prediction([_box(cl=0, score=0.75)])
+        text = prediction.summary(class_names=("Car", "Pedestrian"))
+        assert "Car" in text and "0.75" in text
+
+    def test_summary_with_unknown_class_id(self):
+        prediction = Prediction([_box(cl=7)])
+        assert "class7" in prediction.summary(class_names=("Car",))

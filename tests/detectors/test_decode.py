@@ -1,0 +1,94 @@
+"""Tests for decoding cell probabilities into bounding boxes."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.base import DetectorConfig
+from repro.detectors.decode import decode_cell_probabilities
+
+
+def _grid(rows=8, cols=20, num_classes=3):
+    """A probability grid that is pure background everywhere."""
+    probabilities = np.zeros((rows, cols, num_classes + 1))
+    probabilities[..., -1] = 1.0
+    return probabilities
+
+
+def _set_object(probabilities, row, col, class_id, confidence=0.9):
+    """Give ``class_id`` probability ``confidence``; the rest is background."""
+    probabilities[row, col, :] = 0.0
+    probabilities[row, col, class_id] = confidence
+    probabilities[row, col, -1] = 1.0 - confidence
+
+
+class TestDecode:
+    def test_pure_background_produces_no_boxes(self):
+        config = DetectorConfig(cell=8)
+        prediction = decode_cell_probabilities(_grid(), config, (64, 160))
+        assert prediction.num_valid == 0
+
+    def test_single_confident_cell_produces_one_box(self):
+        config = DetectorConfig(cell=8)
+        probabilities = _grid()
+        _set_object(probabilities, 4, 10, class_id=1)
+        prediction = decode_cell_probabilities(probabilities, config, (64, 160))
+        assert prediction.num_valid == 1
+        box = prediction[0]
+        assert box.cl == 1
+        # The box centre should be near the cell centre (row 4, col 10).
+        assert abs(box.x - (4 + 0.5) * 8) < 8
+        assert abs(box.y - (10 + 0.5) * 8) < 8
+
+    def test_cluster_of_cells_produces_larger_box(self):
+        config = DetectorConfig(cell=8)
+        single = _grid()
+        _set_object(single, 4, 10, class_id=0)
+        cluster = _grid()
+        for col in (9, 10, 11):
+            _set_object(cluster, 4, col, class_id=0)
+        single_box = decode_cell_probabilities(single, config, (64, 160))[0]
+        cluster_box = decode_cell_probabilities(cluster, config, (64, 160))[0]
+        assert cluster_box.w > single_box.w
+
+    def test_two_separate_objects(self):
+        config = DetectorConfig(cell=8)
+        probabilities = _grid()
+        _set_object(probabilities, 2, 3, class_id=0)
+        _set_object(probabilities, 6, 15, class_id=2)
+        prediction = decode_cell_probabilities(probabilities, config, (64, 160))
+        assert prediction.num_valid == 2
+        assert sorted(prediction.classes) == [0, 2]
+
+    def test_nms_merges_adjacent_seeds(self):
+        config = DetectorConfig(cell=8)
+        probabilities = _grid()
+        _set_object(probabilities, 4, 10, class_id=0, confidence=0.9)
+        _set_object(probabilities, 4, 11, class_id=0, confidence=0.85)
+        prediction = decode_cell_probabilities(probabilities, config, (64, 160))
+        assert prediction.num_valid == 1
+
+    def test_objectness_threshold_filters_weak_cells(self):
+        config = DetectorConfig(cell=8, objectness_threshold=0.95)
+        probabilities = _grid()
+        _set_object(probabilities, 4, 10, class_id=0, confidence=0.9)
+        prediction = decode_cell_probabilities(probabilities, config, (64, 160))
+        assert prediction.num_valid == 0
+
+    def test_boxes_clipped_to_image(self):
+        config = DetectorConfig(cell=8, decode_window=3)
+        probabilities = _grid()
+        _set_object(probabilities, 0, 0, class_id=0)
+        prediction = decode_cell_probabilities(probabilities, config, (64, 160))
+        box = prediction[0]
+        assert box.x_min >= 0.0 and box.y_min >= 0.0
+
+    def test_invalid_probability_shape_rejected(self):
+        with pytest.raises(ValueError):
+            decode_cell_probabilities(np.zeros((4, 5)), DetectorConfig(), (64, 160))
+
+    def test_scores_reflect_class_probability(self):
+        config = DetectorConfig(cell=8)
+        probabilities = _grid()
+        _set_object(probabilities, 4, 10, class_id=0, confidence=0.75)
+        prediction = decode_cell_probabilities(probabilities, config, (64, 160))
+        assert prediction[0].score == pytest.approx(0.75, abs=0.01)

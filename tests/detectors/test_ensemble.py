@@ -1,0 +1,58 @@
+"""Tests for detector ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.ensemble import DetectorEnsemble
+
+
+@pytest.fixture(scope="module")
+def ensemble(request):
+    yolo = request.getfixturevalue("yolo_detector")
+    detr = request.getfixturevalue("detr_detector")
+    return DetectorEnsemble([yolo, detr])
+
+
+class TestDetectorEnsemble:
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            DetectorEnsemble([])
+
+    def test_len_iteration_indexing(self, ensemble):
+        assert len(ensemble) == 2
+        assert list(ensemble)[0] is ensemble[0]
+
+    def test_name_mentions_architectures_and_size(self, ensemble):
+        assert "single_stage" in ensemble.name
+        assert "transformer" in ensemble.name
+        assert "x2" in ensemble.name
+
+    def test_predict_all_returns_one_prediction_per_member(
+        self, ensemble, small_dataset
+    ):
+        predictions = ensemble.predict_all(small_dataset[0].image)
+        assert len(predictions) == 2
+
+    def test_predict_fused_consensus(self, ensemble, small_dataset):
+        image = small_dataset[0].image
+        fused = ensemble.predict_fused(image, vote_fraction=1.0)
+        loose = ensemble.predict_fused(image, vote_fraction=0.5)
+        # Requiring full consensus can only reduce the number of boxes.
+        assert fused.num_valid <= loose.num_valid
+
+    def test_predict_fused_invalid_vote_fraction(self, ensemble, small_dataset):
+        with pytest.raises(ValueError):
+            ensemble.predict_fused(small_dataset[0].image, vote_fraction=0.0)
+
+    def test_from_detectors(self, yolo_detector):
+        ensemble = DetectorEnsemble.from_detectors([yolo_detector])
+        assert len(ensemble) == 1
+
+    def test_fused_boxes_average_members(self, yolo_detector, small_dataset):
+        # An ensemble of two identical detectors must fuse to (almost) the
+        # single detector's prediction.
+        image = small_dataset[0].image
+        single = yolo_detector.predict(image)
+        ensemble = DetectorEnsemble([yolo_detector, yolo_detector])
+        fused = ensemble.predict_fused(image, vote_fraction=1.0)
+        assert fused.num_valid == single.num_valid

@@ -1,0 +1,52 @@
+"""Tests for the detector model zoo."""
+
+import pytest
+
+from repro.detectors.single_stage import SingleStageDetector
+from repro.detectors.transformer import TransformerDetector
+from repro.detectors.zoo import ARCHITECTURE_ALIASES, build_detector, build_model_zoo
+
+
+class TestBuildDetector:
+    def test_yolo_aliases(self, small_training_config):
+        for alias in ("yolo", "yolov5", "single_stage", "YOLO"):
+            detector = build_detector(alias, seed=1, training=small_training_config)
+            assert isinstance(detector, SingleStageDetector)
+
+    def test_detr_aliases(self, small_training_config):
+        for alias in ("detr", "transformer", "DETR"):
+            detector = build_detector(alias, seed=1, training=small_training_config)
+            assert isinstance(detector, TransformerDetector)
+
+    def test_unknown_architecture_rejected(self, small_training_config):
+        with pytest.raises(ValueError):
+            build_detector("faster_rcnn", training=small_training_config)
+
+    def test_detector_kwargs_forwarded(self, small_training_config):
+        detector = build_detector(
+            "detr", seed=1, training=small_training_config, attention_mix=0.2
+        )
+        assert detector.attention_mix == 0.2
+
+    def test_seed_recorded(self, small_training_config):
+        detector = build_detector("yolo", seed=9, training=small_training_config)
+        assert detector.seed == 9
+        assert "seed9" in detector.name
+
+    def test_aliases_cover_both_architectures(self):
+        assert set(ARCHITECTURE_ALIASES.values()) == {"single_stage", "transformer"}
+
+
+class TestBuildModelZoo:
+    def test_zoo_size_matches_seeds(self, small_training_config):
+        zoo = build_model_zoo("yolo", seeds=(1, 2), training=small_training_config)
+        assert len(zoo) == 2
+        assert [d.seed for d in zoo] == [1, 2]
+
+    def test_zoo_members_are_distinct_models(self, small_training_config):
+        import numpy as np
+
+        zoo = build_model_zoo("detr", seeds=(1, 2), training=small_training_config)
+        assert not np.allclose(
+            zoo[0].prototypes.class_prototypes, zoo[1].prototypes.class_prototypes
+        )

@@ -1,0 +1,89 @@
+"""Tests for the qualitative figure scenarios."""
+
+import pytest
+
+from repro.core.config import AttackConfig
+from repro.core.regions import HalfImageRegion
+from repro.experiments.figures import (
+    figure1_disappearing_objects,
+    figure3_figure4_contrast,
+    figure5_ghost_objects,
+)
+from repro.nsga.algorithm import NSGAConfig
+
+from tests.conftest import SMALL_LENGTH, SMALL_WIDTH
+
+
+@pytest.fixture()
+def tiny_attack_config():
+    return AttackConfig(
+        nsga=NSGAConfig(num_iterations=3, population_size=8, seed=0),
+        region=HalfImageRegion("right"),
+    )
+
+
+class TestFigure1:
+    def test_outcome_structure(self, detr_detector, tiny_attack_config):
+        outcome = figure1_disappearing_objects(
+            detr_detector,
+            attack_config=tiny_attack_config,
+            image_length=SMALL_LENGTH,
+            image_width=SMALL_WIDTH,
+        )
+        assert outcome.name == "figure1_disappearing_objects"
+        assert detr_detector.name in outcome.results
+        assert {"best_degradation", "clean_objects", "perturbed_objects", "tp_to_fn_on_front"} <= set(
+            outcome.measurements
+        )
+        assert 0.0 <= outcome.measurements["best_degradation"] <= 1.0 + 1e-9
+        assert outcome.rendering  # ASCII rendering produced
+        assert "|" in outcome.rendering
+
+    def test_summary_text(self, detr_detector, tiny_attack_config):
+        outcome = figure1_disappearing_objects(
+            detr_detector,
+            attack_config=tiny_attack_config,
+            image_length=SMALL_LENGTH,
+            image_width=SMALL_WIDTH,
+        )
+        text = outcome.summary()
+        assert "figure1" in text
+        assert "best_degradation" in text
+
+
+class TestFigure3And4:
+    def test_contrast_measurements(self, yolo_detector, detr_detector, tiny_attack_config):
+        outcome = figure3_figure4_contrast(
+            yolo_detector,
+            detr_detector,
+            attack_config=tiny_attack_config,
+            image_length=SMALL_LENGTH,
+            image_width=SMALL_WIDTH,
+        )
+        measurements = outcome.measurements
+        assert {"single_stage_best_degradation", "transformer_best_degradation", "degradation_gap"} <= set(
+            measurements
+        )
+        assert len(outcome.results) == 2
+        assert len(outcome.selected_solutions) == 2
+        # The gap is single-stage minus transformer degradation; it can be
+        # small at this tiny budget but must be a finite number.
+        assert measurements["degradation_gap"] == pytest.approx(
+            measurements["single_stage_best_degradation"]
+            - measurements["transformer_best_degradation"]
+        )
+
+
+class TestFigure5:
+    def test_ghost_object_search(self, detr_detector, tiny_attack_config):
+        outcome = figure5_ghost_objects(
+            detr_detector,
+            attack_config=tiny_attack_config,
+            image_length=SMALL_LENGTH,
+            image_width=SMALL_WIDTH,
+            max_attempts=1,
+        )
+        assert outcome.name == "figure5_ghost_objects"
+        assert "ghost_objects" in outcome.measurements
+        assert outcome.measurements["ghost_objects"] >= 0.0
+        assert outcome.measurements["attempts"] >= 1.0

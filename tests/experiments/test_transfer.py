@@ -1,0 +1,58 @@
+"""Tests for the transferability experiment."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AttackConfig
+from repro.core.regions import HalfImageRegion
+from repro.detectors.zoo import build_model_zoo
+from repro.experiments.transfer import (
+    TransferabilityResult,
+    run_transferability_experiment,
+)
+from repro.nsga.algorithm import NSGAConfig
+
+
+@pytest.fixture(scope="module")
+def transfer_result(request):
+    training = request.getfixturevalue("small_training_config")
+    dataset = request.getfixturevalue("small_dataset")
+    models = build_model_zoo("detr", seeds=(1, 2), training=training)
+    config = AttackConfig(
+        nsga=NSGAConfig(num_iterations=4, population_size=8, seed=0),
+        region=HalfImageRegion("right"),
+    )
+    return run_transferability_experiment(models, dataset[0].image, config)
+
+
+class TestTransferability:
+    def test_matrix_shape(self, transfer_result):
+        assert transfer_result.matrix.shape == (2, 2)
+        assert transfer_result.num_models == 2
+        assert len(transfer_result.masks_intensity) == 2
+
+    def test_degradations_bounded(self, transfer_result):
+        assert np.all(transfer_result.matrix >= 0.0)
+        assert np.all(transfer_result.matrix <= 1.0 + 1e-9)
+
+    def test_self_vs_transfer_statistics(self, transfer_result):
+        self_deg = transfer_result.self_degradation()
+        transfer_deg = transfer_result.transfer_degradation()
+        assert 0.0 <= self_deg <= 1.0 + 1e-9
+        assert 0.0 <= transfer_deg <= 1.0 + 1e-9
+        assert transfer_result.transfer_gap() == pytest.approx(transfer_deg - self_deg)
+
+    def test_rows_cover_all_pairs(self, transfer_result):
+        rows = transfer_result.as_rows()
+        assert len(rows) == 4
+        assert sum(1 for row in rows if row["is_transfer"]) == 2
+
+    def test_empty_model_list_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            run_transferability_experiment([], small_dataset[0].image)
+
+    def test_single_model_transfer_degradation_is_one(self):
+        result = TransferabilityResult(
+            model_names=["only"], matrix=np.array([[0.4]])
+        )
+        assert result.transfer_degradation() == 1.0

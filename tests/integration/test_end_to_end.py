@@ -1,0 +1,95 @@
+"""End-to-end integration tests across all modules.
+
+These tests run the full pipeline — data generation, detector training,
+NSGA-II attack, analysis and reporting — on tiny budgets and assert the
+structural properties that hold regardless of budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.errors import summarize_attack_errors
+from repro.analysis.reporting import ComparisonReport, objectives_to_rows
+from repro.core.attack import ButterflyAttack
+from repro.core.config import AttackConfig
+from repro.core.masks import apply_mask
+from repro.core.objectives import objective_degradation
+from repro.core.regions import HalfImageRegion
+from repro.detection.errors import ErrorType
+from repro.nsga.algorithm import NSGAConfig
+
+
+@pytest.fixture(scope="module")
+def full_attack(request):
+    """A moderately sized attack whose front is expected to contain
+    at least one genuinely degrading solution."""
+    detector = request.getfixturevalue("detr_detector")
+    dataset = request.getfixturevalue("small_dataset")
+    config = AttackConfig(
+        nsga=NSGAConfig(num_iterations=8, population_size=14, seed=1),
+        region=HalfImageRegion("right"),
+    )
+    image = dataset[0].image
+    return ButterflyAttack(detector, config).attack(image), image, detector
+
+
+class TestFullPipeline:
+    def test_attack_finds_degrading_solution(self, full_attack):
+        result, _, _ = full_attack
+        assert result.best_by("degradation").degradation < 1.0
+
+    def test_reported_objectives_are_consistent_with_recomputation(self, full_attack):
+        result, image, detector = full_attack
+        clean = detector.predict(image)
+        best = result.best_by("degradation")
+        recomputed = objective_degradation(
+            clean, detector.predict(apply_mask(image, best.mask.values))
+        )
+        assert recomputed == pytest.approx(best.degradation, abs=1e-9)
+
+    def test_perturbation_confined_to_right_half_but_errors_anywhere(self, full_attack):
+        result, image, _ = full_attack
+        middle = image.shape[1] // 2
+        best = result.best_by("degradation")
+        assert np.allclose(best.mask.values[:, :middle, :], 0.0)
+        assert best.mask.values[:, middle:, :].any()
+
+    def test_error_summary_aggregates_front(self, full_attack):
+        result, _, _ = full_attack
+        summary = summarize_attack_errors(result)
+        assert summary.num_solutions == len(result.pareto_front)
+        assert summary.counts[ErrorType.UNCHANGED] >= 0
+
+    def test_reporting_round_trip(self, full_attack, tmp_path):
+        from repro.analysis.reporting import write_csv
+
+        result, _, _ = full_attack
+        rows = objectives_to_rows(result, label="transformer")
+        path = tmp_path / "front.csv"
+        write_csv(rows, path)
+        assert path.exists()
+        assert len(path.read_text().strip().splitlines()) == len(rows) + 1
+
+    def test_comparison_report_integration(self, full_attack):
+        result, _, _ = full_attack
+        report = ComparisonReport()
+        report.add_result("transformer", result)
+        summary = report.summary_rows()
+        assert summary[0]["label"] == "transformer"
+        assert summary[0]["best_degradation"] <= 1.0
+
+
+class TestCleanReferenceAssumption:
+    def test_zero_mask_never_counts_as_attack(self, yolo_detector, small_dataset):
+        """The paper's zero-mask individual must leave the prediction intact."""
+        image = small_dataset[0].image
+        clean = yolo_detector.predict(image)
+        perturbed = yolo_detector.predict(apply_mask(image, np.zeros_like(image)))
+        assert objective_degradation(clean, perturbed) == pytest.approx(1.0)
+
+    def test_left_half_untouched_by_right_mask(self, small_dataset):
+        image = small_dataset[0].image
+        mask = HalfImageRegion("right").project(np.full_like(image, 100.0))
+        perturbed = apply_mask(image, mask)
+        middle = image.shape[1] // 2
+        assert np.allclose(perturbed[:, :middle, :], image[:, :middle, :])

@@ -1,0 +1,76 @@
+"""Tests for the experiment archive."""
+
+import numpy as np
+import pytest
+
+from repro.core.masks import FilterMask
+from repro.core.results import AttackResult, ParetoSolution
+from repro.detection.boxes import BoundingBox
+from repro.detection.prediction import Prediction
+from repro.io.archive import ExperimentArchive
+
+
+def _result(detector_name="det", degradation=0.5):
+    solution = ParetoSolution(
+        mask=FilterMask.zeros((4, 6, 3)),
+        intensity=0.1,
+        degradation=degradation,
+        distance=0.2,
+        rank=1,
+    )
+    return AttackResult(
+        image=np.zeros((4, 6, 3)),
+        clean_prediction=Prediction([BoundingBox(cl=0, x=2, y=3, l=2, w=2)]),
+        solutions=[solution],
+        detector_name=detector_name,
+    )
+
+
+class TestExperimentArchive:
+    def test_add_and_load(self, tmp_path):
+        archive = ExperimentArchive(tmp_path / "archive")
+        run_id = archive.add(_result(), label="yolo")
+        assert len(archive) == 1
+        loaded = archive.load(run_id)
+        assert loaded.detector_name == "det"
+        assert archive.label_of(run_id) == "yolo"
+
+    def test_run_ids_sorted_and_auto_generated(self, tmp_path):
+        archive = ExperimentArchive(tmp_path / "archive")
+        first = archive.add(_result(), label="a")
+        second = archive.add(_result(), label="b")
+        assert archive.run_ids() == sorted([first, second])
+
+    def test_duplicate_run_id_rejected(self, tmp_path):
+        archive = ExperimentArchive(tmp_path / "archive")
+        archive.add(_result(), label="a", run_id="fixed")
+        with pytest.raises(ValueError):
+            archive.add(_result(), label="b", run_id="fixed")
+
+    def test_unknown_run_id_rejected(self, tmp_path):
+        archive = ExperimentArchive(tmp_path / "archive")
+        with pytest.raises(KeyError):
+            archive.load("missing")
+
+    def test_iter_results(self, tmp_path):
+        archive = ExperimentArchive(tmp_path / "archive")
+        archive.add(_result(degradation=0.3), label="yolo")
+        archive.add(_result(degradation=0.7), label="detr")
+        items = list(archive.iter_results())
+        assert len(items) == 2
+        labels = {label for _, label, _ in items}
+        assert labels == {"yolo", "detr"}
+
+    def test_rebuild_index_csv(self, tmp_path):
+        archive = ExperimentArchive(tmp_path / "archive")
+        archive.add(_result(degradation=0.3), label="yolo")
+        path = archive.rebuild_index()
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("run_id,label")
+        assert len(lines) == 2
+
+    def test_archive_persists_across_instances(self, tmp_path):
+        first = ExperimentArchive(tmp_path / "archive")
+        run_id = first.add(_result(), label="yolo")
+        second = ExperimentArchive(tmp_path / "archive")
+        assert run_id in second.run_ids()

@@ -1,0 +1,107 @@
+"""Tests for mask/prediction/attack-result serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.attack import ButterflyAttack
+from repro.core.config import AttackConfig
+from repro.core.masks import FilterMask
+from repro.core.regions import HalfImageRegion
+from repro.detection.boxes import BoundingBox
+from repro.detection.prediction import Prediction
+from repro.io.serialization import (
+    load_attack_result,
+    load_mask,
+    load_prediction,
+    prediction_from_dict,
+    prediction_to_dict,
+    save_attack_result,
+    save_mask,
+    save_prediction,
+)
+from repro.nsga.algorithm import NSGAConfig
+
+
+class TestMaskSerialization:
+    def test_round_trip(self, tmp_path, rng):
+        mask = FilterMask(rng.integers(-255, 256, size=(8, 12, 3)).astype(float))
+        path = save_mask(mask, tmp_path / "mask.npz")
+        loaded = load_mask(path)
+        assert np.allclose(loaded.values, mask.values)
+
+    def test_suffix_added_when_missing(self, tmp_path):
+        path = save_mask(FilterMask.zeros((4, 4, 3)), tmp_path / "mask")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_accepts_plain_array(self, tmp_path):
+        values = np.ones((4, 4, 3))
+        path = save_mask(values, tmp_path / "array.npz")
+        assert np.allclose(load_mask(path).values, values)
+
+
+class TestPredictionSerialization:
+    def test_dict_round_trip(self):
+        prediction = Prediction(
+            [
+                BoundingBox(cl=0, x=10.5, y=20.25, l=5.0, w=7.0, score=0.75),
+                BoundingBox(cl=2, x=40.0, y=60.0, l=12.0, w=9.0, score=0.5),
+            ]
+        )
+        rebuilt = prediction_from_dict(prediction_to_dict(prediction))
+        assert rebuilt.num_valid == 2
+        for original, copy in zip(prediction.valid_boxes, rebuilt.valid_boxes):
+            assert copy.cl == original.cl
+            assert copy.x == pytest.approx(original.x)
+            assert copy.score == pytest.approx(original.score)
+
+    def test_file_round_trip(self, tmp_path):
+        prediction = Prediction([BoundingBox(cl=1, x=5.0, y=5.0, l=2.0, w=2.0)])
+        path = save_prediction(prediction, tmp_path / "prediction.json")
+        assert load_prediction(path).num_valid == 1
+
+    def test_empty_prediction(self, tmp_path):
+        path = save_prediction(Prediction.empty(), tmp_path / "empty.json")
+        assert load_prediction(path).num_valid == 0
+
+
+class TestAttackResultSerialization:
+    @pytest.fixture(scope="class")
+    def attack_result(self, request):
+        detector = request.getfixturevalue("yolo_detector")
+        dataset = request.getfixturevalue("small_dataset")
+        config = AttackConfig(
+            nsga=NSGAConfig(num_iterations=2, population_size=5, seed=0),
+            region=HalfImageRegion("right"),
+        )
+        return ButterflyAttack(detector, config).attack(dataset[0].image)
+
+    def test_round_trip_preserves_objectives(self, attack_result, tmp_path):
+        directory = save_attack_result(attack_result, tmp_path / "run")
+        loaded = load_attack_result(directory)
+        assert loaded.detector_name == attack_result.detector_name
+        assert loaded.num_evaluations == attack_result.num_evaluations
+        assert len(loaded.solutions) == len(attack_result.solutions)
+        assert np.allclose(
+            loaded.objectives_array(front_only=False),
+            attack_result.objectives_array(front_only=False),
+        )
+
+    def test_round_trip_preserves_masks_and_image(self, attack_result, tmp_path):
+        directory = save_attack_result(attack_result, tmp_path / "run2")
+        loaded = load_attack_result(directory)
+        assert np.allclose(loaded.image, attack_result.image)
+        for original, copy in zip(attack_result.solutions, loaded.solutions):
+            assert np.allclose(original.mask.values, copy.mask.values)
+
+    def test_round_trip_preserves_front_predictions(self, attack_result, tmp_path):
+        directory = save_attack_result(attack_result, tmp_path / "run3")
+        loaded = load_attack_result(directory)
+        originals = [s for s in attack_result.solutions if s.perturbed_prediction]
+        copies = [s for s in loaded.solutions if s.perturbed_prediction]
+        assert len(originals) == len(copies)
+
+    def test_clean_prediction_restored(self, attack_result, tmp_path):
+        directory = save_attack_result(attack_result, tmp_path / "run4")
+        loaded = load_attack_result(directory)
+        assert loaded.clean_prediction.num_valid == attack_result.clean_prediction.num_valid

@@ -1,0 +1,90 @@
+"""Tests for scaled dot-product and multi-head self-attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadSelfAttention, scaled_dot_product_attention
+
+
+class TestScaledDotProductAttention:
+    def test_weights_are_a_distribution(self):
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=(5, 8))
+        k = rng.normal(size=(7, 8))
+        v = rng.normal(size=(7, 8))
+        attended, weights = scaled_dot_product_attention(q, k, v)
+        assert attended.shape == (5, 8)
+        assert weights.shape == (5, 7)
+        assert np.allclose(weights.sum(axis=-1), 1.0)
+        assert np.all(weights >= 0)
+
+    def test_identical_keys_give_uniform_weights(self):
+        q = np.ones((2, 4))
+        k = np.ones((3, 4))
+        v = np.arange(12, dtype=float).reshape(3, 4)
+        _, weights = scaled_dot_product_attention(q, k, v)
+        assert np.allclose(weights, 1.0 / 3.0)
+
+    def test_dominant_key_attracts_attention(self):
+        q = np.array([[1.0, 0.0]])
+        k = np.array([[10.0, 0.0], [-10.0, 0.0]])
+        v = np.array([[1.0, 0.0], [0.0, 1.0]])
+        attended, weights = scaled_dot_product_attention(q, k, v)
+        assert weights[0, 0] > 0.99
+        assert attended[0, 0] > 0.99
+
+    def test_temperature_controls_sharpness(self):
+        q = np.array([[1.0, 0.0]])
+        k = np.array([[1.0, 0.0], [0.5, 0.0]])
+        v = np.eye(2)
+        _, sharp = scaled_dot_product_attention(q, k, v, temperature=0.05)
+        _, soft = scaled_dot_product_attention(q, k, v, temperature=50.0)
+        assert sharp[0, 0] > soft[0, 0]
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_dot_product_attention(np.ones((2, 3)), np.ones((2, 4)), np.ones((2, 4)))
+        with pytest.raises(ValueError):
+            scaled_dot_product_attention(np.ones((2, 3)), np.ones((2, 3)), np.ones((5, 3)))
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape_preserved(self):
+        attention = MultiHeadSelfAttention(dim=16, num_heads=2, rng=0)
+        tokens = np.random.default_rng(0).normal(size=(10, 16))
+        assert attention(tokens).shape == (10, 16)
+
+    def test_last_attention_recorded(self):
+        attention = MultiHeadSelfAttention(dim=8, num_heads=2, rng=0)
+        tokens = np.random.default_rng(1).normal(size=(6, 8))
+        assert attention.last_attention is None
+        attention(tokens)
+        assert attention.last_attention is not None
+        assert attention.last_attention.shape == (2, 6, 6)
+        assert np.allclose(attention.last_attention.sum(axis=-1), 1.0)
+
+    def test_deterministic_given_seed(self):
+        tokens = np.random.default_rng(2).normal(size=(5, 8))
+        a = MultiHeadSelfAttention(dim=8, num_heads=2, rng=7)(tokens)
+        b = MultiHeadSelfAttention(dim=8, num_heads=2, rng=7)(tokens)
+        assert np.allclose(a, b)
+
+    def test_global_connectivity(self):
+        # Changing a single token changes the output of *other* tokens —
+        # the defining property of self-attention exploited by the paper.
+        attention = MultiHeadSelfAttention(dim=8, num_heads=2, rng=0)
+        tokens = np.random.default_rng(3).normal(size=(6, 8))
+        baseline = attention(tokens)
+        modified_tokens = tokens.copy()
+        modified_tokens[5] += 5.0
+        modified = attention(modified_tokens)
+        assert not np.allclose(baseline[0], modified[0])
+
+    def test_dim_must_be_divisible_by_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(dim=10, num_heads=3)
+
+    def test_wrong_token_dim_rejected(self):
+        attention = MultiHeadSelfAttention(dim=8, num_heads=2, rng=0)
+        with pytest.raises(ValueError):
+            attention(np.zeros((4, 9)))

@@ -1,0 +1,105 @@
+"""Tests for convolution, pooling and gradient filters."""
+
+import numpy as np
+import pytest
+
+from repro.nn.conv import (
+    avg_pool,
+    box_filter,
+    conv2d,
+    gradient_magnitude,
+    sobel_gradients,
+    std_pool,
+)
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        image = np.random.default_rng(0).normal(size=(8, 8))
+        kernel = np.zeros((3, 3))
+        kernel[1, 1] = 1.0
+        assert np.allclose(conv2d(image, kernel), image)
+
+    def test_multichannel_sums_channels(self):
+        image = np.ones((6, 6, 3))
+        kernel = np.zeros((1, 1))
+        kernel[0, 0] = 1.0
+        result = conv2d(image, kernel)
+        assert result.shape == (6, 6)
+        assert np.allclose(result, 3.0)
+
+    def test_invalid_dimensionality_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d(np.ones((2, 2, 3, 4)), np.ones((3, 3)))
+
+
+class TestBoxFilter:
+    def test_constant_image_unchanged(self):
+        image = np.full((10, 10), 7.0)
+        assert np.allclose(box_filter(image, 3), 7.0)
+
+    def test_smoothing_reduces_variance(self):
+        image = np.random.default_rng(1).normal(size=(32, 32))
+        smoothed = box_filter(image, 5)
+        assert smoothed.var() < image.var()
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            box_filter(np.ones((4, 4)), 0)
+
+
+class TestSobel:
+    def test_constant_image_has_zero_gradient(self):
+        image = np.full((10, 10), 3.0)
+        assert np.allclose(gradient_magnitude(image), 0.0, atol=1e-9)
+
+    def test_vertical_edge_detected_by_column_gradient(self):
+        image = np.zeros((10, 10))
+        image[:, 5:] = 10.0
+        grad_row, grad_col = sobel_gradients(image)
+        assert np.abs(grad_col).max() > np.abs(grad_row).max()
+
+    def test_gradient_magnitude_nonnegative(self):
+        image = np.random.default_rng(2).normal(size=(12, 12))
+        assert np.all(gradient_magnitude(image) >= 0.0)
+
+
+class TestPooling:
+    def test_avg_pool_shape(self):
+        image = np.ones((16, 24, 3))
+        pooled = avg_pool(image, 8)
+        assert pooled.shape == (2, 3, 3)
+
+    def test_avg_pool_values(self):
+        image = np.zeros((4, 4))
+        image[:2, :2] = 4.0
+        pooled = avg_pool(image, 2)
+        assert pooled[0, 0] == 4.0
+        assert pooled[1, 1] == 0.0
+
+    def test_avg_pool_drops_partial_cells(self):
+        image = np.ones((17, 25))
+        pooled = avg_pool(image, 8)
+        assert pooled.shape == (2, 3)
+
+    def test_avg_pool_too_small_image_rejected(self):
+        with pytest.raises(ValueError):
+            avg_pool(np.ones((4, 4)), 8)
+
+    def test_avg_pool_invalid_cell_rejected(self):
+        with pytest.raises(ValueError):
+            avg_pool(np.ones((8, 8)), 0)
+
+    def test_std_pool_constant_blocks_are_zero(self):
+        image = np.ones((8, 8)) * 5.0
+        assert np.allclose(std_pool(image, 4), 0.0)
+
+    def test_std_pool_detects_variation(self):
+        image = np.zeros((8, 8))
+        image[::2, ::2] = 10.0
+        assert std_pool(image, 4).min() > 0.0
+
+    def test_std_pool_3d(self):
+        image = np.random.default_rng(3).normal(size=(16, 16, 3))
+        pooled = std_pool(image, 8)
+        assert pooled.shape == (2, 2, 3)

@@ -1,0 +1,70 @@
+"""Tests for grid feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.nn.features import CELL_FEATURE_DIM, GridFeatureExtractor, cell_grid_shape
+
+
+class TestGridShape:
+    def test_cell_grid_shape(self):
+        assert cell_grid_shape(96, 320, 8) == (12, 40)
+        assert cell_grid_shape(100, 321, 8) == (12, 40)
+
+    def test_invalid_cell_rejected(self):
+        with pytest.raises(ValueError):
+            cell_grid_shape(96, 320, 0)
+
+
+class TestGridFeatureExtractor:
+    def test_output_shape(self):
+        extractor = GridFeatureExtractor(cell=8)
+        image = np.random.default_rng(0).uniform(0, 255, size=(64, 160, 3))
+        features = extractor(image)
+        assert features.shape == (8, 20, CELL_FEATURE_DIM)
+
+    def test_flat_output(self):
+        extractor = GridFeatureExtractor(cell=8)
+        image = np.random.default_rng(0).uniform(0, 255, size=(64, 160, 3))
+        assert extractor.flat(image).shape == (160, CELL_FEATURE_DIM)
+
+    def test_mean_rgb_features_of_constant_image(self):
+        extractor = GridFeatureExtractor(cell=8)
+        image = np.full((32, 32, 3), 255.0)
+        features = extractor(image)
+        # Normalised mean RGB should be 1, standard deviations and gradient 0.
+        assert np.allclose(features[..., :3], 1.0)
+        assert np.allclose(features[..., 3:6], 0.0, atol=1e-9)
+
+    def test_normalization_toggle(self):
+        image = np.full((16, 16, 3), 255.0)
+        normalised = GridFeatureExtractor(cell=8, normalize=True)(image)
+        raw = GridFeatureExtractor(cell=8, normalize=False)(image)
+        assert np.allclose(normalised[..., :3], 1.0)
+        assert np.allclose(raw[..., :3], 255.0)
+
+    def test_rejects_non_rgb_input(self):
+        extractor = GridFeatureExtractor(cell=8)
+        with pytest.raises(ValueError):
+            extractor(np.zeros((32, 32)))
+
+    def test_cell_centers(self):
+        extractor = GridFeatureExtractor(cell=8)
+        image = np.zeros((16, 24, 3))
+        centers = extractor.cell_centers(image)
+        assert centers.shape == (6, 2)
+        assert np.allclose(centers[0], [4.0, 4.0])
+        assert np.allclose(centers[-1], [12.0, 20.0])
+
+    def test_local_change_only_affects_local_cells(self):
+        extractor = GridFeatureExtractor(cell=8)
+        image = np.full((32, 32, 3), 100.0)
+        features_before = extractor(image)
+        perturbed = image.copy()
+        perturbed[0:8, 0:8] += 50.0
+        features_after = extractor(perturbed)
+        # The touched cell changes...
+        assert not np.allclose(features_before[0, 0], features_after[0, 0])
+        # ...while a far-away cell does not (gradients are local too since
+        # the perturbation is more than one cell away).
+        assert np.allclose(features_before[3, 3], features_after[3, 3])

@@ -1,0 +1,52 @@
+"""Tests for the Linear layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import Linear
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(7, 16, rng=0)
+        x = np.random.default_rng(0).normal(size=(10, 7))
+        assert layer(x).shape == (10, 16)
+
+    def test_single_vector_input(self):
+        layer = Linear(4, 2, rng=0)
+        assert layer(np.zeros(4)).shape == (2,)
+
+    def test_deterministic_given_seed(self):
+        a = Linear(5, 5, rng=42)
+        b = Linear(5, 5, rng=42)
+        assert np.allclose(a.weight, b.weight)
+
+    def test_different_seeds_differ(self):
+        a = Linear(5, 5, rng=1)
+        b = Linear(5, 5, rng=2)
+        assert not np.allclose(a.weight, b.weight)
+
+    def test_zero_input_returns_bias(self):
+        layer = Linear(3, 4, rng=0)
+        assert np.allclose(layer(np.zeros(3)), layer.bias)
+
+    def test_no_bias_option(self):
+        layer = Linear(3, 4, rng=0, bias=False)
+        assert layer.bias is None
+        assert np.allclose(layer(np.zeros(3)), 0.0)
+
+    def test_linearity(self):
+        layer = Linear(6, 3, rng=0, bias=False)
+        x = np.random.default_rng(1).normal(size=6)
+        y = np.random.default_rng(2).normal(size=6)
+        assert np.allclose(layer(x + y), layer(x) + layer(y))
+        assert np.allclose(layer(2.5 * x), 2.5 * layer(x))
+
+    def test_wrong_input_dim_rejected(self):
+        layer = Linear(3, 4, rng=0)
+        with pytest.raises(ValueError):
+            layer(np.zeros(5))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Linear(0, 4)

@@ -1,0 +1,93 @@
+"""Tests for crossover operators."""
+
+import numpy as np
+import pytest
+
+from repro.nsga.crossover import one_point_crossover, uniform_crossover
+
+
+class TestOnePointCrossover:
+    def test_children_have_parent_shapes(self):
+        rng = np.random.default_rng(0)
+        a = np.zeros((4, 5, 3))
+        b = np.ones((4, 5, 3))
+        child_a, child_b = one_point_crossover(a, b, rng)
+        assert child_a.shape == a.shape
+        assert child_b.shape == b.shape
+
+    def test_gene_conservation(self):
+        # At every position, the multiset of values across the two children
+        # equals the multiset across the two parents.
+        rng = np.random.default_rng(1)
+        a = np.zeros(20)
+        b = np.ones(20)
+        child_a, child_b = one_point_crossover(a, b, rng, probability=1.0)
+        assert np.allclose(child_a + child_b, 1.0)
+
+    def test_single_crossover_point(self):
+        rng = np.random.default_rng(2)
+        a = np.zeros(50)
+        b = np.ones(50)
+        child_a, _ = one_point_crossover(a, b, rng, probability=1.0)
+        # The child must be a prefix of zeros followed by a suffix of ones.
+        transitions = np.count_nonzero(np.diff(child_a))
+        assert transitions == 1
+
+    def test_zero_probability_returns_copies(self):
+        rng = np.random.default_rng(3)
+        a = np.zeros(10)
+        b = np.ones(10)
+        child_a, child_b = one_point_crossover(a, b, rng, probability=0.0)
+        assert np.allclose(child_a, a)
+        assert np.allclose(child_b, b)
+        child_a[0] = 99.0
+        assert a[0] == 0.0  # copies, not views
+
+    def test_parents_unchanged(self):
+        rng = np.random.default_rng(4)
+        a = np.zeros(30)
+        b = np.ones(30)
+        one_point_crossover(a, b, rng, probability=1.0)
+        assert np.allclose(a, 0.0) and np.allclose(b, 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            one_point_crossover(np.zeros(3), np.zeros(4), rng)
+
+    def test_invalid_probability_rejected(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            one_point_crossover(np.zeros(3), np.zeros(3), rng, probability=2.0)
+
+    def test_multidimensional_genomes_swap_pixels(self):
+        rng = np.random.default_rng(7)
+        a = np.zeros((8, 8, 3))
+        b = np.ones((8, 8, 3))
+        child_a, child_b = one_point_crossover(a, b, rng, probability=1.0)
+        assert 0.0 < child_a.mean() < 1.0
+        assert np.allclose(child_a + child_b, 1.0)
+
+
+class TestUniformCrossover:
+    def test_gene_conservation(self):
+        rng = np.random.default_rng(0)
+        a = np.zeros(100)
+        b = np.ones(100)
+        child_a, child_b = uniform_crossover(a, b, rng, probability=1.0)
+        assert np.allclose(child_a + child_b, 1.0)
+
+    def test_swap_rate_extremes(self):
+        rng = np.random.default_rng(1)
+        a = np.zeros(50)
+        b = np.ones(50)
+        child_a, _ = uniform_crossover(a, b, rng, probability=1.0, swap_rate=0.0)
+        assert np.allclose(child_a, a)
+
+    def test_invalid_swap_rate_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_crossover(np.zeros(3), np.zeros(3), np.random.default_rng(0), swap_rate=1.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_crossover(np.zeros(3), np.zeros(4), np.random.default_rng(0))

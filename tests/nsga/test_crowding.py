@@ -1,0 +1,61 @@
+"""Tests for crowding-distance assignment."""
+
+import numpy as np
+
+from repro.nsga.crowding import crowding_distance
+from repro.nsga.individual import Individual
+
+
+def _population(objective_vectors):
+    return [
+        Individual(genome=np.zeros(1), objectives=np.asarray(vector, dtype=float))
+        for vector in objective_vectors
+    ]
+
+
+class TestCrowdingDistance:
+    def test_boundary_points_get_infinite_distance(self):
+        population = _population([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        distances = crowding_distance(population, [0, 1, 2, 3])
+        assert np.isinf(distances[0])
+        assert np.isinf(distances[3])
+        assert np.isfinite(distances[1]) and np.isfinite(distances[2])
+
+    def test_fronts_of_size_two_or_less_are_infinite(self):
+        population = _population([[1.0, 1.0], [2.0, 0.5]])
+        distances = crowding_distance(population, [0, 1])
+        assert np.all(np.isinf(distances))
+        single = crowding_distance(_population([[1.0, 1.0]]), [0])
+        assert np.isinf(single[0])
+
+    def test_empty_front(self):
+        assert crowding_distance([], []).size == 0
+
+    def test_isolated_point_has_larger_distance(self):
+        # Points evenly spaced except one isolated point in the middle of a
+        # large gap; the isolated one must get a larger crowding distance.
+        population = _population(
+            [[0.0, 10.0], [1.0, 9.0], [2.0, 8.0], [6.0, 4.0], [10.0, 0.0]]
+        )
+        distances = crowding_distance(population, list(range(5)))
+        # Index 3 sits in the big gap between 2 and 4.
+        assert distances[3] > distances[1]
+        assert distances[3] > distances[2]
+
+    def test_updates_individual_attribute(self):
+        population = _population([[0.0, 2.0], [1.0, 1.0], [2.0, 0.0]])
+        crowding_distance(population, [0, 1, 2])
+        assert all(ind.crowding is not None for ind in population)
+
+    def test_constant_objective_does_not_blow_up(self):
+        population = _population([[1.0, 0.0], [1.0, 1.0], [1.0, 2.0], [1.0, 3.0]])
+        distances = crowding_distance(population, [0, 1, 2, 3])
+        assert np.all(np.isfinite(distances[1:3]))
+
+    def test_subset_front_indices(self):
+        population = _population(
+            [[0.0, 3.0], [99.0, 99.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]]
+        )
+        distances = crowding_distance(population, [0, 2, 3, 4])
+        assert len(distances) == 4
+        assert population[1].crowding is None

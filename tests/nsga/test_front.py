@@ -1,0 +1,86 @@
+"""Tests for Pareto-front utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nsga.front import (
+    best_per_objective,
+    hypervolume_2d,
+    pareto_front,
+    pareto_front_objectives,
+)
+from repro.nsga.individual import Individual
+
+
+def _population(objective_vectors):
+    return [
+        Individual(genome=np.zeros(1), objectives=np.asarray(v, dtype=float))
+        for v in objective_vectors
+    ]
+
+
+class TestParetoFront:
+    def test_front_extraction(self):
+        population = _population([[1.0, 3.0], [3.0, 1.0], [4.0, 4.0]])
+        front = pareto_front(population)
+        assert len(front) == 2
+        assert population[2] not in front
+
+    def test_empty_population(self):
+        assert pareto_front([]) == []
+        assert pareto_front_objectives([]).shape == (0, 0)
+
+    def test_front_objectives_matrix(self):
+        population = _population([[1.0, 3.0], [3.0, 1.0], [4.0, 4.0]])
+        objectives = pareto_front_objectives(population)
+        assert objectives.shape == (2, 2)
+
+
+class TestBestPerObjective:
+    def test_champions(self):
+        population = _population([[1.0, 9.0, 5.0], [9.0, 1.0, 5.0], [5.0, 5.0, 0.0]])
+        champions = best_per_objective(population)
+        assert len(champions) == 3
+        assert champions[0] is population[0]
+        assert champions[1] is population[1]
+        assert champions[2] is population[2]
+
+    def test_empty_population(self):
+        assert best_per_objective([]) == []
+
+    def test_single_individual_is_champion_of_all(self):
+        population = _population([[1.0, 2.0]])
+        champions = best_per_objective(population)
+        assert champions == [population[0], population[0]]
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d(np.array([[1.0, 1.0]]), (2.0, 2.0)) == pytest.approx(1.0)
+
+    def test_two_non_dominated_points(self):
+        points = np.array([[1.0, 2.0], [2.0, 1.0]])
+        # Union of [1,3]x[2,3] and [2,3]x[1,3] relative to reference (3,3):
+        # 2 + 2 - 1 = 3.
+        assert hypervolume_2d(points, (3.0, 3.0)) == pytest.approx(3.0)
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume_2d(np.array([[1.0, 1.0]]), (3.0, 3.0))
+        with_dominated = hypervolume_2d(np.array([[1.0, 1.0], [2.0, 2.0]]), (3.0, 3.0))
+        assert with_dominated == pytest.approx(base)
+
+    def test_points_beyond_reference_ignored(self):
+        assert hypervolume_2d(np.array([[5.0, 5.0]]), (3.0, 3.0)) == 0.0
+
+    def test_empty_points(self):
+        assert hypervolume_2d(np.zeros((0, 2)), (1.0, 1.0)) == 0.0
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d(np.zeros((3, 3)), (1.0, 1.0))
+
+    def test_better_front_has_larger_hypervolume(self):
+        weak = np.array([[2.0, 2.0]])
+        strong = np.array([[1.0, 1.0]])
+        reference = (3.0, 3.0)
+        assert hypervolume_2d(strong, reference) > hypervolume_2d(weak, reference)

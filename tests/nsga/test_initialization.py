@@ -1,0 +1,73 @@
+"""Tests for population initialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nsga.initialization import InitializationConfig, initialize_population
+
+
+class TestInitializationConfig:
+    def test_defaults_match_paper(self):
+        config = InitializationConfig()
+        assert config.population_size == 101
+        assert config.include_zero_mask is True
+        assert config.max_value == 255.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            InitializationConfig(population_size=0)
+        with pytest.raises(ValueError):
+            InitializationConfig(gaussian_sigma=-1.0)
+        with pytest.raises(ValueError):
+            InitializationConfig(salt_and_pepper_fraction=2.0)
+
+
+class TestInitializePopulation:
+    def test_population_size(self):
+        rng = np.random.default_rng(0)
+        population = initialize_population((8, 16, 3), rng, InitializationConfig(population_size=11))
+        assert len(population) == 11
+
+    def test_zero_mask_included(self):
+        rng = np.random.default_rng(0)
+        population = initialize_population((8, 16, 3), rng, InitializationConfig(population_size=5))
+        zero_masks = [ind for ind in population if np.allclose(ind.genome, 0.0)]
+        assert len(zero_masks) >= 1
+
+    def test_zero_mask_excluded_when_disabled(self):
+        rng = np.random.default_rng(0)
+        config = InitializationConfig(population_size=5, include_zero_mask=False, gaussian_sigma=10.0)
+        population = initialize_population((8, 16, 3), rng, config)
+        zero_masks = [ind for ind in population if np.allclose(ind.genome, 0.0)]
+        assert len(zero_masks) == 0
+
+    def test_genome_shape(self):
+        rng = np.random.default_rng(0)
+        population = initialize_population((8, 16, 3), rng, InitializationConfig(population_size=3))
+        assert all(ind.genome.shape == (8, 16, 3) for ind in population)
+
+    def test_values_within_bounds(self):
+        rng = np.random.default_rng(0)
+        config = InitializationConfig(population_size=20, gaussian_sigma=500.0)
+        population = initialize_population((8, 16, 3), rng, config)
+        for individual in population:
+            assert np.abs(individual.genome).max() <= 255.0
+
+    def test_individuals_unevaluated(self):
+        rng = np.random.default_rng(0)
+        population = initialize_population((8, 16, 3), rng, InitializationConfig(population_size=3))
+        assert all(not ind.is_evaluated for ind in population)
+
+    def test_random_individuals_are_distinct(self):
+        rng = np.random.default_rng(0)
+        population = initialize_population((8, 16, 3), rng, InitializationConfig(population_size=6))
+        genomes = [ind.genome for ind in population[:-1]]
+        for i in range(len(genomes)):
+            for j in range(i + 1, len(genomes)):
+                assert not np.allclose(genomes[i], genomes[j])
+
+    def test_population_of_one_with_zero_mask(self):
+        rng = np.random.default_rng(0)
+        population = initialize_population((4, 4, 3), rng, InitializationConfig(population_size=1))
+        assert len(population) == 1
+        assert np.allclose(population[0].genome, 0.0)

@@ -1,0 +1,65 @@
+"""Tests for the Pareto-sorted binary tournament."""
+
+import numpy as np
+import pytest
+
+from repro.nsga.individual import Individual
+from repro.nsga.selection import binary_tournament, crowded_comparison
+
+
+def _individual(rank, crowding=0.0):
+    individual = Individual(genome=np.zeros(1), objectives=np.array([0.0]))
+    individual.rank = rank
+    individual.crowding = crowding
+    return individual
+
+
+class TestCrowdedComparison:
+    def test_lower_rank_preferred(self):
+        assert crowded_comparison(_individual(1), _individual(2)) == -1
+        assert crowded_comparison(_individual(3), _individual(2)) == 1
+
+    def test_equal_rank_larger_crowding_preferred(self):
+        assert crowded_comparison(_individual(1, 2.0), _individual(1, 1.0)) == -1
+        assert crowded_comparison(_individual(1, 0.5), _individual(1, 1.0)) == 1
+
+    def test_tie(self):
+        assert crowded_comparison(_individual(1, 1.0), _individual(1, 1.0)) == 0
+
+    def test_unranked_individual_rejected(self):
+        with pytest.raises(ValueError):
+            crowded_comparison(Individual(genome=np.zeros(1)), _individual(1))
+
+    def test_missing_crowding_treated_as_zero(self):
+        a = _individual(1, crowding=None)
+        b = _individual(1, 1.0)
+        assert crowded_comparison(a, b) == 1
+
+
+class TestBinaryTournament:
+    def test_number_of_selected(self):
+        population = [_individual(1), _individual(2), _individual(3)]
+        selected = binary_tournament(population, np.random.default_rng(0), 10)
+        assert len(selected) == 10
+
+    def test_default_selection_size_is_population_size(self):
+        population = [_individual(1), _individual(2)]
+        assert len(binary_tournament(population, np.random.default_rng(0))) == 2
+
+    def test_better_ranks_win_more_often(self):
+        population = [_individual(1)] + [_individual(5) for _ in range(4)]
+        rng = np.random.default_rng(0)
+        selected = binary_tournament(population, rng, 400)
+        best_count = sum(1 for ind in selected if ind.rank == 1)
+        # The rank-1 individual participates in ~2/5 of tournaments and wins
+        # all of them, so it should clearly exceed a uniform 1/5 share.
+        assert best_count > 0.25 * 400
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            binary_tournament([], np.random.default_rng(0))
+
+    def test_selected_are_population_members(self):
+        population = [_individual(1), _individual(2)]
+        selected = binary_tournament(population, np.random.default_rng(0), 5)
+        assert all(individual in population for individual in selected)

@@ -1,0 +1,87 @@
+"""Tests for Pareto dominance and fast non-dominated sorting."""
+
+import numpy as np
+import pytest
+
+from repro.nsga.individual import Individual
+from repro.nsga.sorting import dominates, fast_non_dominated_sort, pareto_ranks
+
+
+def _population(objective_vectors):
+    return [
+        Individual(genome=np.zeros(1), objectives=np.asarray(vector, dtype=float))
+        for vector in objective_vectors
+    ]
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+        assert not dominates([2.0, 2.0], [1.0, 1.0])
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates([1.0, 1.0], [1.0, 1.0])
+
+    def test_partial_improvement_dominates(self):
+        assert dominates([1.0, 2.0], [1.0, 3.0])
+
+    def test_tradeoff_is_non_dominated(self):
+        assert not dominates([1.0, 3.0], [2.0, 2.0])
+        assert not dominates([2.0, 2.0], [1.0, 3.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates([1.0], [1.0, 2.0])
+
+
+class TestFastNonDominatedSort:
+    def test_single_front(self):
+        population = _population([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]])
+        fronts = fast_non_dominated_sort(population)
+        assert len(fronts) == 1
+        assert sorted(fronts[0]) == [0, 1, 2]
+        assert all(ind.rank == 1 for ind in population)
+
+    def test_two_fronts(self):
+        population = _population([[1.0, 1.0], [2.0, 2.0], [0.5, 3.0]])
+        fronts = fast_non_dominated_sort(population)
+        assert sorted(fronts[0]) == [0, 2]
+        assert fronts[1] == [1]
+        assert population[1].rank == 2
+
+    def test_chain_of_dominated_solutions(self):
+        population = _population([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0], [4.0, 4.0]])
+        fronts = fast_non_dominated_sort(population)
+        assert [len(front) for front in fronts] == [1, 1, 1, 1]
+        assert [population[front[0]].rank for front in fronts] == [1, 2, 3, 4]
+
+    def test_duplicate_objectives_share_a_front(self):
+        population = _population([[1.0, 1.0], [1.0, 1.0]])
+        fronts = fast_non_dominated_sort(population)
+        assert len(fronts) == 1
+        assert len(fronts[0]) == 2
+
+    def test_three_objectives(self):
+        population = _population(
+            [[1.0, 2.0, 3.0], [3.0, 2.0, 1.0], [2.0, 2.0, 2.0], [3.0, 3.0, 3.0]]
+        )
+        fronts = fast_non_dominated_sort(population)
+        assert sorted(fronts[0]) == [0, 1, 2]
+        assert fronts[1] == [3]
+
+    def test_unevaluated_individual_rejected(self):
+        population = [Individual(genome=np.zeros(1))]
+        with pytest.raises(ValueError):
+            fast_non_dominated_sort(population)
+
+    def test_pareto_ranks_helper(self):
+        population = _population([[1.0, 1.0], [2.0, 2.0]])
+        ranks = pareto_ranks(population)
+        assert list(ranks) == [1, 2]
+
+    def test_every_individual_assigned_to_exactly_one_front(self):
+        rng = np.random.default_rng(0)
+        population = _population(rng.uniform(size=(30, 3)))
+        fronts = fast_non_dominated_sort(population)
+        flattened = sorted(index for front in fronts for index in front)
+        assert flattened == list(range(30))

@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) for bounding-box geometry."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.boxes import (
+    BoundingBox,
+    box_intersection_area,
+    box_union_area,
+    iou,
+)
+
+coordinates = st.floats(min_value=-500.0, max_value=500.0, allow_nan=False)
+# Extents start at 1e-3 pixels: sub-resolution boxes only probe floating-
+# point cancellation, which the dedicated unit tests cover explicitly.
+extents = st.floats(min_value=1e-3, max_value=200.0, allow_nan=False)
+classes = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def boxes(draw):
+    return BoundingBox(
+        cl=draw(classes),
+        x=draw(coordinates),
+        y=draw(coordinates),
+        l=draw(extents),
+        w=draw(extents),
+    )
+
+
+class TestIoUProperties:
+    @given(boxes(), boxes())
+    @settings(max_examples=200)
+    def test_iou_bounded(self, a, b):
+        value = iou(a, b)
+        assert 0.0 <= value <= 1.0
+
+    @given(boxes(), boxes())
+    @settings(max_examples=200)
+    def test_iou_symmetric(self, a, b):
+        assert abs(iou(a, b) - iou(b, a)) < 1e-9
+
+    @given(boxes())
+    @settings(max_examples=100)
+    def test_iou_with_itself_is_one(self, box):
+        assert abs(iou(box, box) - 1.0) < 1e-6
+
+    @given(boxes(), boxes())
+    @settings(max_examples=200)
+    def test_intersection_bounded_by_smaller_area(self, a, b):
+        inter = box_intersection_area(a, b)
+        assert inter >= 0.0
+        assert inter <= min(a.area, b.area) + 1e-9
+
+    @given(boxes(), boxes())
+    @settings(max_examples=200)
+    def test_union_at_least_larger_area(self, a, b):
+        union = box_union_area(a, b)
+        assert union >= max(a.area, b.area) - 1e-9
+        assert union <= a.area + b.area + 1e-9
+
+    @given(boxes(), st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=100)
+    def test_iou_invariant_under_translation(self, box, shift):
+        other = box.translated(shift, -shift)
+        moved_a = box.translated(10.0, 20.0)
+        moved_b = other.translated(10.0, 20.0)
+        assert abs(iou(box, other) - iou(moved_a, moved_b)) < 1e-9
+
+
+class TestCornerProperties:
+    @given(boxes())
+    @settings(max_examples=100)
+    def test_corners_ordered(self, box):
+        assert box.x_min <= box.x_max
+        assert box.y_min <= box.y_max
+
+    @given(boxes())
+    @settings(max_examples=100)
+    def test_from_corners_round_trip(self, box):
+        rebuilt = BoundingBox.from_corners(box.cl, *box.corners)
+        assert abs(rebuilt.x - box.x) < 1e-6
+        assert abs(rebuilt.y - box.y) < 1e-6
+        assert abs(rebuilt.l - box.l) < 1e-6
+        assert abs(rebuilt.w - box.w) < 1e-6
+
+    @given(boxes())
+    @settings(max_examples=100)
+    def test_contains_own_center_when_nonempty(self, box):
+        if box.l > 0 and box.w > 0:
+            assert box.contains_point(box.x, box.y)

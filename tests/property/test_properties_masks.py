@@ -1,0 +1,91 @@
+"""Property-based tests for filter masks and region constraints."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core.masks import FilterMask, apply_mask
+from repro.core.regions import FullImageRegion, HalfImageRegion, RectangleRegion
+
+masks = npst.arrays(
+    dtype=np.float64,
+    shape=(10, 16, 3),
+    elements=st.floats(min_value=-255, max_value=255, allow_nan=False, width=32),
+)
+
+images = npst.arrays(
+    dtype=np.float64,
+    shape=(10, 16, 3),
+    elements=st.floats(min_value=0, max_value=255, allow_nan=False, width=32),
+)
+
+
+class TestApplyMaskProperties:
+    @given(images, masks)
+    @settings(max_examples=100)
+    def test_output_stays_in_pixel_range(self, image, mask):
+        perturbed = apply_mask(image, mask)
+        assert perturbed.min() >= 0.0
+        assert perturbed.max() <= 255.0
+
+    @given(images)
+    @settings(max_examples=50)
+    def test_zero_mask_is_identity(self, image):
+        assert np.allclose(apply_mask(image, np.zeros_like(image)), image)
+
+    @given(images, masks)
+    @settings(max_examples=100)
+    def test_perturbation_bounded_by_mask_magnitude(self, image, mask):
+        perturbed = apply_mask(image, mask)
+        assert np.all(np.abs(perturbed - image) <= np.abs(mask) + 1e-9)
+
+
+class TestFilterMaskProperties:
+    @given(masks)
+    @settings(max_examples=100)
+    def test_norm_ordering(self, values):
+        mask = FilterMask(values)
+        assert mask.linf_norm <= mask.l2_norm + 1e-9
+        assert mask.l2_norm <= mask.l1_norm + 1e-9
+
+    @given(masks)
+    @settings(max_examples=100)
+    def test_perturbed_pixel_count_bounds(self, values):
+        mask = FilterMask(values)
+        assert 0 <= mask.perturbed_pixel_count <= values.shape[0] * values.shape[1]
+
+    @given(masks)
+    @settings(max_examples=50)
+    def test_rounded_mask_is_integer_valued(self, values):
+        rounded = FilterMask(values).rounded()
+        assert np.allclose(rounded.values, np.round(rounded.values))
+
+
+class TestRegionProperties:
+    @given(masks)
+    @settings(max_examples=50)
+    def test_projection_is_idempotent(self, values):
+        for region in (
+            FullImageRegion(),
+            HalfImageRegion("right"),
+            HalfImageRegion("left"),
+            RectangleRegion(2, 3, 8, 12),
+        ):
+            once = region.project(values)
+            twice = region.project(once)
+            assert np.allclose(once, twice)
+
+    @given(masks)
+    @settings(max_examples=50)
+    def test_projection_never_increases_magnitude(self, values):
+        for region in (HalfImageRegion("right"), RectangleRegion(0, 0, 5, 5)):
+            projected = region.project(values)
+            assert np.all(np.abs(projected) <= np.abs(values) + 1e-12)
+
+    @given(masks)
+    @settings(max_examples=50)
+    def test_left_and_right_halves_partition_the_mask(self, values):
+        left = HalfImageRegion("left").project(values)
+        right = HalfImageRegion("right").project(values)
+        assert np.allclose(left + right, values)

@@ -1,0 +1,127 @@
+"""Property-based tests for the NSGA-II building blocks."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.nsga.crowding import crowding_distance
+from repro.nsga.crossover import one_point_crossover
+from repro.nsga.individual import Individual
+from repro.nsga.mutation import (
+    MutationConfig,
+    complement_mutation,
+    mutate,
+    random_value_mutation,
+    shuffle_mutation,
+)
+from repro.nsga.sorting import dominates, fast_non_dominated_sort
+
+objective_vectors = npst.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=4).map(lambda n: (n,)),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False, width=32),
+)
+
+genomes = npst.arrays(
+    dtype=np.float64,
+    shape=(8, 10, 3),
+    elements=st.floats(min_value=-255, max_value=255, allow_nan=False, width=32),
+)
+
+populations = st.lists(
+    npst.arrays(
+        dtype=np.float64,
+        shape=(3,),
+        elements=st.floats(min_value=0, max_value=10, allow_nan=False, width=32),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestDominanceProperties:
+    @given(objective_vectors)
+    @settings(max_examples=100)
+    def test_irreflexive(self, vector):
+        assert not dominates(vector, vector)
+
+    @given(populations)
+    @settings(max_examples=50)
+    def test_antisymmetric(self, vectors):
+        for a in vectors:
+            for b in vectors:
+                assert not (dominates(a, b) and dominates(b, a))
+
+    @given(populations)
+    @settings(max_examples=50)
+    def test_first_front_is_mutually_non_dominated(self, vectors):
+        population = [Individual(genome=np.zeros(1), objectives=v) for v in vectors]
+        fronts = fast_non_dominated_sort(population)
+        first = fronts[0]
+        for i in first:
+            for j in first:
+                assert not dominates(population[i].objectives, population[j].objectives)
+
+    @given(populations)
+    @settings(max_examples=50)
+    def test_fronts_partition_population(self, vectors):
+        population = [Individual(genome=np.zeros(1), objectives=v) for v in vectors]
+        fronts = fast_non_dominated_sort(population)
+        indices = sorted(i for front in fronts for i in front)
+        assert indices == list(range(len(population)))
+
+    @given(populations)
+    @settings(max_examples=50)
+    def test_later_fronts_are_dominated_by_earlier_ones(self, vectors):
+        population = [Individual(genome=np.zeros(1), objectives=v) for v in vectors]
+        fronts = fast_non_dominated_sort(population)
+        for front_index in range(1, len(fronts)):
+            for member in fronts[front_index]:
+                dominated = any(
+                    dominates(population[i].objectives, population[member].objectives)
+                    for i in fronts[front_index - 1]
+                )
+                assert dominated
+
+
+class TestCrowdingProperties:
+    @given(populations)
+    @settings(max_examples=50)
+    def test_distances_non_negative(self, vectors):
+        population = [Individual(genome=np.zeros(1), objectives=v) for v in vectors]
+        fast_non_dominated_sort(population)
+        distances = crowding_distance(population, list(range(len(population))))
+        assert np.all(distances >= 0.0)
+
+
+class TestOperatorProperties:
+    @given(genomes, genomes, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50)
+    def test_crossover_preserves_values_positionwise(self, a, b, seed):
+        rng = np.random.default_rng(seed)
+        child_a, child_b = one_point_crossover(a, b, rng, probability=1.0)
+        flat = (
+            np.isclose(child_a.reshape(-1), a.reshape(-1))
+            & np.isclose(child_b.reshape(-1), b.reshape(-1))
+        ) | (
+            np.isclose(child_a.reshape(-1), b.reshape(-1))
+            & np.isclose(child_b.reshape(-1), a.reshape(-1))
+        )
+        assert flat.all()
+
+    @given(genomes, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50)
+    def test_mutations_stay_in_range(self, genome, seed):
+        rng = np.random.default_rng(seed)
+        for operator in (complement_mutation, shuffle_mutation, random_value_mutation):
+            mutated = operator(genome, rng, window_fraction=0.05, max_value=255.0)
+            assert np.abs(mutated).max() <= 255.0 + 1e-9
+
+    @given(genomes, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50)
+    def test_mutate_returns_new_array_of_same_shape(self, genome, seed):
+        rng = np.random.default_rng(seed)
+        mutated = mutate(genome, rng, MutationConfig(probability=1.0))
+        assert mutated.shape == genome.shape
+        assert mutated is not genome

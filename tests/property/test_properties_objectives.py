@@ -1,0 +1,115 @@
+"""Property-based tests for the attack objectives (Algorithms 1 and 2)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core.objectives import (
+    distance_weight_matrix,
+    objective_degradation,
+    objective_distance,
+    objective_intensity,
+)
+from repro.detection.boxes import BoundingBox
+from repro.detection.prediction import Prediction
+
+small_masks = npst.arrays(
+    dtype=np.float64,
+    shape=(12, 20, 3),
+    elements=st.floats(min_value=-255.0, max_value=255.0, allow_nan=False, width=32),
+)
+
+
+@st.composite
+def predictions(draw, max_boxes=4, image_length=12, image_width=20):
+    count = draw(st.integers(min_value=0, max_value=max_boxes))
+    boxes = []
+    for _ in range(count):
+        boxes.append(
+            BoundingBox(
+                cl=draw(st.integers(min_value=0, max_value=2)),
+                x=draw(st.floats(min_value=0, max_value=image_length, allow_nan=False)),
+                y=draw(st.floats(min_value=0, max_value=image_width, allow_nan=False)),
+                l=draw(st.floats(min_value=1, max_value=image_length, allow_nan=False)),
+                w=draw(st.floats(min_value=1, max_value=image_width, allow_nan=False)),
+            )
+        )
+    return Prediction(boxes)
+
+
+class TestIntensityProperties:
+    @given(small_masks)
+    @settings(max_examples=50)
+    def test_non_negative(self, mask):
+        assert objective_intensity(mask) >= 0.0
+
+    @given(small_masks, st.floats(min_value=0.0, max_value=3.0, allow_nan=False))
+    @settings(max_examples=50)
+    def test_absolute_homogeneity(self, mask, factor):
+        scaled = objective_intensity(factor * mask)
+        assert abs(scaled - factor * objective_intensity(mask)) < 1e-6 * (1 + scaled)
+
+    @given(small_masks, small_masks)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b):
+        assert objective_intensity(a + b) <= (
+            objective_intensity(a) + objective_intensity(b) + 1e-9
+        )
+
+
+class TestDegradationProperties:
+    @given(predictions(), predictions())
+    @settings(max_examples=100)
+    def test_bounded_between_zero_and_one(self, clean, perturbed):
+        value = objective_degradation(clean, perturbed)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(predictions())
+    @settings(max_examples=100)
+    def test_identical_predictions_give_one(self, clean):
+        assert objective_degradation(clean, clean) >= 1.0 - 1e-9
+
+    @given(predictions())
+    @settings(max_examples=100)
+    def test_empty_perturbed_prediction_gives_zero_when_objects_exist(self, clean):
+        value = objective_degradation(clean, Prediction.empty())
+        if clean.num_valid:
+            assert value == 0.0
+        else:
+            assert value == 1.0
+
+
+class TestDistanceProperties:
+    @given(predictions())
+    @settings(max_examples=50)
+    def test_weight_matrix_shape_and_finiteness(self, prediction):
+        matrix = distance_weight_matrix(prediction, 12, 20)
+        assert matrix.shape == (12, 20)
+        assert np.all(np.isfinite(matrix))
+
+    @given(small_masks, predictions())
+    @settings(max_examples=50)
+    def test_distance_zero_iff_zero_mask(self, mask, prediction):
+        matrix = distance_weight_matrix(prediction, 12, 20)
+        if not np.any(np.abs(mask) > 0):
+            assert objective_distance(mask, matrix) == 0.0
+
+    @given(small_masks, st.floats(min_value=1.0, max_value=4.0, allow_nan=False))
+    @settings(max_examples=50)
+    def test_distance_scales_with_magnitude_on_positive_matrix(self, mask, factor):
+        # On an all-positive weight matrix (no objects), amplifying the mask
+        # cannot decrease the objective: the weighted sum scales linearly
+        # while the perturbed-pixel count can only stay equal or grow.
+        matrix = distance_weight_matrix(Prediction.empty(), 12, 20)
+        base = objective_distance(mask, matrix)
+        amplified = objective_distance(factor * mask, matrix)
+        assert amplified >= base - 1e-9
+
+    @given(predictions())
+    @settings(max_examples=50)
+    def test_uniform_mask_distance_is_average_weight(self, prediction):
+        matrix = distance_weight_matrix(prediction, 12, 20)
+        uniform = np.full((12, 20, 3), 1.0)
+        expected = matrix.sum() / (12 * 20)
+        assert abs(objective_distance(uniform, matrix) - expected) < 1e-9
