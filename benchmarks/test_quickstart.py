@@ -1,0 +1,43 @@
+"""Quickstart smoke benchmark: one tiny attack per architecture.
+
+This is the benchmark CI runs on every push (``pytest benchmarks -k
+quickstart --benchmark-disable``): it exercises the full batched
+attack pipeline — population stacking, vectorised detector pass,
+evaluation cache, NSGA-II selection — at the smallest useful budget, so
+both the benchmark harness and the perf-critical code paths stay green
+without the cost of the full suite.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core.attack import ButterflyAttack
+
+
+def _attack(detector, config, image):
+    return ButterflyAttack(detector, config).attack(image)
+
+
+class TestQuickstart:
+    def test_quickstart_attack_yolo(
+        self, benchmark, bench_yolo, bench_dataset, bench_attack_config
+    ):
+        result = run_once(
+            benchmark, _attack, bench_yolo, bench_attack_config, bench_dataset[0].image
+        )
+        assert result.solutions
+        assert result.num_evaluations == (
+            result.cache_hits + result.num_queries
+        )
+
+    def test_quickstart_attack_detr(
+        self, benchmark, bench_detr, bench_dataset, bench_attack_config
+    ):
+        result = run_once(
+            benchmark, _attack, bench_detr, bench_attack_config, bench_dataset[0].image
+        )
+        assert result.solutions
+        print(
+            f"quickstart detr: evaluations={result.num_evaluations} "
+            f"cache_hits={result.cache_hits}"
+        )

@@ -108,6 +108,11 @@ def _run_attack(args: argparse.Namespace) -> int:
 
     result = ButterflyAttack(detector, _attack_config(args)).attack(sample.image)
     print(result.summary())
+    print(
+        f"Evaluations: {result.num_evaluations} requested, "
+        f"{result.cache_hits} answered by the evaluation cache, "
+        f"{result.num_queries} detector queries"
+    )
     rows = [
         {
             "solution": index,

@@ -97,18 +97,25 @@ class ButterflyAttack:
             solutions=solutions,
             detector_name=getattr(self.detector, "name", repr(self.detector)),
             num_evaluations=nsga_result.num_evaluations,
+            cache_hits=nsga_result.cache_hits,
             history=nsga_result.history,
         )
 
         # Fill in perturbed predictions and error transitions for the front
         # only (re-running the detector for all 101+ solutions would double
-        # the attack cost for no benefit).
-        for solution in result.pareto_front:
-            perturbed = self.detector.predict(apply_mask(image, solution.mask.values))
-            solution.perturbed_prediction = perturbed
-            solution.transitions = classify_transitions(
-                objectives.clean_prediction, perturbed
+        # the attack cost for no benefit); one batched pass covers the front.
+        front = result.pareto_front
+        if front:
+            perturbed_images = np.stack(
+                [apply_mask(image, solution.mask.values) for solution in front], axis=0
             )
+            for solution, perturbed in zip(
+                front, self.detector.predict_batch(perturbed_images)
+            ):
+                solution.perturbed_prediction = perturbed
+                solution.transitions = classify_transitions(
+                    objectives.clean_prediction, perturbed
+                )
         return result
 
     def attack(

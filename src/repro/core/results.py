@@ -64,7 +64,18 @@ class AttackResult:
     solutions: list[ParetoSolution]
     detector_name: str = ""
     num_evaluations: int = 0
+    cache_hits: int = 0
     history: list[dict] = field(default_factory=list)
+
+    @property
+    def num_queries(self) -> int:
+        """Objective evaluations that actually queried the detector.
+
+        ``num_evaluations`` counts requested objective vectors; the NSGA-II
+        evaluation cache answered ``cache_hits`` of them without running the
+        detector.
+        """
+        return self.num_evaluations - self.cache_hits
 
     @property
     def pareto_front(self) -> list[ParetoSolution]:
@@ -117,5 +128,6 @@ class AttackResult:
             f"best obj_degrad={best_degradation:.3f} "
             f"best obj_intensity={best_intensity:.4f} "
             f"best obj_dist={best_distance:.4f} "
-            f"evaluations={self.num_evaluations}"
+            f"evaluations={self.num_evaluations} "
+            f"(cache hits {self.cache_hits}, detector queries {self.num_queries})"
         )

@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass, replace
 from typing import Optional
 
+import numpy as np
+
 #: The paper's ``⊥`` class: a prediction slot that does not contain an object.
 BACKGROUND_CLASS: int = -1
 
@@ -183,6 +185,43 @@ def iou(a: BoundingBox, b: BoundingBox) -> float:
     value = inter / union
     # Guard against floating-point excursions outside [0, 1].
     return min(1.0, max(0.0, value))
+
+
+def boxes_to_array(boxes) -> np.ndarray:
+    """Stack boxes into a float64 array of rows ``(x_min, y_min, x_max,
+    y_max, area, cl)``; shape (n, 6).  Used by the vectorised IoU kernels."""
+    if not boxes:
+        return np.zeros((0, 6), dtype=np.float64)
+    return np.array(
+        [
+            [box.x_min, box.y_min, box.x_max, box.y_max, box.area, float(box.cl)]
+            for box in boxes
+        ],
+        dtype=np.float64,
+    )
+
+
+def iou_matrix(first, second) -> np.ndarray:
+    """Pairwise IoU of two box sequences, shape (len(first), len(second)).
+
+    ``iou_matrix(a, b)[i, j]`` equals ``iou(a[i], b[j])`` bit-for-bit: the
+    vectorised kernel evaluates the exact same intersection/union formula
+    (including the empty-intersection and degenerate-union guards) with the
+    same operation order, just across the whole matrix at once.  This is the
+    kernel behind Algorithm 1's batched degradation objective.
+    """
+    a = boxes_to_array(first)
+    b = boxes_to_array(second)
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        return np.zeros((a.shape[0], b.shape[0]), dtype=np.float64)
+
+    dx = np.minimum(a[:, None, 2], b[None, :, 2]) - np.maximum(a[:, None, 0], b[None, :, 0])
+    dy = np.minimum(a[:, None, 3], b[None, :, 3]) - np.maximum(a[:, None, 1], b[None, :, 1])
+    inter = np.where((dx <= 0.0) | (dy <= 0.0), 0.0, dx * dy)
+    union = a[:, None, 4] + b[None, :, 4] - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        value = np.where((inter == 0.0) | (union <= 0.0), 0.0, inter / union)
+    return np.minimum(1.0, np.maximum(0.0, value))
 
 
 def clip_box_to_image(

@@ -49,6 +49,17 @@ class DetectorEnsemble:
         """Run every member detector on the image."""
         return [detector.predict(image) for detector in self.detectors]
 
+    def predict_batch_all(self, images: np.ndarray) -> list[list[Prediction]]:
+        """Run every member on a stack of images ``(B, L, W, 3)``.
+
+        Returns one list of per-image predictions per member, i.e.
+        ``result[m][b]`` is member ``m``'s prediction on image ``b``.  Each
+        member uses its vectorised :meth:`~repro.detectors.base.Detector.
+        predict_batch` fast path (or the generic loop fallback), so this is
+        the batched equivalent of calling :meth:`predict_all` per image.
+        """
+        return [detector.predict_batch(images) for detector in self.detectors]
+
     def predict_fused(
         self,
         image: np.ndarray,

@@ -15,10 +15,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detection.prediction import Prediction
-from repro.detectors.base import Detector, DetectorConfig, validate_image
+from repro.detectors.base import (
+    Detector,
+    DetectorConfig,
+    validate_image,
+    validate_image_batch,
+)
 from repro.detectors.decode import decode_cell_probabilities
 from repro.detectors.prototypes import PrototypeBank
-from repro.nn.conv import box_filter
+from repro.nn.conv import box_filter, box_filter_batch
 from repro.nn.features import GridFeatureExtractor
 
 
@@ -93,3 +98,39 @@ class SingleStageDetector(Detector):
         return decode_cell_probabilities(
             probabilities, self.config, (image.shape[0], image.shape[1])
         )
+
+    def backbone_features_batch(self, images: np.ndarray) -> np.ndarray:
+        """Batched :meth:`backbone_features`; returns (B, rows, cols, dim).
+
+        Performs the same smoothing/context operations as the single-image
+        path on a stacked feature tensor, so results per image are
+        bit-identical.
+        """
+        images = validate_image_batch(images)
+        features = self.extractor.batch(images)
+        if self.local_smoothing > 1:
+            smoothed = box_filter_batch(features, self.local_smoothing)
+            features = 0.6 * features + 0.4 * smoothed
+        if self.global_context_weight > 0:
+            flat = features.reshape(features.shape[0], -1, features.shape[3])
+            global_mean = flat.mean(axis=1)
+            features = features - self.global_context_weight * global_mean[:, None, None, :]
+        return features
+
+    def cell_probabilities_batch(self, images: np.ndarray) -> np.ndarray:
+        """Batched per-cell class probabilities (B, rows, cols, classes + 1)."""
+        return self.prototypes.probabilities(self.backbone_features_batch(images))
+
+    def predict_batch(self, images: np.ndarray) -> list[Prediction]:
+        """Vectorised batch prediction, processed in cache-friendly chunks."""
+        images = validate_image_batch(images)
+        image_shape = (images.shape[1], images.shape[2])
+        chunk = max(1, int(self.batch_chunk))
+        predictions: list[Prediction] = []
+        for start in range(0, images.shape[0], chunk):
+            probabilities = self.cell_probabilities_batch(images[start : start + chunk])
+            predictions.extend(
+                decode_cell_probabilities(grid, self.config, image_shape)
+                for grid in probabilities
+            )
+        return predictions

@@ -14,7 +14,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detection.prediction import Prediction
-from repro.detectors.base import Detector, DetectorConfig, validate_image
+from repro.detectors.base import (
+    Detector,
+    DetectorConfig,
+    validate_image,
+    validate_image_batch,
+)
 from repro.detectors.decode import decode_cell_probabilities
 from repro.detectors.prototypes import PrototypeBank
 from repro.nn.attention import MultiHeadSelfAttention, scaled_dot_product_attention
@@ -104,12 +109,16 @@ class TransformerDetector(Detector):
             )
         return self._positional_cache[key]
 
-    def attention_matrix(self, image: np.ndarray) -> np.ndarray:
-        """Content-dependent (tokens, tokens) attention matrix for an image."""
-        image = validate_image(image)
-        raw = self.extractor(image)
-        rows, cols, _ = raw.shape
-        tokens = self.embedding(raw.reshape(-1, raw.shape[2]))
+    def _attention_from_raw(self, raw: np.ndarray) -> np.ndarray:
+        """Attention matrix from raw cell features ``(..., rows, cols, dim)``.
+
+        Works on single images and batches alike; leading axes are carried
+        through all token operations unchanged, so batched results are
+        bit-identical to the per-image computation.
+        """
+        rows, cols = raw.shape[-3], raw.shape[-2]
+        flat = raw.reshape(raw.shape[:-3] + (rows * cols, raw.shape[-1]))
+        tokens = self.embedding(flat)
         tokens = layer_norm(tokens + self._positional(rows, cols), axis=-1)
         for layer in self.layers:
             tokens = layer(tokens)
@@ -121,22 +130,45 @@ class TransformerDetector(Detector):
         )
         return weights
 
-    def backbone_features(self, image: np.ndarray) -> np.ndarray:
-        """Attention-mixed cell features (rows, cols, feature_dim)."""
+    def attention_matrix(self, image: np.ndarray) -> np.ndarray:
+        """Content-dependent (tokens, tokens) attention matrix for an image."""
         image = validate_image(image)
-        raw = self.extractor(image)
-        rows, cols, dim = raw.shape
-        flat_raw = raw.reshape(-1, dim)
+        return self._attention_from_raw(self.extractor(image))
 
-        weights = self.attention_matrix(image)
+    def _mix_features(self, raw: np.ndarray) -> np.ndarray:
+        """Blend raw cell features with their attention-mixed counterpart."""
+        rows, cols = raw.shape[-3], raw.shape[-2]
+        flat_raw = raw.reshape(raw.shape[:-3] + (rows * cols, raw.shape[-1]))
+        weights = self._attention_from_raw(raw)
         self._last_mixing_attention = weights
         mixed = weights @ flat_raw
         blended = (1.0 - self.attention_mix) * flat_raw + self.attention_mix * mixed
-        return blended.reshape(rows, cols, dim)
+        return blended.reshape(raw.shape)
+
+    def backbone_features(self, image: np.ndarray) -> np.ndarray:
+        """Attention-mixed cell features (rows, cols, feature_dim)."""
+        image = validate_image(image)
+        return self._mix_features(self.extractor(image))
+
+    def backbone_features_batch(self, images: np.ndarray) -> np.ndarray:
+        """Batched :meth:`backbone_features`; returns (B, rows, cols, dim).
+
+        One embedding/attention pass serves the whole stack; per-image
+        results are bit-identical to the single-image path.  The
+        :attr:`last_mixing_attention` buffer holds the (B, tokens, tokens)
+        stack of the most recent forward pass (the last internal chunk when
+        called through :meth:`predict_batch`).
+        """
+        images = validate_image_batch(images)
+        return self._mix_features(self.extractor.batch(images))
 
     def cell_probabilities(self, image: np.ndarray) -> np.ndarray:
         """Per-cell class probabilities (rows, cols, num_classes + 1)."""
         return self.prototypes.probabilities(self.backbone_features(image))
+
+    def cell_probabilities_batch(self, images: np.ndarray) -> np.ndarray:
+        """Batched per-cell class probabilities (B, rows, cols, classes + 1)."""
+        return self.prototypes.probabilities(self.backbone_features_batch(images))
 
     def predict(self, image: np.ndarray) -> Prediction:
         image = validate_image(image)
@@ -144,3 +176,17 @@ class TransformerDetector(Detector):
         return decode_cell_probabilities(
             probabilities, self.config, (image.shape[0], image.shape[1])
         )
+
+    def predict_batch(self, images: np.ndarray) -> list[Prediction]:
+        """Vectorised batch prediction, processed in cache-friendly chunks."""
+        images = validate_image_batch(images)
+        image_shape = (images.shape[1], images.shape[2])
+        chunk = max(1, int(self.batch_chunk))
+        predictions: list[Prediction] = []
+        for start in range(0, images.shape[0], chunk):
+            probabilities = self.cell_probabilities_batch(images[start : start + chunk])
+            predictions.extend(
+                decode_cell_probabilities(grid, self.config, image_shape)
+                for grid in probabilities
+            )
+        return predictions

@@ -17,10 +17,14 @@ from repro.nn.ops import (
 )
 from repro.nn.conv import (
     avg_pool,
+    avg_pool_batch,
     box_filter,
+    box_filter_batch,
     conv2d,
     gradient_magnitude,
     sobel_gradients,
+    std_pool,
+    std_pool_batch,
 )
 from repro.nn.features import GridFeatureExtractor, cell_grid_shape
 from repro.nn.attention import MultiHeadSelfAttention, scaled_dot_product_attention
@@ -34,10 +38,14 @@ __all__ = [
     "sigmoid",
     "softmax",
     "avg_pool",
+    "avg_pool_batch",
     "box_filter",
+    "box_filter_batch",
     "conv2d",
     "gradient_magnitude",
     "sobel_gradients",
+    "std_pool",
+    "std_pool_batch",
     "GridFeatureExtractor",
     "cell_grid_shape",
     "MultiHeadSelfAttention",

@@ -20,16 +20,20 @@ def scaled_dot_product_attention(
     attention weights are what connect "two arbitrary regions in an image"
     (the paper's conjectured source of transformer susceptibility), so they
     are exposed for analysis and heatmap generation.
+
+    Inputs may carry arbitrary leading batch axes (``(..., tokens, dim)``);
+    the attention is computed per batch element, bit-identical to calling
+    the function on each element separately.
     """
     query = np.asarray(query, dtype=np.float64)
     key = np.asarray(key, dtype=np.float64)
     value = np.asarray(value, dtype=np.float64)
     if query.shape[-1] != key.shape[-1]:
         raise ValueError("query and key feature dimensions differ")
-    if key.shape[0] != value.shape[0]:
+    if key.shape[-2] != value.shape[-2]:
         raise ValueError("key and value token counts differ")
     scale = temperature if temperature is not None else np.sqrt(query.shape[-1])
-    scores = query @ key.T / scale
+    scores = query @ np.swapaxes(key, -1, -2) / scale
     weights = softmax(scores, axis=-1)
     return weights @ value, weights
 
@@ -72,26 +76,30 @@ class MultiHeadSelfAttention:
         return self._last_attention
 
     def __call__(self, tokens: np.ndarray) -> np.ndarray:
-        """Apply self-attention with a residual connection and layer norm."""
+        """Apply self-attention with a residual connection and layer norm.
+
+        Accepts ``(tokens, dim)`` or batched ``(..., tokens, dim)`` input;
+        batched results match the per-element computation bit-for-bit.
+        """
         tokens = np.asarray(tokens, dtype=np.float64)
-        if tokens.ndim != 2 or tokens.shape[1] != self.dim:
+        if tokens.ndim < 2 or tokens.shape[-1] != self.dim:
             raise ValueError(
-                f"expected tokens of shape (n, {self.dim}), got {tokens.shape}"
+                f"expected tokens of shape (..., n, {self.dim}), got {tokens.shape}"
             )
-        num_tokens = tokens.shape[0]
-        query = self.query_proj(tokens).reshape(num_tokens, self.num_heads, self.head_dim)
-        key = self.key_proj(tokens).reshape(num_tokens, self.num_heads, self.head_dim)
-        value = self.value_proj(tokens).reshape(num_tokens, self.num_heads, self.head_dim)
+        head_shape = tokens.shape[:-1] + (self.num_heads, self.head_dim)
+        query = self.query_proj(tokens).reshape(head_shape)
+        key = self.key_proj(tokens).reshape(head_shape)
+        value = self.value_proj(tokens).reshape(head_shape)
 
         head_outputs = []
         attentions = []
         for head in range(self.num_heads):
             attended, weights = scaled_dot_product_attention(
-                query[:, head, :], key[:, head, :], value[:, head, :]
+                query[..., head, :], key[..., head, :], value[..., head, :]
             )
             head_outputs.append(attended)
             attentions.append(weights)
-        self._last_attention = np.stack(attentions, axis=0)
+        self._last_attention = np.stack(attentions, axis=-3)
         concatenated = np.concatenate(head_outputs, axis=-1)
         output = self.out_proj(concatenated)
         return layer_norm(tokens + output, axis=-1)

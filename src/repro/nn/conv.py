@@ -1,4 +1,17 @@
-"""2-D convolution, pooling and gradient filters (pure NumPy)."""
+"""2-D convolution, pooling and gradient filters (pure NumPy).
+
+Every filter here has two entry points sharing one implementation:
+
+* the classic single-image form (2-D ``(H, W)`` or 3-D ``(H, W, C)``), and
+* a batched form over a stack of images ``(B, H, W[, C])``.
+
+The batched forms exist for the population-evaluation fast path (see
+:meth:`repro.nn.features.GridFeatureExtractor.batch`): evaluating a whole
+NSGA-II population stacks all perturbed images into one array and runs each
+filter once.  Both forms perform the same floating-point operations in the
+same order per image, so batched results are bit-identical to looping the
+single-image form — a property the parity test suite enforces.
+"""
 
 from __future__ import annotations
 
@@ -25,23 +38,109 @@ def conv2d(image: np.ndarray, kernel: np.ndarray, mode: str = "same") -> np.ndar
     raise ValueError(f"expected a 2-D or 3-D image, got shape {image.shape}")
 
 
+def _convolve_same_symm(stack: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Convolution over the last two axes with symmetric boundary handling.
+
+    ``stack`` may have any number of leading (batch/channel) axes; the
+    kernel must have odd side lengths.  Implemented as a sum of weighted
+    shifted slices, which vectorises across the leading axes while keeping
+    the per-element operation order independent of the batch size.
+    """
+    kernel = np.asarray(kernel, dtype=np.float64)
+    kh, kw = kernel.shape
+    if kh % 2 == 0 or kw % 2 == 0:
+        raise ValueError("kernel side lengths must be odd")
+    height, width = stack.shape[-2], stack.shape[-1]
+    pad = [(0, 0)] * (stack.ndim - 2) + [(kh // 2, kh // 2), (kw // 2, kw // 2)]
+    padded = np.pad(stack, pad, mode="symmetric")
+    flipped = kernel[::-1, ::-1]
+    out = np.zeros(stack.shape, dtype=np.float64)
+    for i in range(kh):
+        for j in range(kw):
+            weight = flipped[i, j]
+            if weight == 0.0:
+                continue
+            out += weight * padded[..., i : i + height, j : j + width]
+    return out
+
+
+def _channels_leading(image: np.ndarray) -> np.ndarray:
+    """Move a trailing channel axis in front of the two spatial axes."""
+    return np.moveaxis(image, -1, -3)
+
+
 def box_filter(image: np.ndarray, size: int = 3) -> np.ndarray:
     """Mean filter with a ``size x size`` box kernel."""
     if size <= 0:
         raise ValueError("size must be positive")
     kernel = np.ones((size, size), dtype=np.float64) / (size * size)
-    return conv2d(image, kernel)
+    if size % 2 == 0:
+        return conv2d(image, kernel)
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 2:
+        return _convolve_same_symm(image, kernel)
+    if image.ndim == 3:
+        return _convolve_same_symm(_channels_leading(image), kernel).sum(axis=0)
+    raise ValueError(f"expected a 2-D or 3-D image, got shape {image.shape}")
+
+
+def box_filter_batch(stack: np.ndarray, size: int = 3) -> np.ndarray:
+    """Batched mean filter over the two *middle* axes of ``(B, H, W, C)``.
+
+    Unlike :func:`box_filter` the channels are filtered independently (no
+    channel summing): the single-stage detector smooths each feature map on
+    its own.  Equivalent to ``box_filter(stack[b, :, :, c])`` per slice.
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 4:
+        raise ValueError(f"expected a (B, H, W, C) stack, got shape {stack.shape}")
+    if size % 2 == 0:
+        # Even kernels keep the scipy 'same'-mode alignment of the single
+        # slice path; loop the slices so both paths stay bit-identical.
+        return np.stack(
+            [
+                np.stack(
+                    [box_filter(stack[b, :, :, c], size) for c in range(stack.shape[3])],
+                    axis=-1,
+                )
+                for b in range(stack.shape[0])
+            ],
+            axis=0,
+        )
+    kernel = np.ones((size, size), dtype=np.float64) / (size * size)
+    filtered = _convolve_same_symm(_channels_leading(stack), kernel)
+    return np.moveaxis(filtered, -3, -1)
+
+
+#: The Sobel row-derivative kernel; the column kernel is its transpose.
+_SOBEL_ROW = np.array([[-1, -2, -1], [0, 0, 0], [1, 2, 1]], dtype=np.float64)
 
 
 def sobel_gradients(image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Sobel gradients (d/drow, d/dcol) of an image (channels summed)."""
-    sobel_row = np.array([[-1, -2, -1], [0, 0, 0], [1, 2, 1]], dtype=np.float64)
-    sobel_col = sobel_row.T
-    return conv2d(image, sobel_row), conv2d(image, sobel_col)
+    """Sobel gradients (d/drow, d/dcol) of an image (channels summed).
+
+    Accepts 2-D ``(H, W)``, 3-D ``(H, W, C)`` and batched 4-D
+    ``(B, H, W, C)`` input; the batched form returns ``(B, H, W)`` arrays
+    bit-identical to calling the single-image form per slice.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 2:
+        return (
+            _convolve_same_symm(image, _SOBEL_ROW),
+            _convolve_same_symm(image, _SOBEL_ROW.T),
+        )
+    if image.ndim == 3 or image.ndim == 4:
+        leading = _channels_leading(image)
+        grad_row = _convolve_same_symm(leading, _SOBEL_ROW).sum(axis=-3)
+        grad_col = _convolve_same_symm(leading, _SOBEL_ROW.T).sum(axis=-3)
+        return grad_row, grad_col
+    raise ValueError(f"expected a 2-D, 3-D or batched 4-D image, got {image.shape}")
 
 
 def gradient_magnitude(image: np.ndarray) -> np.ndarray:
-    """Magnitude of the Sobel gradient."""
+    """Magnitude of the Sobel gradient (batched input supported)."""
     grad_row, grad_col = sobel_gradients(image)
     return np.hypot(grad_row, grad_col)
 
@@ -67,6 +166,44 @@ def avg_pool(image: np.ndarray, cell: int) -> np.ndarray:
             rows // cell, cell, cols // cell, cell, image.shape[2]
         ).mean(axis=(1, 3))
     raise ValueError(f"expected a 2-D or 3-D image, got shape {image.shape}")
+
+
+def avg_pool_batch(stack: np.ndarray, cell: int) -> np.ndarray:
+    """Average-pool a batch ``(B, H, W, C)`` over ``cell x cell`` blocks.
+
+    Returns ``(B, H//cell, W//cell, C)``; bit-identical to applying
+    :func:`avg_pool` to every batch element.
+    """
+    if cell <= 0:
+        raise ValueError("cell must be positive")
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 4:
+        raise ValueError(f"expected a (B, H, W, C) stack, got shape {stack.shape}")
+    rows = (stack.shape[1] // cell) * cell
+    cols = (stack.shape[2] // cell) * cell
+    if rows == 0 or cols == 0:
+        raise ValueError("image smaller than one pooling cell")
+    trimmed = stack[:, :rows, :cols]
+    return trimmed.reshape(
+        stack.shape[0], rows // cell, cell, cols // cell, cell, stack.shape[3]
+    ).mean(axis=(2, 4))
+
+
+def std_pool_batch(stack: np.ndarray, cell: int) -> np.ndarray:
+    """Per-cell standard deviation over a batch ``(B, H, W, C)``."""
+    if cell <= 0:
+        raise ValueError("cell must be positive")
+    stack = np.asarray(stack, dtype=np.float64)
+    if stack.ndim != 4:
+        raise ValueError(f"expected a (B, H, W, C) stack, got shape {stack.shape}")
+    rows = (stack.shape[1] // cell) * cell
+    cols = (stack.shape[2] // cell) * cell
+    if rows == 0 or cols == 0:
+        raise ValueError("image smaller than one pooling cell")
+    trimmed = stack[:, :rows, :cols]
+    return trimmed.reshape(
+        stack.shape[0], rows // cell, cell, cols // cell, cell, stack.shape[3]
+    ).std(axis=(2, 4))
 
 
 def std_pool(image: np.ndarray, cell: int) -> np.ndarray:

@@ -12,7 +12,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.conv import avg_pool, gradient_magnitude, std_pool
+from repro.nn.conv import (
+    avg_pool,
+    avg_pool_batch,
+    gradient_magnitude,
+    std_pool,
+    std_pool_batch,
+)
 
 #: Number of features per cell produced by :class:`GridFeatureExtractor`.
 CELL_FEATURE_DIM = 7
@@ -71,3 +77,24 @@ class GridFeatureExtractor:
         """Extract features flattened to (rows*cols, 7)."""
         features = self(image)
         return features.reshape(-1, features.shape[-1])
+
+    def batch(self, images: np.ndarray) -> np.ndarray:
+        """Extract features for a stack of images; returns (B, rows, cols, 7).
+
+        The batched pooling and gradient filters perform the same per-image
+        operations as :meth:`__call__`, so ``batch(images)[b]`` is
+        bit-identical to ``self(images[b])`` — the property the population
+        evaluation fast path relies on.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4 or images.shape[3] != 3:
+            raise ValueError(
+                f"expected an RGB image batch (B, L, W, 3), got {images.shape}"
+            )
+        if self.normalize:
+            images = images / 255.0
+        mean_rgb = avg_pool_batch(images, self.cell)
+        std_rgb = std_pool_batch(images, self.cell)
+        grad = gradient_magnitude(images)
+        mean_grad = avg_pool_batch(grad[..., None], self.cell)
+        return np.concatenate([mean_rgb, std_rgb, mean_grad], axis=-1)

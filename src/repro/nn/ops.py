@@ -24,10 +24,14 @@ def softmax(x: np.ndarray, axis: int = -1, temperature: float = 1.0) -> np.ndarr
     """Numerically stable softmax along ``axis`` with optional temperature."""
     if temperature <= 0:
         raise ValueError("temperature must be positive")
+    # One fresh buffer mutated in place: the values are identical to the
+    # textbook exp(shifted)/sum(exp) form, but large attention batches avoid
+    # three extra array-sized temporaries.
     scaled = np.asarray(x, dtype=np.float64) / temperature
-    shifted = scaled - np.max(scaled, axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / np.sum(exp, axis=axis, keepdims=True)
+    scaled -= np.max(scaled, axis=axis, keepdims=True)
+    np.exp(scaled, out=scaled)
+    scaled /= np.sum(scaled, axis=axis, keepdims=True)
+    return scaled
 
 
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:

@@ -5,10 +5,30 @@ the paper's Section IV-A: explicit filter-mask genomes, one-point crossover
 with probability ``pc``, the four pixel mutation operators with probability
 ``pm`` and window size ``w``, an initial population of Gaussian masks plus
 the all-zero mask, and Pareto-sorted binary tournament selection.
+
+Evaluation pipeline
+-------------------
+
+Each generation's unevaluated individuals flow through one batched pass:
+
+1. a **keyed evaluation cache** (genome digest → objective vector) answers
+   genomes that were already evaluated this run — duplicated elites and
+   no-op offspring never re-query the detector;
+2. the remaining genomes are stacked and handed to the objective function's
+   ``evaluate_population`` fast path when it has one (one vectorised
+   detector pass for the whole population), with a sequential per-genome
+   fallback otherwise.
+
+Both paths are bit-identical by construction (the parity test suite
+enforces it), so ``NSGAConfig.batch_evaluation`` only changes speed, never
+results.  ``NSGAResult.num_evaluations`` keeps its historical meaning — the
+number of objective vectors requested — while ``NSGAResult.cache_hits``
+counts how many of those the cache answered without a detector query.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -49,6 +69,16 @@ class NSGAConfig:
         sync with this config's value.
     seed:
         Seed of the random generator driving the evolutionary process.
+    batch_evaluation:
+        Evaluate each generation through the objective function's
+        ``evaluate_population`` fast path when available (default).  The
+        sequential path produces bit-identical results; this switch exists
+        for parity testing and for objective functions whose batch path is
+        not profitable.
+    evaluation_cache:
+        Reuse objective vectors for genomes already evaluated during this
+        run (default).  The objective function must be deterministic in the
+        genome — true for all evaluators in this repository.
     """
 
     num_iterations: int = 100
@@ -57,6 +87,8 @@ class NSGAConfig:
     mutation: MutationConfig = field(default_factory=MutationConfig)
     initialization: InitializationConfig = field(default_factory=InitializationConfig)
     seed: int = 0
+    batch_evaluation: bool = True
+    evaluation_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.num_iterations < 0:
@@ -80,12 +112,25 @@ class NSGAConfig:
 
 @dataclass
 class NSGAResult:
-    """Outcome of an NSGA-II run."""
+    """Outcome of an NSGA-II run.
+
+    ``num_evaluations`` counts requested objective vectors (initial
+    population plus one per offspring, the classic NSGA-II accounting);
+    ``cache_hits`` counts how many of those the evaluation cache served.
+    The number of actual objective-function queries is therefore
+    ``num_evaluations - cache_hits`` (:attr:`num_queries`).
+    """
 
     population: list[Individual]
     fronts: list[list[int]]
     history: list[dict] = field(default_factory=list)
     num_evaluations: int = 0
+    cache_hits: int = 0
+
+    @property
+    def num_queries(self) -> int:
+        """Objective-function evaluations actually executed (non-cached)."""
+        return self.num_evaluations - self.cache_hits
 
     @property
     def pareto_front(self) -> list[Individual]:
@@ -133,17 +178,87 @@ class NSGAII:
         self.callback = callback
         self.rng = np.random.default_rng(self.config.seed)
         self.num_evaluations = 0
+        self.cache_hits = 0
+        self._cache: dict[bytes, np.ndarray] = {}
+        self._batch_evaluator = (
+            getattr(objective_function, "evaluate_population", None)
+            if self.config.batch_evaluation
+            else None
+        )
 
     def _apply_constraint(self, genome: np.ndarray) -> np.ndarray:
         if self.constraint is None:
             return genome
         return self.constraint(genome)
 
+    @staticmethod
+    def _genome_key(genome: np.ndarray) -> bytes:
+        """Stable cache key: a digest of the genome's dtype, shape and bytes."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(str(genome.dtype).encode())
+        digest.update(str(genome.shape).encode())
+        digest.update(np.ascontiguousarray(genome).tobytes())
+        return digest.digest()
+
     def _evaluate(self, population: Sequence[Individual]) -> None:
-        for individual in population:
-            if not individual.is_evaluated:
-                individual.set_objectives(self.objective_function(individual.genome))
-                self.num_evaluations += 1
+        """Assign objective vectors to every unevaluated individual.
+
+        Cached genomes are answered from the run's evaluation cache; the
+        rest go through one ``evaluate_population`` batch when the objective
+        function provides it, or a sequential loop otherwise.  Both paths
+        yield bit-identical objective vectors.
+        """
+        pending = [ind for ind in population if not ind.is_evaluated]
+        if not pending:
+            return
+        self.num_evaluations += len(pending)
+
+        unique: list[Individual] = []
+        unique_keys: list[Optional[bytes]] = []
+        duplicates: list[tuple[Individual, int]] = []
+        if self.config.evaluation_cache:
+            # Resolve cache hits first; duplicated genomes inside one batch
+            # collapse onto a single evaluation via the per-batch key map.
+            batch_positions: dict[bytes, int] = {}
+            for individual in pending:
+                key = self._genome_key(individual.genome)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    individual.set_objectives(cached.copy())
+                    self.cache_hits += 1
+                elif key in batch_positions:
+                    duplicates.append((individual, batch_positions[key]))
+                    self.cache_hits += 1
+                else:
+                    batch_positions[key] = len(unique)
+                    unique.append(individual)
+                    unique_keys.append(key)
+        else:
+            unique = list(pending)
+            unique_keys = [None] * len(unique)
+
+        if unique:
+            if self._batch_evaluator is not None:
+                genomes = np.stack([ind.genome for ind in unique], axis=0)
+                matrix = np.asarray(self._batch_evaluator(genomes), dtype=np.float64)
+                if matrix.shape[0] != len(unique):
+                    raise ValueError(
+                        "evaluate_population returned "
+                        f"{matrix.shape[0]} rows for {len(unique)} genomes"
+                    )
+                for individual, row in zip(unique, matrix):
+                    individual.set_objectives(row)
+            else:
+                for individual in unique:
+                    individual.set_objectives(
+                        self.objective_function(individual.genome)
+                    )
+            for individual, key in zip(unique, unique_keys):
+                if key is not None:
+                    self._cache[key] = individual.objectives.copy()
+
+        for individual, position in duplicates:
+            individual.set_objectives(unique[position].objectives.copy())
 
     def _rank_population(self, population: list[Individual]) -> list[list[int]]:
         fronts = fast_non_dominated_sort(population)
@@ -239,4 +354,5 @@ class NSGAII:
             fronts=fronts,
             history=history,
             num_evaluations=self.num_evaluations,
+            cache_hits=self.cache_hits,
         )

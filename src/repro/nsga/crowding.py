@@ -41,9 +41,11 @@ def crowding_distance(
         distances[order[-1]] = np.inf
         if span <= 0:
             continue
-        for position in range(1, size - 1):
-            gap = sorted_values[position + 1] - sorted_values[position - 1]
-            distances[order[position]] += gap / span
+        # Vectorised neighbour gaps: ``order`` is a permutation, so the
+        # fancy-indexed accumulation equals the original per-position loop
+        # (kept as a reference in the property test suite) bit for bit.
+        gaps = (sorted_values[2:] - sorted_values[:-2]) / span
+        distances[order[1:-1]] += gaps
 
     for position, index in enumerate(front):
         population[index].crowding = float(distances[position])

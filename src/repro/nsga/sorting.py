@@ -1,4 +1,10 @@
-"""Pareto dominance and fast non-dominated sorting (NSGA-II, Deb 2002)."""
+"""Pareto dominance and fast non-dominated sorting (NSGA-II, Deb 2002).
+
+The O(n²·m) pairwise dominance comparisons are evaluated as one NumPy
+broadcast (``domination_matrix``); only the cheap front-peeling loop remains
+in Python, preserving the exact front ordering of Deb's algorithm (and of
+the original nested-loop implementation, kept as a reference in the
+property test suite)."""
 
 from __future__ import annotations
 
@@ -22,6 +28,18 @@ def dominates(first: np.ndarray, second: np.ndarray) -> bool:
     return bool(np.all(first <= second) and np.any(first < second))
 
 
+def domination_matrix(objectives: np.ndarray) -> np.ndarray:
+    """Boolean matrix ``M[p, q]`` = "vector p Pareto-dominates vector q".
+
+    One broadcast pass over an (n, m) objective matrix replaces the n²
+    pairwise :func:`dominates` calls of the textbook implementation.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    less_equal = np.all(objectives[:, None, :] <= objectives[None, :, :], axis=-1)
+    strictly_less = np.any(objectives[:, None, :] < objectives[None, :, :], axis=-1)
+    return less_equal & strictly_less
+
+
 def fast_non_dominated_sort(population: Sequence[Individual]) -> list[list[int]]:
     """Sort a population into Pareto fronts.
 
@@ -36,17 +54,12 @@ def fast_non_dominated_sort(population: Sequence[Individual]) -> list[list[int]]
 
     objectives = np.stack([ind.objectives for ind in population], axis=0)
 
-    dominated_by: list[list[int]] = [[] for _ in range(size)]
-    domination_count = np.zeros(size, dtype=np.int64)
-
-    for p in range(size):
-        for q in range(p + 1, size):
-            if dominates(objectives[p], objectives[q]):
-                dominated_by[p].append(q)
-                domination_count[q] += 1
-            elif dominates(objectives[q], objectives[p]):
-                dominated_by[q].append(p)
-                domination_count[p] += 1
+    dominance = domination_matrix(objectives)
+    domination_count = dominance.sum(axis=0).astype(np.int64)
+    # np.flatnonzero yields ascending indices — the same order in which the
+    # original double loop filled each dominated-by list, so the peeled
+    # fronts keep the exact ordering downstream selection depends on.
+    dominated_by = [np.flatnonzero(dominance[p]).tolist() for p in range(size)]
 
     fronts: list[list[int]] = []
     current = [p for p in range(size) if domination_count[p] == 0]

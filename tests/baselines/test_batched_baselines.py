@@ -1,0 +1,70 @@
+"""Parity tests for the baselines' batched detector usage.
+
+Both baselines now query the detector through ``predict_batch``; their
+fitness/sensitivity values must equal the original one-query-at-a-time
+implementations exactly.
+"""
+
+import numpy as np
+
+from repro.baselines.finite_difference import (
+    FiniteDifferenceAttack,
+    FiniteDifferenceConfig,
+)
+from repro.baselines.genattack import GenAttackBaseline, GenAttackConfig
+from repro.core.masks import apply_mask
+from repro.core.objectives import objective_degradation
+
+
+class TestGenAttackBatchedFitness:
+    def test_population_fitness_matches_scalar_fitness(
+        self, yolo_detector, small_dataset
+    ):
+        baseline = GenAttackBaseline(
+            yolo_detector, GenAttackConfig(population_size=4, num_iterations=1)
+        )
+        image = np.asarray(small_dataset[0].image, dtype=np.float64)
+        clean = yolo_detector.predict(image)
+        rng = np.random.default_rng(0)
+        masks = [
+            baseline._project(rng.uniform(-16, 16, size=image.shape)) for _ in range(5)
+        ]
+        batched = baseline._fitness_population(image, clean, masks)
+        sequential = [baseline._fitness(image, clean, mask) for mask in masks]
+        assert list(batched) == sequential
+
+    def test_attack_still_runs_and_reports_budget(self, yolo_detector, small_dataset):
+        config = GenAttackConfig(population_size=4, num_iterations=2, seed=1)
+        result = GenAttackBaseline(yolo_detector, config).attack(small_dataset[0].image)
+        assert result.num_evaluations == 4 + 2 * 4
+        assert len(result.history) == 3
+
+
+class TestFiniteDifferenceBatchedProbes:
+    def test_sensitivity_matches_sequential_probing(self, yolo_detector, small_dataset):
+        image = np.asarray(small_dataset[0].image, dtype=np.float64)
+        config = FiniteDifferenceConfig(block=32, num_steps=1)
+        attack = FiniteDifferenceAttack(yolo_detector, config)
+        result = attack.attack(image)
+
+        # Recompute the first step's sensitivities with scalar queries.
+        clean = yolo_detector.predict(image)
+        base = objective_degradation(clean, yolo_detector.predict(image))
+        block = config.block
+        for row in range(image.shape[0] // block):
+            for col in range(image.shape[1] // block):
+                probe = np.zeros_like(image)
+                probe[
+                    row * block : (row + 1) * block, col * block : (col + 1) * block, :
+                ] += config.probe_magnitude
+                probed = objective_degradation(
+                    clean, yolo_detector.predict(apply_mask(image, probe))
+                )
+                assert result.sensitivity_map[row, col] == base - probed
+
+    def test_evaluation_count_unchanged_by_batching(self, yolo_detector, small_dataset):
+        image = np.asarray(small_dataset[0].image, dtype=np.float64)
+        config = FiniteDifferenceConfig(block=32, num_steps=1)
+        result = FiniteDifferenceAttack(yolo_detector, config).attack(image)
+        blocks = (image.shape[0] // 32) * (image.shape[1] // 32)
+        assert result.num_evaluations == 1 + blocks + 1

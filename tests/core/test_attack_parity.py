@@ -1,0 +1,94 @@
+"""End-to-end parity: batched vs sequential attack runs must be identical.
+
+The batched evaluation pipeline (population stacking, vectorised detector
+pass, evaluation cache) is a pure fast path: under a fixed seed the final
+population, its objective vectors and the Pareto front must match the
+sequential per-genome path bit for bit.
+"""
+
+import hashlib
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.attack import ButterflyAttack
+from repro.core.config import AttackConfig
+from repro.core.ensemble import EnsembleAttack
+from repro.core.regions import HalfImageRegion
+from repro.nsga.algorithm import NSGAConfig
+from repro.nsga.mutation import MutationConfig
+
+
+def _nsga(batch_evaluation, evaluation_cache, iterations=4, population=8):
+    return NSGAConfig(
+        num_iterations=iterations,
+        population_size=population,
+        crossover_probability=0.5,
+        mutation=MutationConfig(probability=0.45, window_fraction=0.01),
+        seed=0,
+        batch_evaluation=batch_evaluation,
+        evaluation_cache=evaluation_cache,
+    )
+
+
+def _attack_config(batch_evaluation, evaluation_cache):
+    return AttackConfig(
+        nsga=_nsga(batch_evaluation, evaluation_cache),
+        region=HalfImageRegion("right"),
+    )
+
+
+def _population_digest(result):
+    digest = hashlib.sha256()
+    for solution in result.solutions:
+        digest.update(solution.mask.values.tobytes())
+    return digest.hexdigest()
+
+
+def _assert_results_identical(batched, sequential):
+    assert np.array_equal(
+        batched.objectives_array(front_only=False),
+        sequential.objectives_array(front_only=False),
+    )
+    assert np.array_equal(
+        batched.objectives_array(front_only=True),
+        sequential.objectives_array(front_only=True),
+    )
+    assert [s.rank for s in batched.solutions] == [s.rank for s in sequential.solutions]
+    assert _population_digest(batched) == _population_digest(sequential)
+    assert batched.num_evaluations == sequential.num_evaluations
+
+
+class TestButterflyAttackParity:
+    @pytest.fixture(params=["yolo", "detr"])
+    def detector(self, request, yolo_detector, detr_detector):
+        return yolo_detector if request.param == "yolo" else detr_detector
+
+    def test_batched_path_matches_sequential_path(self, detector, small_dataset):
+        image = small_dataset[0].image
+        batched = ButterflyAttack(detector, _attack_config(True, True)).attack(image)
+        sequential = ButterflyAttack(detector, _attack_config(False, False)).attack(
+            image
+        )
+        _assert_results_identical(batched, sequential)
+        assert sequential.cache_hits == 0
+
+    def test_cache_alone_does_not_change_results(self, detector, small_dataset):
+        image = small_dataset[0].image
+        cached = ButterflyAttack(detector, _attack_config(False, True)).attack(image)
+        uncached = ButterflyAttack(detector, _attack_config(False, False)).attack(image)
+        _assert_results_identical(cached, uncached)
+
+
+class TestEnsembleAttackParity:
+    def test_batched_path_matches_sequential_path(
+        self, yolo_detector, detr_detector, small_dataset
+    ):
+        image = small_dataset[0].image
+        detectors = [yolo_detector, detr_detector]
+        batched = EnsembleAttack(detectors, _attack_config(True, True)).attack(image)
+        sequential = EnsembleAttack(detectors, _attack_config(False, False)).attack(
+            image
+        )
+        _assert_results_identical(batched, sequential)

@@ -1,0 +1,149 @@
+"""Parity tests for the vectorised detector batch path.
+
+``predict_batch`` must return predictions bit-identical to calling
+``predict`` image by image — the NSGA-II population evaluator switches
+freely between the two paths, so *exact* float equality is asserted on
+every box attribute, not approximate closeness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detectors.base import Detector, validate_image_batch
+from repro.detectors.ensemble import DetectorEnsemble
+from repro.detectors.single_stage import SingleStageDetector
+
+
+def _perturbed_batch(image, batch_size, seed=0):
+    """A batch of randomly perturbed variants of one scene (first is clean)."""
+    rng = np.random.default_rng(seed)
+    masks = rng.integers(-60, 61, size=(batch_size,) + image.shape).astype(np.float64)
+    masks[0] = 0.0
+    return np.clip(image[None, ...] + masks, 0.0, 255.0)
+
+
+def _assert_predictions_identical(sequential, batched):
+    assert len(sequential) == len(batched)
+    for left, right in zip(sequential, batched):
+        assert len(left) == len(right)
+        for box_left, box_right in zip(left, right):
+            assert (box_left.cl, box_left.x, box_left.y, box_left.l, box_left.w,
+                    box_left.score) == (
+                box_right.cl, box_right.x, box_right.y, box_right.l, box_right.w,
+                box_right.score,
+            )
+
+
+@pytest.fixture(params=["yolo", "detr"])
+def detector(request, yolo_detector, detr_detector):
+    return yolo_detector if request.param == "yolo" else detr_detector
+
+
+class TestPredictBatchParity:
+    def test_batch_matches_sequential_predict(self, detector, small_dataset):
+        batch = _perturbed_batch(small_dataset[0].image, batch_size=7)
+        sequential = [detector.predict(batch[b]) for b in range(batch.shape[0])]
+        _assert_predictions_identical(sequential, detector.predict_batch(batch))
+
+    def test_result_independent_of_chunk_size(self, detector, small_dataset):
+        batch = _perturbed_batch(small_dataset[0].image, batch_size=5, seed=3)
+        original_chunk = detector.batch_chunk
+        try:
+            references = None
+            for chunk in (1, 2, 5):
+                detector.batch_chunk = chunk
+                predictions = detector.predict_batch(batch)
+                if references is None:
+                    references = predictions
+                else:
+                    _assert_predictions_identical(references, predictions)
+        finally:
+            detector.batch_chunk = original_chunk
+
+    def test_single_image_batch(self, detector, small_dataset):
+        image = small_dataset[0].image
+        _assert_predictions_identical(
+            [detector.predict(image)], detector.predict_batch(image[None, ...])
+        )
+
+    def test_batch_cell_probabilities_match(self, detector, small_dataset):
+        batch = _perturbed_batch(small_dataset[0].image, batch_size=4, seed=9)
+        batched = detector.cell_probabilities_batch(batch)
+        for b in range(batch.shape[0]):
+            assert np.array_equal(detector.cell_probabilities(batch[b]), batched[b])
+
+    def test_even_local_smoothing_still_batches(self, yolo_detector, small_dataset):
+        # Even box-filter sizes use a different 'same'-mode alignment; the
+        # batch path must fall back to the per-slice filter, not crash.
+        detector = SingleStageDetector(
+            yolo_detector.prototypes,
+            config=yolo_detector.config,
+            seed=yolo_detector.seed,
+            local_smoothing=2,
+        )
+        batch = _perturbed_batch(small_dataset[0].image, batch_size=3, seed=4)
+        sequential = [detector.predict(batch[b]) for b in range(batch.shape[0])]
+        _assert_predictions_identical(sequential, detector.predict_batch(batch))
+
+
+class TestGenericFallback:
+    def test_base_class_fallback_loops_predict(self, yolo_detector, small_dataset):
+        """A third-party detector without an override still gets the batch API."""
+
+        class WrappedDetector(Detector):
+            architecture = "wrapped"
+
+            def __init__(self, inner):
+                super().__init__(inner.config, inner.seed)
+                self.inner = inner
+                self.calls = 0
+
+            def predict(self, image):
+                self.calls += 1
+                return self.inner.predict(image)
+
+            def backbone_features(self, image):
+                return self.inner.backbone_features(image)
+
+        wrapped = WrappedDetector(yolo_detector)
+        batch = _perturbed_batch(small_dataset[0].image, batch_size=3, seed=5)
+        predictions = wrapped.predict_batch(batch)
+        assert wrapped.calls == 3
+        _assert_predictions_identical(
+            [yolo_detector.predict(batch[b]) for b in range(3)], predictions
+        )
+
+        # A bare (L, W, 3) image is promoted to a batch of one, matching
+        # the vectorised overrides' behaviour.
+        single = wrapped.predict_batch(small_dataset[0].image)
+        _assert_predictions_identical(
+            [yolo_detector.predict(small_dataset[0].image)], single
+        )
+
+
+class TestEnsembleBatch:
+    def test_predict_batch_all_matches_predict_all(
+        self, yolo_detector, detr_detector, small_dataset
+    ):
+        ensemble = DetectorEnsemble([yolo_detector, detr_detector])
+        batch = _perturbed_batch(small_dataset[0].image, batch_size=4, seed=2)
+        batched = ensemble.predict_batch_all(batch)
+        assert len(batched) == len(ensemble)
+        for member_index in range(len(ensemble)):
+            sequential = [
+                ensemble[member_index].predict(batch[b]) for b in range(batch.shape[0])
+            ]
+            _assert_predictions_identical(sequential, batched[member_index])
+
+
+class TestValidateImageBatch:
+    def test_accepts_stack_and_promotes_single_image(self):
+        stack = np.zeros((2, 8, 8, 3))
+        assert validate_image_batch(stack).shape == (2, 8, 8, 3)
+        assert validate_image_batch(np.zeros((8, 8, 3))).shape == (1, 8, 8, 3)
+
+    def test_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError):
+            validate_image_batch(np.zeros((2, 8, 8, 4)))
+        with pytest.raises(ValueError):
+            validate_image_batch(np.zeros((8, 8)))

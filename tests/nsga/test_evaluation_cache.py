@@ -1,0 +1,91 @@
+"""Regression tests for evaluation accounting and determinism.
+
+``NSGAResult.num_evaluations`` keeps the classic NSGA-II meaning (initial
+population + one per offspring); the evaluation cache must only change how
+many of those reach the objective function (``cache_hits``), never the
+count itself nor any result.  The determinism pins make sure the cache (or
+a future change to it) cannot silently alter query counts or the seeded
+search trajectory.
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro.nsga.algorithm import NSGAConfig, NSGAII
+from repro.nsga.initialization import InitializationConfig
+from repro.nsga.mutation import MutationConfig
+
+
+def _sphere_objectives(genome):
+    x = float(genome.mean()) / 50.0
+    return np.array([x**2, (x - 2.0) ** 2])
+
+
+def _config(seed=0, batch_evaluation=True, evaluation_cache=True):
+    return NSGAConfig(
+        num_iterations=6,
+        population_size=10,
+        crossover_probability=0.5,
+        mutation=MutationConfig(probability=0.45, window_fraction=0.05),
+        initialization=InitializationConfig(population_size=10, gaussian_sigma=60.0),
+        seed=seed,
+        batch_evaluation=batch_evaluation,
+        evaluation_cache=evaluation_cache,
+    )
+
+
+def _run(seed=0, evaluation_cache=True):
+    optimizer = NSGAII(
+        objective_function=_sphere_objectives,
+        genome_shape=(6, 8, 3),
+        config=_config(seed=seed, evaluation_cache=evaluation_cache),
+        constraint=np.round,
+    )
+    return optimizer.run()
+
+
+def _population_digest(result):
+    digest = hashlib.sha256()
+    for individual in result.population:
+        digest.update(np.ascontiguousarray(individual.genome).tobytes())
+    return digest.hexdigest()
+
+
+class TestEvaluationAccounting:
+    def test_num_evaluations_is_population_plus_offspring(self):
+        result = _run()
+        assert result.num_evaluations == 10 + 6 * 10
+
+    def test_cache_cannot_change_num_evaluations(self):
+        assert _run(evaluation_cache=True).num_evaluations == (
+            _run(evaluation_cache=False).num_evaluations
+        )
+
+    def test_num_queries_accounts_for_cache_hits(self):
+        result = _run()
+        assert result.num_queries == result.num_evaluations - result.cache_hits
+        assert _run(evaluation_cache=False).cache_hits == 0
+
+    def test_rounded_genomes_produce_cache_hits(self):
+        # Integer-rounded genomes (the attack's mask encoding) duplicate
+        # often enough that a seeded run must save at least some queries.
+        result = _run()
+        assert result.cache_hits > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_population_hash(self):
+        first, second = _run(seed=3), _run(seed=3)
+        assert _population_digest(first) == _population_digest(second)
+        assert first.num_evaluations == second.num_evaluations
+        assert first.cache_hits == second.cache_hits
+        assert np.array_equal(first.objectives_matrix(), second.objectives_matrix())
+
+    def test_cache_does_not_change_trajectory(self):
+        cached, uncached = _run(seed=5), _run(seed=5, evaluation_cache=False)
+        assert _population_digest(cached) == _population_digest(uncached)
+        assert np.array_equal(cached.objectives_matrix(), uncached.objectives_matrix())
+
+    def test_different_seeds_diverge(self):
+        assert _population_digest(_run(seed=0)) != _population_digest(_run(seed=1))

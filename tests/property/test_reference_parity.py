@@ -1,0 +1,247 @@
+"""Reference parity tests for the vectorised NSGA-II / IoU kernels.
+
+The production implementations of ``fast_non_dominated_sort``,
+``crowding_distance``, ``iou_matrix`` and ``objective_degradation`` are
+NumPy-vectorised; the original nested-loop versions are preserved here as
+``_reference_*`` helpers and the vectorised results are required to match
+them **exactly** (not approximately) on randomly generated populations —
+the batched evaluation pipeline's bit-for-bit parity guarantee starts at
+these kernels.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.core.objectives import objective_degradation
+from repro.detection.boxes import BACKGROUND_CLASS, BoundingBox, iou, iou_matrix
+from repro.detection.prediction import Prediction
+from repro.nsga.crowding import crowding_distance
+from repro.nsga.individual import Individual
+from repro.nsga.sorting import dominates, domination_matrix, fast_non_dominated_sort
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations (the seed's original nested-loop versions).
+# ---------------------------------------------------------------------------
+
+
+def _reference_fast_non_dominated_sort(population):
+    """Deb (2002) non-dominated sorting with explicit pairwise loops."""
+    size = len(population)
+    objectives = np.stack([ind.objectives for ind in population], axis=0)
+    dominated_by = [[] for _ in range(size)]
+    domination_count = np.zeros(size, dtype=np.int64)
+    for p in range(size):
+        for q in range(p + 1, size):
+            if dominates(objectives[p], objectives[q]):
+                dominated_by[p].append(q)
+                domination_count[q] += 1
+            elif dominates(objectives[q], objectives[p]):
+                dominated_by[q].append(p)
+                domination_count[p] += 1
+    fronts = []
+    current = [p for p in range(size) if domination_count[p] == 0]
+    while current:
+        fronts.append(current)
+        next_front = []
+        for p in current:
+            for q in dominated_by[p]:
+                domination_count[q] -= 1
+                if domination_count[q] == 0:
+                    next_front.append(q)
+        current = next_front
+    return fronts
+
+
+def _reference_crowding_distance(population, front):
+    """Crowding distance with the original per-position Python loop."""
+    front = list(front)
+    size = len(front)
+    if size == 0:
+        return np.array([])
+    distances = np.zeros(size, dtype=np.float64)
+    if size <= 2:
+        distances[:] = np.inf
+        return distances
+    objectives = np.stack([population[i].objectives for i in front], axis=0)
+    for objective in range(objectives.shape[1]):
+        order = np.argsort(objectives[:, objective], kind="stable")
+        sorted_values = objectives[order, objective]
+        span = sorted_values[-1] - sorted_values[0]
+        distances[order[0]] = np.inf
+        distances[order[-1]] = np.inf
+        if span <= 0:
+            continue
+        for position in range(1, size - 1):
+            gap = sorted_values[position + 1] - sorted_values[position - 1]
+            distances[order[position]] += gap / span
+    return distances
+
+
+def _reference_iou_matrix(first, second):
+    """Pairwise IoU via the scalar :func:`iou` on every pair."""
+    matrix = np.zeros((len(first), len(second)), dtype=np.float64)
+    for i, a in enumerate(first):
+        for j, b in enumerate(second):
+            matrix[i, j] = iou(a, b)
+    return matrix
+
+
+def _reference_objective_degradation(clean_prediction, perturbed_prediction):
+    """Algorithm 1 with the original nested box loops."""
+    clean_boxes = clean_prediction.valid_boxes
+    if not clean_boxes:
+        return 1.0
+    perturbed_boxes = perturbed_prediction.valid_boxes
+    accumulated = 0.0
+    for clean_box in clean_boxes:
+        best_overlap = 0.0
+        for perturbed_box in perturbed_boxes:
+            if perturbed_box.cl == clean_box.cl:
+                best_overlap = max(best_overlap, iou(clean_box, perturbed_box))
+        accumulated += best_overlap
+    return accumulated / len(clean_boxes)
+
+
+# ---------------------------------------------------------------------------
+# Generators.
+# ---------------------------------------------------------------------------
+
+objective_matrices = npst.arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=24), st.integers(min_value=2, max_value=4)
+    ),
+    elements=st.floats(min_value=0.0, max_value=10.0, allow_nan=False, width=16),
+)
+
+
+def _population(matrix):
+    return [
+        Individual(genome=np.zeros(1), objectives=np.asarray(row, dtype=np.float64))
+        for row in matrix
+    ]
+
+
+def _random_boxes(rng, count, num_classes=4, background_fraction=0.2, degenerate=False):
+    boxes = []
+    for _ in range(count):
+        cl = (
+            BACKGROUND_CLASS
+            if rng.random() < background_fraction
+            else int(rng.integers(0, num_classes))
+        )
+        extent_l = 0.0 if degenerate and rng.random() < 0.3 else float(rng.uniform(1, 30))
+        extent_w = 0.0 if degenerate and rng.random() < 0.3 else float(rng.uniform(1, 30))
+        boxes.append(
+            BoundingBox(
+                cl=cl,
+                x=float(rng.uniform(0, 64)),
+                y=float(rng.uniform(0, 200)),
+                l=extent_l,
+                w=extent_w,
+                score=float(rng.uniform(0, 1)),
+            )
+        )
+    return boxes
+
+
+class TestSortingParity:
+    @given(objective_matrices)
+    @settings(max_examples=150, deadline=None)
+    def test_fronts_match_reference_exactly(self, matrix):
+        population = _population(matrix)
+        reference = _reference_fast_non_dominated_sort(_population(matrix))
+        fronts = fast_non_dominated_sort(population)
+        assert fronts == reference  # same fronts in the same order
+
+    @given(objective_matrices)
+    @settings(max_examples=100, deadline=None)
+    def test_domination_matrix_matches_pairwise_dominates(self, matrix):
+        dominance = domination_matrix(matrix)
+        for p in range(matrix.shape[0]):
+            for q in range(matrix.shape[0]):
+                assert dominance[p, q] == dominates(matrix[p], matrix[q])
+
+    def test_duplicate_heavy_population(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(0, 3, size=(30, 3)).astype(np.float64)
+        population = _population(matrix)
+        assert fast_non_dominated_sort(population) == _reference_fast_non_dominated_sort(
+            _population(matrix)
+        )
+
+
+class TestCrowdingParity:
+    @given(objective_matrices)
+    @settings(max_examples=150, deadline=None)
+    def test_distances_match_reference_exactly(self, matrix):
+        population = _population(matrix)
+        front = list(range(len(population)))
+        reference = _reference_crowding_distance(population, front)
+        distances = crowding_distance(population, front)
+        assert np.array_equal(distances, reference)
+
+    def test_subset_front_matches_reference(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.uniform(0, 5, size=(12, 3))
+        population = _population(matrix)
+        front = [0, 2, 5, 7, 11]
+        reference = _reference_crowding_distance(population, front)
+        assert np.array_equal(crowding_distance(population, front), reference)
+
+    def test_constant_objective_matches_reference(self):
+        matrix = np.array([[1.0, 0.0], [1.0, 1.0], [1.0, 2.0], [1.0, 3.0]])
+        population = _population(matrix)
+        front = [0, 1, 2, 3]
+        reference = _reference_crowding_distance(population, front)
+        assert np.array_equal(crowding_distance(population, front), reference)
+
+
+class TestIoUParity:
+    def test_matrix_matches_scalar_iou_exactly(self):
+        rng = np.random.default_rng(11)
+        for trial in range(25):
+            first = _random_boxes(rng, int(rng.integers(0, 8)), degenerate=True)
+            second = _random_boxes(rng, int(rng.integers(0, 8)), degenerate=True)
+            assert np.array_equal(
+                iou_matrix(first, second), _reference_iou_matrix(first, second)
+            )
+
+    def test_empty_inputs(self):
+        boxes = _random_boxes(np.random.default_rng(0), 3)
+        assert iou_matrix([], boxes).shape == (0, 3)
+        assert iou_matrix(boxes, []).shape == (3, 0)
+        assert iou_matrix([], []).shape == (0, 0)
+
+    def test_values_stay_in_unit_interval(self):
+        rng = np.random.default_rng(5)
+        first = _random_boxes(rng, 10, degenerate=True)
+        second = _random_boxes(rng, 10, degenerate=True)
+        matrix = iou_matrix(first, second)
+        assert np.all(matrix >= 0.0) and np.all(matrix <= 1.0)
+
+
+class TestDegradationParity:
+    def test_matches_reference_on_random_predictions(self):
+        rng = np.random.default_rng(23)
+        for trial in range(40):
+            clean = Prediction.from_boxes(_random_boxes(rng, int(rng.integers(0, 6))))
+            perturbed = Prediction.from_boxes(
+                _random_boxes(rng, int(rng.integers(0, 6)))
+            )
+            assert objective_degradation(clean, perturbed) == (
+                _reference_objective_degradation(clean, perturbed)
+            )
+
+    def test_empty_clean_prediction(self):
+        perturbed = Prediction.from_boxes(_random_boxes(np.random.default_rng(1), 3))
+        assert objective_degradation(Prediction.empty(), perturbed) == 1.0
+
+    def test_empty_perturbed_prediction(self):
+        clean = Prediction.from_boxes(
+            [BoundingBox(cl=0, x=10, y=10, l=5, w=5, score=0.9)]
+        )
+        assert objective_degradation(clean, Prediction.empty()) == 0.0
