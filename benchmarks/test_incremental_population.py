@@ -1,0 +1,83 @@
+"""Sparse-mask population evaluation: incremental vs dense batched path.
+
+The butterfly attack's steady state evaluates populations of *sparse*
+masks (small patches and single pixels, the paper's minimal-perturbation
+regime) against one clean scene.  These benchmarks time
+``ButterflyObjectives.evaluate_population`` through the PR 1 dense batched
+path and through the incremental (activation-cached, dirty-region) path,
+asserting bit-identical objective matrices while pytest-benchmark records
+the timings.  ``python benchmarks/bench_incremental.py`` runs the same
+scenarios standalone, writes ``BENCH_pr2.json`` and enforces the speedup
+gates in CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.objectives import ButterflyObjectives
+from repro.nn.incremental import mask_nonzero_bbox
+
+
+def sparse_patch_population(image_shape, batch_size=16, seed=1):
+    """NSGA-offspring-like masks: one small random patch each (plus a zero)."""
+    rng = np.random.default_rng(seed)
+    masks = np.zeros((batch_size,) + image_shape)
+    for index in range(1, batch_size):
+        r = int(rng.integers(0, image_shape[0] - 4))
+        c = int(rng.integers(0, image_shape[1] - 6))
+        masks[index, r : r + 4, c : c + 6] = rng.integers(-255, 256, size=(4, 6, 3))
+    return masks
+
+
+def sparse_pixel_population(image_shape, batch_size=16, seed=2):
+    """The minimal-perturbation regime: 1-3 clustered pixels per mask."""
+    rng = np.random.default_rng(seed)
+    masks = np.zeros((batch_size,) + image_shape)
+    for index in range(1, batch_size):
+        r = int(rng.integers(1, image_shape[0] - 1))
+        c = int(rng.integers(1, image_shape[1] - 1))
+        for _ in range(int(rng.integers(1, 4))):
+            dr, dc = int(rng.integers(-1, 2)), int(rng.integers(-1, 2))
+            masks[index, r + dr, c + dc, rng.integers(0, 3)] = float(
+                rng.integers(-255, 256)
+            )
+    return masks
+
+
+def _evaluate(evaluator, masks, dirty_bounds):
+    return evaluator.evaluate_population(masks, dirty_bounds=dirty_bounds)
+
+
+@pytest.fixture(params=["yolo", "detr"])
+def bench_detector(request, bench_yolo, bench_detr):
+    return bench_yolo if request.param == "yolo" else bench_detr
+
+
+class TestIncrementalPopulation:
+    def test_sparse_patch_incremental(self, benchmark, bench_detector, bench_dataset):
+        image = bench_dataset[0].image
+        masks = sparse_patch_population(image.shape)
+        bounds = [mask_nonzero_bbox(mask) for mask in masks]
+        dense = ButterflyObjectives(
+            detector=bench_detector, image=image, use_activation_cache=False
+        )
+        incremental = ButterflyObjectives(
+            detector=bench_detector, image=image, use_activation_cache=True
+        )
+        expected = dense.evaluate_population(masks)
+        matrix = run_once(benchmark, _evaluate, incremental, masks, bounds)
+        assert np.array_equal(matrix, expected)
+
+    def test_sparse_patch_dense_baseline(
+        self, benchmark, bench_detector, bench_dataset
+    ):
+        image = bench_dataset[0].image
+        masks = sparse_patch_population(image.shape)
+        dense = ButterflyObjectives(
+            detector=bench_detector, image=image, use_activation_cache=False
+        )
+        matrix = run_once(benchmark, _evaluate, dense, masks, None)
+        assert matrix.shape == (masks.shape[0], dense.num_objectives)

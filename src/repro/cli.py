@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from repro.analysis.reporting import format_table
 from repro.core.attack import ButterflyAttack
 from repro.core.config import AttackConfig
 from repro.core.regions import region_from_name
+from repro.detectors.activation_cache import ActivationCacheStore
 from repro.data.dataset import generate_dataset
 from repro.detectors.zoo import build_detector
 from repro.experiments.config import (
@@ -40,6 +42,13 @@ from repro.experiments.figures import (
 from repro.experiments.runner import run_architecture_comparison
 from repro.io.serialization import save_attack_result
 from repro.nsga.algorithm import NSGAConfig
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +74,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the paper's Table II budget (100 generations x 101 individuals)",
     )
     attack.add_argument("--output", default=None, help="directory to save the result")
+    attack.add_argument(
+        "--activation-cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "cache the clean scene's activations and evaluate masks through "
+            "the detector's incremental dirty-region path (bit-identical to "
+            "the dense path, only faster); --no-activation-cache forces the "
+            "dense batched path.  Default: on, unless REPRO_ACTIVATION_CACHE=0"
+        ),
+    )
+    attack.add_argument(
+        "--activation-cache-size",
+        type=_positive_int,
+        default=4,
+        help=(
+            "entry cap of the clean-activation store (one entry per cached "
+            "(detector, scene) pair; least recently used scenes are evicted)"
+        ),
+    )
 
     compare = subparsers.add_parser(
         "compare", help="run the reduced Figure 2 architecture comparison"
@@ -89,13 +118,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _attack_config(args: argparse.Namespace) -> AttackConfig:
     region = region_from_name(args.region) if hasattr(args, "region") else region_from_name("right")
+    cache_overrides = {}
+    if getattr(args, "activation_cache", None) is not None:
+        cache_overrides["use_activation_cache"] = bool(args.activation_cache)
+    if getattr(args, "activation_cache_size", None) is not None:
+        cache_overrides["activation_cache_size"] = int(args.activation_cache_size)
     if getattr(args, "paper_budget", False):
-        return AttackConfig.paper_defaults(region=region)
+        base = AttackConfig.paper_defaults(region=region)
+        return replace(base, **cache_overrides) if cache_overrides else base
     return AttackConfig(
         nsga=NSGAConfig(
             num_iterations=args.iterations, population_size=args.population, seed=0
         ),
         region=region,
+        **cache_overrides,
     )
 
 
@@ -106,13 +142,28 @@ def _run_attack(args: argparse.Namespace) -> int:
     print(f"Detector: {detector.name}")
     print(f"Clean prediction: {detector.predict(sample.image).summary()}")
 
-    result = ButterflyAttack(detector, _attack_config(args)).attack(sample.image)
+    config = _attack_config(args)
+    activation_store = (
+        ActivationCacheStore(max_entries=config.activation_cache_size)
+        if config.use_activation_cache
+        else None
+    )
+    result = ButterflyAttack(
+        detector, config, activation_store=activation_store
+    ).attack(sample.image)
     print(result.summary())
     print(
         f"Evaluations: {result.num_evaluations} requested, "
         f"{result.cache_hits} answered by the evaluation cache, "
         f"{result.num_queries} detector queries"
     )
+    if activation_store is not None:
+        stats = activation_store.stats
+        print(
+            f"Activation cache: {stats['entries']} cached scene(s), "
+            f"{stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['evictions']} evictions"
+        )
     rows = [
         {
             "solution": index,

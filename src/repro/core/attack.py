@@ -19,6 +19,7 @@ from repro.core.objectives import ButterflyObjectives
 from repro.core.results import AttackResult, ParetoSolution
 from repro.detection.errors import classify_transitions
 from repro.detection.prediction import Prediction
+from repro.detectors.activation_cache import ActivationCacheStore
 from repro.detectors.base import Detector
 from repro.nsga.algorithm import NSGAII, NSGAResult
 
@@ -39,6 +40,11 @@ class ButterflyAttack:
         Optional additional minimised objectives forwarded to
         :class:`~repro.core.objectives.ButterflyObjectives` (grey-box
         extension).
+    activation_store:
+        Optional shared clean-activation store (e.g. one per experiment
+        sweep) so repeated attacks on the same ``(detector, scene)`` pair
+        reuse one cached bundle; without it each attack builds a private
+        one when ``config.use_activation_cache`` is on.
     """
 
     def __init__(
@@ -48,10 +54,12 @@ class ButterflyAttack:
         extra_objectives: Sequence[
             Callable[[np.ndarray, np.ndarray, Prediction], float]
         ] = (),
+        activation_store: "ActivationCacheStore | None" = None,
     ) -> None:
         self.detector = detector
         self.config = config if config is not None else AttackConfig()
         self.extra_objectives = tuple(extra_objectives)
+        self.activation_store = activation_store
 
     def build_objectives(self, image: np.ndarray) -> ButterflyObjectives:
         """Create the cached objective evaluator for one image."""
@@ -60,6 +68,8 @@ class ButterflyAttack:
             image=image,
             epsilon=self.config.epsilon,
             extra_objectives=self.extra_objectives,
+            use_activation_cache=self.config.use_activation_cache,
+            activation_store=self.activation_store,
         )
 
     def _constraint(self, mask: np.ndarray) -> np.ndarray:

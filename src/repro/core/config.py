@@ -2,10 +2,24 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.core.regions import FullImageRegion, Region
 from repro.nsga.algorithm import NSGAConfig
+
+
+def default_use_activation_cache() -> bool:
+    """Default for every ``use_activation_cache`` switch in the attack stack.
+
+    The ``REPRO_ACTIVATION_CACHE`` environment variable (``0`` disables)
+    lets the benchmark/CI A/B jobs run the whole suite with and without the
+    incremental path without touching every call site; ``AttackConfig``,
+    ``ButterflyObjectives`` and ``EnsembleObjectives`` all default through
+    this function.  Both paths are bit-identical, so this only changes
+    speed.
+    """
+    return os.environ.get("REPRO_ACTIVATION_CACHE", "1") != "0"
 
 
 @dataclass(frozen=True)
@@ -23,12 +37,23 @@ class AttackConfig:
     round_masks:
         Round filter masks to integer values (the paper encodes masks as
         signed integers in ``[-255, 255]``).
+    use_activation_cache:
+        Cache the clean scene's activations and evaluate masks through the
+        detectors' incremental (dirty-region) path where supported.
+        Bit-identical to the dense path; only changes speed.  Defaults to
+        on unless ``REPRO_ACTIVATION_CACHE=0`` is set.
+    activation_cache_size:
+        Entry cap of the per-sweep :class:`~repro.detectors.
+        activation_cache.ActivationCacheStore` (one entry per cached
+        ``(detector, scene)`` pair) used by the experiment runner.
     """
 
     nsga: NSGAConfig = field(default_factory=NSGAConfig)
     region: Region = field(default_factory=FullImageRegion)
     epsilon: float = 2.0
     round_masks: bool = True
+    use_activation_cache: bool = field(default_factory=default_use_activation_cache)
+    activation_cache_size: int = 4
 
     @staticmethod
     def paper_defaults(region: Region | None = None, seed: int = 0) -> "AttackConfig":

@@ -23,13 +23,15 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.config import AttackConfig
+from repro.core.config import AttackConfig, default_use_activation_cache
 from repro.core.masks import FilterMask, apply_mask
 from repro.core.objectives import ButterflyObjectives
 from repro.core.results import AttackResult, ParetoSolution
 from repro.detection.errors import classify_transitions
+from repro.detectors.activation_cache import ActivationCacheStore
 from repro.detectors.base import Detector
 from repro.detectors.ensemble import DetectorEnsemble
+from repro.nn.incremental import BBox, mask_nonzero_bbox
 from repro.nsga.algorithm import NSGAII
 
 
@@ -46,6 +48,8 @@ class EnsembleObjectives:
     ensemble: DetectorEnsemble | Sequence[Detector]
     image: np.ndarray
     epsilon: float = 2.0
+    use_activation_cache: bool = field(default_factory=default_use_activation_cache)
+    activation_store: ActivationCacheStore | None = None
     members: list[ButterflyObjectives] = field(init=False)
 
     def __post_init__(self) -> None:
@@ -57,8 +61,17 @@ class EnsembleObjectives:
         if not detectors:
             raise ValueError("the ensemble must contain at least one detector")
         self.image = np.asarray(self.image, dtype=np.float64)
+        # The activation cache fans out per member: each member evaluator
+        # caches its own detector's clean activations (optionally through
+        # one shared store, keyed by detector identity + image digest).
         self.members = [
-            ButterflyObjectives(detector=d, image=self.image, epsilon=self.epsilon)
+            ButterflyObjectives(
+                detector=d,
+                image=self.image,
+                epsilon=self.epsilon,
+                use_activation_cache=self.use_activation_cache,
+                activation_store=self.activation_store,
+            )
             for d in detectors
         ]
 
@@ -84,9 +97,15 @@ class EnsembleObjectives:
         ]
         return float(np.mean(values))
 
-    def distance(self, mask: np.ndarray) -> float:
-        """Eq. 3: average of the members' obj_dist."""
-        return float(np.mean([member.distance(mask) for member in self.members]))
+    def distance(self, mask: np.ndarray, bbox: BBox | None = None) -> float:
+        """Eq. 3: average of the members' obj_dist.
+
+        ``bbox`` must be the mask's exact nonzero bounding box when given
+        (see :func:`~repro.core.objectives.objective_distance`).
+        """
+        return float(
+            np.mean([member.distance(mask, bbox) for member in self.members])
+        )
 
     def raw_objectives(self, mask: np.ndarray) -> dict[str, float]:
         """Paper-oriented objective values for reporting."""
@@ -96,18 +115,33 @@ class EnsembleObjectives:
             "distance": self.distance(mask),
         }
 
-    def __call__(self, mask: np.ndarray) -> np.ndarray:
+    def __call__(
+        self, mask: np.ndarray, dirty_bound: BBox | None = None
+    ) -> np.ndarray:
         """Minimisation vector (intensity, mean degradation, -mean distance)."""
-        perturbed_image = apply_mask(self.image, mask)
-        degradations = [
-            member.degradation(mask, member.detector.predict(perturbed_image))
-            for member in self.members
-        ]
-        distances = [member.distance(mask) for member in self.members]
+        mask = np.asarray(mask, dtype=np.float64)
+        bbox = mask_nonzero_bbox(mask, within=dirty_bound)
+        perturbed_image: np.ndarray | None = None
+        degradations = []
+        for member in self.members:
+            if member.clean_activations is not None:
+                prediction = member.detector.predict_delta(
+                    self.image, mask, bbox, member.clean_activations
+                )
+            else:
+                # One shared perturbed image serves every dense member.
+                if perturbed_image is None:
+                    perturbed_image = apply_mask(self.image, mask)
+                prediction = member.detector.predict(perturbed_image)
+            degradations.append(member.degradation(mask, prediction))
+        distances = [member.distance(mask, bbox) for member in self.members]
         return self._vector(mask, degradations, distances)
 
     def _vector(
-        self, mask: np.ndarray, degradations: Sequence[float], distances: Sequence[float]
+        self,
+        mask: np.ndarray,
+        degradations: Sequence[float],
+        distances: Sequence[float],
     ) -> np.ndarray:
         return np.asarray(
             [
@@ -118,25 +152,61 @@ class EnsembleObjectives:
             dtype=np.float64,
         )
 
-    def evaluate_population(self, masks: np.ndarray) -> np.ndarray:
+    def evaluate_population(
+        self,
+        masks: np.ndarray,
+        dirty_bounds: Sequence[BBox | None] | None = None,
+    ) -> np.ndarray:
         """Evaluate a whole population of masks; shape (B, 3).
 
-        Every member detector runs one batched pass over the stacked
-        perturbed images (Equations 1–3 applied per mask), producing vectors
-        identical to calling the evaluator mask by mask.
+        Members with cached clean activations answer through their
+        incremental ``predict_delta_batch`` path (recomputing only each
+        mask's nonzero bounding box); the rest share one stacked
+        ``predict_batch`` pass (Equations 1–3 applied per mask), producing
+        vectors identical to calling the evaluator mask by mask.
         """
         masks = np.asarray(masks, dtype=np.float64)
-        perturbed_images = self.members[0].apply_masks(masks)
-        member_predictions = [
-            member.detector.predict_batch(perturbed_images) for member in self.members
+        bounds: list[BBox | None]
+        if dirty_bounds is None:
+            bounds = [None] * masks.shape[0]
+        else:
+            bounds = list(dirty_bounds)
+            if len(bounds) != masks.shape[0]:
+                raise ValueError(
+                    f"expected {masks.shape[0]} dirty bounds, got {len(bounds)}"
+                )
+        bboxes = [
+            mask_nonzero_bbox(mask, within=bound)
+            for mask, bound in zip(masks, bounds)
         ]
+        perturbed_images: np.ndarray | None = None
+        member_predictions = []
+        for member in self.members:
+            if member.clean_activations is not None:
+                member_predictions.append(
+                    member.detector.predict_delta_batch(
+                        self.image, masks, bboxes, member.clean_activations
+                    )
+                )
+            else:
+                if perturbed_images is None:
+                    # One shared dense stack (reusing the first member's
+                    # scratch buffer) serves every non-incremental member.
+                    perturbed_images = self.members[0].apply_masks(
+                        masks, out=self.members[0]._population_scratch(masks.shape)
+                    )
+                member_predictions.append(
+                    member.detector.predict_batch(perturbed_images)
+                )
         rows = []
         for index, mask in enumerate(masks):
             degradations = [
                 member.degradation(mask, predictions[index])
                 for member, predictions in zip(self.members, member_predictions)
             ]
-            distances = [member.distance(mask) for member in self.members]
+            distances = [
+                member.distance(mask, bboxes[index]) for member in self.members
+            ]
             rows.append(self._vector(mask, degradations, distances))
         return np.stack(rows, axis=0)
 
@@ -148,6 +218,7 @@ class EnsembleAttack:
         self,
         ensemble: DetectorEnsemble | Sequence[Detector],
         config: AttackConfig | None = None,
+        activation_store: ActivationCacheStore | None = None,
     ) -> None:
         self.ensemble = (
             ensemble
@@ -155,6 +226,7 @@ class EnsembleAttack:
             else DetectorEnsemble(list(ensemble))
         )
         self.config = config if config is not None else AttackConfig()
+        self.activation_store = activation_store
 
     def _constraint(self, mask: np.ndarray) -> np.ndarray:
         projected = self.config.region.project(mask)
@@ -166,7 +238,11 @@ class EnsembleAttack:
         """Run NSGA-II against the whole ensemble and package the result."""
         image = np.asarray(image, dtype=np.float64)
         objectives = EnsembleObjectives(
-            ensemble=self.ensemble, image=image, epsilon=self.config.epsilon
+            ensemble=self.ensemble,
+            image=image,
+            epsilon=self.config.epsilon,
+            use_activation_cache=self.config.use_activation_cache,
+            activation_store=self.activation_store,
         )
         optimizer = NSGAII(
             objective_function=objectives,

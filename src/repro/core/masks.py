@@ -7,23 +7,41 @@ with values in ``[-255, 255]``.  Applying the mask means ``clip(img + δ,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.nn.incremental import BBox, bbox_area, mask_nonzero_bbox
 
 #: Bound of the signed perturbation range used throughout the paper.
 MAX_PERTURBATION = 255.0
 
 
-def apply_mask(image: np.ndarray, mask: np.ndarray) -> np.ndarray:
-    """Apply a filter mask to an image and clip to the valid pixel range."""
+def apply_mask(
+    image: np.ndarray, mask: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Apply a filter mask to an image and clip to the valid pixel range.
+
+    ``out`` optionally receives the perturbed image in place (it must have
+    the image's shape and float64 dtype), so population evaluation can
+    reuse one scratch buffer instead of allocating a fresh copy per mask;
+    the add/clip operations are identical either way.
+    """
     image = np.asarray(image, dtype=np.float64)
     mask = np.asarray(mask, dtype=np.float64)
     if image.shape != mask.shape:
         raise ValueError(
             f"mask shape {mask.shape} does not match image shape {image.shape}"
         )
-    return np.clip(image + mask, 0.0, 255.0)
+    if out is None:
+        return np.clip(image + mask, 0.0, 255.0)
+    if out.shape != image.shape or out.dtype != np.float64:
+        raise ValueError(
+            f"out buffer must be float64 of shape {image.shape}, "
+            f"got {out.dtype} {out.shape}"
+        )
+    np.add(image, mask, out=out)
+    return np.clip(out, 0.0, 255.0, out=out)
 
 
 @dataclass
@@ -37,6 +55,7 @@ class FilterMask:
     """
 
     values: np.ndarray
+    _nonzero_bbox: BBox | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=np.float64)
@@ -80,6 +99,33 @@ class FilterMask:
     @property
     def is_zero(self) -> bool:
         return self.perturbed_pixel_count == 0
+
+    def nonzero_bbox(self) -> BBox:
+        """Half-open ``(r0, r1, c0, c1)`` box of the perturbed pixels.
+
+        The exact bounding box of the pixels with a nonzero value in any
+        channel — the *dirty region* the incremental inference path
+        recomputes.  Computed once and cached; the mask values must not be
+        mutated in place afterwards (use :meth:`clipped`/:meth:`rounded`,
+        which return fresh masks).  Returns ``(0, 0, 0, 0)`` for the zero
+        mask.
+        """
+        if self._nonzero_bbox is None:
+            self._nonzero_bbox = mask_nonzero_bbox(self.values)
+        return self._nonzero_bbox
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of image pixels inside the dirty bounding box.
+
+        0 for the zero mask, 1 when the nonzero support spans the whole
+        image; the incremental path uses it to decide between the windowed
+        and the dense batched forward pass.
+        """
+        total = self.values.shape[0] * self.values.shape[1]
+        if total == 0:
+            return 0.0
+        return bbox_area(self.nonzero_bbox()) / float(total)
 
     def apply(self, image: np.ndarray) -> np.ndarray:
         """Return the perturbed image ``clip(img + δ, 0, 255)``."""

@@ -21,6 +21,15 @@ evaluate_population` (all masks applied in one broadcast, one vectorised
 ``predict_batch`` pass, degradation via a pairwise-IoU matrix).  The two
 are bit-identical per mask — the parity test suite enforces it — so
 NSGA-II picks the batched path purely for speed.
+
+On top of the batched path sits the *incremental* path: when the detector
+supports dirty-region inference, the evaluator caches the clean scene's
+activations once (:class:`~repro.detectors.activation_cache.
+CleanActivations`, optionally through a shared
+:class:`~repro.detectors.activation_cache.ActivationCacheStore`) and routes
+every mask through ``predict_delta`` / ``predict_delta_batch``, which
+recompute only each mask's nonzero bounding box.  That path is again
+bit-identical per mask, so ``use_activation_cache`` only changes speed.
 """
 
 from __future__ import annotations
@@ -30,10 +39,13 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.masks import apply_mask
+from repro.core.config import default_use_activation_cache
+from repro.core.masks import FilterMask, apply_mask
 from repro.detection.boxes import iou_matrix
 from repro.detection.prediction import Prediction
+from repro.detectors.activation_cache import ActivationCacheStore, CleanActivations
 from repro.detectors.base import Detector
+from repro.nn.incremental import BBox, bbox_is_empty, mask_nonzero_bbox
 
 
 def objective_intensity(mask: np.ndarray) -> float:
@@ -120,6 +132,7 @@ def distance_weight_matrix(
 def objective_distance(
     mask: np.ndarray,
     weight_matrix: np.ndarray,
+    bbox: BBox | None = None,
 ) -> float:
     """Algorithm 2 (lines 17–24) given the precomputed matrix ``D``.
 
@@ -127,13 +140,26 @@ def objective_distance(
     weighs the distance matrix; the weighted sum is divided by the number
     of perturbed pixels.  A zero mask has no perturbed pixels; its
     "unrelatedness" is defined as 0.
+
+    All work happens on the mask's nonzero bounding box (every pixel
+    outside contributes an exact zero to the weighted sum anyway), which is
+    what makes sparse masks cheap.  ``bbox`` must be the *exact* box — pass
+    :meth:`FilterMask.nonzero_bbox` or :func:`~repro.nn.incremental.
+    mask_nonzero_bbox` output, never a loose bound — so that the summation
+    grouping, and therefore the value, is a deterministic function of the
+    mask alone; it is computed from the mask when omitted.
     """
     mask = np.asarray(mask, dtype=np.float64)
-    per_pixel_max = np.max(np.abs(mask), axis=2)
+    if bbox is None:
+        bbox = mask_nonzero_bbox(mask)
+    if bbox_is_empty(bbox):
+        return 0.0
+    r0, r1, c0, c1 = bbox
+    per_pixel_max = np.max(np.abs(mask[r0:r1, c0:c1]), axis=2)
     perturbed_count = int(np.count_nonzero(per_pixel_max))
     if perturbed_count == 0:
         return 0.0
-    weighted = per_pixel_max * weight_matrix
+    weighted = per_pixel_max * weight_matrix[r0:r1, c0:c1]
     return float(weighted.sum() / perturbed_count)
 
 
@@ -167,6 +193,16 @@ class ButterflyObjectives:
         possible distance would reach, giving a value in roughly [-1, 1]
         comparable across image sizes (the paper's Figure 2 reports
         obj_dist values around 0.5 on a comparable scale).
+    use_activation_cache:
+        Precompute the clean scene's activations and evaluate masks through
+        the detector's incremental (dirty-region) path when it supports
+        one.  Bit-identical to the dense path — the parity suite enforces
+        it — so this switch only changes speed.  Defaults to on unless
+        ``REPRO_ACTIVATION_CACHE=0`` is set (the benchmark A/B switch).
+    activation_store:
+        Optional shared :class:`ActivationCacheStore` (e.g. one per
+        experiment sweep) supplying the clean activations; without it the
+        evaluator builds its own private bundle.
     """
 
     detector: Detector
@@ -177,12 +213,30 @@ class ButterflyObjectives:
     ] = field(default_factory=tuple)
     normalize_intensity: bool = True
     normalize_distance: bool = True
+    use_activation_cache: bool = field(default_factory=default_use_activation_cache)
+    activation_store: Optional[ActivationCacheStore] = None
 
     def __post_init__(self) -> None:
         self.image = np.asarray(self.image, dtype=np.float64)
         if self.image.ndim != 3 or self.image.shape[2] != 3:
             raise ValueError("image must have shape (L, W, 3)")
-        self.clean_prediction: Prediction = self.detector.predict(self.image)
+        self._scratch: Optional[np.ndarray] = None
+        self.clean_activations: Optional[CleanActivations] = None
+        if self.use_activation_cache and getattr(
+            self.detector, "supports_incremental", False
+        ):
+            if self.activation_store is not None:
+                self.clean_activations = self.activation_store.get(
+                    self.detector, self.image
+                )
+            else:
+                self.clean_activations = self.detector.clean_activations(self.image)
+        if self.clean_activations is not None:
+            # The cached clean prediction is decoded from the same forward
+            # pass predict() would run, so downstream numbers are unchanged.
+            self.clean_prediction: Prediction = self.clean_activations.prediction
+        else:
+            self.clean_prediction = self.detector.predict(self.image)
         self.weight_matrix: np.ndarray = distance_weight_matrix(
             self.clean_prediction,
             self.image.shape[0],
@@ -221,15 +275,38 @@ class ButterflyObjectives:
     def degradation(self, mask: np.ndarray, perturbed: Prediction | None = None) -> float:
         """obj_degrad for a mask (running the detector unless given)."""
         if perturbed is None:
-            perturbed = self.detector.predict(apply_mask(self.image, mask))
+            perturbed = self._predict_perturbed(np.asarray(mask, dtype=np.float64))
         return objective_degradation(self.clean_prediction, perturbed)
 
-    def distance(self, mask: np.ndarray) -> float:
-        """obj_dist for a mask, using the cached weight matrix."""
-        value = objective_distance(mask, self.weight_matrix)
+    def distance(
+        self, mask: np.ndarray | FilterMask, bbox: BBox | None = None
+    ) -> float:
+        """obj_dist for a mask, using the cached weight matrix.
+
+        ``bbox`` must be the mask's exact nonzero bounding box when given
+        (see :func:`objective_distance`); a :class:`FilterMask` supplies its
+        cached :meth:`~repro.core.masks.FilterMask.nonzero_bbox`
+        automatically.
+        """
+        if isinstance(mask, FilterMask):
+            if bbox is None:
+                bbox = mask.nonzero_bbox()
+            mask = mask.values
+        value = objective_distance(mask, self.weight_matrix, bbox=bbox)
         if self.normalize_distance:
             return value / self._distance_scale
         return value
+
+    def _predict_perturbed(
+        self, mask: np.ndarray, bbox: BBox | None = None
+    ) -> Prediction:
+        """Detector prediction on the perturbed image, via the incremental
+        path when clean activations are cached (bit-identical either way)."""
+        if self.clean_activations is not None:
+            return self.detector.predict_delta(
+                self.image, mask, bbox, self.clean_activations
+            )
+        return self.detector.predict(apply_mask(self.image, mask))
 
     def raw_objectives(self, mask: np.ndarray) -> dict[str, float]:
         """The paper-oriented objective values for reporting.
@@ -237,62 +314,125 @@ class ButterflyObjectives:
         ``intensity`` and ``degradation`` are minimised, ``distance`` is
         maximised, exactly as the paper presents them.
         """
-        perturbed = self.detector.predict(apply_mask(self.image, mask))
+        mask = np.asarray(mask, dtype=np.float64)
+        bbox = mask_nonzero_bbox(mask)
+        perturbed = self._predict_perturbed(mask, bbox)
         values = {
             "intensity": self.intensity(mask),
             "degradation": self.degradation(mask, perturbed),
-            "distance": self.distance(mask),
+            "distance": self.distance(mask, bbox),
         }
         for index, extra in enumerate(self.extra_objectives):
             values[f"extra_{index}"] = float(extra(self.image, mask, perturbed))
         return values
 
-    def __call__(self, mask: np.ndarray) -> np.ndarray:
-        """Minimisation vector for NSGA-II."""
-        perturbed = self.detector.predict(apply_mask(self.image, mask))
-        return self._vector(mask, perturbed)
+    def __call__(
+        self, mask: np.ndarray, dirty_bound: BBox | None = None
+    ) -> np.ndarray:
+        """Minimisation vector for NSGA-II.
 
-    def _vector(self, mask: np.ndarray, perturbed: Prediction) -> np.ndarray:
+        ``dirty_bound`` optionally restricts the nonzero scan to a window
+        known to contain every nonzero pixel (the NSGA-II operators
+        propagate one per offspring); it never changes the result.
+        """
+        mask = np.asarray(mask, dtype=np.float64)
+        bbox = mask_nonzero_bbox(mask, within=dirty_bound)
+        perturbed = self._predict_perturbed(mask, bbox)
+        return self._vector(mask, perturbed, bbox)
+
+    def _vector(
+        self, mask: np.ndarray, perturbed: Prediction, bbox: BBox | None = None
+    ) -> np.ndarray:
         """Assemble the minimisation vector from a perturbed prediction."""
         vector = [
             self.intensity(mask),
             self.degradation(mask, perturbed),
-            -self.distance(mask),
+            -self.distance(mask, bbox),
         ]
         for extra in self.extra_objectives:
             vector.append(float(extra(self.image, mask, perturbed)))
         return np.asarray(vector, dtype=np.float64)
 
-    def apply_masks(self, masks: np.ndarray) -> np.ndarray:
+    def apply_masks(
+        self, masks: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Apply a stack of masks at once; ``(B, L, W, 3)`` perturbed images.
 
         The broadcast add/clip performs the same per-element operations as
         :func:`~repro.core.masks.apply_mask` per mask, so the stacked images
-        are bit-identical to the sequential path.
+        are bit-identical to the sequential path.  ``out`` optionally
+        receives the stack in place (float64, shape ``masks.shape``) so a
+        population of N masks can reuse one scratch buffer.
         """
         masks = np.asarray(masks, dtype=np.float64)
         if masks.ndim != 4 or masks.shape[1:] != self.image.shape:
             raise ValueError(
                 f"expected masks of shape (B, *{self.image.shape}), got {masks.shape}"
             )
-        return np.clip(self.image[None, ...] + masks, 0.0, 255.0)
+        if out is None:
+            return np.clip(self.image[None, ...] + masks, 0.0, 255.0)
+        if out.shape != masks.shape or out.dtype != np.float64:
+            raise ValueError(
+                f"out buffer must be float64 of shape {masks.shape}, "
+                f"got {out.dtype} {out.shape}"
+            )
+        np.add(self.image[None, ...], masks, out=out)
+        return np.clip(out, 0.0, 255.0, out=out)
 
-    def evaluate_population(self, masks: np.ndarray) -> np.ndarray:
+    def _population_scratch(self, shape: tuple[int, ...]) -> np.ndarray:
+        """One reusable (B, L, W, 3) buffer for dense population batches."""
+        if self._scratch is None or self._scratch.shape != shape:
+            self._scratch = np.empty(shape, dtype=np.float64)
+        return self._scratch
+
+    def evaluate_population(
+        self,
+        masks: np.ndarray,
+        dirty_bounds: Sequence[BBox | None] | None = None,
+    ) -> np.ndarray:
         """Evaluate a whole population of masks; shape (B, num_objectives).
 
-        All masks are applied in one broadcast pass and the detector runs
-        once over the stacked batch (its vectorised ``predict_batch`` fast
-        path); the per-mask objective vectors are identical to calling the
-        evaluator mask by mask, which is what lets NSGA-II switch freely
-        between the batched and sequential evaluation paths.
+        With cached clean activations every mask routes through the
+        detector's incremental ``predict_delta_batch`` path (recomputing
+        only its nonzero bounding box); otherwise all masks are applied in
+        one broadcast pass into a reused scratch buffer and the detector
+        runs once over the stacked batch.  ``dirty_bounds`` optionally caps
+        the per-mask nonzero scans (one bound per mask, ``None`` entries
+        meaning unknown).  Per-mask objective vectors are identical to
+        calling the evaluator mask by mask on every route, which is what
+        lets NSGA-II switch freely between the evaluation paths.
         """
         masks = np.asarray(masks, dtype=np.float64)
-        perturbed_images = self.apply_masks(masks)
-        predictions = self.detector.predict_batch(perturbed_images)
+        if masks.ndim != 4 or masks.shape[1:] != self.image.shape:
+            raise ValueError(
+                f"expected masks of shape (B, *{self.image.shape}), got {masks.shape}"
+            )
+        bounds: list[BBox | None]
+        if dirty_bounds is None:
+            bounds = [None] * masks.shape[0]
+        else:
+            bounds = list(dirty_bounds)
+            if len(bounds) != masks.shape[0]:
+                raise ValueError(
+                    f"expected {masks.shape[0]} dirty bounds, got {len(bounds)}"
+                )
+        bboxes = [
+            mask_nonzero_bbox(mask, within=bound)
+            for mask, bound in zip(masks, bounds)
+        ]
+        if self.clean_activations is not None:
+            predictions = self.detector.predict_delta_batch(
+                self.image, masks, bboxes, self.clean_activations
+            )
+        else:
+            perturbed_images = self.apply_masks(
+                masks, out=self._population_scratch(masks.shape)
+            )
+            predictions = self.detector.predict_batch(perturbed_images)
         return np.stack(
             [
-                self._vector(mask, prediction)
-                for mask, prediction in zip(masks, predictions)
+                self._vector(mask, prediction, bbox)
+                for mask, prediction, bbox in zip(masks, predictions, bboxes)
             ],
             axis=0,
         )

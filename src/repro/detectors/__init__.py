@@ -16,6 +16,7 @@ synthetic scenes, so that clean-image predictions are correct by
 construction — the paper's starting assumption.
 """
 
+from repro.detectors.activation_cache import ActivationCacheStore, CleanActivations
 from repro.detectors.base import Detector, DetectorConfig
 from repro.detectors.prototypes import PrototypeBank
 from repro.detectors.single_stage import SingleStageDetector
@@ -25,6 +26,8 @@ from repro.detectors.zoo import build_detector, build_model_zoo
 from repro.detectors.ensemble import DetectorEnsemble
 
 __all__ = [
+    "ActivationCacheStore",
+    "CleanActivations",
     "Detector",
     "DetectorConfig",
     "PrototypeBank",

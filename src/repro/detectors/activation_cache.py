@@ -1,0 +1,141 @@
+"""Clean-scene activation cache for incremental (dirty-region) inference.
+
+The butterfly-effect attack evaluates thousands of perturbation masks
+against the *same* clean scene.  Each simulated detector can precompute the
+clean scene's intermediate activations once (see
+``Detector.clean_activations``) and then answer a perturbed image by
+recomputing only the mask's dirty region.  This module provides the shared
+cache machinery:
+
+* :class:`CleanActivations` — the per-``(detector, image)`` bundle of
+  cached tensors plus the decoded clean prediction;
+* :class:`ActivationCacheStore` — a small content-keyed LRU store with a
+  size cap, hit/miss/eviction counters and explicit invalidation, used by
+  the experiment runner to manage per-scene cache lifecycle across a
+  models × images sweep.
+
+Entries are keyed by the *content digest* of the image (plus the detector
+instance), so presenting a new scene can never hit a stale entry — a fresh
+image always misses and rebuilds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.detection.prediction import Prediction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.detectors.base import Detector
+
+
+def image_digest(image: np.ndarray) -> bytes:
+    """Stable content key of an image: dtype, shape and raw bytes."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(image.dtype).encode())
+    digest.update(str(image.shape).encode())
+    digest.update(np.ascontiguousarray(image).tobytes())
+    return digest.digest()
+
+
+@dataclass
+class CleanActivations:
+    """Cached clean-scene activations of one ``(detector, image)`` pair.
+
+    Attributes
+    ----------
+    clean_image:
+        The canonical clean image ``clip(image + 0, 0, 255)`` — exactly the
+        pixel values a zero mask would produce, so splicing against it is
+        bit-identical to the full forward pass on the perturbed image.
+    prediction:
+        The decoded prediction on ``clean_image``; returned directly when a
+        mask's dirty region is empty (nothing to recompute).
+    tensors:
+        Architecture-specific cached stages, e.g. the raw feature grid and
+        the smoothed feature grid for the single-stage detector or the raw
+        patch tokens for the transformer.
+    """
+
+    clean_image: np.ndarray
+    prediction: Prediction
+    tensors: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class _StoreEntry:
+    detector: "Detector"  # strong ref: keeps id(detector) stable while cached
+    activations: CleanActivations
+
+
+class ActivationCacheStore:
+    """Content-keyed LRU store of :class:`CleanActivations`.
+
+    Keys combine the detector identity with the image content digest, so a
+    new scene (or a retrained detector instance) always misses — there are
+    no stale hits by construction.  The ``max_entries`` cap bounds memory
+    for long models × scenes sweeps; the least recently used entry is
+    evicted first.
+    """
+
+    def __init__(self, max_entries: int = 4) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = int(max_entries)
+        self._entries: dict[tuple[int, bytes], _StoreEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, detector: "Detector", image: np.ndarray) -> CleanActivations | None:
+        """The cached activations for ``(detector, image)``, built on miss.
+
+        Returns ``None`` when the detector does not support incremental
+        inference (its ``clean_activations`` returns ``None``); nothing is
+        stored in that case.
+        """
+        key = (id(detector), image_digest(image))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            # Move to the MRU end so the cap evicts the oldest scene first.
+            self._entries[key] = self._entries.pop(key)
+            return entry.activations
+        self.misses += 1
+        activations = detector.clean_activations(image)
+        if activations is None:
+            return None
+        while len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+        self._entries[key] = _StoreEntry(detector=detector, activations=activations)
+        return activations
+
+    def invalidate(self, detector: "Detector | None" = None) -> int:
+        """Drop entries (all of them, or one detector's); returns the count."""
+        if detector is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        keys = [key for key in self._entries if key[0] == id(detector)]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus the current entry count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }

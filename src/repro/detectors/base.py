@@ -8,6 +8,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.detection.prediction import Prediction
+from repro.detectors.activation_cache import CleanActivations
+from repro.nn.incremental import (
+    BBox,
+    bbox_area_fraction,
+    bbox_is_empty,
+    mask_nonzero_bbox,
+)
 
 
 @dataclass(frozen=True)
@@ -68,6 +75,24 @@ class Detector(abc.ABC):
     #: results are bit-identical for every chunk size.
     batch_chunk: int = 2
 
+    #: Whether :meth:`clean_activations` returns a usable cache (i.e. the
+    #: detector implements a windowed dirty-region forward pass).
+    supports_incremental: bool = False
+
+    #: Dirty-bounding-box area fraction (of the image plane) above which the
+    #: delta path routes a mask through the dense batched forward pass
+    #: instead of the windowed one.  Near-full windows pay the windowed
+    #: path's gather/splice overhead without skipping much work; both paths
+    #: are bit-identical, so this only affects speed.
+    incremental_dense_fraction: float = 0.5
+
+    #: Chunk size for the batched tail stages of the windowed delta path.
+    #: Spliced feature grids are two orders of magnitude smaller than full
+    #: images, so much larger chunks fit in cache than
+    #: :attr:`batch_chunk` allows; results are bit-identical for every
+    #: chunk size (the predict_batch parity suite pins that property).
+    delta_batch_chunk: int = 16
+
     def __init__(self, config: DetectorConfig | None = None, seed: int = 0) -> None:
         self.config = config if config is not None else DetectorConfig()
         self.seed = int(seed)
@@ -92,6 +117,147 @@ class Detector(abc.ABC):
         """
         images = validate_image_batch(images)
         return [self.predict(image) for image in images]
+
+    def clean_activations(self, image: np.ndarray) -> CleanActivations | None:
+        """Precompute the clean scene's activations for the delta path.
+
+        Detectors that support incremental inference return a
+        :class:`~repro.detectors.activation_cache.CleanActivations` bundle
+        (cached intermediate tensors plus the decoded clean prediction);
+        the generic base returns ``None``, which makes every delta call
+        fall back to a full recompute.
+        """
+        return None
+
+    def predict_delta(
+        self,
+        image: np.ndarray,
+        mask: np.ndarray,
+        dirty_bound: BBox | None = None,
+        clean: CleanActivations | None = None,
+    ) -> Prediction:
+        """Prediction on ``clip(image + mask, 0, 255)``, bit-identical to
+        :meth:`predict` on the perturbed image.
+
+        With a ``clean`` activation bundle (from :meth:`clean_activations`)
+        the detector recomputes only the mask's dirty region — the nonzero
+        bounding box dilated by each stage's receptive field — and splices
+        it into the cached clean activations.  ``dirty_bound`` optionally
+        restricts the nonzero scan to a window known to contain every
+        nonzero pixel (e.g. the O(1) bound propagated by the NSGA-II
+        operators); the exact box is still computed, so a loose bound never
+        changes the result.  Without ``clean`` the perturbed image is
+        simply run through the full forward pass.
+        """
+        image = validate_image(image)
+        mask = self._validate_mask(image, mask)
+        if clean is not None and self.supports_incremental:
+            pixel_bbox = mask_nonzero_bbox(mask, within=dirty_bound)
+            if bbox_is_empty(pixel_bbox):
+                return clean.prediction
+            plane = (image.shape[0], image.shape[1])
+            if bbox_area_fraction(pixel_bbox, plane) <= self.incremental_dense_fraction:
+                return self._predict_delta_windowed(image, mask, pixel_bbox, clean)
+        return self.predict(np.clip(image + mask, 0.0, 255.0))
+
+    def predict_delta_batch(
+        self,
+        image: np.ndarray,
+        masks: np.ndarray,
+        dirty_bounds: list[BBox | None] | None = None,
+        clean: CleanActivations | None = None,
+    ) -> list[Prediction]:
+        """Per-mask predictions on ``clip(image + masks[b], 0, 255)``.
+
+        The population form of :meth:`predict_delta`: each mask is routed
+        by its dirty-region size — empty regions answer from the cached
+        clean prediction, sparse regions go through the windowed recompute
+        (batched over the population where the architecture allows), and
+        dense regions fall back to the stacked :meth:`predict_batch` fast
+        path.  All three routes are bit-identical to :meth:`predict` per
+        mask, so the routing only affects speed.
+        """
+        image = validate_image(image)
+        masks = np.asarray(masks, dtype=np.float64)
+        if masks.ndim != 4 or masks.shape[1:] != image.shape:
+            raise ValueError(
+                f"expected masks of shape (B, *{image.shape}), got {masks.shape}"
+            )
+        count = masks.shape[0]
+        if dirty_bounds is None:
+            dirty_bounds = [None] * count
+        if len(dirty_bounds) != count:
+            raise ValueError(
+                f"expected {count} dirty bounds, got {len(dirty_bounds)}"
+            )
+        predictions: list[Prediction | None] = [None] * count
+        sparse: list[tuple[int, BBox]] = []
+        dense: list[int] = []
+        if clean is not None and self.supports_incremental:
+            plane = (image.shape[0], image.shape[1])
+            for index in range(count):
+                bbox = mask_nonzero_bbox(masks[index], within=dirty_bounds[index])
+                if bbox_is_empty(bbox):
+                    predictions[index] = clean.prediction
+                elif bbox_area_fraction(bbox, plane) <= self.incremental_dense_fraction:
+                    sparse.append((index, bbox))
+                else:
+                    dense.append(index)
+        else:
+            dense = list(range(count))
+        if dense:
+            stacked = np.clip(image[None, ...] + masks[dense], 0.0, 255.0)
+            for index, prediction in zip(dense, self.predict_batch(stacked)):
+                predictions[index] = prediction
+        if sparse:
+            for (index, _), prediction in zip(
+                sparse, self._predict_delta_windowed_batch(image, masks, sparse, clean)
+            ):
+                predictions[index] = prediction
+        return predictions  # type: ignore[return-value]
+
+    def _validate_mask(self, image: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != image.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match image shape {image.shape}"
+            )
+        return mask
+
+    def _predict_delta_windowed(
+        self,
+        image: np.ndarray,
+        mask: np.ndarray,
+        pixel_bbox: BBox,
+        clean: CleanActivations,
+    ) -> Prediction:
+        """Architecture hook: windowed recompute of one sparse mask.
+
+        Only reached when :attr:`supports_incremental` is True; such
+        detectors must override it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares incremental support but does not "
+            "implement _predict_delta_windowed"
+        )
+
+    def _predict_delta_windowed_batch(
+        self,
+        image: np.ndarray,
+        masks: np.ndarray,
+        items: list[tuple[int, BBox]],
+        clean: CleanActivations,
+    ) -> list[Prediction]:
+        """Windowed recompute of the sparse members of a population.
+
+        The generic form loops :meth:`_predict_delta_windowed`;
+        architectures override it to batch the shared tail stages
+        (probabilities, attention) across the population.
+        """
+        return [
+            self._predict_delta_windowed(image, masks[index], bbox, clean)
+            for index, bbox in items
+        ]
 
     @abc.abstractmethod
     def backbone_features(self, image: np.ndarray) -> np.ndarray:

@@ -18,7 +18,9 @@ import numpy as np
 from repro.detection.boxes import BoundingBox, iou
 from repro.detection.nms import non_max_suppression
 from repro.detection.prediction import Prediction
+from repro.detectors.activation_cache import CleanActivations
 from repro.detectors.base import Detector
+from repro.nn.incremental import BBox
 
 
 @dataclass
@@ -59,6 +61,43 @@ class DetectorEnsemble:
         the batched equivalent of calling :meth:`predict_all` per image.
         """
         return [detector.predict_batch(images) for detector in self.detectors]
+
+    def clean_activations_all(
+        self, image: np.ndarray
+    ) -> list[CleanActivations | None]:
+        """Fan the clean-scene activation cache out to every member.
+
+        Members that do not support incremental inference yield ``None``
+        and simply fall back to the dense path in the delta calls below.
+        """
+        return [detector.clean_activations(image) for detector in self.detectors]
+
+    def predict_delta_batch_all(
+        self,
+        image: np.ndarray,
+        masks: np.ndarray,
+        dirty_bounds: list[BBox | None] | None = None,
+        clean_all: list[CleanActivations | None] | None = None,
+    ) -> list[list[Prediction]]:
+        """Per-member incremental population predictions.
+
+        ``result[m][b]`` is member ``m``'s prediction on ``clip(image +
+        masks[b], 0, 255)``; each member routes its sparse masks through its
+        own cached clean activations (``clean_all`` from
+        :meth:`clean_activations_all`), bit-identical to
+        :meth:`predict_batch_all` on the stacked perturbed images.
+        """
+        if clean_all is None:
+            clean_all = [None] * len(self.detectors)
+        if len(clean_all) != len(self.detectors):
+            raise ValueError(
+                f"expected {len(self.detectors)} activation bundles, "
+                f"got {len(clean_all)}"
+            )
+        return [
+            detector.predict_delta_batch(image, masks, dirty_bounds, clean)
+            for detector, clean in zip(self.detectors, clean_all)
+        ]
 
     def predict_fused(
         self,

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detection.prediction import Prediction
+from repro.detectors.activation_cache import CleanActivations
 from repro.detectors.base import (
     Detector,
     DetectorConfig,
@@ -25,6 +26,13 @@ from repro.detectors.decode import decode_cell_probabilities
 from repro.detectors.prototypes import PrototypeBank
 from repro.nn.conv import box_filter, box_filter_batch
 from repro.nn.features import GridFeatureExtractor
+from repro.nn.incremental import (
+    BBox,
+    bbox_is_empty,
+    box_filter_window_channels,
+    dilate_bbox,
+    pixel_bbox_to_cell_bbox,
+)
 
 
 class SingleStageDetector(Detector):
@@ -48,6 +56,7 @@ class SingleStageDetector(Detector):
     """
 
     architecture = "single_stage"
+    supports_incremental = True
 
     def __init__(
         self,
@@ -67,19 +76,26 @@ class SingleStageDetector(Detector):
         self.global_context_weight = global_context_weight
         self.extractor = GridFeatureExtractor(cell=self.config.cell)
 
-    def backbone_features(self, image: np.ndarray) -> np.ndarray:
-        """Local cell features: raw grid features, locally smoothed,
-        minus a weak global-context mean."""
-        image = validate_image(image)
-        features = self.extractor(image)
-        if self.local_smoothing > 1:
-            smoothed = np.stack(
-                [
-                    box_filter(features[:, :, d], self.local_smoothing)
-                    for d in range(features.shape[2])
-                ],
-                axis=-1,
-            )
+    def _smooth(self, features: np.ndarray) -> np.ndarray:
+        """Per-channel local box smoothing of a (rows, cols, dim) grid."""
+        return np.stack(
+            [
+                box_filter(features[:, :, d], self.local_smoothing)
+                for d in range(features.shape[2])
+            ],
+            axis=-1,
+        )
+
+    def _finalize_features(
+        self, features: np.ndarray, smoothed: np.ndarray | None
+    ) -> np.ndarray:
+        """Blend raw/smoothed features and subtract the global-context mean.
+
+        Both terms are whole-grid elementwise/reduction operations, so the
+        delta path can run them on a spliced grid and stay bit-identical to
+        the full forward pass.
+        """
+        if smoothed is not None:
             # Blend raw and smoothed features: the cell itself dominates but
             # neighbours contribute (receptive field larger than one cell).
             features = 0.6 * features + 0.4 * smoothed
@@ -87,6 +103,14 @@ class SingleStageDetector(Detector):
             global_mean = features.reshape(-1, features.shape[2]).mean(axis=0)
             features = features - self.global_context_weight * global_mean
         return features
+
+    def backbone_features(self, image: np.ndarray) -> np.ndarray:
+        """Local cell features: raw grid features, locally smoothed,
+        minus a weak global-context mean."""
+        image = validate_image(image)
+        features = self.extractor(image)
+        smoothed = self._smooth(features) if self.local_smoothing > 1 else None
+        return self._finalize_features(features, smoothed)
 
     def cell_probabilities(self, image: np.ndarray) -> np.ndarray:
         """Per-cell class probabilities (rows, cols, num_classes + 1)."""
@@ -133,4 +157,124 @@ class SingleStageDetector(Detector):
                 decode_cell_probabilities(grid, self.config, image_shape)
                 for grid in probabilities
             )
+        return predictions
+
+    # ------------------------------------------------------------------
+    # Incremental (dirty-region) inference
+    # ------------------------------------------------------------------
+
+    def clean_activations(self, image: np.ndarray) -> CleanActivations:
+        """Cache the clean scene's raw and smoothed feature grids.
+
+        The cached image is ``clip(image + 0, 0, 255)`` — exactly what a
+        zero mask produces — so activations spliced against these tensors
+        are bit-identical to the full forward pass on the perturbed image.
+        """
+        image = validate_image(image)
+        clean_image = np.clip(image + 0.0, 0.0, 255.0)
+        features = self.extractor(clean_image)
+        smoothed = self._smooth(features) if self.local_smoothing > 1 else None
+        probabilities = self.prototypes.probabilities(
+            self._finalize_features(features, smoothed)
+        )
+        prediction = decode_cell_probabilities(
+            probabilities, self.config, (image.shape[0], image.shape[1])
+        )
+        tensors = {"features": features}
+        if smoothed is not None:
+            tensors["smoothed"] = smoothed
+        return CleanActivations(
+            clean_image=clean_image, prediction=prediction, tensors=tensors
+        )
+
+    def _delta_feature_grid(
+        self,
+        image: np.ndarray,
+        mask: np.ndarray,
+        pixel_bbox: BBox,
+        clean: CleanActivations,
+    ) -> np.ndarray | None:
+        """Finalised feature grid of the perturbed image, or ``None`` when
+        the dirty region touches no grid cell (prediction is the clean one).
+
+        Recomputes the feature extraction on the dirty cell window (pixel
+        box dilated by the 1-pixel Sobel halo), splices it into the cached
+        raw grid, recomputes the local smoothing on the window dilated by
+        the box-filter radius, and finishes with the whole-grid blend and
+        global-context stages — every step bit-identical to the full pass.
+        """
+        grid_shape = self.extractor.grid_shape(image)
+        cell_bbox = pixel_bbox_to_cell_bbox(
+            dilate_bbox(pixel_bbox, 1, (image.shape[0], image.shape[1])),
+            self.config.cell,
+            grid_shape,
+        )
+        if bbox_is_empty(cell_bbox):
+            return None
+        features = clean.tensors["features"].copy()
+        cr0, cr1, cc0, cc1 = cell_bbox
+        features[cr0:cr1, cc0:cc1] = self.extractor.window_features(
+            image, mask, cell_bbox
+        )
+        smoothed: np.ndarray | None = None
+        if self.local_smoothing > 1:
+            if self.local_smoothing % 2 == 1:
+                smoothed = clean.tensors["smoothed"].copy()
+                smooth_bbox = dilate_bbox(
+                    cell_bbox, self.local_smoothing // 2, grid_shape
+                )
+                sr0, sr1, sc0, sc1 = smooth_bbox
+                smoothed[sr0:sr1, sc0:sc1] = box_filter_window_channels(
+                    features, self.local_smoothing, smooth_bbox
+                )
+            else:
+                # Even box sizes follow scipy's 'same'-mode alignment, which
+                # the windowed kernels do not reproduce; the grid is tiny,
+                # so recompute the smoothing stage whole-grid instead.
+                smoothed = self._smooth(features)
+        return self._finalize_features(features, smoothed)
+
+    def _predict_delta_windowed(
+        self,
+        image: np.ndarray,
+        mask: np.ndarray,
+        pixel_bbox: BBox,
+        clean: CleanActivations,
+    ) -> Prediction:
+        grid = self._delta_feature_grid(image, mask, pixel_bbox, clean)
+        if grid is None:
+            return clean.prediction
+        probabilities = self.prototypes.probabilities(grid)
+        return decode_cell_probabilities(
+            probabilities, self.config, (image.shape[0], image.shape[1])
+        )
+
+    def _predict_delta_windowed_batch(
+        self,
+        image: np.ndarray,
+        masks: np.ndarray,
+        items: list[tuple[int, BBox]],
+        clean: CleanActivations,
+    ) -> list[Prediction]:
+        """Batch the classification head over the sparse population members.
+
+        The per-member windowed work happens in a loop (window sizes
+        differ), but the prototype probabilities run once over the stacked
+        grids — per-cell operations, bit-identical to the per-grid call.
+        """
+        grids = [
+            self._delta_feature_grid(image, masks[index], bbox, clean)
+            for index, bbox in items
+        ]
+        live = [i for i, grid in enumerate(grids) if grid is not None]
+        predictions: list[Prediction] = [clean.prediction] * len(items)
+        if live:
+            probabilities = self.prototypes.probabilities(
+                np.stack([grids[i] for i in live], axis=0)
+            )
+            image_shape = (image.shape[0], image.shape[1])
+            for i, grid_probabilities in zip(live, probabilities):
+                predictions[i] = decode_cell_probabilities(
+                    grid_probabilities, self.config, image_shape
+                )
         return predictions

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detection.prediction import Prediction
+from repro.detectors.activation_cache import CleanActivations
 from repro.detectors.base import (
     Detector,
     DetectorConfig,
@@ -22,10 +23,16 @@ from repro.detectors.base import (
 )
 from repro.detectors.decode import decode_cell_probabilities
 from repro.detectors.prototypes import PrototypeBank
-from repro.nn.attention import MultiHeadSelfAttention, scaled_dot_product_attention
+from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.features import CELL_FEATURE_DIM, GridFeatureExtractor
+from repro.nn.incremental import (
+    BBox,
+    bbox_is_empty,
+    dilate_bbox,
+    pixel_bbox_to_cell_bbox,
+)
 from repro.nn.linear import Linear
-from repro.nn.ops import grid_positional_encoding, layer_norm
+from repro.nn.ops import grid_positional_encoding, layer_norm, softmax
 
 
 class TransformerDetector(Detector):
@@ -62,6 +69,7 @@ class TransformerDetector(Detector):
     """
 
     architecture = "transformer"
+    supports_incremental = True
 
     def __init__(
         self,
@@ -124,11 +132,13 @@ class TransformerDetector(Detector):
             tokens = layer(tokens)
         query = self.query_proj(tokens)
         key = self.key_proj(tokens)
-        _, weights = scaled_dot_product_attention(
-            query, key, tokens,
-            temperature=np.sqrt(self.embed_dim) / self.attention_sharpness,
-        )
-        return weights
+        # Same scores/softmax as scaled_dot_product_attention, minus the
+        # ``weights @ value`` product that function would also compute —
+        # the mixing stage applies the weights to the *raw* features
+        # itself, so the attended embeddings would be thrown away.
+        temperature = np.sqrt(self.embed_dim) / self.attention_sharpness
+        scores = query @ np.swapaxes(key, -1, -2) / temperature
+        return softmax(scores, axis=-1)
 
     def attention_matrix(self, image: np.ndarray) -> np.ndarray:
         """Content-dependent (tokens, tokens) attention matrix for an image."""
@@ -189,4 +199,105 @@ class TransformerDetector(Detector):
                 decode_cell_probabilities(grid, self.config, image_shape)
                 for grid in probabilities
             )
+        return predictions
+
+    # ------------------------------------------------------------------
+    # Incremental (dirty-region) inference
+    # ------------------------------------------------------------------
+
+    def clean_activations(self, image: np.ndarray) -> CleanActivations:
+        """Cache the clean scene's raw (pre-attention) patch tokens.
+
+        Only the patch-embedding input — the raw per-cell feature grid — is
+        cached: the attention stage mixes every token with every other one,
+        so a perturbation anywhere invalidates the mixed features globally
+        and attention must always be recomputed from the spliced grid.
+        """
+        image = validate_image(image)
+        clean_image = np.clip(image + 0.0, 0.0, 255.0)
+        raw = self.extractor(clean_image)
+        probabilities = self.prototypes.probabilities(self._mix_features(raw))
+        prediction = decode_cell_probabilities(
+            probabilities, self.config, (image.shape[0], image.shape[1])
+        )
+        return CleanActivations(
+            clean_image=clean_image, prediction=prediction, tensors={"raw": raw}
+        )
+
+    def _delta_raw_grid(
+        self,
+        image: np.ndarray,
+        mask: np.ndarray,
+        pixel_bbox: BBox,
+        clean: CleanActivations,
+    ) -> np.ndarray | None:
+        """Raw patch tokens of the perturbed image, spliced into the cached
+        clean grid; ``None`` when no cell is touched (clean prediction
+        stands — unperturbed tokens produce the clean attention pattern).
+        """
+        grid_shape = self.extractor.grid_shape(image)
+        cell_bbox = pixel_bbox_to_cell_bbox(
+            dilate_bbox(pixel_bbox, 1, (image.shape[0], image.shape[1])),
+            self.config.cell,
+            grid_shape,
+        )
+        if bbox_is_empty(cell_bbox):
+            return None
+        raw = clean.tensors["raw"].copy()
+        cr0, cr1, cc0, cc1 = cell_bbox
+        raw[cr0:cr1, cc0:cc1] = self.extractor.window_features(image, mask, cell_bbox)
+        return raw
+
+    def _predict_delta_windowed(
+        self,
+        image: np.ndarray,
+        mask: np.ndarray,
+        pixel_bbox: BBox,
+        clean: CleanActivations,
+    ) -> Prediction:
+        raw = self._delta_raw_grid(image, mask, pixel_bbox, clean)
+        if raw is None:
+            return clean.prediction
+        probabilities = self.prototypes.probabilities(self._mix_features(raw))
+        return decode_cell_probabilities(
+            probabilities, self.config, (image.shape[0], image.shape[1])
+        )
+
+    def _predict_delta_windowed_batch(
+        self,
+        image: np.ndarray,
+        masks: np.ndarray,
+        items: list[tuple[int, BBox]],
+        clean: CleanActivations,
+    ) -> list[Prediction]:
+        """Splice each member's dirty window, then batch the global stages.
+
+        The local feature extraction runs per member on its own window (the
+        window sizes differ); the global attention mixing and the
+        classification head run over the stacked spliced grids in the same
+        cache-friendly chunks as :meth:`predict_batch`.  Attention carries
+        the batch axis through every token operation unchanged, so per-grid
+        results are bit-identical to the single-image delta path.
+        """
+        grids = [
+            self._delta_raw_grid(image, masks[index], bbox, clean)
+            for index, bbox in items
+        ]
+        live = [i for i, grid in enumerate(grids) if grid is not None]
+        predictions: list[Prediction] = [clean.prediction] * len(items)
+        if live:
+            stacked = np.stack([grids[i] for i in live], axis=0)
+            image_shape = (image.shape[0], image.shape[1])
+            chunk = max(1, int(self.delta_batch_chunk))
+            decoded: list[Prediction] = []
+            for start in range(0, stacked.shape[0], chunk):
+                probabilities = self.prototypes.probabilities(
+                    self._mix_features(stacked[start : start + chunk])
+                )
+                decoded.extend(
+                    decode_cell_probabilities(grid, self.config, image_shape)
+                    for grid in probabilities
+                )
+            for i, prediction in zip(live, decoded):
+                predictions[i] = prediction
         return predictions

@@ -20,6 +20,7 @@ from repro.core.config import AttackConfig
 from repro.core.regions import HalfImageRegion
 from repro.core.results import AttackResult
 from repro.data.dataset import SyntheticDataset, generate_dataset
+from repro.detectors.activation_cache import ActivationCacheStore
 from repro.detectors.training import TrainingConfig
 from repro.detectors.zoo import build_model_zoo
 from repro.experiments.config import ExperimentConfig
@@ -134,16 +135,33 @@ def run_architecture_comparison(
     all_results: dict[str, list[AttackResult]] = {}
     seeds = experiment.model_seeds[: experiment.models_per_architecture]
 
+    # One clean-scene activation store serves the whole models × images
+    # sweep: entries are keyed by (detector identity, image digest), so a
+    # new scene can never hit a stale entry, and the size cap (an LRU
+    # eviction) bounds the sweep's memory.  Each model's entries are
+    # explicitly invalidated once its images are done — the sweep never
+    # revisits a finished model, so keeping them would only displace live
+    # entries.
+    activation_store = (
+        ActivationCacheStore(max_entries=attack_config.activation_cache_size)
+        if attack_config.use_activation_cache
+        else None
+    )
+
     for architecture in architectures:
         models = build_model_zoo(architecture, seeds=seeds, training=training)
         label = models[0].architecture
         results: list[AttackResult] = []
         for model in models:
-            attack = ButterflyAttack(model, attack_config)
+            attack = ButterflyAttack(
+                model, attack_config, activation_store=activation_store
+            )
             for sample in dataset:
                 result = attack.attack(sample.image)
                 results.append(result)
                 report.add_result(label, result)
+            if activation_store is not None:
+                activation_store.invalidate(model)
         all_results[label] = results
 
     return ArchitectureComparison(

@@ -28,9 +28,31 @@ from repro.nn.conv import (
 )
 from repro.nn.features import GridFeatureExtractor, cell_grid_shape
 from repro.nn.attention import MultiHeadSelfAttention, scaled_dot_product_attention
+from repro.nn.incremental import (
+    BBox,
+    bbox_area,
+    bbox_intersection,
+    bbox_is_empty,
+    bbox_union,
+    box_filter_window,
+    dilate_bbox,
+    gather_window,
+    mask_nonzero_bbox,
+    pixel_bbox_to_cell_bbox,
+)
 from repro.nn.linear import Linear
 
 __all__ = [
+    "BBox",
+    "bbox_area",
+    "bbox_intersection",
+    "bbox_is_empty",
+    "bbox_union",
+    "box_filter_window",
+    "dilate_bbox",
+    "gather_window",
+    "mask_nonzero_bbox",
+    "pixel_bbox_to_cell_bbox",
     "layer_norm",
     "log_softmax",
     "positional_encoding",

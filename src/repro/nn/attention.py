@@ -69,9 +69,12 @@ class MultiHeadSelfAttention:
 
     @property
     def last_attention(self) -> np.ndarray | None:
-        """Attention weights from the most recent forward pass.
+        """Attention weights from the most recent *single-image* forward pass.
 
         Shape (num_heads, tokens, tokens); useful for heatmap analysis.
+        Batched passes skip the recording — stacking a (B, heads, tokens,
+        tokens) copy per layer would dominate the batch fast path's memory
+        traffic for a buffer nothing reads.
         """
         return self._last_attention
 
@@ -91,6 +94,7 @@ class MultiHeadSelfAttention:
         key = self.key_proj(tokens).reshape(head_shape)
         value = self.value_proj(tokens).reshape(head_shape)
 
+        record_attention = tokens.ndim == 2
         head_outputs = []
         attentions = []
         for head in range(self.num_heads):
@@ -98,8 +102,10 @@ class MultiHeadSelfAttention:
                 query[..., head, :], key[..., head, :], value[..., head, :]
             )
             head_outputs.append(attended)
-            attentions.append(weights)
-        self._last_attention = np.stack(attentions, axis=-3)
+            if record_attention:
+                attentions.append(weights)
+        if record_attention:
+            self._last_attention = np.stack(attentions, axis=-3)
         concatenated = np.concatenate(head_outputs, axis=-1)
         output = self.out_proj(concatenated)
         return layer_norm(tokens + output, axis=-1)

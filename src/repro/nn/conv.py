@@ -145,27 +145,68 @@ def gradient_magnitude(image: np.ndarray) -> np.ndarray:
     return np.hypot(grad_row, grad_col)
 
 
+def _trim_to_cells(image: np.ndarray, cell: int) -> np.ndarray:
+    """Drop trailing rows/columns that do not fill a whole ``cell`` block."""
+    if cell <= 0:
+        raise ValueError("cell must be positive")
+    rows = (image.shape[0] // cell) * cell
+    cols = (image.shape[1] // cell) * cell
+    if rows == 0 or cols == 0:
+        raise ValueError("image smaller than one pooling cell")
+    return image[:rows, :cols]
+
+
+def _block_sum(trimmed: np.ndarray, cell: int) -> np.ndarray:
+    """Sum over non-overlapping ``cell x cell`` blocks of the leading axes.
+
+    Accumulates in two fixed-order stages — first the ``cell`` column
+    offsets, then the ``cell`` row offsets — so the python-loop overhead is
+    ``2 * cell`` iterations instead of ``cell**2``.  Every add is
+    elementwise over the block grid, so the per-element accumulation
+    sequence is independent of the array extent — pooling a window of an
+    image is bit-identical to slicing the pooled full image, the property
+    the incremental (dirty-region) inference path splices on.
+    """
+    rows = trimmed.shape[0]
+    cols = np.zeros((rows, trimmed.shape[1] // cell) + trimmed.shape[2:], dtype=np.float64)
+    for j in range(cell):
+        cols += trimmed[:, j::cell]
+    out = np.zeros((rows // cell,) + cols.shape[1:], dtype=np.float64)
+    for i in range(cell):
+        out += cols[i::cell]
+    return out
+
+
 def avg_pool(image: np.ndarray, cell: int) -> np.ndarray:
     """Average-pool an image over non-overlapping ``cell x cell`` blocks.
 
     Trailing rows/columns that do not fill a whole cell are dropped.  Works
     on 2-D (H, W) and 3-D (H, W, C) arrays; returns (H//cell, W//cell[, C]).
     """
-    if cell <= 0:
-        raise ValueError("cell must be positive")
     image = np.asarray(image, dtype=np.float64)
-    rows = (image.shape[0] // cell) * cell
-    cols = (image.shape[1] // cell) * cell
-    if rows == 0 or cols == 0:
-        raise ValueError("image smaller than one pooling cell")
-    trimmed = image[:rows, :cols]
-    if image.ndim == 2:
-        return trimmed.reshape(rows // cell, cell, cols // cell, cell).mean(axis=(1, 3))
-    if image.ndim == 3:
-        return trimmed.reshape(
-            rows // cell, cell, cols // cell, cell, image.shape[2]
-        ).mean(axis=(1, 3))
-    raise ValueError(f"expected a 2-D or 3-D image, got shape {image.shape}")
+    if image.ndim not in (2, 3):
+        raise ValueError(f"expected a 2-D or 3-D image, got shape {image.shape}")
+    trimmed = _trim_to_cells(image, cell)
+    return _block_sum(trimmed, cell) / float(cell * cell)
+
+
+def _block_sum_batch(trimmed: np.ndarray, cell: int) -> np.ndarray:
+    """Batched :func:`_block_sum` over the middle axes of ``(B, H, W, C)``.
+
+    Same two-stage (columns, then rows) fixed accumulation order as the
+    single-image form, so per-image results are bit-identical.
+    """
+    rows = trimmed.shape[1]
+    cols = np.zeros(
+        (trimmed.shape[0], rows, trimmed.shape[2] // cell, trimmed.shape[3]),
+        dtype=np.float64,
+    )
+    for j in range(cell):
+        cols += trimmed[:, :, j::cell]
+    out = np.zeros((cols.shape[0], rows // cell) + cols.shape[2:], dtype=np.float64)
+    for i in range(cell):
+        out += cols[:, i::cell]
+    return out
 
 
 def avg_pool_batch(stack: np.ndarray, cell: int) -> np.ndarray:
@@ -183,10 +224,7 @@ def avg_pool_batch(stack: np.ndarray, cell: int) -> np.ndarray:
     cols = (stack.shape[2] // cell) * cell
     if rows == 0 or cols == 0:
         raise ValueError("image smaller than one pooling cell")
-    trimmed = stack[:, :rows, :cols]
-    return trimmed.reshape(
-        stack.shape[0], rows // cell, cell, cols // cell, cell, stack.shape[3]
-    ).mean(axis=(2, 4))
+    return _block_sum_batch(stack[:, :rows, :cols], cell) / float(cell * cell)
 
 
 def std_pool_batch(stack: np.ndarray, cell: int) -> np.ndarray:
@@ -201,25 +239,37 @@ def std_pool_batch(stack: np.ndarray, cell: int) -> np.ndarray:
     if rows == 0 or cols == 0:
         raise ValueError("image smaller than one pooling cell")
     trimmed = stack[:, :rows, :cols]
-    return trimmed.reshape(
-        stack.shape[0], rows // cell, cell, cols // cell, cell, stack.shape[3]
-    ).std(axis=(2, 4))
+    norm = float(cell * cell)
+    mean = _block_sum_batch(trimmed, cell) / norm
+    mean_rows = np.repeat(mean, cell, axis=1)
+    sq_cols = np.zeros_like(mean_rows)
+    for j in range(cell):
+        deviation = trimmed[:, :, j::cell] - mean_rows
+        sq_cols += deviation * deviation
+    squares = np.zeros_like(mean)
+    for i in range(cell):
+        squares += sq_cols[:, i::cell]
+    return np.sqrt(squares / norm)
 
 
 def std_pool(image: np.ndarray, cell: int) -> np.ndarray:
-    """Per-cell standard deviation over non-overlapping blocks."""
-    if cell <= 0:
-        raise ValueError("cell must be positive")
+    """Per-cell standard deviation over non-overlapping blocks.
+
+    Same fixed-order block accumulation as :func:`avg_pool`, so windowed
+    pooling matches sliced full-image pooling bit for bit.
+    """
     image = np.asarray(image, dtype=np.float64)
-    rows = (image.shape[0] // cell) * cell
-    cols = (image.shape[1] // cell) * cell
-    if rows == 0 or cols == 0:
-        raise ValueError("image smaller than one pooling cell")
-    trimmed = image[:rows, :cols]
-    if image.ndim == 2:
-        return trimmed.reshape(rows // cell, cell, cols // cell, cell).std(axis=(1, 3))
-    if image.ndim == 3:
-        return trimmed.reshape(
-            rows // cell, cell, cols // cell, cell, image.shape[2]
-        ).std(axis=(1, 3))
-    raise ValueError(f"expected a 2-D or 3-D image, got shape {image.shape}")
+    if image.ndim not in (2, 3):
+        raise ValueError(f"expected a 2-D or 3-D image, got shape {image.shape}")
+    trimmed = _trim_to_cells(image, cell)
+    norm = float(cell * cell)
+    mean = _block_sum(trimmed, cell) / norm
+    mean_rows = np.repeat(mean, cell, axis=0)
+    sq_cols = np.zeros_like(mean_rows)
+    for j in range(cell):
+        deviation = trimmed[:, j::cell] - mean_rows
+        sq_cols += deviation * deviation
+    squares = np.zeros_like(mean)
+    for i in range(cell):
+        squares += sq_cols[i::cell]
+    return np.sqrt(squares / norm)

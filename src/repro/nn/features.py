@@ -19,6 +19,12 @@ from repro.nn.conv import (
     std_pool,
     std_pool_batch,
 )
+from repro.nn.incremental import (
+    BBox,
+    bbox_is_empty,
+    gather_window,
+    gradient_magnitude_window,
+)
 
 #: Number of features per cell produced by :class:`GridFeatureExtractor`.
 CELL_FEATURE_DIM = 7
@@ -77,6 +83,43 @@ class GridFeatureExtractor:
         """Extract features flattened to (rows*cols, 7)."""
         features = self(image)
         return features.reshape(-1, features.shape[-1])
+
+    def window_features(
+        self, image: np.ndarray, mask: np.ndarray, cell_bbox: BBox
+    ) -> np.ndarray:
+        """Features of the ``cell_bbox`` cells of the perturbed image.
+
+        Computes ``self(clip(image + mask, 0, 255))[cr0:cr1, cc0:cc1]``
+        without materialising the full perturbed image: only the cell-aligned
+        pixel window plus the 1-pixel Sobel halo is gathered (with symmetric
+        reflection at image borders) and pushed through the same pooling and
+        gradient operations, so the result is bit-identical to the full
+        extraction — the property the incremental-inference parity suite
+        enforces.
+        """
+        if bbox_is_empty(cell_bbox):
+            return np.zeros((0, 0, CELL_FEATURE_DIM), dtype=np.float64)
+        image = np.asarray(image, dtype=np.float64)
+        mask = np.asarray(mask, dtype=np.float64)
+        cr0, cr1, cc0, cc1 = cell_bbox
+        pr0, pr1 = cr0 * self.cell, cr1 * self.cell
+        pc0, pc1 = cc0 * self.cell, cc1 * self.cell
+        # One extra pixel on every side feeds the Sobel halo; the perturbed
+        # values are built in-window from clip(image + mask).
+        rows, cols = (pr0 - 1, pr1 + 1), (pc0 - 1, pc1 + 1)
+        window = np.clip(
+            gather_window(image, rows, cols) + gather_window(mask, rows, cols),
+            0.0,
+            255.0,
+        )
+        if self.normalize:
+            window = window / 255.0
+        interior = window[1:-1, 1:-1]
+        mean_rgb = avg_pool(interior, self.cell)
+        std_rgb = std_pool(interior, self.cell)
+        grad = gradient_magnitude_window(window)
+        mean_grad = avg_pool(grad, self.cell)[..., None]
+        return np.concatenate([mean_rgb, std_rgb, mean_grad], axis=-1)
 
     def batch(self, images: np.ndarray) -> np.ndarray:
         """Extract features for a stack of images; returns (B, rows, cols, 7).

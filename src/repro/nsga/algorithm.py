@@ -24,21 +24,31 @@ enforces it), so ``NSGAConfig.batch_evaluation`` only changes speed, never
 results.  ``NSGAResult.num_evaluations`` keeps its historical meaning — the
 number of objective vectors requested — while ``NSGAResult.cache_hits``
 counts how many of those the cache answered without a detector query.
+
+The genome-keyed evaluation cache composes with the clean-scene activation
+cache of the incremental inference path: the former answers *repeated
+genomes* from their digest, the latter makes *fresh genomes* cheap by
+recomputing only each mask's dirty region against cached clean
+activations.  The genetic operators propagate an O(1) dirty-region bound
+per offspring (``Individual.metadata["dirty_bound"]``) that the batch
+evaluator uses to cap its nonzero scans; bounds never enter cache keys
+because they never change objective values.
 """
 
 from __future__ import annotations
 
 import hashlib
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.nsga.crossover import one_point_crossover
+from repro.nsga.crossover import one_point_crossover_tracked
 from repro.nsga.crowding import crowding_distance
 from repro.nsga.individual import Individual
 from repro.nsga.initialization import InitializationConfig, initialize_population
-from repro.nsga.mutation import MutationConfig, mutate
+from repro.nsga.mutation import MutationConfig, mutate_tracked
 from repro.nsga.selection import binary_tournament
 from repro.nsga.sorting import fast_non_dominated_sort
 
@@ -185,6 +195,17 @@ class NSGAII:
             if self.config.batch_evaluation
             else None
         )
+        # Evaluators that understand dirty-region bounds (the incremental
+        # inference path) receive the O(1) bounds the genetic operators
+        # propagate in Individual.metadata; bounds only cap the nonzero
+        # scans, they never change objective values.
+        self._batch_accepts_bounds = False
+        if self._batch_evaluator is not None:
+            try:
+                parameters = inspect.signature(self._batch_evaluator).parameters
+            except (TypeError, ValueError):
+                parameters = {}
+            self._batch_accepts_bounds = "dirty_bounds" in parameters
 
     def _apply_constraint(self, genome: np.ndarray) -> np.ndarray:
         if self.constraint is None:
@@ -240,7 +261,16 @@ class NSGAII:
         if unique:
             if self._batch_evaluator is not None:
                 genomes = np.stack([ind.genome for ind in unique], axis=0)
-                matrix = np.asarray(self._batch_evaluator(genomes), dtype=np.float64)
+                if self._batch_accepts_bounds:
+                    bounds = [ind.metadata.get("dirty_bound") for ind in unique]
+                    matrix = np.asarray(
+                        self._batch_evaluator(genomes, dirty_bounds=bounds),
+                        dtype=np.float64,
+                    )
+                else:
+                    matrix = np.asarray(
+                        self._batch_evaluator(genomes), dtype=np.float64
+                    )
                 if matrix.shape[0] != len(unique):
                     raise ValueError(
                         "evaluate_population returned "
@@ -280,29 +310,61 @@ class NSGAII:
         return population
 
     def _make_offspring(self, population: list[Individual]) -> list[Individual]:
+        """Crossover + mutation, propagating dirty-region bounds.
+
+        The tracked operator variants consume the same random draws as the
+        plain ones, so seeded runs are unchanged; each offspring carries a
+        ``metadata["dirty_bound"]`` box covering its nonzero support
+        (``None`` = unknown), which the incremental evaluation path uses to
+        cap its exact nonzero scans.
+        """
         parents = binary_tournament(population, self.rng, self.config.population_size)
         offspring: list[Individual] = []
         for index in range(0, len(parents) - 1, 2):
             parent_a, parent_b = parents[index], parents[index + 1]
-            child_a, child_b = one_point_crossover(
+            child_a, child_b, bound_a, bound_b = one_point_crossover_tracked(
                 parent_a.genome,
                 parent_b.genome,
                 self.rng,
                 probability=self.config.crossover_probability,
+                first_bound=parent_a.metadata.get("dirty_bound"),
+                second_bound=parent_b.metadata.get("dirty_bound"),
             )
-            child_a = self._apply_constraint(
-                mutate(child_a, self.rng, self.config.mutation)
+            child_a, bound_a = mutate_tracked(
+                child_a, self.rng, self.config.mutation, bound_a
             )
-            child_b = self._apply_constraint(
-                mutate(child_b, self.rng, self.config.mutation)
+            child_b, bound_b = mutate_tracked(
+                child_b, self.rng, self.config.mutation, bound_b
             )
-            offspring.append(Individual(genome=child_a))
-            offspring.append(Individual(genome=child_b))
+            # Constraints (region projection, rounding, clipping) can only
+            # zero pixels out, so the propagated bounds remain supersets.
+            offspring.append(
+                Individual(
+                    genome=self._apply_constraint(child_a),
+                    metadata={"dirty_bound": bound_a},
+                )
+            )
+            offspring.append(
+                Individual(
+                    genome=self._apply_constraint(child_b),
+                    metadata={"dirty_bound": bound_b},
+                )
+            )
         # Odd population sizes (the paper uses 101) get one extra mutant of
         # the last parent so that |offspring| == |population|.
         while len(offspring) < self.config.population_size:
-            extra = mutate(parents[-1].genome, self.rng, self.config.mutation)
-            offspring.append(Individual(genome=self._apply_constraint(extra)))
+            extra, bound = mutate_tracked(
+                parents[-1].genome,
+                self.rng,
+                self.config.mutation,
+                parents[-1].metadata.get("dirty_bound"),
+            )
+            offspring.append(
+                Individual(
+                    genome=self._apply_constraint(extra),
+                    metadata={"dirty_bound": bound},
+                )
+            )
         return offspring[: self.config.population_size]
 
     def _environmental_selection(

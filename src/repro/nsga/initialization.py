@@ -72,5 +72,13 @@ def initialize_population(
         population.append(Individual(genome=mask))
 
     if config.include_zero_mask:
-        population.append(Individual(genome=np.zeros(genome_shape, dtype=np.float64)))
+        # The zero mask's dirty region is known exactly: empty.  The bound
+        # lets the incremental evaluation path skip even the nonzero scan
+        # and answer straight from the cached clean prediction.
+        population.append(
+            Individual(
+                genome=np.zeros(genome_shape, dtype=np.float64),
+                metadata={"dirty_bound": (0, 0, 0, 0)},
+            )
+        )
     return population

@@ -11,6 +11,13 @@ Section IV-A lists four mutation operations on pixels ("genes"):
 
 Every operator only touches at most ``window_fraction`` of the pixels (the
 paper's "mutation window size", Table II: w = 1 %).
+
+Each operator also knows the bounding box of the pixels it touched, which
+:func:`mutate_tracked` combines with the parent's *dirty-region bound* (a
+box covering the parent's nonzero support) into an O(1) bound for the
+child: the child's support is contained in the parent's support plus the
+touched pixels.  The incremental-inference path uses these bounds to cap
+its exact nonzero scans; they never change results, only scan cost.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.nn.incremental import BBox, bbox_union
 
 
 @dataclass(frozen=True)
@@ -66,66 +75,64 @@ def _sample_pixels(
     return np.unravel_index(flat, (length, width))
 
 
-def complement_mutation(
+def _indices_bbox(rows: np.ndarray, cols: np.ndarray) -> BBox:
+    """Half-open bounding box of a set of sampled (row, col) indices."""
+    return (
+        int(rows.min()),
+        int(rows.max()) + 1,
+        int(cols.min()),
+        int(cols.max()) + 1,
+    )
+
+
+def _complement_tracked(
     genome: np.ndarray,
     rng: np.random.Generator,
-    window_fraction: float = 0.01,
-    max_value: float = 255.0,
-) -> np.ndarray:
-    """Replace sampled pixel values by their complement in ``[-max, max]``.
-
-    The complement of value ``v`` is ``sign(v) * max_value - v``, which maps
-    0 to ±max and ±max to 0 — the signed-range analogue of a bit flip.
-    """
+    window_fraction: float,
+    max_value: float,
+) -> tuple[np.ndarray, BBox]:
     mutated = genome.copy()
     rows, cols = _sample_pixels(mutated, window_fraction, rng)
     values = mutated[rows, cols]
     signs = np.where(values >= 0, 1.0, -1.0)
     mutated[rows, cols] = signs * max_value - values
-    return mutated
+    return mutated, _indices_bbox(rows, cols)
 
 
-def shuffle_mutation(
+def _shuffle_tracked(
     genome: np.ndarray,
     rng: np.random.Generator,
-    window_fraction: float = 0.01,
-    max_value: float = 255.0,
-) -> np.ndarray:
-    """Shuffle the values of the sampled pixels among themselves."""
+    window_fraction: float,
+    max_value: float,
+) -> tuple[np.ndarray, BBox]:
     mutated = genome.copy()
     rows, cols = _sample_pixels(mutated, window_fraction, rng)
     permutation = rng.permutation(len(rows))
     mutated[rows, cols] = mutated[rows[permutation], cols[permutation]]
-    return mutated
+    return mutated, _indices_bbox(rows, cols)
 
 
-def random_value_mutation(
+def _random_value_tracked(
     genome: np.ndarray,
     rng: np.random.Generator,
-    window_fraction: float = 0.01,
-    max_value: float = 255.0,
-) -> np.ndarray:
-    """Assign fresh uniform random values in ``[-max, max]`` to sampled pixels."""
+    window_fraction: float,
+    max_value: float,
+) -> tuple[np.ndarray, BBox]:
     mutated = genome.copy()
     rows, cols = _sample_pixels(mutated, window_fraction, rng)
     shape = (len(rows),) + mutated.shape[2:]
     mutated[rows, cols] = rng.integers(
         -int(max_value), int(max_value) + 1, size=shape
     ).astype(mutated.dtype)
-    return mutated
+    return mutated, _indices_bbox(rows, cols)
 
 
-def inversion_mutation(
+def _inversion_tracked(
     genome: np.ndarray,
     rng: np.random.Generator,
-    window_fraction: float = 0.01,
-    max_value: float = 255.0,
-) -> np.ndarray:
-    """Horizontally and/or vertically invert a window of pixels.
-
-    A square window containing roughly ``window_fraction`` of the pixels is
-    selected at a random location and flipped along one or both axes.
-    """
+    window_fraction: float,
+    max_value: float,
+) -> tuple[np.ndarray, BBox]:
     mutated = genome.copy()
     length, width = mutated.shape[0], mutated.shape[1]
     count = max(1, int(round(window_fraction * length * width)))
@@ -143,8 +150,63 @@ def inversion_mutation(
     if flip_vertical:
         window = window[::-1, :]
     mutated[row : row + side, col : col + side] = window
-    return mutated
+    return mutated, (row, row + side, col, col + side)
 
+
+def complement_mutation(
+    genome: np.ndarray,
+    rng: np.random.Generator,
+    window_fraction: float = 0.01,
+    max_value: float = 255.0,
+) -> np.ndarray:
+    """Replace sampled pixel values by their complement in ``[-max, max]``.
+
+    The complement of value ``v`` is ``sign(v) * max_value - v``, which maps
+    0 to ±max and ±max to 0 — the signed-range analogue of a bit flip.
+    """
+    return _complement_tracked(genome, rng, window_fraction, max_value)[0]
+
+
+def shuffle_mutation(
+    genome: np.ndarray,
+    rng: np.random.Generator,
+    window_fraction: float = 0.01,
+    max_value: float = 255.0,
+) -> np.ndarray:
+    """Shuffle the values of the sampled pixels among themselves."""
+    return _shuffle_tracked(genome, rng, window_fraction, max_value)[0]
+
+
+def random_value_mutation(
+    genome: np.ndarray,
+    rng: np.random.Generator,
+    window_fraction: float = 0.01,
+    max_value: float = 255.0,
+) -> np.ndarray:
+    """Assign fresh uniform random values in ``[-max, max]`` to sampled pixels."""
+    return _random_value_tracked(genome, rng, window_fraction, max_value)[0]
+
+
+def inversion_mutation(
+    genome: np.ndarray,
+    rng: np.random.Generator,
+    window_fraction: float = 0.01,
+    max_value: float = 255.0,
+) -> np.ndarray:
+    """Horizontally and/or vertically invert a window of pixels.
+
+    A square window containing roughly ``window_fraction`` of the pixels is
+    selected at a random location and flipped along one or both axes.
+    """
+    return _inversion_tracked(genome, rng, window_fraction, max_value)[0]
+
+
+_TRACKED_OPERATORS = {
+    "complement": _complement_tracked,
+    "shuffle": _shuffle_tracked,
+    "random": _random_value_tracked,
+    "inversion": _inversion_tracked,
+}
 
 _OPERATORS = {
     "complement": complement_mutation,
@@ -165,11 +227,30 @@ def mutate(
     drawn uniformly at random and applied; otherwise the genome is returned
     unchanged (as a copy).
     """
+    return mutate_tracked(genome, rng, config)[0]
+
+
+def mutate_tracked(
+    genome: np.ndarray,
+    rng: np.random.Generator,
+    config: MutationConfig | None = None,
+    parent_bound: BBox | None = None,
+) -> tuple[np.ndarray, BBox | None]:
+    """:func:`mutate` plus dirty-bound propagation.
+
+    ``parent_bound`` is a box covering the parent genome's nonzero support
+    (``None`` = unknown).  Returns ``(child, bound)`` where the bound covers
+    the child's support: the union of the parent bound and the box of the
+    pixels the operator touched (an unknown parent bound stays unknown —
+    :func:`~repro.nn.incremental.bbox_union` is absorbing in ``None``).
+    Consumes exactly the same random draws as :func:`mutate`, so seeded
+    runs are unchanged.
+    """
     config = config if config is not None else MutationConfig()
     if rng.random() >= config.probability:
-        return genome.copy()
+        return genome.copy(), parent_bound
     operator_name = config.operators[int(rng.integers(0, len(config.operators)))]
-    operator = _OPERATORS[operator_name]
-    return operator(
-        genome, rng, window_fraction=config.window_fraction, max_value=config.max_value
+    mutated, touched = _TRACKED_OPERATORS[operator_name](
+        genome, rng, config.window_fraction, config.max_value
     )
+    return mutated, bbox_union(parent_bound, touched)

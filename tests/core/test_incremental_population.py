@@ -1,0 +1,166 @@
+"""Parity suite for the incremental (activation-cached) evaluation path.
+
+``ButterflyObjectives``/``EnsembleObjectives`` with ``use_activation_cache``
+route masks through the detectors' dirty-region delta path.  Objective
+vectors must equal the dense batched path (PR 1) **bit for bit**, and a
+whole seeded attack must produce the identical final population either
+way — the incremental path may only change speed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.attack import ButterflyAttack
+from repro.core.config import AttackConfig
+from repro.core.ensemble import EnsembleObjectives
+from repro.core.masks import FilterMask
+from repro.core.objectives import ButterflyObjectives
+from repro.core.regions import HalfImageRegion
+from repro.detectors.activation_cache import ActivationCacheStore
+from repro.nsga.algorithm import NSGAConfig
+from repro.nsga.mutation import MutationConfig
+
+
+def _sparse_population(image_shape, batch_size, seed=0):
+    """Sparse masks shaped like NSGA-II offspring (patches + pixels)."""
+    rng = np.random.default_rng(seed)
+    masks = np.zeros((batch_size,) + image_shape)
+    for index in range(1, batch_size):
+        r = int(rng.integers(0, image_shape[0] - 4))
+        c = int(rng.integers(0, image_shape[1] - 6))
+        masks[index, r : r + 4, c : c + 6] = rng.integers(-255, 256, size=(4, 6, 3))
+    return masks
+
+
+@pytest.fixture(params=["yolo", "detr"])
+def detector(request, yolo_detector, detr_detector):
+    return yolo_detector if request.param == "yolo" else detr_detector
+
+
+class TestIncrementalEvaluationParity:
+    def test_population_matches_dense_path_exactly(self, detector, small_dataset):
+        image = small_dataset[0].image
+        dense = ButterflyObjectives(
+            detector=detector, image=image, use_activation_cache=False
+        )
+        incremental = ButterflyObjectives(
+            detector=detector, image=image, use_activation_cache=True
+        )
+        assert incremental.clean_activations is not None
+        masks = _sparse_population(image.shape, batch_size=6, seed=1)
+        assert np.array_equal(
+            incremental.evaluate_population(masks), dense.evaluate_population(masks)
+        )
+
+    def test_sequential_call_matches_dense_path(self, detector, small_dataset):
+        image = small_dataset[0].image
+        dense = ButterflyObjectives(
+            detector=detector, image=image, use_activation_cache=False
+        )
+        incremental = ButterflyObjectives(
+            detector=detector, image=image, use_activation_cache=True
+        )
+        for mask in _sparse_population(image.shape, batch_size=4, seed=2):
+            assert np.array_equal(incremental(mask), dense(mask))
+
+    def test_dirty_bounds_never_change_vectors(self, detector, small_dataset):
+        image = small_dataset[0].image
+        evaluator = ButterflyObjectives(detector=detector, image=image)
+        masks = _sparse_population(image.shape, batch_size=4, seed=3)
+        reference = evaluator.evaluate_population(masks)
+        loose_bounds = [(0, image.shape[0], 0, image.shape[1])] * masks.shape[0]
+        assert np.array_equal(
+            evaluator.evaluate_population(masks, dirty_bounds=loose_bounds), reference
+        )
+
+    def test_filter_mask_distance_uses_cached_bbox(self, detector, small_dataset):
+        image = small_dataset[0].image
+        evaluator = ButterflyObjectives(detector=detector, image=image)
+        masks = _sparse_population(image.shape, batch_size=3, seed=4)
+        for values in masks:
+            mask = FilterMask(values)
+            assert evaluator.distance(mask) == evaluator.distance(values)
+
+    def test_shared_store_reuses_one_bundle(self, yolo_detector, small_dataset):
+        store = ActivationCacheStore(max_entries=2)
+        image = small_dataset[0].image
+        first = ButterflyObjectives(
+            detector=yolo_detector, image=image, activation_store=store
+        )
+        second = ButterflyObjectives(
+            detector=yolo_detector, image=image, activation_store=store
+        )
+        assert second.clean_activations is first.clean_activations
+        assert store.stats["misses"] == 1 and store.stats["hits"] == 1
+
+    def test_scratch_buffer_reuse_keeps_results_identical(
+        self, yolo_detector, small_dataset
+    ):
+        image = small_dataset[0].image
+        evaluator = ButterflyObjectives(
+            detector=yolo_detector, image=image, use_activation_cache=False
+        )
+        masks = _sparse_population(image.shape, batch_size=5, seed=5)
+        first = evaluator.evaluate_population(masks)
+        scratch = evaluator._scratch
+        assert scratch is not None and scratch.shape == masks.shape
+        second = evaluator.evaluate_population(masks)
+        assert evaluator._scratch is scratch  # same buffer, no reallocation
+        assert np.array_equal(first, second)
+
+
+class TestEnsembleIncrementalParity:
+    def test_population_matches_dense_path(
+        self, yolo_detector, detr_detector, small_dataset
+    ):
+        image = small_dataset[0].image
+        members = [yolo_detector, detr_detector]
+        dense = EnsembleObjectives(
+            ensemble=members, image=image, use_activation_cache=False
+        )
+        incremental = EnsembleObjectives(
+            ensemble=members, image=image, use_activation_cache=True
+        )
+        masks = _sparse_population(image.shape, batch_size=4, seed=6)
+        assert np.array_equal(
+            incremental.evaluate_population(masks), dense.evaluate_population(masks)
+        )
+        for mask in masks:
+            assert np.array_equal(incremental(mask), dense(mask))
+
+
+class TestAttackLevelParity:
+    @pytest.mark.parametrize("architecture", ["yolo", "detr"])
+    def test_seeded_attack_identical_with_and_without_cache(
+        self, architecture, yolo_detector, detr_detector, small_dataset
+    ):
+        detector = yolo_detector if architecture == "yolo" else detr_detector
+        nsga = NSGAConfig(
+            num_iterations=3,
+            population_size=8,
+            crossover_probability=0.5,
+            mutation=MutationConfig(probability=0.45, window_fraction=0.01),
+            seed=7,
+        )
+        results = []
+        for use_cache in (False, True):
+            config = AttackConfig(
+                nsga=nsga,
+                region=HalfImageRegion("right"),
+                use_activation_cache=use_cache,
+            )
+            results.append(
+                ButterflyAttack(detector, config).attack(small_dataset[0].image)
+            )
+        dense_result, incremental_result = results
+        assert dense_result.num_evaluations == incremental_result.num_evaluations
+        assert dense_result.cache_hits == incremental_result.cache_hits
+        assert len(dense_result.solutions) == len(incremental_result.solutions)
+        for left, right in zip(dense_result.solutions, incremental_result.solutions):
+            assert np.array_equal(left.mask.values, right.mask.values)
+            assert (left.intensity, left.degradation, left.distance, left.rank) == (
+                right.intensity,
+                right.degradation,
+                right.distance,
+                right.rank,
+            )

@@ -87,3 +87,63 @@ class TestFilterMask:
         b = FilterMask.random_gaussian((4, 4, 3), sigma=10.0, rng=7)
         assert np.allclose(a.values, b.values)
         assert np.abs(a.values).max() <= MAX_PERTURBATION
+
+
+class TestApplyMaskBuffer:
+    def test_out_buffer_matches_allocating_path(self):
+        rng = np.random.default_rng(3)
+        image = rng.uniform(0, 255, size=(6, 9, 3))
+        mask = rng.uniform(-300, 300, size=(6, 9, 3))
+        out = np.empty_like(image)
+        result = apply_mask(image, mask, out=out)
+        assert result is out
+        assert np.array_equal(result, apply_mask(image, mask))
+
+    def test_out_buffer_reused_across_masks(self):
+        rng = np.random.default_rng(4)
+        image = rng.uniform(0, 255, size=(5, 5, 3))
+        out = np.empty_like(image)
+        for seed in range(3):
+            mask = np.random.default_rng(seed).uniform(-40, 40, size=image.shape)
+            assert np.array_equal(
+                apply_mask(image, mask, out=out), apply_mask(image, mask)
+            )
+
+    def test_rejects_wrong_out_buffer(self):
+        image = np.zeros((4, 4, 3))
+        mask = np.zeros((4, 4, 3))
+        with pytest.raises(ValueError):
+            apply_mask(image, mask, out=np.empty((4, 5, 3)))
+        with pytest.raises(ValueError):
+            apply_mask(image, mask, out=np.empty((4, 4, 3), dtype=np.float32))
+
+
+class TestNonzeroBBox:
+    def test_empty_mask(self):
+        mask = FilterMask.zeros((6, 8, 3))
+        assert mask.nonzero_bbox() == (0, 0, 0, 0)
+        assert mask.sparsity == 0.0
+
+    def test_single_pixel(self):
+        values = np.zeros((6, 8, 3))
+        values[2, 5, 1] = -3.0
+        mask = FilterMask(values)
+        assert mask.nonzero_bbox() == (2, 3, 5, 6)
+        assert mask.sparsity == pytest.approx(1.0 / 48.0)
+
+    def test_full_coverage(self):
+        mask = FilterMask(np.full((4, 5, 3), 1.0))
+        assert mask.nonzero_bbox() == (0, 4, 0, 5)
+        assert mask.sparsity == 1.0
+
+    def test_bbox_is_cached(self):
+        values = np.zeros((4, 4, 3))
+        values[1, 1, 0] = 1.0
+        mask = FilterMask(values)
+        assert mask.nonzero_bbox() is mask.nonzero_bbox()
+
+    def test_corner_pixels_span_whole_image(self):
+        values = np.zeros((5, 7, 3))
+        values[0, 0, 0] = 1.0
+        values[4, 6, 2] = 1.0
+        assert FilterMask(values).nonzero_bbox() == (0, 5, 0, 7)

@@ -1,0 +1,114 @@
+"""Tests for the clean-scene activation cache store.
+
+The store is content-keyed (detector identity + image digest), so a new
+scene can never hit a stale entry — the cache-invalidation guarantee the
+experiment runner's per-scene lifecycle relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detectors.activation_cache import (
+    ActivationCacheStore,
+    CleanActivations,
+    image_digest,
+)
+
+
+def _scene(seed, shape=(64, 208, 3)):
+    return np.random.default_rng(seed).uniform(0, 255, size=shape).round()
+
+
+class TestImageDigest:
+    def test_content_keyed(self):
+        image = _scene(0)
+        assert image_digest(image) == image_digest(image.copy())
+        changed = image.copy()
+        changed[3, 4, 1] += 1.0
+        assert image_digest(image) != image_digest(changed)
+
+    def test_dtype_and_shape_enter_the_key(self):
+        image = np.zeros((4, 4, 3))
+        assert image_digest(image) != image_digest(image.astype(np.float32))
+        assert image_digest(image) != image_digest(np.zeros((4, 12)))
+
+
+class TestActivationCacheStore:
+    def test_miss_then_hit(self, yolo_detector):
+        store = ActivationCacheStore(max_entries=2)
+        image = _scene(1)
+        first = store.get(yolo_detector, image)
+        assert isinstance(first, CleanActivations)
+        assert store.stats == {"hits": 0, "misses": 1, "evictions": 0, "entries": 1}
+        second = store.get(yolo_detector, image)
+        assert second is first
+        assert store.hits == 1
+
+    def test_new_scene_never_hits_stale_entry(self, yolo_detector):
+        store = ActivationCacheStore(max_entries=4)
+        scene_a, scene_b = _scene(2), _scene(3)
+        cached_a = store.get(yolo_detector, scene_a)
+        cached_b = store.get(yolo_detector, scene_b)
+        assert cached_b is not cached_a
+        assert store.misses == 2 and store.hits == 0
+        # The cached bundle's clean image and prediction belong to its own
+        # scene: predictions answered from it match a fresh forward pass.
+        expected = yolo_detector.predict(np.clip(scene_b + 0.0, 0.0, 255.0))
+        assert len(cached_b.prediction) == len(expected)
+        for left, right in zip(expected, cached_b.prediction):
+            assert (left.cl, left.x, left.y, left.l, left.w, left.score) == (
+                right.cl, right.x, right.y, right.l, right.w, right.score,
+            )
+        # A single perturbed pixel produces a different digest => miss.
+        perturbed = scene_a.copy()
+        perturbed[0, 0, 0] = (perturbed[0, 0, 0] + 1.0) % 255.0
+        store.get(yolo_detector, perturbed)
+        assert store.misses == 3
+
+    def test_distinct_detectors_do_not_collide(self, yolo_detector, detr_detector):
+        store = ActivationCacheStore(max_entries=4)
+        image = _scene(4)
+        cached_yolo = store.get(yolo_detector, image)
+        cached_detr = store.get(detr_detector, image)
+        assert cached_yolo is not cached_detr
+        assert "raw" in cached_detr.tensors
+        assert "features" in cached_yolo.tensors
+
+    def test_lru_eviction_respects_cap(self, yolo_detector):
+        store = ActivationCacheStore(max_entries=2)
+        scenes = [_scene(seed) for seed in (5, 6, 7)]
+        store.get(yolo_detector, scenes[0])
+        store.get(yolo_detector, scenes[1])
+        store.get(yolo_detector, scenes[0])  # refresh scene 0 => scene 1 is LRU
+        store.get(yolo_detector, scenes[2])  # evicts scene 1
+        assert store.evictions == 1
+        assert len(store) == 2
+        store.get(yolo_detector, scenes[0])
+        assert store.hits == 2  # scene 0 survived the eviction
+        store.get(yolo_detector, scenes[1])
+        assert store.misses == 4  # scene 1 was rebuilt
+
+    def test_invalidate(self, yolo_detector, detr_detector):
+        store = ActivationCacheStore(max_entries=8)
+        image = _scene(8)
+        store.get(yolo_detector, image)
+        store.get(detr_detector, image)
+        assert store.invalidate(yolo_detector) == 1
+        assert len(store) == 1
+        store.get(yolo_detector, image)
+        assert store.misses == 3  # rebuilt after invalidation
+        assert store.invalidate() == 2
+        assert len(store) == 0
+
+    def test_non_incremental_detector_not_cached(self, yolo_detector):
+        class Opaque:
+            def clean_activations(self, image):
+                return None
+
+        store = ActivationCacheStore(max_entries=2)
+        assert store.get(Opaque(), _scene(9)) is None
+        assert len(store) == 0
+
+    def test_rejects_zero_cap(self):
+        with pytest.raises(ValueError):
+            ActivationCacheStore(max_entries=0)
