@@ -1,11 +1,49 @@
-"""Non-maximum suppression for detector post-processing."""
+"""Non-maximum suppression for detector post-processing.
+
+:func:`non_max_suppression` is the production implementation: it keeps the
+exact greedy semantics of the original per-pair Python loop (preserved as
+:func:`non_max_suppression_reference`) but precomputes the full pairwise
+IoU matrix with the vectorised :func:`~repro.detection.boxes.iou_matrix`
+kernel and replaces the inner kept-box scan with one boolean suppression
+sweep per kept box.  ``iou_matrix`` is bit-for-bit equal to per-pair
+:func:`~repro.detection.boxes.iou` calls, so both implementations make the
+same comparisons in the same order and return identical predictions — the
+NMS parity suites (``tests/detection/test_nms.py`` and
+``tests/property/test_properties_decode.py``) assert exactly that.
+"""
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.detection.boxes import BoundingBox, iou
+import numpy as np
+
+from repro.detection.boxes import BoundingBox, iou, iou_matrix
 from repro.detection.prediction import Prediction
+
+
+def _prepare_candidates(
+    boxes: Sequence[BoundingBox] | Prediction,
+    iou_threshold: float,
+    score_threshold: float,
+) -> list[BoundingBox]:
+    """Validate inputs and return candidates in descending score order.
+
+    ``list.sort`` is stable — equal-score boxes keep their input order
+    even with ``reverse=True`` — which is what makes greedy suppression
+    of tied boxes deterministic.
+    """
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ValueError(f"iou_threshold must be in [0, 1], got {iou_threshold}")
+
+    if isinstance(boxes, Prediction):
+        candidates = boxes.valid_boxes
+    else:
+        candidates = [b for b in boxes if b.is_valid]
+
+    candidates = [b for b in candidates if b.score >= score_threshold]
+    candidates.sort(key=lambda b: b.score, reverse=True)
+    return candidates
 
 
 def non_max_suppression(
@@ -31,16 +69,43 @@ def non_max_suppression(
     class_agnostic:
         When True, suppression happens across classes.
     """
-    if not 0.0 <= iou_threshold <= 1.0:
-        raise ValueError(f"iou_threshold must be in [0, 1], got {iou_threshold}")
+    candidates = _prepare_candidates(boxes, iou_threshold, score_threshold)
+    if len(candidates) <= 1:
+        # Nothing can suppress anything; skip the IoU matrix entirely.
+        return Prediction(candidates)
 
-    if isinstance(boxes, Prediction):
-        candidates = boxes.valid_boxes
-    else:
-        candidates = [b for b in boxes if b.is_valid]
+    # A kept box only ever suppresses boxes *later* in the score order (an
+    # earlier surviving box would have been kept already and, IoU being
+    # symmetric, would have suppressed this one first), so one masked sweep
+    # over each kept box's matrix row reproduces the greedy scan exactly.
+    overlapping = iou_matrix(candidates, candidates) > iou_threshold
+    if not class_agnostic:
+        classes = np.array([b.cl for b in candidates], dtype=np.int64)
+        overlapping &= classes[:, None] == classes[None, :]
 
-    candidates = [b for b in candidates if b.score >= score_threshold]
-    candidates.sort(key=lambda b: b.score, reverse=True)
+    alive = np.ones(len(candidates), dtype=bool)
+    kept: list[BoundingBox] = []
+    for index, candidate in enumerate(candidates):
+        if not alive[index]:
+            continue
+        kept.append(candidate)
+        alive[index + 1 :] &= ~overlapping[index, index + 1 :]
+    return Prediction(kept)
+
+
+def non_max_suppression_reference(
+    boxes: Sequence[BoundingBox] | Prediction,
+    iou_threshold: float = 0.5,
+    score_threshold: float = 0.0,
+    class_agnostic: bool = False,
+) -> Prediction:
+    """Original greedy NMS loop, kept as the executable parity reference.
+
+    Semantics are identical to :func:`non_max_suppression`; the kept-box
+    scan calls :func:`~repro.detection.boxes.iou` per pair instead of
+    precomputing the pairwise matrix.
+    """
+    candidates = _prepare_candidates(boxes, iou_threshold, score_threshold)
 
     kept: list[BoundingBox] = []
     for candidate in candidates:

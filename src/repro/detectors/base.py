@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.detection.prediction import Prediction
+from repro.detectors import decode as cell_decode
 from repro.detectors.activation_cache import CleanActivations
 from repro.nn.incremental import (
     BBox,
@@ -258,6 +259,29 @@ class Detector(abc.ABC):
             self._predict_delta_windowed(image, masks[index], bbox, clean)
             for index, bbox in items
         ]
+
+    def _decode(
+        self, probabilities: np.ndarray, image_shape: tuple[int, int]
+    ) -> Prediction:
+        """Decode one (rows, cols, classes + 1) probability grid.
+
+        Resolved through the :mod:`repro.detectors.decode` module attribute
+        (not an imported name) so the decode-parity harness can swap in the
+        reference loop for a whole attack run with one monkeypatch.
+        """
+        return cell_decode.decode_cell_probabilities(
+            probabilities, self.config, image_shape
+        )
+
+    def _decode_batch(
+        self, probabilities: np.ndarray, image_shape: tuple[int, int]
+    ) -> list[Prediction]:
+        """Decode a (B, rows, cols, classes + 1) stack of probability grids
+        in one vectorised call; entry ``b`` is bit-identical to
+        ``self._decode(probabilities[b], image_shape)``."""
+        return cell_decode.decode_cell_probabilities_batch(
+            probabilities, self.config, image_shape
+        )
 
     @abc.abstractmethod
     def backbone_features(self, image: np.ndarray) -> np.ndarray:

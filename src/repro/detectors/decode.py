@@ -13,24 +13,79 @@ The moment-based extent makes the decoded boxes respond *continuously* to
 probability changes, which is what lets the attack produce the paper's
 "bounding box changes its size" effect (Fig. 4) rather than only hard
 class flips.
+
+Three implementations are provided.  :func:`decode_cell_probabilities_loop`
+is the original per-seed Python loop, kept as the executable reference.
+:func:`decode_cell_probabilities_vectorised` (and its population form
+:func:`decode_cell_probabilities_batch`) vectorises the moment stage: all
+seed windows of one shape are gathered into a single contiguous
+``(num_seeds, h, w)`` stack and reduced with batched NumPy operations.
+:func:`decode_cell_probabilities` — the production single-grid entry point —
+dispatches between the two by seed count: the vectorised gather machinery
+has a fixed setup cost (sort, group-by, fancy indexing) that only amortises
+above :data:`SCALAR_FALLBACK_SEEDS` seeds (measured crossover ~8 on the
+benchmark grids), and below it the loop is faster.  Both sides of the
+dispatch are bit-identical, so the cutover is invisible in the results.
+
+The vectorised decode is **bit-identical** to the loop, by construction:
+
+* seed windows are grouped by their *clipped* shape instead of being
+  zero-padded to ``(2W+1, 2W+1)`` — padding preserves the moments as real
+  numbers but not as floats (NumPy's pairwise summation associates the
+  non-zero terms differently once zeros are interleaved), whereas reducing
+  a contiguous stack of same-shape windows over its trailing axes performs
+  exactly the per-window reduction the scalar loop performs,
+* seeds are ordered by a *stable* descending objectness sort (ties keep
+  row-major grid order), so the decode is deterministic and the batched
+  per-grid ordering (one stable ``lexsort`` over ``(grid, -objectness)``)
+  matches the single-grid ordering exactly,
+* the NMS stage consumes the same boxes in the same order, and the
+  vectorised NMS is itself bit-identical to the greedy reference (see
+  :mod:`repro.detection.nms`).
+
+The decode parity suites (``tests/property/test_properties_decode.py``)
+pin all of this down on hypothesis-generated grids.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
+from repro.detection import nms as _nms
 from repro.detection.boxes import BoundingBox, clip_box_to_image
-from repro.detection.nms import non_max_suppression
 from repro.detection.prediction import Prediction
-from repro.detectors.base import DetectorConfig
+
+if TYPE_CHECKING:  # imported for typing only; base.py imports this module
+    from repro.detectors.base import DetectorConfig
+
+#: Window cells whose weight falls below this fraction of the window's
+#: maximum weight are zeroed before the moments are taken; weakly
+#: supporting neighbours would otherwise inflate the box extent.
+SUPPORT_CUTOFF = 0.4
+
+#: Minimum total support weight for a seed to produce a box at all.
+MIN_TOTAL_WEIGHT = 1e-12
+
+#: Seed count at or below which the single-grid decode dispatches to the
+#: per-seed loop: the vectorised path's setup cost (stable sort, shape
+#: group-by, fancy-index gathers) only amortises above ~8 seeds.
+SCALAR_FALLBACK_SEEDS = 8
 
 
 def decode_cell_probabilities(
     probabilities: np.ndarray,
-    config: DetectorConfig,
+    config: "DetectorConfig",
     image_shape: tuple[int, int],
 ) -> Prediction:
     """Decode a (rows, cols, num_classes + 1) probability grid into boxes.
+
+    Dispatches by seed count: grids with at most
+    :data:`SCALAR_FALLBACK_SEEDS` seeds take the per-seed loop (whose
+    per-seed cost is lower than the vectorised path's fixed setup), all
+    others the vectorised path.  The two are bit-identical, so the dispatch
+    only affects speed.
 
     Parameters
     ----------
@@ -44,19 +99,243 @@ def decode_cell_probabilities(
     probabilities = np.asarray(probabilities, dtype=np.float64)
     if probabilities.ndim != 3:
         raise ValueError("probabilities must have shape (rows, cols, classes + 1)")
+    if probabilities.shape[-1] < 2:
+        raise ValueError("probabilities must carry at least one foreground class")
+    objectness = 1.0 - probabilities[:, :, -1]
+    seed_rows, seed_cols = np.where(objectness > config.objectness_threshold)
+    if seed_rows.size <= SCALAR_FALLBACK_SEEDS:
+        # The seed set is handed straight to the loop body, so dispatching
+        # costs one integer comparison over running the loop directly.
+        return _decode_seeds_loop(
+            probabilities, objectness, seed_rows, seed_cols, config, image_shape
+        )
+    return _decode_grids(
+        probabilities[None, ...],
+        config,
+        image_shape,
+        objectness=objectness[None, ...],
+        seeds=(np.zeros_like(seed_rows), seed_rows, seed_cols),
+    )[0]
+
+
+def decode_cell_probabilities_vectorised(
+    probabilities: np.ndarray,
+    config: "DetectorConfig",
+    image_shape: tuple[int, int],
+) -> Prediction:
+    """Single-grid decode through the vectorised path, regardless of seed
+    count.  The parity suites use this to pin the vectorised core against
+    the reference loop even on grids small enough that the production
+    :func:`decode_cell_probabilities` would dispatch to the loop."""
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 3:
+        raise ValueError("probabilities must have shape (rows, cols, classes + 1)")
+    return _decode_grids(probabilities[None, ...], config, image_shape)[0]
+
+
+def decode_cell_probabilities_batch(
+    probabilities: np.ndarray,
+    config: "DetectorConfig",
+    image_shape: tuple[int, int],
+) -> list[Prediction]:
+    """Decode a (N, rows, cols, num_classes + 1) population of grids.
+
+    One call replaces N :func:`decode_cell_probabilities` calls: the seeds
+    of every grid are gathered and reduced together (each output element of
+    a trailing-axes reduction only ever reads its own window, so stacking
+    more grids cannot change any per-seed result), then NMS runs per grid.
+    Entry ``i`` of the returned list is bit-identical to decoding grid ``i``
+    on its own.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 4:
+        raise ValueError(
+            "probabilities must have shape (N, rows, cols, classes + 1)"
+        )
+    return _decode_grids(probabilities, config, image_shape)
+
+
+def _decode_grids(
+    stack: np.ndarray,
+    config: "DetectorConfig",
+    image_shape: tuple[int, int],
+    objectness: np.ndarray | None = None,
+    seeds: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> list[Prediction]:
+    """Shared vectorised core: decode a float64 (N, rows, cols, C+1) stack.
+
+    ``objectness`` and ``seeds`` (``grid_idx, seed_rows, seed_cols`` in
+    row-major grid order, as :func:`np.nonzero` returns them) let the
+    adaptive dispatcher hand over the full-grid scan it already performed
+    instead of recomputing it here.
+    """
+    count, rows, cols, channels = stack.shape
+    if channels < 2:
+        raise ValueError("probabilities must carry at least one foreground class")
+    num_classes = channels - 1
+    cell = config.cell
+
+    if objectness is None:
+        objectness = 1.0 - stack[:, :, :, -1]
+    class_probs = stack[:, :, :, :num_classes]
+
+    if seeds is None:
+        seeds = np.nonzero(objectness > config.objectness_threshold)
+    grid_idx, seed_rows, seed_cols = seeds
+    if grid_idx.size == 0:
+        return [Prediction.empty() for _ in range(count)]
+
+    # Process strongest seeds first so NMS keeps the best-supported boxes.
+    # The sort is grid-major and *stable*: equal-objectness seeds keep their
+    # row-major grid order, making the decode deterministic under ties and
+    # identical between the single-grid and batched entry points.
+    seed_objectness = objectness[grid_idx, seed_rows, seed_cols]
+    order = np.lexsort((-seed_objectness, grid_idx))
+    grid_idx = grid_idx[order]
+    seed_rows = seed_rows[order]
+    seed_cols = seed_cols[order]
+    num_seeds = grid_idx.size
+
+    class_ids = np.argmax(class_probs[grid_idx, seed_rows, seed_cols, :], axis=-1)
+    scores = class_probs[grid_idx, seed_rows, seed_cols, class_ids]
+
+    window = config.decode_window
+    row_lo = np.maximum(0, seed_rows - window)
+    row_hi = np.minimum(rows, seed_rows + window + 1)
+    col_lo = np.maximum(0, seed_cols - window)
+    col_hi = np.minimum(cols, seed_cols + window + 1)
+    heights = row_hi - row_lo
+    widths = col_hi - col_lo
+
+    row_centers = (np.arange(rows) + 0.5) * cell
+    col_centers = (np.arange(cols) + 0.5) * cell
+
+    total = np.empty(num_seeds, dtype=np.float64)
+    center_x = np.empty(num_seeds, dtype=np.float64)
+    center_y = np.empty(num_seeds, dtype=np.float64)
+    var_x = np.empty(num_seeds, dtype=np.float64)
+    var_y = np.empty(num_seeds, dtype=np.float64)
+
+    # Group seeds by clipped window shape.  Interior seeds — the vast
+    # majority on any non-trivial grid — share the full (2W+1, 2W+1) shape
+    # and reduce in one stack; border seeds form a handful of small groups.
+    shape_key = heights * (2 * window + 2) + widths
+    for key in np.unique(shape_key):
+        members = np.nonzero(shape_key == key)[0]
+        height = int(heights[members[0]])
+        width = int(widths[members[0]])
+        window_rows = row_lo[members][:, None] + np.arange(height)[None, :]
+        window_cols = col_lo[members][:, None] + np.arange(width)[None, :]
+        gather_grid = grid_idx[members][:, None, None]
+        gather_rows = window_rows[:, :, None]
+        gather_cols = window_cols[:, None, :]
+
+        local_class = class_probs[
+            gather_grid, gather_rows, gather_cols, class_ids[members][:, None, None]
+        ]
+        local_object = objectness[gather_grid, gather_rows, gather_cols]
+        weights = local_class * local_object
+        # Keep only the cells that clearly support this detection.
+        cutoff = SUPPORT_CUTOFF * weights.max(axis=(1, 2))
+        weights = np.where(weights >= cutoff[:, None, None], weights, 0.0)
+        group_total = weights.sum(axis=(1, 2))
+        # Seeds below the weight floor are dropped after the loop; divide by
+        # 1 in their lanes only to keep the moment arithmetic warning-free.
+        safe_total = np.where(group_total > MIN_TOTAL_WEIGHT, group_total, 1.0)
+
+        local_rows = row_centers[window_rows][:, :, None]
+        local_cols = col_centers[window_cols][:, None, :]
+        group_cx = (weights * local_rows).sum(axis=(1, 2)) / safe_total
+        group_cy = (weights * local_cols).sum(axis=(1, 2)) / safe_total
+        group_vx = (
+            weights * (local_rows - group_cx[:, None, None]) ** 2
+        ).sum(axis=(1, 2)) / safe_total
+        group_vy = (
+            weights * (local_cols - group_cy[:, None, None]) ** 2
+        ).sum(axis=(1, 2)) / safe_total
+
+        total[members] = group_total
+        center_x[members] = group_cx
+        center_y[members] = group_cy
+        var_x[members] = group_vx
+        var_y[members] = group_vy
+
+    # sqrt(12 * var) is the extent of a uniform distribution with that
+    # variance; one extra cell accounts for the within-cell spread.
+    lengths = np.sqrt(12.0 * var_x) + cell
+    box_widths = np.sqrt(12.0 * var_y) + cell
+
+    grid_boxes: list[list[BoundingBox]] = [[] for _ in range(count)]
+    for index in np.nonzero(total > MIN_TOTAL_WEIGHT)[0]:
+        box = BoundingBox(
+            cl=int(class_ids[index]),
+            x=float(center_x[index]),
+            y=float(center_y[index]),
+            l=float(lengths[index]),
+            w=float(box_widths[index]),
+            score=float(scores[index]),
+        )
+        clipped = clip_box_to_image(box, image_shape[0], image_shape[1])
+        if clipped is not None:
+            grid_boxes[grid_idx[index]].append(clipped)
+
+    return [
+        _nms.non_max_suppression(
+            boxes,
+            iou_threshold=config.nms_iou_threshold,
+            class_agnostic=config.class_agnostic_nms,
+        )
+        for boxes in grid_boxes
+    ]
+
+
+def decode_cell_probabilities_loop(
+    probabilities: np.ndarray,
+    config: "DetectorConfig",
+    image_shape: tuple[int, int],
+) -> Prediction:
+    """Reference per-seed decode loop (the original implementation).
+
+    Kept executable so the parity suites can assert the vectorised decode
+    against it bit for bit; the only change from the original is the
+    ``kind="stable"`` seed sort, which makes tied-objectness ordering
+    deterministic (the unstable quicksort it replaces could order tied
+    seeds either way between runs of different NumPy builds).
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 3:
+        raise ValueError("probabilities must have shape (rows, cols, classes + 1)")
+    if probabilities.shape[-1] < 2:
+        raise ValueError("probabilities must carry at least one foreground class")
+    objectness = 1.0 - probabilities[:, :, -1]
+    seed_rows, seed_cols = np.where(objectness > config.objectness_threshold)
+    return _decode_seeds_loop(
+        probabilities, objectness, seed_rows, seed_cols, config, image_shape
+    )
+
+
+def _decode_seeds_loop(
+    probabilities: np.ndarray,
+    objectness: np.ndarray,
+    seed_rows: np.ndarray,
+    seed_cols: np.ndarray,
+    config: "DetectorConfig",
+    image_shape: tuple[int, int],
+) -> Prediction:
+    """Per-seed loop body shared by the reference entry point and the
+    adaptive dispatcher (which has already computed the seed set)."""
     rows, cols, channels = probabilities.shape
     num_classes = channels - 1
     cell = config.cell
 
-    objectness = 1.0 - probabilities[:, :, -1]
     class_probs = probabilities[:, :, :num_classes]
 
-    seed_rows, seed_cols = np.where(objectness > config.objectness_threshold)
     if seed_rows.size == 0:
         return Prediction.empty()
 
-    # Process strongest seeds first so NMS keeps the best-supported boxes.
-    order = np.argsort(-objectness[seed_rows, seed_cols])
+    # Process strongest seeds first so NMS keeps the best-supported boxes;
+    # the stable sort keeps row-major order for tied objectness values.
+    order = np.argsort(-objectness[seed_rows, seed_cols], kind="stable")
     seed_rows, seed_cols = seed_rows[order], seed_cols[order]
 
     row_centers = (np.arange(rows) + 0.5) * cell
@@ -75,9 +354,9 @@ def decode_cell_probabilities(
         weights = local_class * local_object
         # Keep only the cells that clearly support this detection; weakly
         # supporting neighbours would otherwise inflate the box extent.
-        weights = np.where(weights >= 0.4 * weights.max(), weights, 0.0)
+        weights = np.where(weights >= SUPPORT_CUTOFF * weights.max(), weights, 0.0)
         total = weights.sum()
-        if total <= 1e-12:
+        if total <= MIN_TOTAL_WEIGHT:
             continue
 
         local_rows = row_centers[row_lo:row_hi][:, None]
@@ -100,7 +379,7 @@ def decode_cell_probabilities(
         if clipped is not None:
             boxes.append(clipped)
 
-    return non_max_suppression(
+    return _nms.non_max_suppression(
         boxes,
         iou_threshold=config.nms_iou_threshold,
         class_agnostic=config.class_agnostic_nms,

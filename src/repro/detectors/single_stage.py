@@ -22,7 +22,6 @@ from repro.detectors.base import (
     validate_image,
     validate_image_batch,
 )
-from repro.detectors.decode import decode_cell_probabilities
 from repro.detectors.prototypes import PrototypeBank
 from repro.nn.conv import box_filter, box_filter_batch
 from repro.nn.features import GridFeatureExtractor
@@ -119,9 +118,7 @@ class SingleStageDetector(Detector):
     def predict(self, image: np.ndarray) -> Prediction:
         image = validate_image(image)
         probabilities = self.cell_probabilities(image)
-        return decode_cell_probabilities(
-            probabilities, self.config, (image.shape[0], image.shape[1])
-        )
+        return self._decode(probabilities, (image.shape[0], image.shape[1]))
 
     def backbone_features_batch(self, images: np.ndarray) -> np.ndarray:
         """Batched :meth:`backbone_features`; returns (B, rows, cols, dim).
@@ -153,10 +150,7 @@ class SingleStageDetector(Detector):
         predictions: list[Prediction] = []
         for start in range(0, images.shape[0], chunk):
             probabilities = self.cell_probabilities_batch(images[start : start + chunk])
-            predictions.extend(
-                decode_cell_probabilities(grid, self.config, image_shape)
-                for grid in probabilities
-            )
+            predictions.extend(self._decode_batch(probabilities, image_shape))
         return predictions
 
     # ------------------------------------------------------------------
@@ -177,9 +171,7 @@ class SingleStageDetector(Detector):
         probabilities = self.prototypes.probabilities(
             self._finalize_features(features, smoothed)
         )
-        prediction = decode_cell_probabilities(
-            probabilities, self.config, (image.shape[0], image.shape[1])
-        )
+        prediction = self._decode(probabilities, (image.shape[0], image.shape[1]))
         tensors = {"features": features}
         if smoothed is not None:
             tensors["smoothed"] = smoothed
@@ -245,9 +237,7 @@ class SingleStageDetector(Detector):
         if grid is None:
             return clean.prediction
         probabilities = self.prototypes.probabilities(grid)
-        return decode_cell_probabilities(
-            probabilities, self.config, (image.shape[0], image.shape[1])
-        )
+        return self._decode(probabilities, (image.shape[0], image.shape[1]))
 
     def _predict_delta_windowed_batch(
         self,
@@ -273,8 +263,7 @@ class SingleStageDetector(Detector):
                 np.stack([grids[i] for i in live], axis=0)
             )
             image_shape = (image.shape[0], image.shape[1])
-            for i, grid_probabilities in zip(live, probabilities):
-                predictions[i] = decode_cell_probabilities(
-                    grid_probabilities, self.config, image_shape
-                )
+            decoded = self._decode_batch(probabilities, image_shape)
+            for i, prediction in zip(live, decoded):
+                predictions[i] = prediction
         return predictions

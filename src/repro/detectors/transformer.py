@@ -21,7 +21,6 @@ from repro.detectors.base import (
     validate_image,
     validate_image_batch,
 )
-from repro.detectors.decode import decode_cell_probabilities
 from repro.detectors.prototypes import PrototypeBank
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.features import CELL_FEATURE_DIM, GridFeatureExtractor
@@ -183,9 +182,7 @@ class TransformerDetector(Detector):
     def predict(self, image: np.ndarray) -> Prediction:
         image = validate_image(image)
         probabilities = self.cell_probabilities(image)
-        return decode_cell_probabilities(
-            probabilities, self.config, (image.shape[0], image.shape[1])
-        )
+        return self._decode(probabilities, (image.shape[0], image.shape[1]))
 
     def predict_batch(self, images: np.ndarray) -> list[Prediction]:
         """Vectorised batch prediction, processed in cache-friendly chunks."""
@@ -195,10 +192,7 @@ class TransformerDetector(Detector):
         predictions: list[Prediction] = []
         for start in range(0, images.shape[0], chunk):
             probabilities = self.cell_probabilities_batch(images[start : start + chunk])
-            predictions.extend(
-                decode_cell_probabilities(grid, self.config, image_shape)
-                for grid in probabilities
-            )
+            predictions.extend(self._decode_batch(probabilities, image_shape))
         return predictions
 
     # ------------------------------------------------------------------
@@ -217,9 +211,7 @@ class TransformerDetector(Detector):
         clean_image = np.clip(image + 0.0, 0.0, 255.0)
         raw = self.extractor(clean_image)
         probabilities = self.prototypes.probabilities(self._mix_features(raw))
-        prediction = decode_cell_probabilities(
-            probabilities, self.config, (image.shape[0], image.shape[1])
-        )
+        prediction = self._decode(probabilities, (image.shape[0], image.shape[1]))
         return CleanActivations(
             clean_image=clean_image, prediction=prediction, tensors={"raw": raw}
         )
@@ -259,9 +251,7 @@ class TransformerDetector(Detector):
         if raw is None:
             return clean.prediction
         probabilities = self.prototypes.probabilities(self._mix_features(raw))
-        return decode_cell_probabilities(
-            probabilities, self.config, (image.shape[0], image.shape[1])
-        )
+        return self._decode(probabilities, (image.shape[0], image.shape[1]))
 
     def _predict_delta_windowed_batch(
         self,
@@ -294,10 +284,7 @@ class TransformerDetector(Detector):
                 probabilities = self.prototypes.probabilities(
                     self._mix_features(stacked[start : start + chunk])
                 )
-                decoded.extend(
-                    decode_cell_probabilities(grid, self.config, image_shape)
-                    for grid in probabilities
-                )
+                decoded.extend(self._decode_batch(probabilities, image_shape))
             for i, prediction in zip(live, decoded):
                 predictions[i] = prediction
         return predictions

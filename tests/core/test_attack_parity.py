@@ -16,6 +16,7 @@ from repro.core.attack import ButterflyAttack
 from repro.core.config import AttackConfig
 from repro.core.ensemble import EnsembleAttack
 from repro.core.regions import HalfImageRegion
+from repro.detectors import decode as cell_decode
 from repro.nsga.algorithm import NSGAConfig
 from repro.nsga.mutation import MutationConfig
 
@@ -79,6 +80,54 @@ class TestButterflyAttackParity:
         cached = ButterflyAttack(detector, _attack_config(False, True)).attack(image)
         uncached = ButterflyAttack(detector, _attack_config(False, False)).attack(image)
         _assert_results_identical(cached, uncached)
+
+
+class TestDecodeParity:
+    """Whole attacks are bit-identical under the reference decode loop.
+
+    Every decode in the attack stack resolves through the
+    :mod:`repro.detectors.decode` module attributes, so monkeypatching the
+    two entry points onto :func:`decode_cell_probabilities_loop` reruns the
+    complete seeded attack — forward passes, incremental splicing, NSGA-II
+    search — with the original per-seed decoder.  The vectorised decode is
+    a pure fast path, so the results must match bit for bit, with the
+    activation cache on (windowed decodes) and off (dense batched decodes).
+    """
+
+    @pytest.fixture(params=["yolo", "detr"])
+    def detector(self, request, yolo_detector, detr_detector):
+        return yolo_detector if request.param == "yolo" else detr_detector
+
+    @staticmethod
+    def _patch_reference_decode(monkeypatch):
+        loop = cell_decode.decode_cell_probabilities_loop
+
+        def batch_via_loop(probabilities, config, image_shape):
+            probabilities = np.asarray(probabilities, dtype=np.float64)
+            if probabilities.ndim != 4:
+                raise ValueError(
+                    "probabilities must have shape (N, rows, cols, classes + 1)"
+                )
+            return [loop(grid, config, image_shape) for grid in probabilities]
+
+        monkeypatch.setattr(cell_decode, "decode_cell_probabilities", loop)
+        monkeypatch.setattr(
+            cell_decode, "decode_cell_probabilities_batch", batch_via_loop
+        )
+
+    @pytest.mark.parametrize("use_activation_cache", [False, True])
+    def test_attack_identical_under_reference_decode(
+        self, detector, small_dataset, monkeypatch, use_activation_cache
+    ):
+        image = small_dataset[0].image
+        config = replace(
+            _attack_config(True, True), use_activation_cache=use_activation_cache
+        )
+        vectorised = ButterflyAttack(detector, config).attack(image)
+        with monkeypatch.context() as patcher:
+            self._patch_reference_decode(patcher)
+            reference = ButterflyAttack(detector, config).attack(image)
+        _assert_results_identical(vectorised, reference)
 
 
 class TestEnsembleAttackParity:

@@ -1,14 +1,35 @@
 """Tests for non-maximum suppression."""
 
+import numpy as np
 import pytest
 
 from repro.detection.boxes import BoundingBox
-from repro.detection.nms import non_max_suppression
+from repro.detection.nms import non_max_suppression, non_max_suppression_reference
 from repro.detection.prediction import Prediction
 
 
 def _box(cl, x, y, l=10.0, w=10.0, score=1.0):
     return BoundingBox(cl=cl, x=x, y=y, l=l, w=w, score=score)
+
+
+def _random_boxes(rng, count, num_classes=3, tie_scores=False):
+    """Random overlapping boxes; with ``tie_scores`` half the scores repeat."""
+    boxes = []
+    for _ in range(count):
+        score = float(rng.choice([0.25, 0.5, 0.75])) if tie_scores else float(
+            rng.uniform(0.05, 1.0)
+        )
+        boxes.append(
+            BoundingBox(
+                cl=int(rng.integers(0, num_classes)),
+                x=float(rng.uniform(0.0, 60.0)),
+                y=float(rng.uniform(0.0, 60.0)),
+                l=float(rng.uniform(1.0, 30.0)),
+                w=float(rng.uniform(1.0, 30.0)),
+                score=score,
+            )
+        )
+    return boxes
 
 
 class TestNonMaxSuppression:
@@ -71,3 +92,71 @@ class TestNonMaxSuppression:
         assert 0.9 in kept_scores
         assert 0.8 not in kept_scores  # suppressed by a
         assert 0.7 in kept_scores  # does not overlap a enough
+
+
+class TestVectorisedReferenceParity:
+    """The matrix-based NMS must match the greedy per-pair loop bit for bit."""
+
+    @pytest.mark.parametrize("class_agnostic", [False, True])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_box_sets(self, seed, class_agnostic):
+        rng = np.random.default_rng(seed)
+        boxes = _random_boxes(rng, count=int(rng.integers(2, 40)))
+        for iou_threshold in (0.0, 0.3, 0.5, 0.9, 1.0):
+            assert non_max_suppression(
+                boxes, iou_threshold=iou_threshold, class_agnostic=class_agnostic
+            ).boxes == non_max_suppression_reference(
+                boxes, iou_threshold=iou_threshold, class_agnostic=class_agnostic
+            ).boxes
+
+    @pytest.mark.parametrize("class_agnostic", [False, True])
+    def test_tied_scores(self, class_agnostic):
+        # Equal-score boxes exercise the stable sort: kept boxes must come
+        # out in input order, identically in both implementations.
+        rng = np.random.default_rng(99)
+        boxes = _random_boxes(rng, count=25, tie_scores=True)
+        vectorised = non_max_suppression(
+            boxes, iou_threshold=0.3, class_agnostic=class_agnostic
+        )
+        reference = non_max_suppression_reference(
+            boxes, iou_threshold=0.3, class_agnostic=class_agnostic
+        )
+        assert vectorised.boxes == reference.boxes
+
+    def test_identical_boxes_keep_first(self):
+        # Fully tied *and* fully overlapping: exactly one box survives and
+        # it is the first one fed in (stable ordering).
+        first = _box(0, 10, 10, score=0.5)
+        second = _box(0, 10, 10, score=0.5)
+        result = non_max_suppression([first, second], iou_threshold=0.3)
+        assert result.boxes == [first]
+        assert result.boxes == non_max_suppression_reference(
+            [first, second], iou_threshold=0.3
+        ).boxes
+
+    def test_score_threshold_parity(self):
+        rng = np.random.default_rng(3)
+        boxes = _random_boxes(rng, count=30)
+        assert non_max_suppression(
+            boxes, score_threshold=0.4
+        ).boxes == non_max_suppression_reference(boxes, score_threshold=0.4).boxes
+
+    def test_empty_fast_path(self):
+        assert non_max_suppression([]).boxes == []
+        assert non_max_suppression_reference([]).boxes == []
+
+    def test_single_box_fast_path(self):
+        box = _box(0, 10, 10, score=0.7)
+        assert non_max_suppression([box]).boxes == [box]
+        assert non_max_suppression_reference([box]).boxes == [box]
+
+    def test_reference_rejects_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            non_max_suppression_reference([], iou_threshold=-0.1)
+
+    def test_prediction_input_parity(self):
+        rng = np.random.default_rng(11)
+        prediction = Prediction(_random_boxes(rng, count=12))
+        assert non_max_suppression(
+            prediction, iou_threshold=0.3
+        ).boxes == non_max_suppression_reference(prediction, iou_threshold=0.3).boxes

@@ -4,7 +4,17 @@ import numpy as np
 import pytest
 
 from repro.detectors.base import DetectorConfig
-from repro.detectors.decode import decode_cell_probabilities
+from repro.detectors.decode import (
+    decode_cell_probabilities,
+    decode_cell_probabilities_batch,
+    decode_cell_probabilities_loop,
+    decode_cell_probabilities_vectorised,
+)
+
+
+def assert_predictions_identical(actual, expected):
+    """Bit-exact equality of two predictions (frozen-dataclass field compare)."""
+    assert actual.boxes == expected.boxes
 
 
 def _grid(rows=8, cols=20, num_classes=3):
@@ -92,3 +102,123 @@ class TestDecode:
         _set_object(probabilities, 4, 10, class_id=0, confidence=0.75)
         prediction = decode_cell_probabilities(probabilities, config, (64, 160))
         assert prediction[0].score == pytest.approx(0.75, abs=0.01)
+
+
+class TestTiedSeedOrdering:
+    """Regression tests for the tied-objectness seed sort.
+
+    The original decode ordered seeds with an *unstable* ``np.argsort`` on
+    negated objectness; grids containing exactly tied seeds could decode in
+    either order depending on the quicksort's pivots, which made NMS keep
+    different boxes between runs.  The stable sort pins tied seeds to their
+    row-major grid order.
+    """
+
+    @staticmethod
+    def _tied_grid():
+        """Two well-separated plus two adjacent seeds, all exactly tied."""
+        probabilities = _grid(rows=8, cols=20, num_classes=3)
+        for row, col in ((2, 3), (2, 4), (6, 15), (5, 9)):
+            _set_object(probabilities, row, col, class_id=1, confidence=0.9)
+        return probabilities
+
+    def test_tied_seeds_decode_deterministically(self):
+        config = DetectorConfig(cell=8)
+        first = decode_cell_probabilities(self._tied_grid(), config, (64, 160))
+        for _ in range(3):
+            again = decode_cell_probabilities(self._tied_grid(), config, (64, 160))
+            assert_predictions_identical(again, first)
+
+    def test_tied_seeds_keep_row_major_order(self):
+        # With every seed exactly tied, the stable sort must emit boxes in
+        # row-major grid order (NMS preserves relative order of kept boxes).
+        config = DetectorConfig(cell=8, class_agnostic_nms=False)
+        prediction = decode_cell_probabilities(self._tied_grid(), config, (64, 160))
+        centers = [(box.x, box.y) for box in prediction]
+        assert centers == sorted(centers)
+
+    def test_loop_and_vectorised_agree_on_ties(self):
+        config = DetectorConfig(cell=8)
+        grid = self._tied_grid()
+        reference = decode_cell_probabilities_loop(grid, config, (64, 160))
+        assert_predictions_identical(
+            decode_cell_probabilities_vectorised(grid, config, (64, 160)), reference
+        )
+        assert_predictions_identical(
+            decode_cell_probabilities(grid, config, (64, 160)), reference
+        )
+
+
+class TestBatchDecode:
+    def _population(self, count=5, seed=0):
+        """A population of grids with assorted seeded objects."""
+        rng = np.random.default_rng(seed)
+        grids = []
+        for index in range(count):
+            grid = _grid(rows=8, cols=20, num_classes=3)
+            for _ in range(index):  # grid 0 stays pure background
+                _set_object(
+                    grid,
+                    int(rng.integers(0, 8)),
+                    int(rng.integers(0, 20)),
+                    class_id=int(rng.integers(0, 3)),
+                    confidence=float(rng.uniform(0.75, 0.95)),
+                )
+            grids.append(grid)
+        return np.stack(grids, axis=0)
+
+    def test_batch_matches_per_grid_decode(self):
+        config = DetectorConfig(cell=8)
+        stack = self._population()
+        batched = decode_cell_probabilities_batch(stack, config, (64, 160))
+        assert len(batched) == stack.shape[0]
+        for grid, prediction in zip(stack, batched):
+            assert_predictions_identical(
+                prediction, decode_cell_probabilities(grid, config, (64, 160))
+            )
+            assert_predictions_identical(
+                prediction,
+                decode_cell_probabilities_vectorised(grid, config, (64, 160)),
+            )
+
+    def test_batch_matches_reference_loop(self):
+        config = DetectorConfig(cell=8)
+        stack = self._population(seed=7)
+        batched = decode_cell_probabilities_batch(stack, config, (64, 160))
+        for grid, prediction in zip(stack, batched):
+            assert_predictions_identical(
+                prediction, decode_cell_probabilities_loop(grid, config, (64, 160))
+            )
+
+    def test_all_background_population(self):
+        config = DetectorConfig(cell=8)
+        stack = np.stack([_grid(), _grid()], axis=0)
+        batched = decode_cell_probabilities_batch(stack, config, (64, 160))
+        assert [p.num_valid for p in batched] == [0, 0]
+
+    def test_empty_population(self):
+        config = DetectorConfig(cell=8)
+        stack = np.zeros((0, 8, 20, 4))
+        assert decode_cell_probabilities_batch(stack, config, (64, 160)) == []
+
+    def test_batch_rejects_single_grid_shape(self):
+        with pytest.raises(ValueError):
+            decode_cell_probabilities_batch(
+                np.zeros((8, 20, 4)), DetectorConfig(), (64, 160)
+            )
+
+    def test_single_rejects_batch_shape(self):
+        with pytest.raises(ValueError):
+            decode_cell_probabilities(
+                np.zeros((2, 8, 20, 4)), DetectorConfig(), (64, 160)
+            )
+        with pytest.raises(ValueError):
+            decode_cell_probabilities_vectorised(
+                np.zeros((2, 8, 20, 4)), DetectorConfig(), (64, 160)
+            )
+
+    def test_background_only_channel_rejected(self):
+        with pytest.raises(ValueError):
+            decode_cell_probabilities(
+                np.ones((8, 20, 1)), DetectorConfig(), (64, 160)
+            )

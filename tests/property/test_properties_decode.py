@@ -1,0 +1,247 @@
+"""Property-based decode/NMS parity: loop vs vectorised vs batched.
+
+The attack's objective functions consume decoded boxes, so the vectorised
+decoder (``decode_cell_probabilities``) and its population form
+(``decode_cell_probabilities_batch``) must be **bit-identical** — not just
+close — to the per-seed reference loop for the batched fast paths to be
+pure speedups.  These suites pin that down on hypothesis-generated
+probability grids covering the decoder's edge cases:
+
+* grid shapes down to a single cell, 1-4 foreground classes,
+* decode windows 0-3 (window 0 reduces the moments to one cell),
+* seeds on grid borders (clipped, non-square moment windows),
+* all-background grids (no seeds at all),
+* exactly tied objectness values (the stable-sort guarantee),
+* weak seeds whose support weights straddle the 0.4-max cutoff.
+
+The NMS stage gets the same treatment on random box sets: the IoU-matrix
+implementation must reproduce the greedy per-pair reference exactly,
+including tie-broken equal-score boxes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.detection.boxes import BoundingBox
+from repro.detection.nms import non_max_suppression, non_max_suppression_reference
+from repro.detectors.base import DetectorConfig
+from repro.detectors.decode import (
+    decode_cell_probabilities,
+    decode_cell_probabilities_batch,
+    decode_cell_probabilities_loop,
+    decode_cell_probabilities_vectorised,
+)
+
+IMAGE_SHAPE = (96, 320)
+
+
+def assert_predictions_identical(actual, expected):
+    assert actual.boxes == expected.boxes
+
+
+# ---------------------------------------------------------------------------
+# Grid strategies
+# ---------------------------------------------------------------------------
+
+
+def _normalise(grid):
+    """Turn non-negative cell values into per-cell probability simplexes."""
+    grid = grid + 1e-6  # keep every cell normalisable
+    return grid / grid.sum(axis=-1, keepdims=True)
+
+
+@st.composite
+def probability_grids(draw, rows=None, cols=None, num_classes=None):
+    """One (rows, cols, classes + 1) probability grid with seeded edge cases."""
+    rows = draw(st.integers(1, 7)) if rows is None else rows
+    cols = draw(st.integers(1, 7)) if cols is None else cols
+    num_classes = draw(st.integers(1, 4)) if num_classes is None else num_classes
+    grid = _normalise(
+        draw(
+            npst.arrays(
+                dtype=np.float64,
+                shape=(rows, cols, num_classes + 1),
+                elements=st.floats(0.0, 1.0, allow_nan=False),
+            )
+        )
+    )
+
+    flavour = draw(
+        st.sampled_from(["random", "background", "border_seed", "tied_seeds"])
+    )
+    if flavour == "background":
+        grid[...] = 0.0
+        grid[..., -1] = 1.0
+    elif flavour == "border_seed":
+        # A strong seed on a drawn border cell: its moment window is
+        # clipped, exercising the non-square gather shapes.
+        row = draw(st.sampled_from([0, rows - 1]))
+        col = draw(st.integers(0, cols - 1))
+        class_id = draw(st.integers(0, num_classes - 1))
+        grid[row, col, :] = 0.0
+        grid[row, col, class_id] = 0.9
+        grid[row, col, -1] = 0.1
+    elif flavour == "tied_seeds" and rows * cols >= 2:
+        # Duplicate one cell's probabilities elsewhere: exactly equal
+        # objectness, scores and moments — the stable-sort edge case.
+        cells = rows * cols
+        source = draw(st.integers(0, cells - 1))
+        target = draw(st.integers(0, cells - 1).filter(lambda c: c != source))
+        grid[np.unravel_index(target, (rows, cols))] = grid[
+            np.unravel_index(source, (rows, cols))
+        ]
+    return grid
+
+
+@st.composite
+def decode_configs(draw, num_classes=5):
+    return DetectorConfig(
+        cell=draw(st.sampled_from([4, 8])),
+        num_classes=num_classes,
+        # Thresholds down to 0.05 let near-background seeds through, whose
+        # support weights sit right at the cutoff / total-weight floors.
+        objectness_threshold=draw(st.floats(0.05, 0.95, allow_nan=False)),
+        nms_iou_threshold=draw(st.sampled_from([0.1, 0.3, 0.5])),
+        class_agnostic_nms=draw(st.booleans()),
+        decode_window=draw(st.integers(0, 3)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scalar parity: reference loop vs vectorised single-grid decode
+# ---------------------------------------------------------------------------
+
+
+class TestScalarDecodeParity:
+    @given(data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_vectorised_matches_loop(self, data):
+        grid = data.draw(probability_grids())
+        config = data.draw(decode_configs(num_classes=grid.shape[-1] - 1))
+        reference = decode_cell_probabilities_loop(grid, config, IMAGE_SHAPE)
+        # The forced-vectorised path (the production entry point would
+        # dispatch small grids to the loop) and the dispatcher itself.
+        assert_predictions_identical(
+            decode_cell_probabilities_vectorised(grid, config, IMAGE_SHAPE),
+            reference,
+        )
+        assert_predictions_identical(
+            decode_cell_probabilities(grid, config, IMAGE_SHAPE), reference
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_decode_is_deterministic(self, data):
+        grid = data.draw(probability_grids())
+        config = data.draw(decode_configs(num_classes=grid.shape[-1] - 1))
+        first = decode_cell_probabilities(grid, config, IMAGE_SHAPE)
+        assert_predictions_identical(
+            decode_cell_probabilities(grid.copy(), config, IMAGE_SHAPE), first
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_single_cell_grids(self, data):
+        # Degenerate 1x1 grids: every window is fully clipped.
+        grid = data.draw(probability_grids(rows=1, cols=1))
+        config = data.draw(decode_configs(num_classes=grid.shape[-1] - 1))
+        assert_predictions_identical(
+            decode_cell_probabilities_vectorised(grid, config, IMAGE_SHAPE),
+            decode_cell_probabilities_loop(grid, config, IMAGE_SHAPE),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Batched parity: population decode vs per-grid decode
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedDecodeParity:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_batched_matches_per_grid(self, data):
+        rows = data.draw(st.integers(1, 6))
+        cols = data.draw(st.integers(1, 6))
+        num_classes = data.draw(st.integers(1, 3))
+        count = data.draw(st.integers(1, 4))
+        stack = np.stack(
+            [
+                data.draw(
+                    probability_grids(rows=rows, cols=cols, num_classes=num_classes)
+                )
+                for _ in range(count)
+            ],
+            axis=0,
+        )
+        config = data.draw(decode_configs(num_classes=num_classes))
+        batched = decode_cell_probabilities_batch(stack, config, IMAGE_SHAPE)
+        assert len(batched) == count
+        for grid, prediction in zip(stack, batched):
+            assert_predictions_identical(
+                prediction,
+                decode_cell_probabilities_vectorised(grid, config, IMAGE_SHAPE),
+            )
+            assert_predictions_identical(
+                prediction, decode_cell_probabilities_loop(grid, config, IMAGE_SHAPE)
+            )
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_stacking_order_is_irrelevant(self, data):
+        # Decoding a grid alone and in the middle of a population must give
+        # the same boxes: no cross-grid leakage through the stacked
+        # reductions.
+        grid = data.draw(probability_grids())
+        config = data.draw(decode_configs(num_classes=grid.shape[-1] - 1))
+        alone = decode_cell_probabilities(grid, config, IMAGE_SHAPE)
+        background = np.zeros_like(grid)
+        background[..., -1] = 1.0
+        stack = np.stack([background, grid, grid[::-1, ::-1].copy()], axis=0)
+        assert_predictions_identical(
+            decode_cell_probabilities_batch(stack, config, IMAGE_SHAPE)[1], alone
+        )
+
+
+# ---------------------------------------------------------------------------
+# NMS parity: IoU-matrix implementation vs greedy per-pair reference
+# ---------------------------------------------------------------------------
+
+nms_scores = st.sampled_from([0.2, 0.4, 0.4, 0.6, 0.8])  # duplicates force ties
+
+
+@st.composite
+def nms_boxes(draw):
+    return BoundingBox(
+        cl=draw(st.integers(0, 2)),
+        x=draw(st.floats(0.0, 50.0, allow_nan=False)),
+        y=draw(st.floats(0.0, 50.0, allow_nan=False)),
+        l=draw(st.floats(1.0, 40.0, allow_nan=False)),
+        w=draw(st.floats(1.0, 40.0, allow_nan=False)),
+        score=draw(st.one_of(nms_scores, st.floats(0.0, 1.0, allow_nan=False))),
+    )
+
+
+class TestNMSParity:
+    @given(
+        boxes=st.lists(nms_boxes(), min_size=0, max_size=25),
+        iou_threshold=st.sampled_from([0.0, 0.2, 0.5, 0.8, 1.0]),
+        score_threshold=st.sampled_from([0.0, 0.3]),
+        class_agnostic=st.booleans(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_vectorised_matches_reference(
+        self, boxes, iou_threshold, score_threshold, class_agnostic
+    ):
+        assert non_max_suppression(
+            boxes,
+            iou_threshold=iou_threshold,
+            score_threshold=score_threshold,
+            class_agnostic=class_agnostic,
+        ).boxes == non_max_suppression_reference(
+            boxes,
+            iou_threshold=iou_threshold,
+            score_threshold=score_threshold,
+            class_agnostic=class_agnostic,
+        ).boxes
