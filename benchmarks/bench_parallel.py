@@ -1,0 +1,266 @@
+"""A/B benchmark of the process-pool execution engine against serial.
+
+The models × images sweep is embarrassingly parallel per (model, scene)
+job; PR 4 turned it into a declarative work plan executed by pluggable
+backends.  This benchmark builds one benchmark-scale plan, executes it on
+
+* the in-process ``SerialBackend`` (the reference executor), and
+* ``ProcessPoolBackend`` at each requested worker count (default 2 and 4),
+
+verifies that every run is **bit-identical** to the serial reference while
+timing (parity is a hard gate on every machine), writes ``BENCH_pr4.json``
+and **fails** (exit 1) when a gate is missed:
+
+* parity: any backend producing different results fails immediately;
+* ≥ 2 cores: the 2-worker pooled sweep must not be slower than serial;
+* ≥ 4 cores: the 4-worker pooled sweep must reach 2x over serial
+  (the PR 4 acceptance criterion, evaluated on CI hardware).
+
+Speed gates are recorded but skipped on machines with fewer cores than
+workers — a pool cannot beat serial without parallel hardware; the JSON
+records ``cpu_count`` so CI results are interpretable.
+
+Model training is hoisted out of the timed region (the parent pre-builds
+the zoo once; ``fork`` workers inherit it copy-on-write), so the timings
+compare sweep execution, not detector construction.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        [--output BENCH_pr4.json] [--workers 2 4] [--models 2] [--images 2] \
+        [--iterations 6] [--population 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from benchmarks.conftest import BENCH_LENGTH, BENCH_WIDTH, bench_training_config
+from repro.core.config import AttackConfig
+from repro.core.regions import HalfImageRegion
+from repro.data.dataset import generate_dataset
+from repro.experiments.engine import (
+    ProcessPoolBackend,
+    SerialBackend,
+    execute_plan,
+)
+from repro.experiments.jobs import build_attack_plan, build_cached
+from repro.nsga.algorithm import NSGAConfig
+
+#: Ratio tolerance for the "pooled must not be slower than serial" gate —
+#: pool startup and IPC cost a few percent on small CI sweeps; 5% absorbs
+#: timer noise without hiding a real regression.
+EQUAL_SPEED_TOLERANCE = 0.95
+
+#: The acceptance-criterion speedup for the 4-worker sweep on >= 4 cores.
+FOUR_WORKER_TARGET = 2.0
+
+
+def _fingerprint(report) -> list:
+    """Exact per-result digest: solutions, objectives, bookkeeping."""
+    fingerprints = []
+    for outcome in report.outcomes:
+        result = outcome.result
+        fingerprints.append(
+            (
+                result.detector_name,
+                result.num_evaluations,
+                result.cache_hits,
+                tuple(
+                    (
+                        solution.mask.values.tobytes(),
+                        solution.intensity,
+                        solution.degradation,
+                        solution.distance,
+                        solution.rank,
+                    )
+                    for solution in result.solutions
+                ),
+            )
+        )
+    return fingerprints
+
+
+def build_benchmark_plan(args):
+    """The benchmark sweep: both architectures, seeded models, shared scenes."""
+    training = bench_training_config()
+    dataset = generate_dataset(
+        num_images=args.images,
+        seed=11,
+        image_length=BENCH_LENGTH,
+        image_width=BENCH_WIDTH,
+        half="left",
+    )
+    attack_config = AttackConfig(
+        nsga=NSGAConfig(
+            num_iterations=args.iterations,
+            population_size=args.population,
+            seed=0,
+        ),
+        region=HalfImageRegion("right"),
+    )
+    return build_attack_plan(
+        architectures=("yolo", "detr"),
+        seeds=range(1, args.models + 1),
+        dataset=dataset,
+        attack_config=attack_config,
+        training=training,
+        experiment_seed=args.experiment_seed,
+    )
+
+
+def _fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform.
+
+    The timed comparison pre-builds the zoo in the parent and relies on
+    fork workers inheriting it copy-on-write; under spawn/forkserver each
+    worker retrains the zoo inside the timed region, so the speed gates
+    would measure training, not sweep execution.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def run_benchmark(args) -> dict:
+    plan = build_benchmark_plan(args)
+    start_method = "fork" if _fork_available() else None
+
+    # Hoist deterministic model training out of the timed region: the
+    # parent builds the zoo once and fork workers inherit it.
+    build_start = time.perf_counter()
+    for spec in plan.model_specs():
+        build_cached(spec)
+    build_seconds = time.perf_counter() - build_start
+
+    runs: dict[str, dict] = {}
+
+    start = time.perf_counter()
+    serial_report = execute_plan(plan, SerialBackend())
+    serial_seconds = time.perf_counter() - start
+    reference = _fingerprint(serial_report)
+    runs["serial"] = {
+        "backend": "serial",
+        "n_jobs": 1,
+        "wall_seconds": serial_seconds,
+        "parity": True,
+    }
+
+    for workers in args.workers:
+        start = time.perf_counter()
+        pooled_report = execute_plan(
+            plan, ProcessPoolBackend(n_jobs=workers, start_method=start_method)
+        )
+        wall = time.perf_counter() - start
+        runs[f"pool_{workers}"] = {
+            "backend": "process",
+            "n_jobs": workers,
+            "wall_seconds": wall,
+            "speedup_vs_serial": serial_seconds / wall if wall > 0 else float("inf"),
+            "parity": _fingerprint(pooled_report) == reference,
+        }
+
+    return {
+        "benchmark": "serial vs process-pool models x images sweep",
+        "image_shape": [BENCH_LENGTH, BENCH_WIDTH, 3],
+        "models_per_architecture": args.models,
+        "images_per_model": args.images,
+        "num_jobs": len(plan.jobs),
+        "nsga": {"iterations": args.iterations, "population": args.population},
+        "experiment_seed": args.experiment_seed,
+        "cpu_count": os.cpu_count(),
+        "start_method": start_method or multiprocessing.get_start_method(),
+        "fork_available": _fork_available(),
+        "model_build_seconds": build_seconds,
+        "runs": runs,
+    }
+
+
+def check_gates(report: dict) -> tuple[list[str], list[str]]:
+    """Returns (failures, skipped) gate lists."""
+    failures: list[str] = []
+    skipped: list[str] = []
+    cores = report["cpu_count"] or 1
+    serial_seconds = report["runs"]["serial"]["wall_seconds"]
+
+    for name, run in report["runs"].items():
+        if not run["parity"]:
+            failures.append(
+                f"{name}: results differ from the serial reference (parity gate)"
+            )
+
+    for name, run in report["runs"].items():
+        if run["backend"] != "process" or not run["parity"]:
+            continue
+        workers = run["n_jobs"]
+        speedup = run["speedup_vs_serial"]
+        if not report["fork_available"]:
+            # Without fork the timed pooled run includes per-worker zoo
+            # retraining (no copy-on-write warm start), so a speed gate
+            # would measure training, not sweep execution.
+            skipped.append(
+                f"{name}: speed gate skipped — requires the fork start "
+                f"method (platform offers {report['start_method']})"
+            )
+            continue
+        if cores < 2 or cores < workers:
+            skipped.append(
+                f"{name}: speed gate skipped — {workers} workers need "
+                f">= {workers} cores, machine has {cores}"
+            )
+            continue
+        if speedup < EQUAL_SPEED_TOLERANCE:
+            failures.append(
+                f"{name}: pooled sweep slower than serial "
+                f"({run['wall_seconds']:.2f}s vs {serial_seconds:.2f}s, "
+                f"speedup {speedup:.2f}x < {EQUAL_SPEED_TOLERANCE}x)"
+            )
+        if workers >= 4 and speedup < FOUR_WORKER_TARGET:
+            failures.append(
+                f"{name}: {workers}-worker speedup {speedup:.2f}x below the "
+                f"{FOUR_WORKER_TARGET}x acceptance target"
+            )
+    return failures, skipped
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_pr4.json")
+    parser.add_argument("--workers", type=int, nargs="+", default=[2, 4])
+    parser.add_argument("--models", type=int, default=2,
+                        help="models per architecture")
+    parser.add_argument("--images", type=int, default=2,
+                        help="scenes per model")
+    parser.add_argument("--iterations", type=int, default=6)
+    parser.add_argument("--population", type=int, default=12)
+    parser.add_argument(
+        "--experiment-seed", type=int, default=2023,
+        help="root seed for the per-job NSGA-II seed derivation",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args)
+    failures, skipped = check_gates(report)
+    report["gates_passed"] = not failures
+    if failures:
+        report["gate_failures"] = failures
+    if skipped:
+        report["gates_skipped"] = skipped
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if failures:
+        print("\n".join(["GATE FAILURES:"] + failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -102,6 +102,35 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--images", type=int, default=1, help="images per model")
     compare.add_argument("--iterations", type=int, default=8)
     compare.add_argument("--population", type=int, default=14)
+    compare.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker processes for the models x images sweep (1 = in-process "
+            "serial execution); results are bit-identical for every worker "
+            "count, only wall-clock time changes"
+        ),
+    )
+    compare.add_argument(
+        "--backend",
+        choices=["serial", "process"],
+        default=None,
+        help=(
+            "execution backend for the sweep; default: serial for --jobs 1, "
+            "a multiprocessing pool otherwise"
+        ),
+    )
+    compare.add_argument(
+        "--experiment-seed",
+        type=int,
+        default=None,
+        help=(
+            "derive one NSGA-II seed per (model, image) job from this seed "
+            "(spawn-safe SeedSequence, independent of worker scheduling); "
+            "default: every job runs the same configured NSGA seed"
+        ),
+    )
 
     figures = subparsers.add_parser("figures", help="regenerate a figure scenario")
     figures.add_argument(
@@ -190,7 +219,13 @@ def _run_compare(args: argparse.Namespace) -> int:
     nsga = NSGAConfig(
         num_iterations=args.iterations, population_size=args.population, seed=0
     )
-    comparison = run_architecture_comparison(experiment=experiment, nsga=nsga)
+    comparison = run_architecture_comparison(
+        experiment=experiment,
+        nsga=nsga,
+        n_jobs=args.jobs,
+        backend=args.backend,
+        experiment_seed=args.experiment_seed,
+    )
     print(comparison.report.to_text())
     summary = comparison.susceptibility_summary()
     single_stage = summary["single_stage"]["best_degradation"]
@@ -198,6 +233,23 @@ def _run_compare(args: argparse.Namespace) -> int:
     print(
         f"best obj_degrad: single_stage={single_stage:.3f} transformer={transformer:.3f}"
     )
+    execution = comparison.execution
+    if execution is not None:
+        total = execution.cache_stats
+        print(
+            f"Execution: backend={execution.backend} jobs={execution.n_jobs} "
+            f"wall={execution.duration_seconds:.2f}s workers={len(execution.per_worker)}"
+        )
+        if execution.cache_enabled:
+            print(
+                f"Activation cache (sweep total): {total.hits} hits, "
+                f"{total.misses} misses, {total.evictions} evictions "
+                f"(hit rate {total.hit_rate:.1%})"
+            )
+            if execution.per_model:
+                print(format_table(execution.cache_rows()))
+        else:
+            print("Activation cache: disabled")
     return 0
 
 

@@ -9,6 +9,7 @@ with paper-oriented objective values and error-type transitions.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -21,7 +22,7 @@ from repro.detection.errors import classify_transitions
 from repro.detection.prediction import Prediction
 from repro.detectors.activation_cache import ActivationCacheStore
 from repro.detectors.base import Detector
-from repro.nsga.algorithm import NSGAII, NSGAResult
+from repro.nsga.algorithm import NSGAII, NSGAConfig, NSGAResult
 
 
 class ButterflyAttack:
@@ -71,6 +72,25 @@ class ButterflyAttack:
             use_activation_cache=self.config.use_activation_cache,
             activation_store=self.activation_store,
         )
+
+    def _nsga_config(self) -> "NSGAConfig":
+        """The NSGA-II configuration with attack-level options applied.
+
+        ``sparse_init_fraction > 0`` rewrites the initialisation config so
+        part of the initial population is drawn as patch-confined sparse
+        masks; at the default ``0.0`` the configuration object is returned
+        unchanged, so default attacks are bit-exact with the original path.
+        """
+        nsga = self.config.nsga
+        if self.config.sparse_init_fraction > 0.0:
+            nsga = replace(
+                nsga,
+                initialization=replace(
+                    nsga.initialization,
+                    sparse_fraction=self.config.sparse_init_fraction,
+                ),
+            )
+        return nsga
 
     def _constraint(self, mask: np.ndarray) -> np.ndarray:
         projected = self.config.region.project(mask)
@@ -139,7 +159,7 @@ class ButterflyAttack:
         optimizer = NSGAII(
             objective_function=objectives,
             genome_shape=image.shape,
-            config=self.config.nsga,
+            config=self._nsga_config(),
             constraint=self._constraint,
             callback=callback,
         )

@@ -57,7 +57,15 @@ class ParetoSolution:
 
 @dataclass
 class AttackResult:
-    """Full outcome of one butterfly-effect attack run."""
+    """Full outcome of one butterfly-effect attack run.
+
+    The provenance fields (``architecture``, ``model_seed``,
+    ``scene_index``, ``job_id``) are filled in by the experiment execution
+    engine: results produced inside process-pool workers travel back to the
+    parent as plain pickles, so each one must carry enough context to be
+    re-attached to its position in the sweep's work plan regardless of the
+    order in which workers complete.
+    """
 
     image: np.ndarray
     clean_prediction: Prediction
@@ -66,6 +74,10 @@ class AttackResult:
     num_evaluations: int = 0
     cache_hits: int = 0
     history: list[dict] = field(default_factory=list)
+    architecture: str = ""
+    model_seed: Optional[int] = None
+    scene_index: Optional[int] = None
+    job_id: Optional[int] = None
 
     @property
     def num_queries(self) -> int:

@@ -12,7 +12,11 @@ cache machinery:
 * :class:`ActivationCacheStore` — a small content-keyed LRU store with a
   size cap, hit/miss/eviction counters and explicit invalidation, used by
   the experiment runner to manage per-scene cache lifecycle across a
-  models × images sweep.
+  models × images sweep;
+* :class:`CacheStats` — an immutable counter snapshot that supports
+  differences (per-job/per-model deltas) and merging (summing per-worker
+  counters into sweep-level totals across a process pool, where every
+  worker owns a private store).
 
 Entries are keyed by the *content digest* of the image (plus the detector
 instance), so presenting a new scene can never hit a stale entry — a fresh
@@ -40,6 +44,62 @@ def image_digest(image: np.ndarray) -> bytes:
     digest.update(str(image.shape).encode())
     digest.update(np.ascontiguousarray(image).tobytes())
     return digest.digest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable hit/miss/eviction counters of an activation store.
+
+    Snapshots subtract (``after - before`` gives the delta attributable to
+    one attack job) and add (merging per-worker or per-model deltas into
+    sweep totals), so the experiment engine can report per-model hit rates
+    even when jobs fan out over a process pool of private stores.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups observed (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when idle)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            evictions=self.evictions - other.evictions,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-friendly counters plus the derived hit rate."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    @staticmethod
+    def merge(parts: "list[CacheStats] | tuple[CacheStats, ...]") -> "CacheStats":
+        """Sum a collection of snapshots (empty collection → zero stats)."""
+        total = CacheStats()
+        for part in parts:
+            total = total + part
+        return total
 
 
 @dataclass
@@ -139,3 +199,22 @@ class ActivationCacheStore:
             "evictions": self.evictions,
             "entries": len(self._entries),
         }
+
+    def snapshot(self) -> CacheStats:
+        """The current counters as an immutable :class:`CacheStats`."""
+        return CacheStats(hits=self.hits, misses=self.misses, evictions=self.evictions)
+
+    def reset_stats(self) -> CacheStats:
+        """Zero the counters and return the pre-reset snapshot.
+
+        The experiment sweep calls this after finishing each model so the
+        reported hit-rates are per-model rather than cumulative across the
+        whole run (cumulative counters made late models look better than
+        they were, because earlier models' hits kept inflating the rate).
+        Cached entries are not touched — use :meth:`invalidate` for that.
+        """
+        snapshot = self.snapshot()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        return snapshot

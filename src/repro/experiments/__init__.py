@@ -3,6 +3,11 @@
 * :mod:`repro.experiments.config` — Table I (experiment parametrisation)
   and Table II (NSGA-II configuration) as configuration objects, plus
   reduced variants for laptop-scale runs,
+* :mod:`repro.experiments.jobs` — the declarative models × images work
+  plan (model specs, attack jobs, deterministic per-job seed derivation),
+* :mod:`repro.experiments.engine` — interchangeable execution backends
+  (in-process serial, ``multiprocessing`` pool) that run a plan with
+  bit-identical results,
 * :mod:`repro.experiments.runner` — the Figure 2 sweep comparing the
   single-stage and transformer architectures over seeded models and images,
 * :mod:`repro.experiments.figures` — the qualitative scenarios of
@@ -14,6 +19,23 @@ from repro.experiments.config import (
     NSGA_TABLE_II,
     experiment_table_rows,
     nsga_table_rows,
+)
+from repro.experiments.engine import (
+    ExecutionBackend,
+    ExecutionReport,
+    ProcessPoolBackend,
+    SerialBackend,
+    execute_plan,
+    resolve_backend,
+)
+from repro.experiments.jobs import (
+    AttackJob,
+    AttackPlan,
+    JobOutcome,
+    ModelSpec,
+    build_attack_plan,
+    derive_job_seeds,
+    execute_attack_job,
 )
 from repro.experiments.runner import ArchitectureComparison, run_architecture_comparison
 from repro.experiments.figures import (
@@ -32,6 +54,19 @@ __all__ = [
     "NSGA_TABLE_II",
     "experiment_table_rows",
     "nsga_table_rows",
+    "AttackJob",
+    "AttackPlan",
+    "JobOutcome",
+    "ModelSpec",
+    "build_attack_plan",
+    "derive_job_seeds",
+    "execute_attack_job",
+    "ExecutionBackend",
+    "ExecutionReport",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "execute_plan",
+    "resolve_backend",
     "ArchitectureComparison",
     "run_architecture_comparison",
     "FigureOutcome",

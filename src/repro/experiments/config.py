@@ -48,6 +48,18 @@ class ExperimentConfig:
     image_length, image_width:
         Evaluation image resolution (synthetic substitute for KITTI's
         1242x375; the wide aspect ratio is preserved).
+    n_jobs:
+        Worker processes for the models × images sweep (1 = in-process
+        serial execution).  The sweep is bit-identical for every worker
+        count; this only changes wall-clock time.
+    execution_backend:
+        ``"auto"`` (serial for ``n_jobs == 1``, a process pool otherwise),
+        ``"serial"`` (always the in-process reference executor, even with
+        ``n_jobs > 1``) or ``"process"`` (``multiprocessing`` pool of
+        ``n_jobs`` workers, each with its own activation-cache store).
+        Explicit ``n_jobs``/``backend`` arguments to
+        :func:`~repro.experiments.runner.run_architecture_comparison`
+        override these.
     """
 
     models_per_architecture: int = 25
@@ -56,8 +68,17 @@ class ExperimentConfig:
     model_seeds: tuple[int, ...] = tuple(range(1, 26))
     image_length: int = 96
     image_width: int = 320
+    n_jobs: int = 1
+    execution_backend: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
+        if self.execution_backend not in ("auto", "serial", "process"):
+            raise ValueError(
+                "execution_backend must be 'auto', 'serial' or 'process', "
+                f"got {self.execution_backend!r}"
+            )
         if self.models_per_architecture < 1:
             raise ValueError("models_per_architecture must be at least 1")
         if self.images_per_model < 1:
@@ -83,6 +104,8 @@ class ExperimentConfig:
         ensemble_size: int = 2,
         image_length: int = 64,
         image_width: int = 208,
+        n_jobs: int = 1,
+        execution_backend: str = "auto",
     ) -> "ExperimentConfig":
         """A laptop/CI-scale protocol with the same structure as Table I."""
         return ExperimentConfig(
@@ -92,6 +115,8 @@ class ExperimentConfig:
             model_seeds=tuple(range(1, models_per_architecture + 1)),
             image_length=image_length,
             image_width=image_width,
+            n_jobs=n_jobs,
+            execution_backend=execution_backend,
         )
 
 

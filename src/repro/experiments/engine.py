@@ -1,0 +1,288 @@
+"""Pluggable execution backends for the experiment work plan.
+
+The sweep's :class:`~repro.experiments.jobs.AttackPlan` is pure data; this
+module provides the interchangeable engines that execute it:
+
+* :class:`SerialBackend` — the in-process reference executor.  It owns one
+  sweep-level :class:`~repro.detectors.activation_cache.ActivationCacheStore`
+  and reproduces the historical runner's cache lifecycle exactly (entries
+  invalidated and stats counters reset once a model's last job finishes, so
+  hit rates are per-model, not cumulative).
+* :class:`ProcessPoolBackend` — fans jobs out over ``multiprocessing``
+  workers.  Each worker owns a private activation store and a private
+  detector memo (stores are never shared across processes); jobs return as
+  they complete and the engine reassembles them into plan order.
+
+Because every job carries its own pre-derived NSGA-II seed (or the shared
+default), and attacks are deterministic given (detector spec, image, config,
+seed), **all backends produce bit-identical results** for the same plan —
+worker count and completion order only change wall-clock time.  The parity
+suite in ``tests/experiments/test_engine.py`` enforces this.
+
+:func:`execute_plan` is the single entry point: it runs a backend, restores
+plan order, and merges the per-job :class:`CacheStats` deltas into
+per-model, per-worker and sweep-level totals.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.detectors.activation_cache import ActivationCacheStore, CacheStats
+from repro.experiments.jobs import (
+    AttackPlan,
+    JobOutcome,
+    build_cached,
+    execute_attack_job,
+)
+
+#: Backend names accepted by :func:`resolve_backend` (and the CLI).
+BACKEND_NAMES: tuple[str, ...] = ("serial", "process")
+
+
+@dataclass
+class ExecutionReport:
+    """Everything :func:`execute_plan` learned while running a plan.
+
+    ``outcomes`` is in *plan order* regardless of how the backend scheduled
+    the jobs.  The cache-stats maps aggregate the per-job deltas: per model
+    (the per-model hit rates the sweep reports), per worker (one entry per
+    pool process, or ``"serial"``), and in total.
+    """
+
+    outcomes: list[JobOutcome]
+    backend: str = "serial"
+    n_jobs: int = 1
+    per_model: dict[str, CacheStats] = field(default_factory=dict)
+    per_worker: dict[str, CacheStats] = field(default_factory=dict)
+    duration_seconds: float = 0.0
+    cache_enabled: bool = True
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Sweep-level totals merged over all workers."""
+        return CacheStats.merge(list(self.per_worker.values()))
+
+    def cache_rows(self) -> list[dict[str, object]]:
+        """Per-model cache statistics as report rows."""
+        return [
+            {
+                "model": name,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "hit_rate": stats.hit_rate,
+            }
+            for name, stats in self.per_model.items()
+        ]
+
+
+class ExecutionBackend(ABC):
+    """Executes a plan's jobs, in any order, returning one outcome each."""
+
+    name: str = "abstract"
+    n_jobs: int = 1
+
+    @abstractmethod
+    def run(self, plan: AttackPlan) -> list[JobOutcome]:
+        """Execute every job of the plan; outcomes may be in any order."""
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process executor reproducing the historical nested loop.
+
+    One sweep-level activation store serves all jobs; once a model's last
+    job finishes its entries are invalidated (the sweep never revisits a
+    finished model) and the stats counters are reset so the recorded hit
+    rates are per-model.  ``order`` optionally executes the jobs in a
+    different sequence — results are order-independent (each job's seed is
+    baked into the job), which the parity suite exploits to simulate
+    arbitrary completion orders without a pool.
+    """
+
+    name = "serial"
+
+    def __init__(self, order: Sequence[int] | None = None) -> None:
+        self.order = None if order is None else list(order)
+
+    def run(self, plan: AttackPlan) -> list[JobOutcome]:
+        config = plan.attack_config
+        store = (
+            ActivationCacheStore(max_entries=config.activation_cache_size)
+            if config.use_activation_cache
+            else None
+        )
+        order = self.order if self.order is not None else range(len(plan.jobs))
+        remaining = plan.jobs_per_model()
+        outcomes: list[JobOutcome] = []
+        for index in order:
+            job = plan.jobs[index]
+            outcome = execute_attack_job(job, store)
+            outcome.worker_id = "serial"
+            outcomes.append(outcome)
+            remaining[job.model] -= 1
+            if remaining[job.model] == 0 and store is not None:
+                # The sweep never returns to a finished model: drop its
+                # entries (they would only displace live scenes) and reset
+                # the counters so hit rates stay per-model.
+                store.invalidate(build_cached(job.model))
+                store.reset_stats()
+        return outcomes
+
+
+# --- process-pool worker plumbing -------------------------------------------
+#
+# Workers keep exactly one activation store for their whole life (plus the
+# per-process detector memo in repro.experiments.jobs).  The initializer
+# rebuilds the store from the plan's attack config so forked children never
+# reuse the parent's store object.
+
+_WORKER_STORE: ActivationCacheStore | None = None
+
+
+def _init_worker(use_cache: bool, cache_size: int) -> None:
+    global _WORKER_STORE
+    _WORKER_STORE = (
+        ActivationCacheStore(max_entries=cache_size) if use_cache else None
+    )
+
+
+def _run_job_in_worker(job) -> JobOutcome:
+    outcome = execute_attack_job(job, _WORKER_STORE)
+    outcome.worker_id = f"pid-{os.getpid()}"
+    return outcome
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan the plan out over a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    n_jobs:
+        Number of worker processes.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default).
+        Jobs carry their seeds and model specs by value, so every start
+        method — including ``spawn`` — produces identical results.
+    submission_seed:
+        Optional seed shuffling the submission order before dispatch.  With
+        ``imap_unordered`` the completion order is nondeterministic anyway;
+        shuffling the *submission* order on top lets the parity suite prove
+        scheduling independence deterministically.
+    warm_start:
+        Build the plan's detectors in the parent before forking so workers
+        inherit the memo copy-on-write instead of each retraining the zoo.
+        Only effective (and only applied) under the ``fork`` start method;
+        results are identical either way because builds are deterministic.
+    chunksize:
+        Jobs handed to a worker per dispatch (``imap_unordered`` batching).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        n_jobs: int = 2,
+        start_method: str | None = None,
+        submission_seed: int | None = None,
+        warm_start: bool = True,
+        chunksize: int = 1,
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
+        self.n_jobs = int(n_jobs)
+        self.start_method = start_method
+        self.submission_seed = submission_seed
+        self.warm_start = warm_start
+        self.chunksize = max(1, int(chunksize))
+
+    def run(self, plan: AttackPlan) -> list[JobOutcome]:
+        config = plan.attack_config
+        jobs = list(plan.jobs)
+        if self.submission_seed is not None:
+            rng = np.random.default_rng(self.submission_seed)
+            jobs = [jobs[i] for i in rng.permutation(len(jobs))]
+
+        context = multiprocessing.get_context(self.start_method)
+        if self.warm_start and context.get_start_method() == "fork":
+            for spec in plan.model_specs():
+                build_cached(spec)
+
+        with context.Pool(
+            processes=self.n_jobs,
+            initializer=_init_worker,
+            initargs=(config.use_activation_cache, config.activation_cache_size),
+        ) as pool:
+            outcomes = list(
+                pool.imap_unordered(_run_job_in_worker, jobs, chunksize=self.chunksize)
+            )
+        return outcomes
+
+
+def resolve_backend(
+    backend: "str | ExecutionBackend | None" = None, n_jobs: int = 1
+) -> ExecutionBackend:
+    """Build a backend from a name (or pass an instance through).
+
+    ``None`` auto-selects: serial for ``n_jobs == 1``, a process pool
+    otherwise.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        backend = "serial" if n_jobs <= 1 else "process"
+    name = backend.lower()
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend(n_jobs=max(1, n_jobs))
+    raise ValueError(
+        f"unknown execution backend {backend!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+def execute_plan(plan: AttackPlan, backend: ExecutionBackend) -> ExecutionReport:
+    """Run the plan on a backend and aggregate outcomes in plan order."""
+    start = time.perf_counter()
+    raw = backend.run(plan)
+    duration = time.perf_counter() - start
+    if len(raw) != len(plan.jobs):
+        raise RuntimeError(
+            f"backend {backend.name!r} returned {len(raw)} outcomes "
+            f"for {len(plan.jobs)} jobs"
+        )
+    by_id = {outcome.job_id: outcome for outcome in raw}
+    if len(by_id) != len(plan.jobs):
+        raise RuntimeError(f"backend {backend.name!r} returned duplicate job ids")
+
+    outcomes = [by_id[job.job_id] for job in plan.jobs]
+    per_model: dict[str, CacheStats] = {}
+    per_worker: dict[str, CacheStats] = {}
+    for job, outcome in zip(plan.jobs, outcomes):
+        # Worker attribution is independent of the cache: a sweep with the
+        # activation cache disabled still reports which workers ran (with
+        # zero counters), it just has no per-model cache rows.
+        worker = outcome.worker_id
+        per_worker.setdefault(worker, CacheStats())
+        if outcome.cache_stats is None:
+            continue
+        name = job.model.name
+        per_model[name] = per_model.get(name, CacheStats()) + outcome.cache_stats
+        per_worker[worker] = per_worker[worker] + outcome.cache_stats
+
+    return ExecutionReport(
+        outcomes=outcomes,
+        backend=backend.name,
+        n_jobs=getattr(backend, "n_jobs", 1),
+        per_model=per_model,
+        per_worker=per_worker,
+        duration_seconds=duration,
+        cache_enabled=plan.attack_config.use_activation_cache,
+    )

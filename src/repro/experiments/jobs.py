@@ -1,0 +1,314 @@
+"""Declarative work plan for the models × images experiment sweep.
+
+The paper's headline experiment attacks every model of a seed-varied zoo on
+every evaluation image — an embarrassingly parallel grid of independent
+attacks.  This module turns that grid into data:
+
+* :class:`ModelSpec` — a picklable recipe for one trained detector
+  (architecture, seed, detector/training configs).  Workers rebuild the
+  model zoo from specs, so no detector object ever crosses a process
+  boundary; a per-process memo (:func:`build_cached`) makes the rebuild a
+  one-time cost per ``(worker, model)``.
+* :class:`AttackJob` — one cell of the grid: a model spec, one scene, the
+  attack configuration and an optional pre-derived NSGA-II seed.
+* :class:`AttackPlan` — the ordered list of jobs plus sweep metadata.
+  Plan order is the canonical result order; execution backends may finish
+  jobs in any order and the engine reassembles by ``job_id``.
+* :func:`derive_job_seeds` — spawn-safe deterministic per-job seeds:
+  ``np.random.SeedSequence(experiment_seed).spawn(n)`` assigns entropy by
+  *plan position*, never by worker or completion order, so serial and
+  pooled sweeps are bit-identical for a fixed experiment seed.
+* :func:`execute_attack_job` — run one job against a (worker-local)
+  activation store and package the result with provenance and the job's
+  cache-stats delta.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.attack import ButterflyAttack
+from repro.core.config import AttackConfig
+from repro.core.results import AttackResult
+from repro.detectors.activation_cache import ActivationCacheStore, CacheStats
+from repro.detectors.base import Detector, DetectorConfig
+from repro.detectors.training import TrainingConfig
+from repro.detectors.zoo import ARCHITECTURE_ALIASES, build_detector
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Recipe for one trained detector, picklable and hashable.
+
+    Two equal specs build bit-identical detectors (training is fully
+    deterministic in the seed), which is what lets process-pool workers
+    reconstruct the model zoo locally instead of unpickling live models.
+    """
+
+    architecture: str
+    seed: int
+    detector: DetectorConfig | None = None
+    training: TrainingConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.architecture.lower() not in ARCHITECTURE_ALIASES:
+            raise ValueError(
+                f"unknown architecture {self.architecture!r}; expected one of "
+                f"{sorted(ARCHITECTURE_ALIASES)}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Canonical architecture label (``single_stage`` / ``transformer``)."""
+        return ARCHITECTURE_ALIASES[self.architecture.lower()]
+
+    @property
+    def name(self) -> str:
+        """Unique model name, matching ``Detector.name`` (label + seed)."""
+        return f"{self.label}-seed{self.seed}"
+
+    def build(self) -> Detector:
+        """Build and train the detector this spec describes."""
+        return build_detector(
+            self.architecture, self.seed, config=self.detector, training=self.training
+        )
+
+
+#: Per-process memo of built detectors.  A pool worker attacks each model on
+#: several scenes; memoising the (deterministic) build makes the rebuild a
+#: one-time cost per worker.  Never shared across processes — under the
+#: ``fork`` start method children inherit a copy-on-write snapshot, under
+#: ``spawn`` they start empty; both are correct because builds are
+#: deterministic.
+_DETECTOR_MEMO: dict[ModelSpec, Detector] = {}
+
+
+def build_cached(spec: ModelSpec) -> Detector:
+    """The process-local detector for ``spec``, built on first use."""
+    detector = _DETECTOR_MEMO.get(spec)
+    if detector is None:
+        detector = spec.build()
+        _DETECTOR_MEMO[spec] = detector
+    return detector
+
+
+def clear_detector_memo() -> int:
+    """Drop all memoised detectors (tests / memory control); returns count."""
+    count = len(_DETECTOR_MEMO)
+    _DETECTOR_MEMO.clear()
+    return count
+
+
+def release_plan_models(plan: "AttackPlan") -> int:
+    """Drop a finished plan's detectors from the process-local memo.
+
+    The sweep runner calls this when a sweep completes so a long-lived
+    process (notebook, service) does not accumulate every zoo it ever
+    trained; returns the number of entries released.  Pool workers die
+    with their pool, so only the parent needs this.
+    """
+    released = 0
+    for spec in plan.model_specs():
+        if _DETECTOR_MEMO.pop(spec, None) is not None:
+            released += 1
+    return released
+
+
+@dataclass
+class AttackJob:
+    """One unit of sweep work: attack one model on one scene.
+
+    Attributes
+    ----------
+    job_id:
+        Position in the plan; the engine reassembles completion-ordered
+        outcomes back into plan order by this id.
+    model:
+        The detector recipe (rebuilt inside workers, memoised per process).
+    image:
+        The evaluation scene, carried by value (scenes are small; shipping
+        pixels avoids any worker-side dataset regeneration coupling).
+    config:
+        The attack configuration shared by the sweep.
+    scene_index:
+        Index of the scene within the sweep's dataset (provenance).
+    nsga_seed:
+        Pre-derived NSGA-II seed for this job, or ``None`` to keep
+        ``config.nsga.seed`` untouched (the historical behaviour where
+        every job runs the same seed).
+    """
+
+    job_id: int
+    model: ModelSpec
+    image: np.ndarray
+    config: AttackConfig = field(default_factory=AttackConfig)
+    scene_index: int = 0
+    nsga_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        self.image = np.asarray(self.image, dtype=np.float64)
+
+    def resolved_config(self) -> AttackConfig:
+        """The attack config with this job's derived seed applied (if any)."""
+        if self.nsga_seed is None:
+            return self.config
+        return replace(
+            self.config, nsga=replace(self.config.nsga, seed=int(self.nsga_seed))
+        )
+
+
+@dataclass
+class JobOutcome:
+    """One finished job: the attack result plus execution metadata."""
+
+    job_id: int
+    result: AttackResult
+    cache_stats: CacheStats | None = None
+    worker_id: str = "serial"
+    duration_seconds: float = 0.0
+
+
+@dataclass
+class AttackPlan:
+    """The full declarative sweep: ordered jobs plus shared metadata."""
+
+    jobs: list[AttackJob]
+    labels: tuple[str, ...]
+    attack_config: AttackConfig
+    experiment_seed: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def model_specs(self) -> list[ModelSpec]:
+        """Unique model specs in first-appearance (plan) order."""
+        seen: dict[ModelSpec, None] = {}
+        for job in self.jobs:
+            seen.setdefault(job.model, None)
+        return list(seen)
+
+    def jobs_per_model(self) -> dict[ModelSpec, int]:
+        """Number of jobs each model appears in (for lifecycle accounting)."""
+        counts: dict[ModelSpec, int] = {}
+        for job in self.jobs:
+            counts[job.model] = counts.get(job.model, 0) + 1
+        return counts
+
+
+def derive_job_seeds(experiment_seed: int, num_jobs: int) -> list[int]:
+    """Deterministic spawn-safe per-job NSGA-II seeds.
+
+    One ``SeedSequence`` child per plan position, collapsed to a 64-bit
+    integer seed.  The derivation depends only on ``experiment_seed`` and
+    the job's position, so any backend, worker count or completion order
+    sees the same seed for the same job.
+    """
+    if experiment_seed < 0:
+        raise ValueError(
+            f"experiment_seed must be non-negative, got {experiment_seed}"
+        )
+    root = np.random.SeedSequence(experiment_seed)
+    seeds: list[int] = []
+    for child in root.spawn(num_jobs):
+        state = child.generate_state(2, np.uint32)
+        seeds.append((int(state[0]) << 32) | int(state[1]))
+    return seeds
+
+
+def build_attack_plan(
+    architectures: Sequence[str],
+    seeds: Iterable[int],
+    dataset: Sequence,
+    attack_config: AttackConfig,
+    training: TrainingConfig | None = None,
+    detector_config: DetectorConfig | None = None,
+    experiment_seed: int | None = None,
+) -> AttackPlan:
+    """Expand the models × images grid into an ordered :class:`AttackPlan`.
+
+    Job order is exactly the historical nested loop — architectures, then
+    model seeds, then scenes — so a serial execution of the plan reproduces
+    the original runner's result order (and, with ``experiment_seed=None``,
+    its results bit-exactly).  ``dataset`` is any sequence of samples with
+    an ``image`` attribute (or raw arrays).
+    """
+    seeds = list(seeds)
+    jobs: list[AttackJob] = []
+    labels: list[str] = []
+    job_id = 0
+    for architecture in architectures:
+        spec_label = ARCHITECTURE_ALIASES.get(architecture.lower())
+        if spec_label is None:
+            raise ValueError(
+                f"unknown architecture {architecture!r}; expected one of "
+                f"{sorted(ARCHITECTURE_ALIASES)}"
+            )
+        if spec_label not in labels:
+            labels.append(spec_label)
+        for seed in seeds:
+            model = ModelSpec(
+                architecture=architecture,
+                seed=int(seed),
+                detector=detector_config,
+                training=training,
+            )
+            for scene_index, sample in enumerate(dataset):
+                image = getattr(sample, "image", sample)
+                jobs.append(
+                    AttackJob(
+                        job_id=job_id,
+                        model=model,
+                        image=image,
+                        config=attack_config,
+                        scene_index=scene_index,
+                    )
+                )
+                job_id += 1
+
+    if experiment_seed is not None:
+        for job, seed in zip(jobs, derive_job_seeds(experiment_seed, len(jobs))):
+            job.nsga_seed = seed
+
+    return AttackPlan(
+        jobs=jobs,
+        labels=tuple(labels),
+        attack_config=attack_config,
+        experiment_seed=experiment_seed,
+    )
+
+
+def execute_attack_job(
+    job: AttackJob, store: ActivationCacheStore | None = None
+) -> JobOutcome:
+    """Run one job and package its result with provenance and cache stats.
+
+    ``store`` is the executing process's activation store (the serial
+    backend passes its sweep-level store, pool workers their worker-local
+    one); the outcome carries the store's counter *delta* so the engine can
+    aggregate per-model and per-worker hit rates no matter where the job
+    ran.
+    """
+    start = time.perf_counter()
+    detector = build_cached(job.model)
+    config = job.resolved_config()
+    use_store = store if (store is not None and config.use_activation_cache) else None
+    before = use_store.snapshot() if use_store is not None else None
+
+    attack = ButterflyAttack(detector, config, activation_store=use_store)
+    result = attack.attack(job.image)
+    result.architecture = job.model.label
+    result.model_seed = job.model.seed
+    result.scene_index = job.scene_index
+    result.job_id = job.job_id
+
+    stats = use_store.snapshot() - before if use_store is not None else None
+    return JobOutcome(
+        job_id=job.job_id,
+        result=result,
+        cache_stats=stats,
+        duration_seconds=time.perf_counter() - start,
+    )

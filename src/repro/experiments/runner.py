@@ -5,6 +5,13 @@ each (Table I) with perturbations restricted to the right half, then plots
 the resulting Pareto objectives (Figure 2).  :func:`run_architecture_comparison`
 reproduces that sweep at a configurable scale and returns the per-run
 results plus a :class:`~repro.analysis.reporting.ComparisonReport`.
+
+The sweep is expressed as a declarative models × images work plan
+(:mod:`repro.experiments.jobs`) executed by a pluggable backend
+(:mod:`repro.experiments.engine`): the serial backend reproduces the
+historical nested loop bit-exactly, and the process-pool backend fans the
+same jobs out over ``multiprocessing`` workers — bit-identical results,
+order-of-magnitude wall-clock on multi-core machines.
 """
 
 from __future__ import annotations
@@ -15,15 +22,19 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.reporting import ComparisonReport
-from repro.core.attack import ButterflyAttack
 from repro.core.config import AttackConfig
 from repro.core.regions import HalfImageRegion
 from repro.core.results import AttackResult
 from repro.data.dataset import SyntheticDataset, generate_dataset
-from repro.detectors.activation_cache import ActivationCacheStore
 from repro.detectors.training import TrainingConfig
-from repro.detectors.zoo import build_model_zoo
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import (
+    ExecutionBackend,
+    ExecutionReport,
+    execute_plan,
+    resolve_backend,
+)
+from repro.experiments.jobs import build_attack_plan, release_plan_models
 from repro.nsga.algorithm import NSGAConfig
 
 
@@ -34,6 +45,7 @@ class ArchitectureComparison:
     report: ComparisonReport
     results: dict[str, list[AttackResult]] = field(default_factory=dict)
     experiment: ExperimentConfig | None = None
+    execution: ExecutionReport | None = None
 
     def front_points(self, label: str) -> np.ndarray:
         """All front objective triples of one architecture, shape (n, 3)."""
@@ -91,6 +103,9 @@ def run_architecture_comparison(
     object_half: str | None = "left",
     dataset_seed: int = 11,
     training: TrainingConfig | None = None,
+    n_jobs: int | None = None,
+    backend: "str | ExecutionBackend | None" = None,
+    experiment_seed: int | None = None,
 ) -> ArchitectureComparison:
     """Run the paper's architecture-comparison protocol.
 
@@ -111,6 +126,22 @@ def run_architecture_comparison(
         The spatial protocol: perturbations restricted to one half,
         objects placed in the other so that any observed degradation is a
         butterfly effect.
+    n_jobs:
+        Worker-process count; overrides ``experiment.n_jobs``.  ``1`` runs
+        the in-process serial backend.
+    backend:
+        ``"serial"``, ``"process"``, a ready
+        :class:`~repro.experiments.engine.ExecutionBackend` instance, or
+        ``None`` to follow ``experiment.execution_backend`` (whose
+        ``"auto"`` default picks serial for ``n_jobs == 1`` and the
+        process pool otherwise; an explicit ``"serial"`` there is honoured
+        even with ``n_jobs > 1``).  All backends are bit-identical; only
+        wall-clock changes.
+    experiment_seed:
+        When set, every job gets its own NSGA-II seed derived via
+        ``np.random.SeedSequence(experiment_seed).spawn`` by plan position
+        (scheduling-independent); ``None`` keeps the historical behaviour
+        where every attack runs ``nsga.seed``.
     """
     experiment = experiment if experiment is not None else ExperimentConfig.reduced()
     nsga = nsga if nsga is not None else NSGAConfig(num_iterations=8, population_size=16)
@@ -131,39 +162,45 @@ def run_architecture_comparison(
         nsga=nsga, region=HalfImageRegion(perturbation_half)
     )
 
-    report = ComparisonReport()
-    all_results: dict[str, list[AttackResult]] = {}
-    seeds = experiment.model_seeds[: experiment.models_per_architecture]
+    n_jobs = n_jobs if n_jobs is not None else experiment.n_jobs
+    if backend is None and experiment.execution_backend != "auto":
+        # An explicit config choice is honoured verbatim — in particular
+        # execution_backend="serial" pins the in-process executor even
+        # with n_jobs > 1 (resolve_backend only auto-selects on None).
+        backend = experiment.execution_backend
+    engine_backend = resolve_backend(backend, n_jobs=n_jobs)
 
-    # One clean-scene activation store serves the whole models × images
-    # sweep: entries are keyed by (detector identity, image digest), so a
-    # new scene can never hit a stale entry, and the size cap (an LRU
-    # eviction) bounds the sweep's memory.  Each model's entries are
-    # explicitly invalidated once its images are done — the sweep never
-    # revisits a finished model, so keeping them would only displace live
-    # entries.
-    activation_store = (
-        ActivationCacheStore(max_entries=attack_config.activation_cache_size)
-        if attack_config.use_activation_cache
-        else None
+    plan = build_attack_plan(
+        architectures=architectures,
+        seeds=experiment.model_seeds[: experiment.models_per_architecture],
+        dataset=dataset,
+        attack_config=attack_config,
+        training=training,
+        experiment_seed=experiment_seed,
     )
+    try:
+        execution = execute_plan(plan, engine_backend)
+    finally:
+        # Keep the process-local detector memo bounded to the live sweep:
+        # repeated sweeps in one process would otherwise accumulate every
+        # zoo ever trained.
+        release_plan_models(plan)
 
-    for architecture in architectures:
-        models = build_model_zoo(architecture, seeds=seeds, training=training)
-        label = models[0].architecture
-        results: list[AttackResult] = []
-        for model in models:
-            attack = ButterflyAttack(
-                model, attack_config, activation_store=activation_store
-            )
-            for sample in dataset:
-                result = attack.attack(sample.image)
-                results.append(result)
-                report.add_result(label, result)
-            if activation_store is not None:
-                activation_store.invalidate(model)
-        all_results[label] = results
+    # Plan order is the historical nested-loop order, so assembling the
+    # report from plan-ordered outcomes reproduces the original row order
+    # regardless of how the backend scheduled the jobs.
+    report = ComparisonReport()
+    all_results: dict[str, list[AttackResult]] = {
+        label: [] for label in plan.labels
+    }
+    for job, outcome in zip(plan.jobs, execution.outcomes):
+        label = job.model.label
+        all_results[label].append(outcome.result)
+        report.add_result(label, outcome.result)
 
     return ArchitectureComparison(
-        report=report, results=all_results, experiment=experiment
+        report=report,
+        results=all_results,
+        experiment=experiment,
+        execution=execution,
     )

@@ -91,6 +91,11 @@ def save_attack_result(result: AttackResult, directory: str | Path) -> Path:
     meta: dict[str, Any] = {
         "detector_name": result.detector_name,
         "num_evaluations": result.num_evaluations,
+        "cache_hits": result.cache_hits,
+        "architecture": result.architecture,
+        "model_seed": result.model_seed,
+        "scene_index": result.scene_index,
+        "job_id": result.job_id,
         "clean_prediction": prediction_to_dict(result.clean_prediction),
         "solutions": [],
     }
@@ -143,10 +148,19 @@ def load_attack_result(directory: str | Path) -> AttackResult:
                     ),
                 )
             )
+    def _optional_int(key: str) -> int | None:
+        value = meta.get(key)
+        return None if value is None else int(value)
+
     return AttackResult(
         image=image,
         clean_prediction=prediction_from_dict(meta["clean_prediction"]),
         solutions=solutions,
         detector_name=meta.get("detector_name", ""),
         num_evaluations=int(meta.get("num_evaluations", 0)),
+        cache_hits=int(meta.get("cache_hits", 0)),
+        architecture=str(meta.get("architecture", "") or ""),
+        model_seed=_optional_int("model_seed"),
+        scene_index=_optional_int("scene_index"),
+        job_id=_optional_int("job_id"),
     )

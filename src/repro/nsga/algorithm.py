@@ -303,6 +303,8 @@ class NSGAII:
             include_zero_mask=self.config.initialization.include_zero_mask,
             salt_and_pepper_fraction=self.config.initialization.salt_and_pepper_fraction,
             max_value=self.config.initialization.max_value,
+            sparse_fraction=self.config.initialization.sparse_fraction,
+            sparse_patch_fraction=self.config.initialization.sparse_patch_fraction,
         )
         population = initialize_population(self.genome_shape, self.rng, init_config)
         for individual in population:

@@ -23,6 +23,26 @@ class TestParser:
         assert args.models == 3
         assert args.images == 2
 
+    def test_compare_execution_arguments(self):
+        args = build_parser().parse_args(
+            ["compare", "--jobs", "4", "--backend", "process", "--experiment-seed", "7"]
+        )
+        assert args.jobs == 4
+        assert args.backend == "process"
+        assert args.experiment_seed == 7
+
+    def test_compare_execution_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.jobs == 1
+        assert args.backend is None
+        assert args.experiment_seed is None
+
+    def test_compare_rejects_bad_backend_and_jobs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--backend", "threads"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--jobs", "0"])
+
     def test_figures_choices(self):
         args = build_parser().parse_args(["figures", "fig1"])
         assert args.name == "fig1"
@@ -68,3 +88,29 @@ class TestCommands:
         assert "obj_degrad" in output
         assert (tmp_path / "run" / "meta.json").exists()
         assert (tmp_path / "run" / "arrays.npz").exists()
+
+    def test_compare_command_pooled_smoke(self, capsys):
+        """Tiny sweep under --jobs 2: the pooled engine end to end."""
+        exit_code = main(
+            [
+                "compare",
+                "--models",
+                "1",
+                "--images",
+                "1",
+                "--iterations",
+                "1",
+                "--population",
+                "4",
+                "--jobs",
+                "2",
+                "--backend",
+                "process",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "best obj_degrad" in output
+        assert "backend=process" in output
+        assert "jobs=2" in output
+        assert "Activation cache (sweep total)" in output

@@ -103,3 +103,39 @@ class TestAttackReproducibility:
         attack = ButterflyAttack(yolo_detector, AttackConfig())
         objectives = attack.build_objectives(small_dataset[0].image)
         assert objectives.clean_prediction is not None
+
+
+class TestSparseInitializationFlag:
+    def test_default_leaves_nsga_config_untouched(self):
+        config = AttackConfig(nsga=NSGAConfig(num_iterations=2, population_size=6))
+        attack = ButterflyAttack(detector=None, config=config)
+        assert attack._nsga_config() is config.nsga
+
+    def test_flag_rewrites_initialization_only(self):
+        config = AttackConfig(
+            nsga=NSGAConfig(num_iterations=2, population_size=6, seed=5),
+            sparse_init_fraction=0.3,
+        )
+        attack = ButterflyAttack(detector=None, config=config)
+        nsga = attack._nsga_config()
+        assert nsga.initialization.sparse_fraction == 0.3
+        assert nsga.seed == 5
+        assert nsga.num_iterations == config.nsga.num_iterations
+        assert config.nsga.initialization.sparse_fraction == 0.0  # original frozen
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            AttackConfig(sparse_init_fraction=-0.1)
+
+    def test_sparse_attack_runs_and_respects_region(self, yolo_detector, small_dataset):
+        config = AttackConfig(
+            nsga=NSGAConfig(num_iterations=2, population_size=6, seed=0),
+            region=HalfImageRegion("right"),
+            sparse_init_fraction=0.5,
+        )
+        image = small_dataset[0].image
+        result = ButterflyAttack(yolo_detector, config).attack(image)
+        assert len(result.solutions) == 6
+        middle = image.shape[1] // 2
+        for solution in result.solutions:
+            assert np.allclose(solution.mask.values[:, :middle, :], 0.0)

@@ -10,6 +10,7 @@ import pytest
 
 from repro.detectors.activation_cache import (
     ActivationCacheStore,
+    CacheStats,
     CleanActivations,
     image_digest,
 )
@@ -112,3 +113,55 @@ class TestActivationCacheStore:
     def test_rejects_zero_cap(self):
         with pytest.raises(ValueError):
             ActivationCacheStore(max_entries=0)
+
+
+class TestCacheStats:
+    def test_add_sub_and_merge(self):
+        first = CacheStats(hits=2, misses=3, evictions=1)
+        second = CacheStats(hits=1, misses=1, evictions=0)
+        assert first + second == CacheStats(hits=3, misses=4, evictions=1)
+        assert (first + second) - second == first
+        assert CacheStats.merge([first, second, CacheStats()]) == first + second
+        assert CacheStats.merge([]) == CacheStats()
+
+    def test_rates(self):
+        assert CacheStats().hit_rate == 0.0
+        assert CacheStats(hits=3, misses=1).hit_rate == 0.75
+        assert CacheStats(hits=3, misses=1).requests == 4
+
+    def test_as_dict(self):
+        stats = CacheStats(hits=1, misses=3, evictions=2)
+        assert stats.as_dict() == {
+            "hits": 1, "misses": 3, "evictions": 2, "hit_rate": 0.25,
+        }
+
+
+class TestStatsLifecycle:
+    def test_snapshot_reflects_counters(self, yolo_detector):
+        store = ActivationCacheStore(max_entries=2)
+        image = _scene(10)
+        store.get(yolo_detector, image)
+        store.get(yolo_detector, image)
+        assert store.snapshot() == CacheStats(hits=1, misses=1, evictions=0)
+
+    def test_snapshot_deltas_isolate_one_phase(self, yolo_detector):
+        store = ActivationCacheStore(max_entries=4)
+        store.get(yolo_detector, _scene(11))
+        before = store.snapshot()
+        image = _scene(12)
+        store.get(yolo_detector, image)
+        store.get(yolo_detector, image)
+        assert store.snapshot() - before == CacheStats(hits=1, misses=1, evictions=0)
+
+    def test_reset_stats_zeroes_counters_but_keeps_entries(self, yolo_detector):
+        """Per-model stats reset: hit-rates must not accumulate across models."""
+        store = ActivationCacheStore(max_entries=4)
+        image = _scene(13)
+        store.get(yolo_detector, image)
+        store.get(yolo_detector, image)
+        previous = store.reset_stats()
+        assert previous == CacheStats(hits=1, misses=1, evictions=0)
+        assert store.snapshot() == CacheStats()
+        assert len(store) == 1  # entries untouched — only counters reset
+        store.get(yolo_detector, image)
+        assert store.snapshot() == CacheStats(hits=1, misses=0, evictions=0)

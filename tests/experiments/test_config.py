@@ -36,6 +36,18 @@ class TestExperimentConfig:
         with pytest.raises(ValueError):
             ExperimentConfig(ensemble_size=30)
 
+    def test_execution_fields(self):
+        config = ExperimentConfig()
+        assert config.n_jobs == 1
+        assert config.execution_backend == "auto"
+        reduced = ExperimentConfig.reduced(n_jobs=4, execution_backend="process")
+        assert reduced.n_jobs == 4
+        assert reduced.execution_backend == "process"
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_jobs=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(execution_backend="threads")
+
 
 class TestTableRows:
     def test_table_i_rows(self):

@@ -1,0 +1,329 @@
+"""Execution-engine parity: serial and pooled sweeps are bit-identical.
+
+The engine's contract is that the work plan fully determines the sweep's
+results: every backend (in-process serial, shuffled serial, process pools
+of any worker count, any submission order) must produce bit-identical
+``AttackResult``s for the same plan.  These tests enforce that contract at
+``n_jobs ∈ {1, 2, 4}`` and against a hand-rolled copy of the historical
+nested models × images loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.attack import ButterflyAttack
+from repro.core.config import AttackConfig
+from repro.core.regions import HalfImageRegion
+from repro.data.dataset import generate_dataset
+from repro.detectors.activation_cache import ActivationCacheStore, CacheStats
+from repro.detectors.training import TrainingConfig
+from repro.detectors.zoo import build_model_zoo
+from repro.experiments.engine import (
+    ProcessPoolBackend,
+    SerialBackend,
+    execute_plan,
+    resolve_backend,
+)
+from repro.experiments.jobs import build_attack_plan
+from repro.experiments.runner import run_architecture_comparison
+from repro.nsga.algorithm import NSGAConfig
+
+LENGTH, WIDTH = 48, 96
+SEEDS = (1,)
+ARCHITECTURES = ("yolo", "detr")
+
+
+@pytest.fixture(scope="module")
+def training():
+    return TrainingConfig(
+        scenes_per_class=2,
+        image_length=LENGTH,
+        image_width=WIDTH,
+        background_clusters=12,
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(
+        num_images=2, seed=5, image_length=LENGTH, image_width=WIDTH, half="left"
+    )
+
+
+@pytest.fixture(scope="module")
+def attack_config():
+    return AttackConfig(
+        nsga=NSGAConfig(num_iterations=3, population_size=8, seed=0),
+        region=HalfImageRegion("right"),
+    )
+
+
+@pytest.fixture(scope="module")
+def plan(dataset, attack_config, training):
+    return build_attack_plan(
+        architectures=ARCHITECTURES,
+        seeds=SEEDS,
+        dataset=dataset,
+        attack_config=attack_config,
+        training=training,
+    )
+
+
+@pytest.fixture(scope="module")
+def seeded_plan(dataset, attack_config, training):
+    return build_attack_plan(
+        architectures=ARCHITECTURES,
+        seeds=SEEDS,
+        dataset=dataset,
+        attack_config=attack_config,
+        training=training,
+        experiment_seed=2023,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_report(plan):
+    return execute_plan(plan, SerialBackend())
+
+
+@pytest.fixture(scope="module")
+def seeded_serial_report(seeded_plan):
+    return execute_plan(seeded_plan, SerialBackend())
+
+
+def _result_fingerprint(result) -> tuple:
+    """Everything an attack result asserts about the attack, exactly."""
+    solutions = tuple(
+        (
+            s.mask.values.tobytes(),
+            s.intensity,
+            s.degradation,
+            s.distance,
+            s.rank,
+        )
+        for s in result.solutions
+    )
+    return (
+        result.detector_name,
+        result.num_evaluations,
+        result.cache_hits,
+        solutions,
+    )
+
+
+def _report_fingerprints(report) -> list:
+    return [_result_fingerprint(outcome.result) for outcome in report.outcomes]
+
+
+class TestSerialBackend:
+    def test_reproduces_historical_nested_loop(
+        self, plan, serial_report, dataset, attack_config, training
+    ):
+        """The engine's serial path equals the pre-engine runner bit for bit."""
+        store = ActivationCacheStore(max_entries=attack_config.activation_cache_size)
+        reference = []
+        for architecture in ARCHITECTURES:
+            for model in build_model_zoo(architecture, seeds=SEEDS, training=training):
+                attack = ButterflyAttack(
+                    model, attack_config, activation_store=store
+                )
+                for sample in dataset:
+                    reference.append(attack.attack(sample.image))
+                store.invalidate(model)
+
+        assert len(reference) == len(serial_report.outcomes)
+        for expected, outcome in zip(reference, serial_report.outcomes):
+            assert _result_fingerprint(expected) == _result_fingerprint(outcome.result)
+
+    def test_shuffled_execution_order_is_bit_identical(self, plan, serial_report):
+        order = list(np.random.default_rng(17).permutation(len(plan.jobs)))
+        shuffled = execute_plan(plan, SerialBackend(order=order))
+        assert _report_fingerprints(shuffled) == _report_fingerprints(serial_report)
+
+    def test_outcomes_reassembled_in_plan_order(self, plan):
+        reversed_report = execute_plan(
+            plan, SerialBackend(order=list(reversed(range(len(plan.jobs)))))
+        )
+        assert [o.job_id for o in reversed_report.outcomes] == [
+            job.job_id for job in plan.jobs
+        ]
+
+    def test_provenance_attached(self, plan, serial_report):
+        for job, outcome in zip(plan.jobs, serial_report.outcomes):
+            assert outcome.result.architecture == job.model.label
+            assert outcome.result.model_seed == job.model.seed
+            assert outcome.result.scene_index == job.scene_index
+            assert outcome.result.job_id == job.job_id
+
+
+class TestProcessPoolParity:
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_pool_matches_serial_bit_exactly(self, plan, serial_report, n_jobs):
+        """Pooled sweeps are bit-identical to serial at any worker count.
+
+        Submission order is shuffled (seeded per worker count) so the test
+        also covers out-of-order completion, not just out-of-order results.
+        """
+        backend = ProcessPoolBackend(n_jobs=n_jobs, submission_seed=100 + n_jobs)
+        pooled = execute_plan(plan, backend)
+        assert _report_fingerprints(pooled) == _report_fingerprints(serial_report)
+
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_pool_matches_serial_with_derived_seeds(
+        self, seeded_plan, seeded_serial_report, n_jobs
+    ):
+        backend = ProcessPoolBackend(n_jobs=n_jobs, submission_seed=7 * n_jobs)
+        pooled = execute_plan(seeded_plan, backend)
+        assert _report_fingerprints(pooled) == _report_fingerprints(
+            seeded_serial_report
+        )
+
+    def test_derived_seeds_differentiate_jobs(self, seeded_serial_report):
+        # With per-job seeds the two scenes of one model run different
+        # searches (different populations), unlike the shared-seed default.
+        first, second = seeded_serial_report.outcomes[0], seeded_serial_report.outcomes[1]
+        assert _result_fingerprint(first.result) != _result_fingerprint(second.result)
+
+
+class TestCacheStatsAggregation:
+    def test_per_model_stats_are_not_cumulative(self, attack_config, training):
+        """Each model's reported stats cover only its own jobs (the bugfix).
+
+        Attacking the same scene twice per model yields exactly one miss and
+        one hit *per model*; before the per-model reset, the second model's
+        counters would have included the first model's traffic.
+        """
+        dataset = generate_dataset(
+            num_images=1, seed=5, image_length=LENGTH, image_width=WIDTH, half="left"
+        )
+        doubled = [dataset[0], dataset[0]]
+        plan = build_attack_plan(
+            architectures=ARCHITECTURES,
+            seeds=SEEDS,
+            dataset=doubled,
+            attack_config=attack_config,
+            training=training,
+        )
+        report = execute_plan(plan, SerialBackend())
+        assert set(report.per_model) == {"single_stage-seed1", "transformer-seed1"}
+        for stats in report.per_model.values():
+            assert stats.misses == 1
+            assert stats.hits == 1
+            assert stats.hit_rate == 0.5
+        total = report.cache_stats
+        assert total.hits == 2 and total.misses == 2
+
+    def test_per_worker_stats_merge_to_total(self, plan):
+        report = execute_plan(plan, ProcessPoolBackend(n_jobs=2, submission_seed=3))
+        merged = CacheStats.merge(list(report.per_worker.values()))
+        assert merged == report.cache_stats
+        per_job = CacheStats.merge(
+            [o.cache_stats for o in report.outcomes if o.cache_stats is not None]
+        )
+        assert per_job == merged
+
+    def test_workers_reported_even_with_cache_disabled(
+        self, dataset, attack_config, training
+    ):
+        """Worker attribution does not depend on the activation cache."""
+        from dataclasses import replace
+
+        plan = build_attack_plan(
+            architectures=("yolo",),
+            seeds=SEEDS,
+            dataset=dataset,
+            attack_config=replace(attack_config, use_activation_cache=False),
+            training=training,
+        )
+        report = execute_plan(plan, SerialBackend())
+        assert list(report.per_worker) == ["serial"]
+        assert report.per_model == {}  # no cache traffic to attribute
+        assert report.cache_stats == CacheStats()
+        assert report.cache_enabled is False
+
+
+class TestResolveBackend:
+    def test_auto_selection(self):
+        assert resolve_backend(None, n_jobs=1).name == "serial"
+        auto = resolve_backend(None, n_jobs=3)
+        assert auto.name == "process" and auto.n_jobs == 3
+
+    def test_names_and_passthrough(self):
+        assert resolve_backend("serial").name == "serial"
+        assert resolve_backend("process", n_jobs=2).name == "process"
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("threads")
+
+
+class TestRunnerIntegration:
+    def test_runner_serial_and_pool_comparisons_match(self, training):
+        from repro.experiments.config import ExperimentConfig
+
+        experiment = ExperimentConfig.reduced(
+            models_per_architecture=1,
+            images_per_model=1,
+            ensemble_size=1,
+            image_length=LENGTH,
+            image_width=WIDTH,
+        )
+        nsga = NSGAConfig(num_iterations=2, population_size=6, seed=0)
+        kwargs = dict(
+            experiment=experiment, nsga=nsga, training=training, dataset_seed=5
+        )
+        serial = run_architecture_comparison(**kwargs)
+        pooled = run_architecture_comparison(
+            **kwargs, n_jobs=2, backend=ProcessPoolBackend(n_jobs=2, submission_seed=1)
+        )
+        for label in serial.results:
+            for left, right in zip(serial.results[label], pooled.results[label]):
+                assert _result_fingerprint(left) == _result_fingerprint(right)
+        assert serial.execution is not None and serial.execution.backend == "serial"
+        assert pooled.execution is not None and pooled.execution.backend == "process"
+        assert serial.report.summary_rows() == pooled.report.summary_rows()
+
+    def test_explicit_serial_config_wins_over_n_jobs(self, training):
+        """execution_backend='serial' is honoured even with n_jobs > 1."""
+        from repro.experiments.config import ExperimentConfig
+
+        experiment = ExperimentConfig.reduced(
+            models_per_architecture=1,
+            images_per_model=1,
+            ensemble_size=1,
+            image_length=LENGTH,
+            image_width=WIDTH,
+            n_jobs=2,
+            execution_backend="serial",
+        )
+        comparison = run_architecture_comparison(
+            experiment=experiment,
+            nsga=NSGAConfig(num_iterations=1, population_size=4, seed=0),
+            architectures=("yolo",),
+            training=training,
+            dataset_seed=5,
+        )
+        assert comparison.execution.backend == "serial"
+
+    def test_runner_releases_detector_memo(self, training):
+        """A finished sweep leaves no zoo behind in the process-local memo."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.jobs import _DETECTOR_MEMO, ModelSpec
+
+        experiment = ExperimentConfig.reduced(
+            models_per_architecture=1,
+            images_per_model=1,
+            ensemble_size=1,
+            image_length=LENGTH,
+            image_width=WIDTH,
+        )
+        run_architecture_comparison(
+            experiment=experiment,
+            nsga=NSGAConfig(num_iterations=1, population_size=4, seed=0),
+            architectures=("yolo",),
+            training=training,
+            dataset_seed=5,
+        )
+        assert ModelSpec("yolo", 1, training=training) not in _DETECTOR_MEMO

@@ -105,3 +105,40 @@ class TestAttackResultSerialization:
         directory = save_attack_result(attack_result, tmp_path / "run4")
         loaded = load_attack_result(directory)
         assert loaded.clean_prediction.num_valid == attack_result.clean_prediction.num_valid
+
+    def test_round_trip_preserves_provenance_and_cache_hits(
+        self, attack_result, tmp_path
+    ):
+        """Sweep provenance (engine-assigned) survives the disk round-trip."""
+        from dataclasses import replace
+
+        tagged = replace(
+            attack_result,
+            cache_hits=3,
+            architecture="single_stage",
+            model_seed=1,
+            scene_index=4,
+            job_id=12,
+        )
+        directory = save_attack_result(tagged, tmp_path / "run5")
+        loaded = load_attack_result(directory)
+        assert loaded.cache_hits == 3
+        assert loaded.num_queries == tagged.num_evaluations - 3
+        assert loaded.architecture == "single_stage"
+        assert loaded.model_seed == 1
+        assert loaded.scene_index == 4
+        assert loaded.job_id == 12
+
+    def test_legacy_directory_without_new_fields_loads(self, attack_result, tmp_path):
+        """meta.json written before PR 4 (no provenance keys) still loads."""
+        import json
+
+        directory = save_attack_result(attack_result, tmp_path / "run6")
+        meta = json.loads((directory / "meta.json").read_text())
+        for key in ("cache_hits", "architecture", "model_seed", "scene_index", "job_id"):
+            meta.pop(key, None)
+        (directory / "meta.json").write_text(json.dumps(meta))
+        loaded = load_attack_result(directory)
+        assert loaded.cache_hits == 0
+        assert loaded.architecture == ""
+        assert loaded.model_seed is None and loaded.job_id is None

@@ -71,3 +71,86 @@ class TestInitializePopulation:
         population = initialize_population((4, 4, 3), rng, InitializationConfig(population_size=1))
         assert len(population) == 1
         assert np.allclose(population[0].genome, 0.0)
+
+
+class TestSparseBiasedInitialization:
+    """The sparse-biased option (PR 4 satellite; ROADMAP sparsity-adaptive
+    regime, first step): part of the initial population confined to small
+    random patches so short attacks start inside the incremental path's
+    sparse-mask sweet spot.  Default off — and bit-exact off."""
+
+    SHAPE = (16, 32, 3)
+
+    def test_default_path_untouched(self):
+        """sparse_fraction=0 consumes the identical RNG sequence: the
+        population is draw-for-draw equal to one built by a config that
+        never heard of the sparse fields."""
+        baseline = initialize_population(
+            self.SHAPE, np.random.default_rng(42),
+            InitializationConfig(population_size=12),
+        )
+        explicit = initialize_population(
+            self.SHAPE, np.random.default_rng(42),
+            InitializationConfig(population_size=12, sparse_fraction=0.0),
+        )
+        assert len(baseline) == len(explicit)
+        for left, right in zip(baseline, explicit):
+            assert np.array_equal(left.genome, right.genome)
+
+    def test_dense_prefix_identical_when_sparse_enabled(self):
+        """Enabling the sparse tail never changes the dense individuals'
+        draws: the first num_dense genomes match the all-dense run."""
+        dense_run = initialize_population(
+            self.SHAPE, np.random.default_rng(7),
+            InitializationConfig(population_size=11),
+        )
+        mixed_run = initialize_population(
+            self.SHAPE, np.random.default_rng(7),
+            InitializationConfig(population_size=11, sparse_fraction=0.4),
+        )
+        num_random = 10  # 11 minus the zero mask
+        num_sparse = 4  # round(10 * 0.4)
+        for left, right in zip(dense_run[: num_random - num_sparse], mixed_run):
+            assert np.array_equal(left.genome, right.genome)
+
+    def test_sparse_individuals_are_patch_confined(self):
+        config = InitializationConfig(
+            population_size=9, sparse_fraction=1.0, sparse_patch_fraction=0.05
+        )
+        population = initialize_population(self.SHAPE, np.random.default_rng(3), config)
+        total = self.SHAPE[0] * self.SHAPE[1]
+        for individual in population[:-1]:  # all random individuals are sparse
+            bound = individual.metadata["dirty_bound"]
+            r0, r1, c0, c1 = bound
+            # the declared dirty bound covers the nonzero support exactly
+            nonzero = np.argwhere(np.abs(individual.genome).max(axis=2) > 0)
+            assert nonzero.size > 0
+            assert nonzero[:, 0].min() >= r0 and nonzero[:, 0].max() < r1
+            assert nonzero[:, 1].min() >= c0 and nonzero[:, 1].max() < c1
+            # and the patch is actually small
+            assert (r1 - r0) * (c1 - c0) <= max(1, int(0.1 * total))
+
+    def test_sparse_count_follows_fraction(self):
+        config = InitializationConfig(population_size=21, sparse_fraction=0.5)
+        population = initialize_population(self.SHAPE, np.random.default_rng(5), config)
+        sparse = [
+            ind
+            for ind in population
+            if ind.metadata.get("dirty_bound") is not None
+            and np.abs(ind.genome).max() > 0
+        ]
+        assert len(sparse) == 10  # round(20 * 0.5)
+
+    def test_sparse_values_respect_bounds(self):
+        config = InitializationConfig(
+            population_size=8, sparse_fraction=1.0, gaussian_sigma=500.0
+        )
+        population = initialize_population(self.SHAPE, np.random.default_rng(9), config)
+        for individual in population:
+            assert np.abs(individual.genome).max() <= 255.0
+
+    def test_invalid_sparse_values_rejected(self):
+        with pytest.raises(ValueError):
+            InitializationConfig(sparse_fraction=1.5)
+        with pytest.raises(ValueError):
+            InitializationConfig(sparse_patch_fraction=0.0)
