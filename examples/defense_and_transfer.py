@@ -59,12 +59,21 @@ def main() -> None:
 
     print()
     print("=== 2. Transferability across model seeds ===")
+    # Both sweeps run on the generic experiment engine; pass n_jobs=2 (or
+    # backend="process") to fan the per-model attacks out over worker
+    # processes — results are bit-identical for every worker count.
     models = build_model_zoo("detr", seeds=(1, 2))
     transfer = run_transferability_experiment(models, sample.image, attack_config)
     print(format_table(transfer.as_rows()))
     print(
         f"white-box obj_degrad: {transfer.self_degradation():.3f}, "
         f"transferred obj_degrad: {transfer.transfer_degradation():.3f}"
+    )
+    execution = transfer.execution
+    print(
+        f"engine: backend={execution['backend']} "
+        f"wall={execution['duration_seconds']:.2f}s "
+        f"cache hits={execution['cache_stats']['hits']}"
     )
 
 

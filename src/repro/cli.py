@@ -1,17 +1,24 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows:
+Six subcommands cover the common workflows:
 
 * ``repro-attack attack``    — run a butterfly-effect attack on a synthetic
   scene (or the full-paper budget with ``--paper-budget``) and optionally
   save the result,
 * ``repro-attack compare``   — run the reduced Figure 2 architecture
   comparison and print the summary table,
+* ``repro-attack transfer``  — measure mask transferability across
+  seed-varied models (the N×N transfer matrix) on the experiment engine,
+* ``repro-attack defend``    — attack undefended / noise-defended (and
+  optionally ensemble) variants under the same budget,
 * ``repro-attack figures``   — regenerate the qualitative figure scenarios,
 * ``repro-attack table``     — print Table I / Table II.
 
-The CLI works entirely on the synthetic substrate, so every command runs
-offline on a laptop.
+The sweep commands (``compare``, ``transfer``, ``defend``) share the
+execution-engine options ``--jobs``, ``--backend`` and
+``--experiment-seed`` — results are bit-identical for every backend and
+worker count.  The CLI works entirely on the synthetic substrate, so every
+command runs offline on a laptop.
 """
 
 from __future__ import annotations
@@ -24,9 +31,13 @@ from typing import Sequence
 from repro.analysis.reporting import format_table
 from repro.core.attack import ButterflyAttack
 from repro.core.config import AttackConfig
-from repro.core.regions import region_from_name
+from repro.core.regions import HalfImageRegion, region_from_name
+from repro.defenses.augmentation import NoiseAugmentationConfig
+from repro.defenses.evaluation import ensemble_defense_evaluation, evaluate_defense
+from repro.defenses.jobs import DefendedModelSpec
 from repro.detectors.activation_cache import ActivationCacheStore
 from repro.data.dataset import generate_dataset
+from repro.detectors.training import TrainingConfig
 from repro.detectors.zoo import build_detector
 from repro.experiments.config import (
     ExperimentConfig,
@@ -39,8 +50,15 @@ from repro.experiments.figures import (
     figure3_figure4_contrast,
     figure5_ghost_objects,
 )
+from repro.experiments.jobs import ModelSpec
 from repro.experiments.runner import run_architecture_comparison
-from repro.io.serialization import save_attack_result
+from repro.experiments.transfer import run_transferability_experiment
+from repro.io.serialization import (
+    save_attack_result,
+    save_defense_evaluation,
+    save_ensemble_defense_evaluation,
+    save_transfer_result,
+)
 from repro.nsga.algorithm import NSGAConfig
 
 
@@ -49,6 +67,65 @@ def _positive_int(value: str) -> int:
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return parsed
+
+
+def _non_negative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be non-negative, got {value}")
+    return parsed
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """The execution-engine options shared by every sweep subcommand."""
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help=(
+            "worker processes for the sweep (1 = in-process serial "
+            "execution); results are bit-identical for every worker count, "
+            "only wall-clock time changes"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "process"],
+        default=None,
+        help=(
+            "execution backend for the sweep; default: serial for --jobs 1, "
+            "a multiprocessing pool otherwise"
+        ),
+    )
+    parser.add_argument(
+        "--experiment-seed",
+        type=_non_negative_int,
+        default=None,
+        help=(
+            "derive one NSGA-II seed per job from this seed (spawn-safe "
+            "SeedSequence by plan position, independent of worker "
+            "scheduling); default: every job runs the same configured seed"
+        ),
+    )
+
+
+def _print_execution_summary(execution: dict | None) -> None:
+    """Print the shared engine-provenance summary of a sweep report."""
+    if execution is None:
+        return
+    print(
+        f"Execution: backend={execution['backend']} jobs={execution['n_jobs']} "
+        f"wall={execution['duration_seconds']:.2f}s"
+    )
+    if execution.get("cache_enabled"):
+        stats = execution["cache_stats"]
+        print(
+            f"Activation cache (sweep total): {stats['hits']} hits, "
+            f"{stats['misses']} misses, {stats['evictions']} evictions "
+            f"(hit rate {stats['hit_rate']:.1%})"
+        )
+    else:
+        print("Activation cache: disabled")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,35 +179,51 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--images", type=int, default=1, help="images per model")
     compare.add_argument("--iterations", type=int, default=8)
     compare.add_argument("--population", type=int, default=14)
-    compare.add_argument(
-        "--jobs",
+    _add_engine_options(compare)
+
+    transfer = subparsers.add_parser(
+        "transfer",
+        help="measure mask transferability across seed-varied models",
+    )
+    transfer.add_argument("--architecture", default="detr", help="yolo or detr")
+    transfer.add_argument(
+        "--models",
+        type=_positive_int,
+        default=2,
+        help="number of seed-varied models (trained with seeds 1..N)",
+    )
+    transfer.add_argument("--scene-seed", type=int, default=7, help="scene generator seed")
+    transfer.add_argument("--iterations", type=int, default=6)
+    transfer.add_argument("--population", type=int, default=12)
+    _add_engine_options(transfer)
+    transfer.add_argument("--output", default=None, help="directory to save the report")
+
+    defend = subparsers.add_parser(
+        "defend",
+        help="attack undefended vs noise-defended (and ensemble) variants",
+    )
+    defend.add_argument("--detector", default="detr", help="yolo or detr")
+    defend.add_argument("--seed", type=int, default=1, help="detector seed")
+    defend.add_argument("--scene-seed", type=int, default=7, help="scene generator seed")
+    defend.add_argument("--iterations", type=int, default=6)
+    defend.add_argument("--population", type=int, default=12)
+    defend.add_argument(
+        "--augmented-copies",
         type=_positive_int,
         default=1,
-        help=(
-            "worker processes for the models x images sweep (1 = in-process "
-            "serial execution); results are bit-identical for every worker "
-            "count, only wall-clock time changes"
-        ),
+        help="noisy copies of every training scene in the defence refit",
     )
-    compare.add_argument(
-        "--backend",
-        choices=["serial", "process"],
+    defend.add_argument(
+        "--ensemble",
+        type=_positive_int,
         default=None,
         help=(
-            "execution backend for the sweep; default: serial for --jobs 1, "
-            "a multiprocessing pool otherwise"
+            "additionally attack an ensemble of this many seed-varied models "
+            "(seeds 1..N) and measure whether vote fusion suppresses the damage"
         ),
     )
-    compare.add_argument(
-        "--experiment-seed",
-        type=int,
-        default=None,
-        help=(
-            "derive one NSGA-II seed per (model, image) job from this seed "
-            "(spawn-safe SeedSequence, independent of worker scheduling); "
-            "default: every job runs the same configured NSGA seed"
-        ),
-    )
+    _add_engine_options(defend)
+    defend.add_argument("--output", default=None, help="directory to save the report")
 
     figures = subparsers.add_parser("figures", help="regenerate a figure scenario")
     figures.add_argument(
@@ -253,6 +346,121 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Reduced sweep geometry shared by the transfer/defend subcommands (the
+#: laptop-scale ExperimentConfig.reduced() resolution).
+_SWEEP_LENGTH, _SWEEP_WIDTH = 64, 208
+
+
+def _sweep_protocol(scene_seed: int) -> tuple[TrainingConfig, object]:
+    """Training config and one left-half scene at the reduced resolution."""
+    training = TrainingConfig(image_length=_SWEEP_LENGTH, image_width=_SWEEP_WIDTH)
+    dataset = generate_dataset(
+        num_images=1,
+        seed=scene_seed,
+        image_length=_SWEEP_LENGTH,
+        image_width=_SWEEP_WIDTH,
+        half="left",
+    )
+    return training, dataset[0]
+
+
+def _sweep_attack_config(args: argparse.Namespace) -> AttackConfig:
+    return AttackConfig(
+        nsga=NSGAConfig(
+            num_iterations=args.iterations, population_size=args.population, seed=0
+        ),
+        region=HalfImageRegion("right"),
+    )
+
+
+def _run_transfer(args: argparse.Namespace) -> int:
+    training, sample = _sweep_protocol(args.scene_seed)
+    specs = [
+        ModelSpec(args.architecture, seed, training=training)
+        for seed in range(1, args.models + 1)
+    ]
+    result = run_transferability_experiment(
+        specs,
+        sample.image,
+        _sweep_attack_config(args),
+        n_jobs=args.jobs,
+        backend=args.backend,
+        experiment_seed=args.experiment_seed,
+    )
+    print(format_table(result.as_rows()))
+    print(
+        f"white-box obj_degrad: {result.self_degradation():.3f}, "
+        f"transferred obj_degrad: {result.transfer_degradation():.3f}, "
+        f"transfer gap: {result.transfer_gap():.3f}"
+    )
+    _print_execution_summary(result.execution)
+    if args.output:
+        path = save_transfer_result(result, args.output)
+        print(f"Saved transferability report to {path}")
+    return 0
+
+
+def _run_defend(args: argparse.Namespace) -> int:
+    training, sample = _sweep_protocol(args.scene_seed)
+    config = _sweep_attack_config(args)
+    undefended = ModelSpec(args.detector, args.seed, training=training)
+    defended = DefendedModelSpec(
+        base=undefended,
+        augmentation=NoiseAugmentationConfig(augmented_copies=args.augmented_copies),
+        training=training,
+    )
+    evaluation = evaluate_defense(
+        undefended,
+        defended,
+        sample.image,
+        sample.ground_truth,
+        config,
+        n_jobs=args.jobs,
+        backend=args.backend,
+        experiment_seed=args.experiment_seed,
+    )
+    print(format_table(evaluation.summary_rows()))
+    print(
+        f"robustness gain: {evaluation.robustness_gain:+.3f} "
+        f"(attack still succeeds: {evaluation.attack_still_succeeds})"
+    )
+    _print_execution_summary(evaluation.execution)
+
+    ensemble_evaluation = None
+    if args.ensemble:
+        members = [
+            ModelSpec(args.detector, seed, training=training)
+            for seed in range(1, args.ensemble + 1)
+        ]
+        ensemble_evaluation = ensemble_defense_evaluation(
+            members,
+            sample.image,
+            config,
+            n_jobs=args.jobs,
+            backend=args.backend,
+            experiment_seed=args.experiment_seed,
+        )
+        member_mean = (
+            sum(ensemble_evaluation.member_degradations)
+            / len(ensemble_evaluation.member_degradations)
+        )
+        print(
+            f"Ensemble of {len(members)}: fused obj_degrad="
+            f"{ensemble_evaluation.fused_degradation:.3f}, member mean="
+            f"{member_mean:.3f}, fusion helps: {ensemble_evaluation.fusion_helps}"
+        )
+
+    if args.output:
+        path = save_defense_evaluation(evaluation, args.output)
+        print(f"Saved defense evaluation to {path}")
+        if ensemble_evaluation is not None:
+            ensemble_path = save_ensemble_defense_evaluation(
+                ensemble_evaluation, path / "ensemble"
+            )
+            print(f"Saved ensemble-defense evaluation to {ensemble_path}")
+    return 0
+
+
 def _run_figures(args: argparse.Namespace) -> int:
     config = AttackConfig(
         nsga=NSGAConfig(
@@ -295,6 +503,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "attack": _run_attack,
         "compare": _run_compare,
+        "transfer": _run_transfer,
+        "defend": _run_defend,
         "figures": _run_figures,
         "table": _run_table,
     }

@@ -127,6 +127,31 @@ class AttackResult:
             return np.zeros((0, 3))
         return np.array([s.objectives for s in source], dtype=np.float64)
 
+    def fingerprint(self) -> tuple:
+        """Exact content digest of everything the attack asserts.
+
+        Two results are the same attack outcome iff their fingerprints are
+        equal: detector, evaluation bookkeeping and every solution's raw
+        mask bytes and float objectives, compared bit for bit (no
+        tolerance).  The engine/backend parity suites and the A/B
+        benchmarks compare sweeps through this single canonical digest.
+        """
+        return (
+            self.detector_name,
+            self.num_evaluations,
+            self.cache_hits,
+            tuple(
+                (
+                    s.mask.values.tobytes(),
+                    s.intensity,
+                    s.degradation,
+                    s.distance,
+                    s.rank,
+                )
+                for s in self.solutions
+            ),
+        )
+
     def summary(self) -> str:
         """A short human-readable summary of the attack outcome."""
         front = self.pareto_front

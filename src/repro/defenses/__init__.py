@@ -19,14 +19,36 @@ the machinery to test both claims on the simulated substrate:
 from repro.defenses.augmentation import NoiseAugmentationConfig, noise_augmented_detector
 from repro.defenses.evaluation import (
     DefenseEvaluation,
+    EnsembleDefenseEvaluation,
+    build_defense_plan,
     ensemble_defense_evaluation,
+    ensemble_defense_evaluation_reference,
     evaluate_defense,
+    evaluate_defense_reference,
+)
+from repro.defenses.jobs import (
+    DefendedModelSpec,
+    DefenseAttackJob,
+    DefenseJobResult,
+    EnsembleDefenseJob,
+    EnsembleDefenseJobResult,
+    derive_defense_seed,
 )
 
 __all__ = [
     "NoiseAugmentationConfig",
     "noise_augmented_detector",
     "DefenseEvaluation",
+    "EnsembleDefenseEvaluation",
+    "build_defense_plan",
     "ensemble_defense_evaluation",
+    "ensemble_defense_evaluation_reference",
     "evaluate_defense",
+    "evaluate_defense_reference",
+    "DefendedModelSpec",
+    "DefenseAttackJob",
+    "DefenseJobResult",
+    "EnsembleDefenseJob",
+    "EnsembleDefenseJobResult",
+    "derive_defense_seed",
 ]

@@ -9,6 +9,7 @@ statistics see noisy inputs.
 
 from __future__ import annotations
 
+import copy as _copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,17 +53,36 @@ def noise_augmented_detector(
     detector: Detector,
     training: TrainingConfig | None = None,
     augmentation: NoiseAugmentationConfig | None = None,
-    seed: int | None = None,
+    seed: "int | np.random.SeedSequence | None" = None,
+    copy: bool = False,
 ) -> Detector:
     """Refit the detector's prototype head on noise-augmented scenes.
 
-    The detector is modified in place (its ``prototypes`` attribute is
-    replaced) and returned, mirroring
-    :func:`repro.detectors.training.train_detector`.
+    .. warning::
+       By default the passed detector is **mutated in place** (its
+       ``prototypes`` attribute is replaced) and returned, mirroring
+       :func:`repro.detectors.training.train_detector`.  Pass
+       ``copy=True`` to refit a deep copy instead and leave the original
+       untouched — callers holding a shared detector should opt in.  (The
+       defense sweep's defended-variant spec doesn't need to: it always
+       refits a freshly built base.)
+
+    ``seed`` may be a bare int (the historical interface, default: the
+    detector's own seed) or a ``numpy.random.SeedSequence`` — e.g. a child
+    spawned from an experiment seed — which is collapsed to an integer via
+    :func:`repro.experiments.jobs.seed_from_sequence`, so defense
+    retraining entropy is assigned spawn-safely and independently of
+    scheduling, exactly like the engine's per-job NSGA seeds.
     """
     training = training if training is not None else TrainingConfig()
     augmentation = augmentation if augmentation is not None else NoiseAugmentationConfig()
+    if isinstance(seed, np.random.SeedSequence):
+        from repro.experiments.jobs import seed_from_sequence
+
+        seed = seed_from_sequence(seed)
     seed = seed if seed is not None else detector.seed
+    if copy:
+        detector = _copy.deepcopy(detector)
     rng = np.random.default_rng(seed * 33301 + 5)
 
     scenes = _training_scenes(training, seed)

@@ -1,8 +1,23 @@
-"""Evaluating defences against the butterfly-effect attack."""
+"""Evaluating defences against the butterfly-effect attack.
+
+Both evaluations — noise-augmentation (undefended vs defended under the
+same budget) and ensemble fusion — are declarative plans over the generic
+experiment engine (:mod:`repro.defenses.jobs` +
+:mod:`repro.experiments.engine`): :func:`evaluate_defense` compiles a
+two-job plan (one :class:`~repro.defenses.jobs.DefenseAttackJob` per
+variant), :func:`ensemble_defense_evaluation` a one-job plan, and
+:func:`build_defense_plan` combines undefended/defended/ensemble variants
+into a single plan so a pooled backend attacks all of them concurrently.
+Serial and pooled executions are bit-identical to each other and to the
+preserved pre-engine loops (:func:`evaluate_defense_reference`,
+:func:`ensemble_defense_evaluation_reference`), enforced by
+``tests/defenses/test_evaluation.py``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclasses_replace
+from typing import Sequence
 
 import numpy as np
 
@@ -12,10 +27,27 @@ from repro.core.ensemble import EnsembleAttack
 from repro.core.masks import apply_mask
 from repro.core.objectives import objective_degradation
 from repro.core.results import AttackResult
+from repro.defenses.jobs import (
+    DefendedModelSpec,
+    DefenseAttackJob,
+    EnsembleDefenseJob,
+    derive_defense_seed,
+)
 from repro.detection.metrics import precision_recall
 from repro.detection.prediction import Prediction
 from repro.detectors.base import Detector
 from repro.detectors.ensemble import DetectorEnsemble
+from repro.experiments.engine import (
+    ExecutionBackend,
+    execute_plan,
+    resolve_backend,
+)
+from repro.experiments.jobs import (
+    ExperimentPlan,
+    apply_experiment_seed,
+    as_model_spec,
+    release_plan_models,
+)
 
 
 @dataclass
@@ -31,6 +63,10 @@ class DefenseEvaluation:
     clean_recall_undefended, clean_recall_defended:
         Clean-image recall of both detectors (a defence that destroys clean
         accuracy is not a usable defence).
+    execution:
+        Provenance summary of the engine run that produced this report
+        (backend, worker count, cache traffic); ``None`` for the reference
+        loop.
     """
 
     undefended_result: AttackResult
@@ -39,6 +75,7 @@ class DefenseEvaluation:
     defended_best_degradation: float
     clean_recall_undefended: float
     clean_recall_defended: float
+    execution: dict | None = None
 
     @property
     def attack_still_succeeds(self) -> bool:
@@ -66,14 +103,208 @@ class DefenseEvaluation:
         ]
 
 
+@dataclass
+class EnsembleDefenseEvaluation:
+    """Outcome of attacking an ensemble's fused prediction."""
+
+    attack_result: AttackResult
+    member_degradations: list[float] = field(default_factory=list)
+    fused_degradation: float = 1.0
+    execution: dict | None = None
+
+    @property
+    def fusion_helps(self) -> bool:
+        """True when the fused prediction is less degraded than the mean member."""
+        if not self.member_degradations:
+            return False
+        return self.fused_degradation > float(np.mean(self.member_degradations))
+
+
+def build_defense_plan(
+    undefended,
+    defended,
+    image: np.ndarray,
+    ground_truth: Prediction,
+    attack_config: AttackConfig,
+    ensemble_members: Sequence = (),
+    vote_fraction: float = 0.5,
+    experiment_seed: int | None = None,
+) -> ExperimentPlan:
+    """Compile the defense sweep: undefended, defended and ensemble jobs.
+
+    All variants share one attack budget (``attack_config``); the optional
+    ``ensemble_members`` add an :class:`~repro.defenses.jobs.EnsembleDefenseJob`
+    as the plan's final job.  With ``experiment_seed`` every job receives a
+    plan-position-derived NSGA seed (spawn-safe, scheduling-independent),
+    and a :class:`~repro.defenses.jobs.DefendedModelSpec` without a pinned
+    ``defense_seed`` additionally gets its retraining entropy derived from
+    the same experiment seed (:func:`~repro.defenses.jobs.derive_defense_seed`,
+    a reserved ``SeedSequence`` branch) — so sweeping experiment seeds
+    yields independently refit defended variants, not just different
+    searches against one refit.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    defended_spec = as_model_spec(defended)
+    if (
+        experiment_seed is not None
+        and isinstance(defended_spec, DefendedModelSpec)
+        and defended_spec.defense_seed is None
+    ):
+        defended_spec = dataclasses_replace(
+            defended_spec, defense_seed=derive_defense_seed(experiment_seed)
+        )
+    jobs: list = [
+        DefenseAttackJob(
+            job_id=0,
+            model=as_model_spec(undefended),
+            image=image,
+            ground_truth=ground_truth,
+            config=attack_config,
+            role="undefended",
+        ),
+        DefenseAttackJob(
+            job_id=1,
+            model=defended_spec,
+            image=image,
+            ground_truth=ground_truth,
+            config=attack_config,
+            role="defended",
+        ),
+    ]
+    if len(ensemble_members):
+        jobs.append(
+            EnsembleDefenseJob(
+                job_id=2,
+                members=tuple(as_model_spec(member) for member in ensemble_members),
+                image=image,
+                config=attack_config,
+                vote_fraction=vote_fraction,
+            )
+        )
+    apply_experiment_seed(jobs, experiment_seed)
+    return ExperimentPlan(
+        jobs=jobs,
+        attack_config=attack_config,
+        experiment_seed=experiment_seed,
+        name="defense-evaluation",
+    )
+
+
+def _assemble_defense_evaluation(outcomes, execution_summary) -> DefenseEvaluation:
+    by_role = {outcome.result.role: outcome.result for outcome in outcomes[:2]}
+    undefended, defended = by_role["undefended"], by_role["defended"]
+    return DefenseEvaluation(
+        undefended_result=undefended.attack_result,
+        defended_result=defended.attack_result,
+        undefended_best_degradation=undefended.best_degradation,
+        defended_best_degradation=defended.best_degradation,
+        clean_recall_undefended=undefended.clean_recall,
+        clean_recall_defended=defended.clean_recall,
+        execution=execution_summary,
+    )
+
+
 def evaluate_defense(
+    undefended,
+    defended,
+    image: np.ndarray,
+    ground_truth: Prediction,
+    attack_config: AttackConfig | None = None,
+    *,
+    n_jobs: int = 1,
+    backend: "str | ExecutionBackend | None" = None,
+    experiment_seed: int | None = None,
+    release_models: bool = True,
+) -> DefenseEvaluation:
+    """Attack both detectors with the same budget and compare the outcomes.
+
+    ``undefended``/``defended`` are live detectors (the historical
+    interface) or picklable model specs; either way the two attacks run as
+    a declarative plan on the experiment engine, so ``n_jobs``/``backend``
+    fan them out over worker processes with bit-identical results.
+    """
+    attack_config = attack_config if attack_config is not None else AttackConfig.fast()
+    plan = build_defense_plan(
+        undefended,
+        defended,
+        image,
+        ground_truth,
+        attack_config,
+        experiment_seed=experiment_seed,
+    )
+    engine_backend = resolve_backend(backend, n_jobs=n_jobs)
+    try:
+        execution = execute_plan(plan, engine_backend)
+    finally:
+        if release_models:
+            release_plan_models(plan)
+    return _assemble_defense_evaluation(execution.outcomes, execution.summary())
+
+
+def ensemble_defense_evaluation(
+    ensemble: "DetectorEnsemble | Sequence",
+    image: np.ndarray,
+    attack_config: AttackConfig | None = None,
+    vote_fraction: float = 0.5,
+    *,
+    n_jobs: int = 1,
+    backend: "str | ExecutionBackend | None" = None,
+    experiment_seed: int | None = None,
+    release_models: bool = True,
+) -> EnsembleDefenseEvaluation:
+    """Attack the ensemble jointly, then measure the fused-prediction damage.
+
+    The attack optimises the Eq. 1-3 aggregate objectives; the evaluation
+    then asks whether majority-vote fusion (the standard ensemble defence)
+    still suppresses the induced errors.  ``ensemble`` is a
+    :class:`~repro.detectors.ensemble.DetectorEnsemble`, a sequence of live
+    detectors, or a sequence of picklable model specs.
+    """
+    attack_config = attack_config if attack_config is not None else AttackConfig.fast()
+    members = list(ensemble) if not isinstance(ensemble, DetectorEnsemble) else list(
+        ensemble.detectors
+    )
+    job = EnsembleDefenseJob(
+        job_id=0,
+        members=tuple(as_model_spec(member) for member in members),
+        image=np.asarray(image, dtype=np.float64),
+        config=attack_config,
+        vote_fraction=vote_fraction,
+    )
+    apply_experiment_seed([job], experiment_seed)
+    plan = ExperimentPlan(
+        jobs=[job],
+        attack_config=attack_config,
+        experiment_seed=experiment_seed,
+        name="ensemble-defense",
+    )
+    engine_backend = resolve_backend(backend, n_jobs=n_jobs)
+    try:
+        execution = execute_plan(plan, engine_backend)
+    finally:
+        if release_models:
+            release_plan_models(plan)
+    payload = execution.outcomes[0].result
+    return EnsembleDefenseEvaluation(
+        attack_result=payload.attack_result,
+        member_degradations=payload.member_degradations,
+        fused_degradation=payload.fused_degradation,
+        execution=execution.summary(),
+    )
+
+
+def evaluate_defense_reference(
     undefended: Detector,
     defended: Detector,
     image: np.ndarray,
     ground_truth: Prediction,
     attack_config: AttackConfig | None = None,
 ) -> DefenseEvaluation:
-    """Attack both detectors with the same budget and compare the outcomes."""
+    """The preserved pre-engine defense loop (parity reference).
+
+    Two serial in-process attacks plus dense clean ``predict`` calls; the
+    engine-based :func:`evaluate_defense` must stay bit-identical to this.
+    """
     attack_config = attack_config if attack_config is not None else AttackConfig.fast()
 
     undefended_result = ButterflyAttack(undefended, attack_config).attack(image)
@@ -96,33 +327,16 @@ def evaluate_defense(
     )
 
 
-@dataclass
-class EnsembleDefenseEvaluation:
-    """Outcome of attacking an ensemble's fused prediction."""
-
-    attack_result: AttackResult
-    member_degradations: list[float] = field(default_factory=list)
-    fused_degradation: float = 1.0
-
-    @property
-    def fusion_helps(self) -> bool:
-        """True when the fused prediction is less degraded than the mean member."""
-        if not self.member_degradations:
-            return False
-        return self.fused_degradation > float(np.mean(self.member_degradations))
-
-
-def ensemble_defense_evaluation(
+def ensemble_defense_evaluation_reference(
     ensemble: DetectorEnsemble,
     image: np.ndarray,
     attack_config: AttackConfig | None = None,
     vote_fraction: float = 0.5,
 ) -> EnsembleDefenseEvaluation:
-    """Attack the ensemble jointly, then measure the fused-prediction damage.
+    """The preserved pre-engine ensemble-defense loop (parity reference).
 
-    The attack optimises the Eq. 1-3 aggregate objectives; the evaluation
-    then asks whether majority-vote fusion (the standard ensemble defence)
-    still suppresses the induced errors.
+    One dense ``predict`` per member per scene variant; the engine-based
+    :func:`ensemble_defense_evaluation` must stay bit-identical to this.
     """
     attack_config = attack_config if attack_config is not None else AttackConfig.fast()
     result = EnsembleAttack(ensemble, attack_config).attack(image)

@@ -104,17 +104,31 @@ class DetectorEnsemble:
         image: np.ndarray,
         vote_fraction: float = 0.5,
         iou_threshold: float = 0.5,
+        predictions: Sequence[Prediction] | None = None,
     ) -> Prediction:
         """Consensus prediction: keep boxes supported by enough members.
 
         Boxes from all members are clustered greedily by same-class IoU; a
         cluster whose supporting members reach ``vote_fraction`` of the
         ensemble produces one averaged box.
+
+        ``predictions`` optionally supplies one precomputed prediction per
+        member (e.g. from the incremental delta path) so fusion skips the
+        per-member ``predict`` calls; the fused output is identical as long
+        as the supplied predictions match what :meth:`predict_all` would
+        return on ``image``.
         """
         if not 0.0 < vote_fraction <= 1.0:
             raise ValueError("vote_fraction must be in (0, 1]")
+        if predictions is None:
+            predictions = self.predict_all(image)
+        elif len(predictions) != len(self.detectors):
+            raise ValueError(
+                f"expected {len(self.detectors)} member predictions, "
+                f"got {len(predictions)}"
+            )
         all_boxes: list[tuple[int, BoundingBox]] = []
-        for member_index, prediction in enumerate(self.predict_all(image)):
+        for member_index, prediction in enumerate(predictions):
             for box in prediction.valid_boxes:
                 all_boxes.append((member_index, box))
         all_boxes.sort(key=lambda item: item[1].score, reverse=True)

@@ -26,16 +26,23 @@ from repro.experiments.engine import (
     ProcessPoolBackend,
     SerialBackend,
     execute_plan,
+    merge_execution_summaries,
     resolve_backend,
 )
 from repro.experiments.jobs import (
     AttackJob,
     AttackPlan,
+    DetectorInstanceSpec,
+    ExperimentPlan,
     JobOutcome,
     ModelSpec,
+    WorkerContext,
+    apply_experiment_seed,
+    as_model_spec,
     build_attack_plan,
     derive_job_seeds,
     execute_attack_job,
+    seed_from_sequence,
 )
 from repro.experiments.runner import ArchitectureComparison, run_architecture_comparison
 from repro.experiments.figures import (
@@ -46,7 +53,12 @@ from repro.experiments.figures import (
 )
 from repro.experiments.transfer import (
     TransferabilityResult,
+    TransferColumn,
+    TransferEvalJob,
+    build_transfer_attack_plan,
+    build_transfer_eval_plan,
     run_transferability_experiment,
+    run_transferability_reference,
 )
 
 __all__ = [
@@ -56,16 +68,23 @@ __all__ = [
     "nsga_table_rows",
     "AttackJob",
     "AttackPlan",
+    "DetectorInstanceSpec",
+    "ExperimentPlan",
     "JobOutcome",
     "ModelSpec",
+    "WorkerContext",
+    "apply_experiment_seed",
+    "as_model_spec",
     "build_attack_plan",
     "derive_job_seeds",
     "execute_attack_job",
+    "seed_from_sequence",
     "ExecutionBackend",
     "ExecutionReport",
     "ProcessPoolBackend",
     "SerialBackend",
     "execute_plan",
+    "merge_execution_summaries",
     "resolve_backend",
     "ArchitectureComparison",
     "run_architecture_comparison",
@@ -74,5 +93,10 @@ __all__ = [
     "figure3_figure4_contrast",
     "figure5_ghost_objects",
     "TransferabilityResult",
+    "TransferColumn",
+    "TransferEvalJob",
+    "build_transfer_attack_plan",
+    "build_transfer_eval_plan",
     "run_transferability_experiment",
+    "run_transferability_reference",
 ]

@@ -1,7 +1,9 @@
-"""Pluggable execution backends for the experiment work plan.
+"""Pluggable execution backends for experiment work plans.
 
-The sweep's :class:`~repro.experiments.jobs.AttackPlan` is pure data; this
-module provides the interchangeable engines that execute it:
+A sweep's :class:`~repro.experiments.jobs.ExperimentPlan` is pure data —
+any ordered list of jobs following the generic job protocol (``job_id`` +
+``execute(context)``); this module provides the interchangeable engines
+that execute one:
 
 * :class:`SerialBackend` — the in-process reference executor.  It owns one
   sweep-level :class:`~repro.detectors.activation_cache.ActivationCacheStore`
@@ -14,10 +16,12 @@ module provides the interchangeable engines that execute it:
   they complete and the engine reassembles them into plan order.
 
 Because every job carries its own pre-derived NSGA-II seed (or the shared
-default), and attacks are deterministic given (detector spec, image, config,
+default), and jobs are deterministic given (model specs, image, config,
 seed), **all backends produce bit-identical results** for the same plan —
 worker count and completion order only change wall-clock time.  The parity
-suite in ``tests/experiments/test_engine.py`` enforces this.
+suites in ``tests/experiments/test_engine.py`` (attack jobs),
+``tests/experiments/test_transfer.py`` (transfer jobs) and
+``tests/defenses/test_evaluation.py`` (defense jobs) enforce this.
 
 :func:`execute_plan` is the single entry point: it runs a backend, restores
 plan order, and merges the per-job :class:`CacheStats` deltas into
@@ -37,10 +41,12 @@ import numpy as np
 
 from repro.detectors.activation_cache import ActivationCacheStore, CacheStats
 from repro.experiments.jobs import (
-    AttackPlan,
+    ExperimentPlan,
     JobOutcome,
+    WorkerContext,
     build_cached,
-    execute_attack_job,
+    job_model_specs,
+    job_stats_label,
 )
 
 #: Backend names accepted by :func:`resolve_backend` (and the CLI).
@@ -83,6 +89,53 @@ class ExecutionReport:
             for name, stats in self.per_model.items()
         ]
 
+    def summary(self) -> dict[str, object]:
+        """JSON-friendly provenance shared by every sweep's report type.
+
+        The architecture comparison, the transferability report and the
+        defense evaluations all persist this same structure, so saved
+        reports record how they were produced (backend, worker count,
+        wall-clock, cache traffic) in one common shape.
+        """
+        return {
+            "backend": self.backend,
+            "n_jobs": self.n_jobs,
+            "workers": sorted(self.per_worker),
+            "duration_seconds": self.duration_seconds,
+            "cache_enabled": self.cache_enabled,
+            "cache_stats": self.cache_stats.as_dict(),
+            "per_model_cache": {
+                name: stats.as_dict() for name, stats in self.per_model.items()
+            },
+        }
+
+
+def merge_execution_summaries(parts: "Sequence[dict]") -> dict[str, object]:
+    """Combine stage summaries of a multi-stage sweep into one record.
+
+    The transferability experiment runs two plan executions (mask
+    optimisation, then the cross-evaluation matrix); the persisted report
+    carries both stage summaries plus combined wall-clock and cache totals.
+    """
+    merged_stats = CacheStats()
+    for part in parts:
+        stats = part.get("cache_stats", {})
+        merged_stats = merged_stats + CacheStats(
+            hits=int(stats.get("hits", 0)),
+            misses=int(stats.get("misses", 0)),
+            evictions=int(stats.get("evictions", 0)),
+        )
+    return {
+        "backend": parts[0]["backend"] if parts else "serial",
+        "n_jobs": max((int(part.get("n_jobs", 1)) for part in parts), default=1),
+        "duration_seconds": sum(
+            float(part.get("duration_seconds", 0.0)) for part in parts
+        ),
+        "cache_enabled": any(part.get("cache_enabled", False) for part in parts),
+        "cache_stats": merged_stats.as_dict(),
+        "stages": list(parts),
+    }
+
 
 class ExecutionBackend(ABC):
     """Executes a plan's jobs, in any order, returning one outcome each."""
@@ -91,7 +144,7 @@ class ExecutionBackend(ABC):
     n_jobs: int = 1
 
     @abstractmethod
-    def run(self, plan: AttackPlan) -> list[JobOutcome]:
+    def run(self, plan: ExperimentPlan) -> list[JobOutcome]:
         """Execute every job of the plan; outcomes may be in any order."""
 
 
@@ -112,28 +165,30 @@ class SerialBackend(ExecutionBackend):
     def __init__(self, order: Sequence[int] | None = None) -> None:
         self.order = None if order is None else list(order)
 
-    def run(self, plan: AttackPlan) -> list[JobOutcome]:
+    def run(self, plan: ExperimentPlan) -> list[JobOutcome]:
         config = plan.attack_config
         store = (
             ActivationCacheStore(max_entries=config.activation_cache_size)
             if config.use_activation_cache
             else None
         )
+        context = WorkerContext(store=store)
         order = self.order if self.order is not None else range(len(plan.jobs))
         remaining = plan.jobs_per_model()
         outcomes: list[JobOutcome] = []
         for index in order:
             job = plan.jobs[index]
-            outcome = execute_attack_job(job, store)
+            outcome = job.execute(context)
             outcome.worker_id = "serial"
             outcomes.append(outcome)
-            remaining[job.model] -= 1
-            if remaining[job.model] == 0 and store is not None:
-                # The sweep never returns to a finished model: drop its
-                # entries (they would only displace live scenes) and reset
-                # the counters so hit rates stay per-model.
-                store.invalidate(build_cached(job.model))
-                store.reset_stats()
+            for spec in job_model_specs(job):
+                remaining[spec] -= 1
+                if remaining[spec] == 0 and store is not None:
+                    # The sweep never returns to a finished model: drop its
+                    # entries (they would only displace live scenes) and
+                    # reset the counters so hit rates stay per-model.
+                    store.invalidate(build_cached(spec))
+                    store.reset_stats()
         return outcomes
 
 
@@ -155,7 +210,7 @@ def _init_worker(use_cache: bool, cache_size: int) -> None:
 
 
 def _run_job_in_worker(job) -> JobOutcome:
-    outcome = execute_attack_job(job, _WORKER_STORE)
+    outcome = job.execute(WorkerContext(store=_WORKER_STORE))
     outcome.worker_id = f"pid-{os.getpid()}"
     return outcome
 
@@ -203,7 +258,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self.warm_start = warm_start
         self.chunksize = max(1, int(chunksize))
 
-    def run(self, plan: AttackPlan) -> list[JobOutcome]:
+    def run(self, plan: ExperimentPlan) -> list[JobOutcome]:
         config = plan.attack_config
         jobs = list(plan.jobs)
         if self.submission_seed is not None:
@@ -248,7 +303,7 @@ def resolve_backend(
     )
 
 
-def execute_plan(plan: AttackPlan, backend: ExecutionBackend) -> ExecutionReport:
+def execute_plan(plan: ExperimentPlan, backend: ExecutionBackend) -> ExecutionReport:
     """Run the plan on a backend and aggregate outcomes in plan order."""
     start = time.perf_counter()
     raw = backend.run(plan)
@@ -273,9 +328,11 @@ def execute_plan(plan: AttackPlan, backend: ExecutionBackend) -> ExecutionReport
         per_worker.setdefault(worker, CacheStats())
         if outcome.cache_stats is None:
             continue
-        name = job.model.name
-        per_model[name] = per_model.get(name, CacheStats()) + outcome.cache_stats
         per_worker[worker] = per_worker[worker] + outcome.cache_stats
+        name = job_stats_label(job)
+        if name is None:
+            continue
+        per_model[name] = per_model.get(name, CacheStats()) + outcome.cache_stats
 
     return ExecutionReport(
         outcomes=outcomes,

@@ -1,24 +1,42 @@
-"""Declarative work plan for the models × images experiment sweep.
+"""Declarative work plans: the generic job substrate of the experiment engine.
 
-The paper's headline experiment attacks every model of a seed-varied zoo on
-every evaluation image — an embarrassingly parallel grid of independent
-attacks.  This module turns that grid into data:
+The paper's evaluation is three sweeps over the same seed-varied model zoo
+— the architecture comparison (Table I/II), mask transferability across
+seeds and defense robustness.  All three are embarrassingly parallel grids
+of independent units of work, so this module turns "a unit of sweep work"
+into data:
 
+* an **experiment job** is any picklable object with an integer ``job_id``
+  and an ``execute(context)`` method returning a :class:`JobOutcome`; the
+  :class:`WorkerContext` hands the job the executing process's activation
+  store.  Jobs may additionally expose a ``model`` spec (or a ``members``
+  tuple of specs) for cache lifecycle and per-model stats attribution, and
+  an ``nsga_seed`` field to opt into plan-position seed derivation.
 * :class:`ModelSpec` — a picklable recipe for one trained detector
   (architecture, seed, detector/training configs).  Workers rebuild the
   model zoo from specs, so no detector object ever crosses a process
   boundary; a per-process memo (:func:`build_cached`) makes the rebuild a
-  one-time cost per ``(worker, model)``.
-* :class:`AttackJob` — one cell of the grid: a model spec, one scene, the
-  attack configuration and an optional pre-derived NSGA-II seed.
-* :class:`AttackPlan` — the ordered list of jobs plus sweep metadata.
+  one-time cost per ``(worker, model)``.  Any hashable object with a
+  ``build() -> Detector`` method and a ``name`` is a valid spec —
+  :class:`DetectorInstanceSpec` wraps an already-built detector, and the
+  defense sweep contributes a defended-variant spec.
+* :class:`AttackJob` — one cell of the models × images grid: a model spec,
+  one scene, the attack configuration and an optional pre-derived NSGA-II
+  seed.  It is *one instance* of the job protocol; the transfer and
+  defense sweeps define their own (see :mod:`repro.experiments.transfer`
+  and :mod:`repro.defenses.jobs`).
+* :class:`ExperimentPlan` — the ordered list of jobs plus sweep metadata.
   Plan order is the canonical result order; execution backends may finish
   jobs in any order and the engine reassembles by ``job_id``.
+  :class:`AttackPlan` extends it with the architecture labels of the
+  models × images sweep.
 * :func:`derive_job_seeds` — spawn-safe deterministic per-job seeds:
   ``np.random.SeedSequence(experiment_seed).spawn(n)`` assigns entropy by
   *plan position*, never by worker or completion order, so serial and
   pooled sweeps are bit-identical for a fixed experiment seed.
-* :func:`execute_attack_job` — run one job against a (worker-local)
+  :func:`apply_experiment_seed` assigns them to every job of a plan that
+  accepts one.
+* :func:`execute_attack_job` — run one attack job against a (worker-local)
   activation store and package the result with provenance and the job's
   cache-stats delta.
 """
@@ -34,7 +52,11 @@ import numpy as np
 from repro.core.attack import ButterflyAttack
 from repro.core.config import AttackConfig
 from repro.core.results import AttackResult
-from repro.detectors.activation_cache import ActivationCacheStore, CacheStats
+from repro.detectors.activation_cache import (
+    ActivationCacheStore,
+    CacheStats,
+    CleanActivations,
+)
 from repro.detectors.base import Detector, DetectorConfig
 from repro.detectors.training import TrainingConfig
 from repro.detectors.zoo import ARCHITECTURE_ALIASES, build_detector
@@ -103,7 +125,7 @@ def clear_detector_memo() -> int:
     return count
 
 
-def release_plan_models(plan: "AttackPlan") -> int:
+def release_plan_models(plan: "ExperimentPlan") -> int:
     """Drop a finished plan's detectors from the process-local memo.
 
     The sweep runner calls this when a sweep completes so a long-lived
@@ -116,6 +138,132 @@ def release_plan_models(plan: "AttackPlan") -> int:
         if _DETECTOR_MEMO.pop(spec, None) is not None:
             released += 1
     return released
+
+
+@dataclass(frozen=True, eq=False)
+class DetectorInstanceSpec:
+    """Spec adapter wrapping an already-built detector instance.
+
+    The transfer and defense entry points historically accepted live
+    :class:`~repro.detectors.base.Detector` objects; this adapter lets them
+    ride the spec-based engine unchanged.  The detector is carried *by
+    value* — pickling a job ships the whole detector to the worker — so
+    pooled runs stay bit-identical under every start method, at the cost
+    of a fatter job payload than a :class:`ModelSpec` recipe.  Equality and
+    hashing are by detector identity: two specs wrapping the same instance
+    memoise to the same entry.
+    """
+
+    detector: Detector
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DetectorInstanceSpec)
+            and self.detector is other.detector
+        )
+
+    def __hash__(self) -> int:
+        return hash(id(self.detector))
+
+    @property
+    def label(self) -> str:
+        return self.detector.architecture
+
+    @property
+    def name(self) -> str:
+        return self.detector.name
+
+    @property
+    def seed(self) -> int:
+        return self.detector.seed
+
+    def build(self) -> Detector:
+        return self.detector
+
+
+def as_model_spec(model) -> object:
+    """Coerce a detector or spec into an engine-compatible model spec.
+
+    Anything with a ``build()`` method passes through unchanged (it already
+    is a spec); a live :class:`~repro.detectors.base.Detector` is wrapped
+    in a :class:`DetectorInstanceSpec`.
+    """
+    if hasattr(model, "build"):
+        return model
+    if isinstance(model, Detector) or hasattr(model, "predict"):
+        return DetectorInstanceSpec(model)
+    raise TypeError(
+        f"expected a Detector or a model spec with a build() method, got "
+        f"{type(model).__name__}"
+    )
+
+
+@dataclass
+class WorkerContext:
+    """What the executing process hands a job: its activation store.
+
+    One context per store owner — the serial backend's sweep-level store or
+    a pool worker's private store.  ``store`` is ``None`` when the plan's
+    attack config disables the activation cache.  The per-process detector
+    memo is reached through :func:`build_cached` (module state, shared by
+    every job the process runs).
+    """
+
+    store: ActivationCacheStore | None = None
+
+    def detector(self, spec) -> Detector:
+        """The process-local detector for ``spec`` (memoised build)."""
+        return build_cached(spec)
+
+    def activations(
+        self, detector: Detector, image: np.ndarray, config: AttackConfig
+    ) -> CleanActivations | None:
+        """Cached clean activations for ``(detector, image)``, if enabled.
+
+        Returns ``None`` when the context has no store, the config disables
+        the activation cache, or the detector does not support incremental
+        inference — callers fall back to the dense path in all three cases
+        (bit-identical by the PR 2 contract, only slower).
+        """
+        if self.store is None or not config.use_activation_cache:
+            return None
+        return self.store.get(detector, image)
+
+    def job_store(self, config: AttackConfig) -> ActivationCacheStore | None:
+        """The store a job should thread into an attack (or ``None``)."""
+        if self.store is not None and config.use_activation_cache:
+            return self.store
+        return None
+
+
+def job_model_specs(job) -> tuple:
+    """The model specs a job builds, for cache lifecycle accounting.
+
+    Jobs expose either a single ``model`` spec (the attack, transfer and
+    defense jobs) or a ``members`` tuple (the ensemble defense job); jobs
+    with neither take no part in per-model cache lifecycle.
+    """
+    model = getattr(job, "model", None)
+    if model is not None:
+        return (model,)
+    return tuple(getattr(job, "members", ()) or ())
+
+
+def job_stats_label(job) -> str | None:
+    """The name a job's cache-stats delta is attributed to (or ``None``).
+
+    A job may pin the label explicitly via a ``stats_label`` attribute;
+    otherwise its ``model`` spec's name is used.  Multi-model jobs without
+    an explicit label (and model-less jobs) return ``None`` — their deltas
+    still count toward per-worker and sweep totals.
+    """
+    label = getattr(job, "stats_label", None)
+    if label:
+        return str(label)
+    model = getattr(job, "model", None)
+    if model is not None:
+        return model.name
+    return None
 
 
 @dataclass
@@ -160,43 +308,106 @@ class AttackJob:
             self.config, nsga=replace(self.config.nsga, seed=int(self.nsga_seed))
         )
 
+    def execute(self, context: "WorkerContext") -> "JobOutcome":
+        """Run the attack and package result, provenance and cache delta.
+
+        The outcome carries the context store's counter *delta* so the
+        engine can aggregate per-model and per-worker hit rates no matter
+        where the job ran.
+        """
+        start = time.perf_counter()
+        detector = build_cached(self.model)
+        config = self.resolved_config()
+        use_store = context.job_store(config)
+        before = use_store.snapshot() if use_store is not None else None
+
+        attack = ButterflyAttack(detector, config, activation_store=use_store)
+        result = attack.attack(self.image)
+        result.architecture = self.model.label
+        result.model_seed = self.model.seed
+        result.scene_index = self.scene_index
+        result.job_id = self.job_id
+
+        stats = use_store.snapshot() - before if use_store is not None else None
+        return JobOutcome(
+            job_id=self.job_id,
+            result=result,
+            cache_stats=stats,
+            duration_seconds=time.perf_counter() - start,
+        )
+
 
 @dataclass
 class JobOutcome:
-    """One finished job: the attack result plus execution metadata."""
+    """One finished job: the job's result payload plus execution metadata.
+
+    ``result`` is whatever the job type produces — an
+    :class:`~repro.core.results.AttackResult` for attack jobs, a transfer
+    matrix column for cross-evaluation jobs, a defense comparison bundle
+    for defense jobs.  The engine never looks inside it; only the sweep
+    orchestrator that built the plan does.
+    """
 
     job_id: int
-    result: AttackResult
+    result: object
     cache_stats: CacheStats | None = None
     worker_id: str = "serial"
     duration_seconds: float = 0.0
 
 
 @dataclass
-class AttackPlan:
-    """The full declarative sweep: ordered jobs plus shared metadata."""
+class ExperimentPlan:
+    """An ordered list of experiment jobs plus shared sweep metadata.
 
-    jobs: list[AttackJob]
-    labels: tuple[str, ...]
+    The generic substrate every sweep compiles to: the architecture
+    comparison's :class:`AttackPlan`, the transferability stages and the
+    defense plans are all instances.  ``attack_config`` supplies the
+    activation-cache settings the executing backend uses to provision
+    stores; ``name`` labels the plan in reports.
+    """
+
+    jobs: list
     attack_config: AttackConfig
     experiment_seed: int | None = None
+    name: str = "experiment"
 
     def __len__(self) -> int:
         return len(self.jobs)
 
-    def model_specs(self) -> list[ModelSpec]:
+    def model_specs(self) -> list:
         """Unique model specs in first-appearance (plan) order."""
-        seen: dict[ModelSpec, None] = {}
+        seen: dict = {}
         for job in self.jobs:
-            seen.setdefault(job.model, None)
+            for spec in job_model_specs(job):
+                seen.setdefault(spec, None)
         return list(seen)
 
-    def jobs_per_model(self) -> dict[ModelSpec, int]:
+    def jobs_per_model(self) -> dict:
         """Number of jobs each model appears in (for lifecycle accounting)."""
-        counts: dict[ModelSpec, int] = {}
+        counts: dict = {}
         for job in self.jobs:
-            counts[job.model] = counts.get(job.model, 0) + 1
+            for spec in job_model_specs(job):
+                counts[spec] = counts.get(spec, 0) + 1
         return counts
+
+
+@dataclass
+class AttackPlan(ExperimentPlan):
+    """The models × images sweep plan: jobs plus architecture labels."""
+
+    labels: tuple[str, ...] = ()
+
+
+def seed_from_sequence(sequence: np.random.SeedSequence) -> int:
+    """Collapse a ``SeedSequence`` child into a 64-bit integer seed.
+
+    The shared derivation of every plan-position seed (and of the defense
+    augmentation seeds): two ``uint32`` words of the sequence's generated
+    state packed into one integer, so a derived seed is a pure function of
+    the root entropy and the spawn path.
+    """
+    state = sequence.generate_state(2, np.uint32)
+    return (int(state[0]) << 32) | int(state[1])
 
 
 def derive_job_seeds(experiment_seed: int, num_jobs: int) -> list[int]:
@@ -212,11 +423,23 @@ def derive_job_seeds(experiment_seed: int, num_jobs: int) -> list[int]:
             f"experiment_seed must be non-negative, got {experiment_seed}"
         )
     root = np.random.SeedSequence(experiment_seed)
-    seeds: list[int] = []
-    for child in root.spawn(num_jobs):
-        state = child.generate_state(2, np.uint32)
-        seeds.append((int(state[0]) << 32) | int(state[1]))
-    return seeds
+    return [seed_from_sequence(child) for child in root.spawn(num_jobs)]
+
+
+def apply_experiment_seed(jobs: Sequence, experiment_seed: int | None) -> None:
+    """Assign plan-position-derived NSGA seeds to every job that takes one.
+
+    Seeds are derived for *every* position (so a job's seed never depends
+    on which other job types share the plan) but only assigned to jobs
+    exposing an ``nsga_seed`` field; jobs without one — e.g. the transfer
+    cross-evaluation stage, which runs no NSGA search — are skipped.
+    ``experiment_seed=None`` is a no-op (the historical shared-seed mode).
+    """
+    if experiment_seed is None:
+        return
+    for job, seed in zip(jobs, derive_job_seeds(experiment_seed, len(jobs))):
+        if hasattr(job, "nsga_seed"):
+            job.nsga_seed = seed
 
 
 def build_attack_plan(
@@ -269,46 +492,20 @@ def build_attack_plan(
                 )
                 job_id += 1
 
-    if experiment_seed is not None:
-        for job, seed in zip(jobs, derive_job_seeds(experiment_seed, len(jobs))):
-            job.nsga_seed = seed
+    apply_experiment_seed(jobs, experiment_seed)
 
     return AttackPlan(
         jobs=jobs,
         labels=tuple(labels),
         attack_config=attack_config,
         experiment_seed=experiment_seed,
+        name="architecture-comparison",
     )
 
 
 def execute_attack_job(
     job: AttackJob, store: ActivationCacheStore | None = None
 ) -> JobOutcome:
-    """Run one job and package its result with provenance and cache stats.
-
-    ``store`` is the executing process's activation store (the serial
-    backend passes its sweep-level store, pool workers their worker-local
-    one); the outcome carries the store's counter *delta* so the engine can
-    aggregate per-model and per-worker hit rates no matter where the job
-    ran.
-    """
-    start = time.perf_counter()
-    detector = build_cached(job.model)
-    config = job.resolved_config()
-    use_store = store if (store is not None and config.use_activation_cache) else None
-    before = use_store.snapshot() if use_store is not None else None
-
-    attack = ButterflyAttack(detector, config, activation_store=use_store)
-    result = attack.attack(job.image)
-    result.architecture = job.model.label
-    result.model_seed = job.model.seed
-    result.scene_index = job.scene_index
-    result.job_id = job.job_id
-
-    stats = use_store.snapshot() - before if use_store is not None else None
-    return JobOutcome(
-        job_id=job.job_id,
-        result=result,
-        cache_stats=stats,
-        duration_seconds=time.perf_counter() - start,
-    )
+    """Run one attack job against ``store`` (thin :meth:`AttackJob.execute`
+    wrapper kept for callers that predate the generic job protocol)."""
+    return job.execute(WorkerContext(store=store))

@@ -47,6 +47,12 @@ class ArchitectureComparison:
     experiment: ExperimentConfig | None = None
     execution: ExecutionReport | None = None
 
+    def provenance(self) -> dict | None:
+        """The shared execution-provenance summary (see
+        :meth:`~repro.experiments.engine.ExecutionReport.summary`) — the
+        same structure the transferability and defense reports persist."""
+        return self.execution.summary() if self.execution is not None else None
+
     def front_points(self, label: str) -> np.ndarray:
         """All front objective triples of one architecture, shape (n, 3)."""
         points = [

@@ -8,18 +8,30 @@ arrays and JSON for metadata — no extra dependencies.
 
 from repro.io.serialization import (
     load_attack_result,
+    load_defense_evaluation,
+    load_ensemble_defense_evaluation,
     load_mask,
     load_prediction,
+    load_transfer_result,
     prediction_from_dict,
     prediction_to_dict,
     save_attack_result,
+    save_defense_evaluation,
+    save_ensemble_defense_evaluation,
     save_mask,
     save_prediction,
+    save_transfer_result,
 )
 from repro.io.archive import ExperimentArchive
 
 __all__ = [
     "load_attack_result",
+    "load_defense_evaluation",
+    "load_ensemble_defense_evaluation",
+    "load_transfer_result",
+    "save_defense_evaluation",
+    "save_ensemble_defense_evaluation",
+    "save_transfer_result",
     "load_mask",
     "load_prediction",
     "prediction_from_dict",

@@ -1,4 +1,4 @@
-"""Serialisation of masks, predictions and attack results.
+"""Serialisation of masks, predictions, attack results and sweep reports.
 
 File formats:
 
@@ -6,7 +6,17 @@ File formats:
 * predictions — JSON (list of box dictionaries),
 * attack results — a directory containing ``meta.json`` (objectives,
   detector name, clean prediction, per-solution metadata) and
-  ``arrays.npz`` (the image and every solution's mask).
+  ``arrays.npz`` (the image and every solution's mask),
+* transferability reports — a directory with ``meta.json`` (model names,
+  intensities, execution provenance) and ``arrays.npz`` (the transfer
+  matrix and the per-source best masks),
+* defense evaluations — a directory with ``meta.json`` (degradations,
+  recalls, execution provenance) and one attack-result subdirectory per
+  attacked variant.
+
+Sweep reports persist the shared execution-provenance summary produced by
+:meth:`repro.experiments.engine.ExecutionReport.summary`, so a saved report
+records the backend, worker count and cache traffic that produced it.
 """
 
 from __future__ import annotations
@@ -19,8 +29,10 @@ import numpy as np
 
 from repro.core.masks import FilterMask
 from repro.core.results import AttackResult, ParetoSolution
+from repro.defenses.evaluation import DefenseEvaluation, EnsembleDefenseEvaluation
 from repro.detection.boxes import BoundingBox
 from repro.detection.prediction import Prediction
+from repro.experiments.transfer import TransferabilityResult
 
 
 def save_mask(mask: FilterMask | np.ndarray, path: str | Path) -> Path:
@@ -163,4 +175,119 @@ def load_attack_result(directory: str | Path) -> AttackResult:
         model_seed=_optional_int("model_seed"),
         scene_index=_optional_int("scene_index"),
         job_id=_optional_int("job_id"),
+    )
+
+
+def save_transfer_result(result: TransferabilityResult, directory: str | Path) -> Path:
+    """Save a transferability report (matrix + masks + provenance)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    meta: dict[str, Any] = {
+        "report": "transferability",
+        "model_names": list(result.model_names),
+        "masks_intensity": [float(value) for value in result.masks_intensity],
+        "experiment_seed": result.experiment_seed,
+        "execution": result.execution,
+    }
+    arrays: dict[str, np.ndarray] = {"matrix": result.matrix}
+    for index, mask in enumerate(result.best_masks):
+        arrays[f"best_mask_{index}"] = np.asarray(mask)
+
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    np.savez_compressed(directory / "arrays.npz", **arrays)
+    return directory
+
+
+def load_transfer_result(directory: str | Path) -> TransferabilityResult:
+    """Load a transferability report saved by :func:`save_transfer_result`."""
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    with np.load(directory / "arrays.npz") as arrays:
+        matrix = arrays["matrix"]
+        best_masks = []
+        index = 0
+        while f"best_mask_{index}" in arrays:
+            best_masks.append(arrays[f"best_mask_{index}"])
+            index += 1
+    seed = meta.get("experiment_seed")
+    return TransferabilityResult(
+        model_names=[str(name) for name in meta["model_names"]],
+        matrix=matrix,
+        masks_intensity=[float(value) for value in meta.get("masks_intensity", [])],
+        best_masks=best_masks,
+        experiment_seed=None if seed is None else int(seed),
+        execution=meta.get("execution"),
+    )
+
+
+def save_defense_evaluation(
+    evaluation: DefenseEvaluation, directory: str | Path
+) -> Path:
+    """Save a defense evaluation: scalars + both attack-result subfolders."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    meta: dict[str, Any] = {
+        "report": "defense-evaluation",
+        "undefended_best_degradation": float(evaluation.undefended_best_degradation),
+        "defended_best_degradation": float(evaluation.defended_best_degradation),
+        "clean_recall_undefended": float(evaluation.clean_recall_undefended),
+        "clean_recall_defended": float(evaluation.clean_recall_defended),
+        "execution": evaluation.execution,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    save_attack_result(evaluation.undefended_result, directory / "undefended")
+    save_attack_result(evaluation.defended_result, directory / "defended")
+    return directory
+
+
+def load_defense_evaluation(directory: str | Path) -> DefenseEvaluation:
+    """Load a defense evaluation saved by :func:`save_defense_evaluation`."""
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    return DefenseEvaluation(
+        undefended_result=load_attack_result(directory / "undefended"),
+        defended_result=load_attack_result(directory / "defended"),
+        undefended_best_degradation=float(meta["undefended_best_degradation"]),
+        defended_best_degradation=float(meta["defended_best_degradation"]),
+        clean_recall_undefended=float(meta["clean_recall_undefended"]),
+        clean_recall_defended=float(meta["clean_recall_defended"]),
+        execution=meta.get("execution"),
+    )
+
+
+def save_ensemble_defense_evaluation(
+    evaluation: EnsembleDefenseEvaluation, directory: str | Path
+) -> Path:
+    """Save an ensemble-defense evaluation (fusion damage + attack result)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    meta: dict[str, Any] = {
+        "report": "ensemble-defense-evaluation",
+        "member_degradations": [
+            float(value) for value in evaluation.member_degradations
+        ],
+        "fused_degradation": float(evaluation.fused_degradation),
+        "execution": evaluation.execution,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    save_attack_result(evaluation.attack_result, directory / "attack")
+    return directory
+
+
+def load_ensemble_defense_evaluation(
+    directory: str | Path,
+) -> EnsembleDefenseEvaluation:
+    """Load a report saved by :func:`save_ensemble_defense_evaluation`."""
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    return EnsembleDefenseEvaluation(
+        attack_result=load_attack_result(directory / "attack"),
+        member_degradations=[
+            float(value) for value in meta.get("member_degradations", [])
+        ],
+        fused_degradation=float(meta["fused_degradation"]),
+        execution=meta.get("execution"),
     )

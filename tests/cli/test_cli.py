@@ -114,3 +114,122 @@ class TestCommands:
         assert "backend=process" in output
         assert "jobs=2" in output
         assert "Activation cache (sweep total)" in output
+
+    def test_transfer_command_saves_roundtrippable_report(self, capsys, tmp_path):
+        """`repro transfer` persists a report that round-trips through io."""
+        exit_code = main(
+            [
+                "transfer",
+                "--models",
+                "2",
+                "--iterations",
+                "1",
+                "--population",
+                "4",
+                "--experiment-seed",
+                "3",
+                "--output",
+                str(tmp_path / "transfer"),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "white-box obj_degrad" in output
+        assert "backend=serial" in output
+
+        from repro.io.serialization import load_transfer_result
+
+        report = load_transfer_result(tmp_path / "transfer")
+        assert report.matrix.shape == (2, 2)
+        assert report.model_names == ["transformer-seed1", "transformer-seed2"]
+        assert len(report.best_masks) == 2
+        assert report.experiment_seed == 3
+        assert report.execution["backend"] == "serial"
+
+    def test_defend_command_saves_roundtrippable_report(self, capsys, tmp_path):
+        """`repro defend` persists defense + ensemble reports that round-trip."""
+        exit_code = main(
+            [
+                "defend",
+                "--iterations",
+                "1",
+                "--population",
+                "4",
+                "--ensemble",
+                "2",
+                "--output",
+                str(tmp_path / "defend"),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "robustness gain" in output
+        assert "fusion helps" in output
+
+        from repro.io.serialization import (
+            load_defense_evaluation,
+            load_ensemble_defense_evaluation,
+        )
+
+        evaluation = load_defense_evaluation(tmp_path / "defend")
+        assert evaluation.undefended_result.solutions
+        assert evaluation.defended_result.solutions
+        assert evaluation.execution["backend"] == "serial"
+        ensemble = load_ensemble_defense_evaluation(tmp_path / "defend" / "ensemble")
+        assert len(ensemble.member_degradations) == 2
+
+    def test_transfer_command_pooled_smoke(self, capsys):
+        """Tiny transfer sweep under --jobs 2: both stages on the pool."""
+        exit_code = main(
+            [
+                "transfer",
+                "--models",
+                "2",
+                "--iterations",
+                "1",
+                "--population",
+                "4",
+                "--jobs",
+                "2",
+                "--backend",
+                "process",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "backend=process" in output
+        assert "jobs=2" in output
+
+
+class TestSweepParser:
+    def test_transfer_defaults_and_engine_options(self):
+        args = build_parser().parse_args(["transfer"])
+        assert args.architecture == "detr"
+        assert args.models == 2
+        assert args.jobs == 1 and args.backend is None and args.experiment_seed is None
+        args = build_parser().parse_args(
+            ["transfer", "--jobs", "4", "--backend", "process", "--experiment-seed", "9"]
+        )
+        assert (args.jobs, args.backend, args.experiment_seed) == (4, "process", 9)
+
+    def test_defend_defaults_and_engine_options(self):
+        args = build_parser().parse_args(["defend"])
+        assert args.detector == "detr"
+        assert args.ensemble is None
+        assert args.jobs == 1
+        args = build_parser().parse_args(["defend", "--ensemble", "3", "--jobs", "2"])
+        assert args.ensemble == 3 and args.jobs == 2
+
+    def test_sweep_commands_reject_bad_engine_options(self):
+        for command in ("transfer", "defend"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--backend", "threads"])
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--jobs", "0"])
+
+
+class TestEngineOptionValidation:
+    def test_negative_experiment_seed_rejected_at_parse_time(self):
+        for command in ("compare", "transfer", "defend"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--experiment-seed", "-1"])

@@ -64,3 +64,102 @@ class TestNoiseAugmentedDetector:
         assert defended.prototypes.num_classes == len(small_training_config.classes)
         assert defended.prototypes.feature_dim == 7
         assert defended.prototypes.temperature > 0
+
+
+class TestSeedPlumbing:
+    """Spawn-safe defense-retraining entropy (the PR 5 seed plumbing fix)."""
+
+    @pytest.fixture(scope="class")
+    def training(self, request):
+        return request.getfixturevalue("small_training_config")
+
+    @staticmethod
+    def _prototypes(detector):
+        bank = detector.prototypes
+        return (
+            bank.class_prototypes.copy(),
+            bank.background_prototypes.copy(),
+            bank.temperature,
+        )
+
+    def test_seed_sequence_is_deterministic(self, training):
+        """Equal SeedSequence children produce bit-identical refits."""
+        config = NoiseAugmentationConfig(augmented_copies=1)
+        refits = []
+        for _ in range(2):
+            child = np.random.SeedSequence(2023).spawn(3)[1]
+            detector = build_detector("yolo", seed=4, training=training)
+            refits.append(
+                self._prototypes(
+                    noise_augmented_detector(
+                        detector, training=training, augmentation=config, seed=child
+                    )
+                )
+            )
+        (a_cls, a_bg, a_temp), (b_cls, b_bg, b_temp) = refits
+        assert np.array_equal(a_cls, b_cls)
+        assert np.array_equal(a_bg, b_bg)
+        assert a_temp == b_temp
+
+    def test_seed_sequence_matches_collapsed_integer(self, training):
+        """A SeedSequence behaves exactly like its collapsed integer seed —
+        the same derivation the engine uses for per-job NSGA seeds."""
+        from repro.experiments.jobs import seed_from_sequence
+
+        child = np.random.SeedSequence(11).spawn(2)[0]
+        config = NoiseAugmentationConfig(augmented_copies=1)
+        from_sequence = noise_augmented_detector(
+            build_detector("yolo", seed=4, training=training),
+            training=training,
+            augmentation=config,
+            seed=child,
+        )
+        from_integer = noise_augmented_detector(
+            build_detector("yolo", seed=4, training=training),
+            training=training,
+            augmentation=config,
+            seed=seed_from_sequence(np.random.SeedSequence(11).spawn(2)[0]),
+        )
+        a, b = self._prototypes(from_sequence), self._prototypes(from_integer)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+        assert a[2] == b[2]
+
+    def test_distinct_children_differ(self, training):
+        """Different spawn children derive different retraining entropy."""
+        config = NoiseAugmentationConfig(augmented_copies=1)
+        children = np.random.SeedSequence(2023).spawn(2)
+        banks = [
+            self._prototypes(
+                noise_augmented_detector(
+                    build_detector("yolo", seed=4, training=training),
+                    training=training,
+                    augmentation=config,
+                    seed=child,
+                )
+            )
+            for child in children
+        ]
+        assert not np.array_equal(banks[0][0], banks[1][0])
+
+    def test_copy_flag_leaves_original_untouched(self, training):
+        """copy=True refits a deep copy; the default mutates in place."""
+        detector = build_detector("yolo", seed=4, training=training)
+        original_bank = detector.prototypes
+        defended = noise_augmented_detector(
+            detector,
+            training=training,
+            augmentation=NoiseAugmentationConfig(augmented_copies=1),
+            copy=True,
+        )
+        assert defended is not detector
+        assert detector.prototypes is original_bank
+        assert defended.prototypes is not original_bank
+
+        in_place = noise_augmented_detector(
+            detector,
+            training=training,
+            augmentation=NoiseAugmentationConfig(augmented_copies=1),
+        )
+        assert in_place is detector
+        assert detector.prototypes is not original_bank

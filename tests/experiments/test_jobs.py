@@ -174,3 +174,117 @@ class TestAttackJob:
         assert resolved.nsga.num_iterations == config.nsga.num_iterations
         assert resolved.region == config.region
         assert config.nsga.seed == 7  # original untouched
+
+
+class _CountingJob:
+    """Minimal generic job: no model, no seed — just deterministic work."""
+
+    def __init__(self, job_id: int, value: int):
+        self.job_id = job_id
+        self.value = value
+
+    def execute(self, context):
+        from repro.experiments.jobs import JobOutcome
+
+        return JobOutcome(job_id=self.job_id, result=self.value * self.value)
+
+
+class TestGenericJobSubstrate:
+    """The engine runs *any* job following the protocol, not just attacks."""
+
+    def test_custom_jobs_execute_on_every_backend(self):
+        from repro.experiments.engine import (
+            ProcessPoolBackend,
+            SerialBackend,
+            execute_plan,
+        )
+        from repro.experiments.jobs import ExperimentPlan
+
+        plan = ExperimentPlan(
+            jobs=[_CountingJob(i, i + 1) for i in range(5)],
+            attack_config=_tiny_config(),
+            name="toy",
+        )
+        serial = execute_plan(plan, SerialBackend())
+        assert [o.result for o in serial.outcomes] == [1, 4, 9, 16, 25]
+        pooled = execute_plan(plan, ProcessPoolBackend(n_jobs=2, submission_seed=1))
+        assert [o.result for o in pooled.outcomes] == [1, 4, 9, 16, 25]
+        # Model-less jobs take no part in per-model accounting.
+        assert plan.model_specs() == []
+        assert serial.per_model == {}
+
+    def test_apply_experiment_seed_skips_seedless_jobs(self):
+        from repro.experiments.jobs import apply_experiment_seed
+
+        attack_jobs = [
+            AttackJob(job_id=0, model=ModelSpec("yolo", 1), image=_tiny_dataset(1)[0]),
+        ]
+        toy = _CountingJob(1, 3)
+        apply_experiment_seed([*attack_jobs, toy], 42)
+        assert attack_jobs[0].nsga_seed is not None
+        assert not hasattr(toy, "nsga_seed")
+        # Seeds are positional: the attack job's seed equals position 0 of
+        # the derived sequence regardless of what shares the plan.
+        assert attack_jobs[0].nsga_seed == derive_job_seeds(42, 2)[0]
+
+    def test_seed_from_sequence_is_derive_job_seeds_derivation(self):
+        import numpy as np
+
+        from repro.experiments.jobs import seed_from_sequence
+
+        root = np.random.SeedSequence(123)
+        assert [
+            seed_from_sequence(child) for child in root.spawn(4)
+        ] == derive_job_seeds(123, 4)
+
+
+class TestModelSpecAdapters:
+    def test_as_model_spec_passes_specs_through(self):
+        spec = ModelSpec("yolo", 1)
+        from repro.experiments.jobs import as_model_spec
+
+        assert as_model_spec(spec) is spec
+
+    def test_as_model_spec_wraps_detectors(self, request):
+        from repro.experiments.jobs import (
+            DetectorInstanceSpec,
+            as_model_spec,
+            build_cached,
+        )
+
+        detector = request.getfixturevalue("yolo_detector")
+        spec = as_model_spec(detector)
+        assert isinstance(spec, DetectorInstanceSpec)
+        assert spec.name == detector.name
+        assert spec.label == detector.architecture
+        assert spec.seed == detector.seed
+        assert spec.build() is detector
+        assert build_cached(spec) is detector
+        # Identity semantics: same instance → same spec, equal hash.
+        assert as_model_spec(detector) == spec
+        assert hash(as_model_spec(detector)) == hash(spec)
+
+    def test_as_model_spec_rejects_junk(self):
+        from repro.experiments.jobs import as_model_spec
+
+        with pytest.raises(TypeError):
+            as_model_spec(42)
+
+    def test_job_helpers(self):
+        from repro.defenses.jobs import EnsembleDefenseJob
+        from repro.experiments.jobs import job_model_specs, job_stats_label
+
+        attack = AttackJob(job_id=0, model=ModelSpec("yolo", 1), image=_tiny_dataset(1)[0])
+        assert job_model_specs(attack) == (attack.model,)
+        assert job_stats_label(attack) == "single_stage-seed1"
+
+        members = (ModelSpec("yolo", 1), ModelSpec("detr", 2))
+        ensemble = EnsembleDefenseJob(
+            job_id=1, members=members, image=_tiny_dataset(1)[0]
+        )
+        assert job_model_specs(ensemble) == members
+        assert job_stats_label(ensemble).startswith("ensemble[")
+
+        toy = _CountingJob(2, 1)
+        assert job_model_specs(toy) == ()
+        assert job_stats_label(toy) is None

@@ -1,14 +1,26 @@
-"""Tests for the transferability experiment."""
+"""Tests for the transferability experiment.
+
+``TestTransferEngineParity`` is the engine-parity suite: the engine-based
+experiment (serial and pooled at n_jobs ∈ {1, 2, 4}, shuffled submission)
+must be bit-identical to the preserved pre-engine reference loop
+(`run_transferability_reference`) — same matrix, same best masks, same
+intensities — for both live-detector and model-spec inputs.
+"""
 
 import numpy as np
 import pytest
 
 from repro.core.config import AttackConfig
 from repro.core.regions import HalfImageRegion
+from repro.data.dataset import generate_dataset
+from repro.detectors.training import TrainingConfig
 from repro.detectors.zoo import build_model_zoo
+from repro.experiments.engine import ProcessPoolBackend
+from repro.experiments.jobs import ModelSpec
 from repro.experiments.transfer import (
     TransferabilityResult,
     run_transferability_experiment,
+    run_transferability_reference,
 )
 from repro.nsga.algorithm import NSGAConfig
 
@@ -56,3 +68,148 @@ class TestTransferability:
             model_names=["only"], matrix=np.array([[0.4]])
         )
         assert result.transfer_degradation() == 1.0
+
+
+class TestTransferabilityResultEdgeCases:
+    def test_single_model_gap_is_nan_free(self):
+        result = TransferabilityResult(model_names=["only"], matrix=np.array([[0.4]]))
+        assert result.self_degradation() == pytest.approx(0.4)
+        assert not np.isnan(result.transfer_gap())
+        assert result.transfer_gap() == pytest.approx(1.0 - 0.4)
+        assert len(result.as_rows()) == 1
+
+    def test_empty_masks_intensity_defaults(self):
+        result = TransferabilityResult(
+            model_names=["a", "b"], matrix=np.full((2, 2), 0.5)
+        )
+        assert result.masks_intensity == []
+        assert result.best_masks == []
+        assert result.execution is None
+        assert not np.isnan(result.transfer_gap())
+        assert result.transfer_gap() == pytest.approx(0.0)
+
+    def test_empty_matrix_statistics_are_nan_free(self):
+        result = TransferabilityResult(
+            model_names=[], matrix=np.zeros((0, 0))
+        )
+        assert result.self_degradation() == 1.0
+        assert result.transfer_degradation() == 1.0
+        assert not np.isnan(result.transfer_gap())
+
+
+# Deliberately smaller than the module fixture: the parity suite runs the
+# sweep six ways (reference, two serial variants, three pool sizes).
+_PARITY_LENGTH, _PARITY_WIDTH = 48, 96
+
+
+@pytest.fixture(scope="module")
+def parity_training():
+    return TrainingConfig(
+        scenes_per_class=2,
+        image_length=_PARITY_LENGTH,
+        image_width=_PARITY_WIDTH,
+        background_clusters=12,
+    )
+
+
+@pytest.fixture(scope="module")
+def parity_image(parity_training):
+    dataset = generate_dataset(
+        num_images=1,
+        seed=5,
+        image_length=_PARITY_LENGTH,
+        image_width=_PARITY_WIDTH,
+        half="left",
+    )
+    return dataset[0].image
+
+
+@pytest.fixture(scope="module")
+def parity_config():
+    return AttackConfig(
+        nsga=NSGAConfig(num_iterations=3, population_size=8, seed=0),
+        region=HalfImageRegion("right"),
+    )
+
+
+@pytest.fixture(scope="module")
+def parity_specs(parity_training):
+    return [ModelSpec("detr", seed, training=parity_training) for seed in (1, 2)]
+
+
+@pytest.fixture(scope="module")
+def reference_transfer(parity_training, parity_image, parity_config):
+    models = build_model_zoo("detr", seeds=(1, 2), training=parity_training)
+    return run_transferability_reference(models, parity_image, parity_config)
+
+
+@pytest.fixture(scope="module")
+def serial_transfer(parity_specs, parity_image, parity_config):
+    return run_transferability_experiment(parity_specs, parity_image, parity_config)
+
+
+def _assert_transfer_identical(left, right):
+    """Bit-exact equality of everything the transfer report asserts."""
+    assert left.model_names == right.model_names
+    assert np.array_equal(left.matrix, right.matrix)
+    assert left.masks_intensity == right.masks_intensity
+    assert len(left.best_masks) == len(right.best_masks)
+    for a, b in zip(left.best_masks, right.best_masks):
+        assert np.array_equal(a, b)
+
+
+class TestTransferEngineParity:
+    def test_engine_matches_reference_loop(
+        self, parity_training, parity_image, parity_config, serial_transfer,
+        reference_transfer,
+    ):
+        """The engine sweep equals the preserved pre-engine loop bit for bit."""
+        _assert_transfer_identical(reference_transfer, serial_transfer)
+
+    def test_detector_instances_match_specs(
+        self, parity_training, parity_image, parity_config, serial_transfer
+    ):
+        """Live-detector input rides the engine with identical results."""
+        models = build_model_zoo("detr", seeds=(1, 2), training=parity_training)
+        from_instances = run_transferability_experiment(
+            models, parity_image, parity_config
+        )
+        _assert_transfer_identical(serial_transfer, from_instances)
+
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_pooled_matches_serial(
+        self, parity_specs, parity_image, parity_config, serial_transfer, n_jobs
+    ):
+        """Pooled sweeps (shuffled submission) are bit-identical to serial."""
+        backend = ProcessPoolBackend(n_jobs=n_jobs, submission_seed=50 + n_jobs)
+        pooled = run_transferability_experiment(
+            parity_specs, parity_image, parity_config, n_jobs=n_jobs, backend=backend
+        )
+        _assert_transfer_identical(serial_transfer, pooled)
+        assert pooled.execution["backend"] == "process"
+
+    def test_experiment_seed_is_scheduling_independent(
+        self, parity_specs, parity_image, parity_config
+    ):
+        serial = run_transferability_experiment(
+            parity_specs, parity_image, parity_config, experiment_seed=2023
+        )
+        pooled = run_transferability_experiment(
+            parity_specs,
+            parity_image,
+            parity_config,
+            backend=ProcessPoolBackend(n_jobs=2, submission_seed=9),
+            experiment_seed=2023,
+        )
+        _assert_transfer_identical(serial, pooled)
+        assert serial.experiment_seed == 2023
+
+    def test_execution_provenance_recorded(self, serial_transfer):
+        execution = serial_transfer.execution
+        assert execution["backend"] == "serial"
+        assert len(execution["stages"]) == 2
+        stats = execution["cache_stats"]
+        # Two models: at least one activation-cache miss per optimisation
+        # job (the cross-evaluation stage adds one more per column only
+        # when a best mask is sparse enough for the windowed path).
+        assert stats["misses"] >= 2

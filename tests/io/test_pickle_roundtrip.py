@@ -214,3 +214,177 @@ class TestMultiprocessingBoundary:
             assert np.array_equal(
                 echoed.solutions[0].mask.values, original.solutions[0].mask.values
             )
+
+
+def _sample_transfer_result():
+    from repro.experiments.transfer import TransferabilityResult
+
+    rng = np.random.default_rng(4)
+    return TransferabilityResult(
+        model_names=["transformer-seed1", "transformer-seed2"],
+        matrix=rng.uniform(0, 1, size=(2, 2)),
+        masks_intensity=[0.5, 0.75],
+        best_masks=[rng.normal(0, 3, size=(6, 8, 3)) for _ in range(2)],
+        experiment_seed=2023,
+        execution={"backend": "process", "n_jobs": 2},
+    )
+
+
+def _sample_defense_evaluation():
+    from repro.defenses.evaluation import DefenseEvaluation
+
+    return DefenseEvaluation(
+        undefended_result=_sample_result(),
+        defended_result=_sample_result(),
+        undefended_best_degradation=0.25,
+        defended_best_degradation=0.75,
+        clean_recall_undefended=0.9,
+        clean_recall_defended=0.8,
+        execution={"backend": "serial", "n_jobs": 1},
+    )
+
+
+def _sample_ensemble_defense_evaluation():
+    from repro.defenses.evaluation import EnsembleDefenseEvaluation
+
+    return EnsembleDefenseEvaluation(
+        attack_result=_sample_result(),
+        member_degradations=[0.3, 0.6],
+        fused_degradation=0.7,
+        execution={"backend": "serial", "n_jobs": 1},
+    )
+
+
+class TestSweepReportPickle:
+    """PR 5 report types must cross the multiprocessing boundary bit-exactly."""
+
+    def test_transfer_result_roundtrip(self):
+        original = _sample_transfer_result()
+        clone = _roundtrip(original)
+        assert clone.model_names == original.model_names
+        assert np.array_equal(clone.matrix, original.matrix)
+        assert clone.masks_intensity == original.masks_intensity
+        for left, right in zip(clone.best_masks, original.best_masks):
+            assert np.array_equal(left, right)
+        assert clone.experiment_seed == 2023
+        assert clone.execution == original.execution
+        assert clone.transfer_gap() == original.transfer_gap()
+
+    def test_defense_evaluation_roundtrip(self):
+        original = _sample_defense_evaluation()
+        clone = _roundtrip(original)
+        assert clone.undefended_result.fingerprint() == original.undefended_result.fingerprint()
+        assert clone.defended_result.fingerprint() == original.defended_result.fingerprint()
+        assert clone.robustness_gain == original.robustness_gain
+        assert clone.clean_recall_defended == original.clean_recall_defended
+        assert clone.execution == original.execution
+
+    def test_ensemble_defense_evaluation_roundtrip(self):
+        original = _sample_ensemble_defense_evaluation()
+        clone = _roundtrip(original)
+        assert clone.attack_result.fingerprint() == original.attack_result.fingerprint()
+        assert clone.member_degradations == original.member_degradations
+        assert clone.fused_degradation == original.fused_degradation
+        assert clone.fusion_helps == original.fusion_helps
+
+
+def _transfer_eval_job():
+    from repro.experiments.transfer import TransferEvalJob
+
+    rng = np.random.default_rng(5)
+    return TransferEvalJob(
+        job_id=3,
+        model=ModelSpec("detr", 2),
+        image=rng.uniform(0, 255, size=(6, 8, 3)),
+        masks=rng.normal(0, 3, size=(2, 6, 8, 3)),
+        dirty_bounds=[(0, 2, 0, 3), (1, 4, 2, 6)],
+        config=AttackConfig(nsga=NSGAConfig(num_iterations=2, population_size=4)),
+        target_index=1,
+    )
+
+
+def _defense_attack_job():
+    from repro.defenses.jobs import DefendedModelSpec, DefenseAttackJob
+    from repro.defenses.augmentation import NoiseAugmentationConfig
+
+    return DefenseAttackJob(
+        job_id=1,
+        model=DefendedModelSpec(
+            base=ModelSpec("yolo", 3),
+            augmentation=NoiseAugmentationConfig(augmented_copies=1),
+            defense_seed=99,
+        ),
+        image=np.ones((6, 8, 3)),
+        ground_truth=_sample_prediction(),
+        config=AttackConfig(nsga=NSGAConfig(num_iterations=2, population_size=4)),
+        role="defended",
+        nsga_seed=123456,
+    )
+
+
+def _ensemble_defense_job():
+    from repro.defenses.jobs import EnsembleDefenseJob
+
+    return EnsembleDefenseJob(
+        job_id=2,
+        members=(ModelSpec("yolo", 1), ModelSpec("detr", 2)),
+        image=np.ones((6, 8, 3)),
+        config=AttackConfig(nsga=NSGAConfig(num_iterations=2, population_size=4)),
+        vote_fraction=0.5,
+        nsga_seed=777,
+    )
+
+
+class TestSweepJobMultiprocessingBoundary:
+    """PR 5 job types ship to real worker processes and back intact."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            _transfer_eval_job,
+            _defense_attack_job,
+            _ensemble_defense_job,
+            _sample_transfer_result,
+            _sample_defense_evaluation,
+            _sample_ensemble_defense_evaluation,
+        ],
+        ids=[
+            "transfer_eval_job",
+            "defense_attack_job",
+            "ensemble_defense_job",
+            "transfer_result",
+            "defense_evaluation",
+            "ensemble_defense_evaluation",
+        ],
+    )
+    def test_objects_survive_a_worker_process(self, factory):
+        original = factory()
+        with multiprocessing.get_context().Pool(1) as pool:
+            echoed_bytes = pool.apply(_echo, (pickle.dumps(original),))
+        echoed = pickle.loads(echoed_bytes)
+        assert type(echoed) is type(original)
+
+    def test_transfer_eval_job_fields_survive(self):
+        original = _transfer_eval_job()
+        clone = _roundtrip(original)
+        assert clone.job_id == 3
+        assert clone.model == original.model
+        assert np.array_equal(clone.masks, original.masks)
+        assert clone.dirty_bounds == original.dirty_bounds
+        assert clone.target_index == 1
+
+    def test_defense_attack_job_fields_survive(self):
+        original = _defense_attack_job()
+        clone = _roundtrip(original)
+        assert clone.model == original.model
+        assert clone.model.defense_seed == 99
+        assert clone.role == "defended"
+        assert clone.ground_truth.boxes == original.ground_truth.boxes
+        assert clone.resolved_config().nsga.seed == 123456
+
+    def test_ensemble_defense_job_fields_survive(self):
+        original = _ensemble_defense_job()
+        clone = _roundtrip(original)
+        assert clone.members == original.members
+        assert clone.vote_fraction == 0.5
+        assert clone.stats_label == original.stats_label

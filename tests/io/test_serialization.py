@@ -142,3 +142,133 @@ class TestAttackResultSerialization:
         assert loaded.cache_hits == 0
         assert loaded.architecture == ""
         assert loaded.model_seed is None and loaded.job_id is None
+
+
+class TestTransferResultSerialization:
+    def test_roundtrip_is_exact(self, tmp_path):
+        from repro.experiments.transfer import TransferabilityResult
+        from repro.io.serialization import load_transfer_result, save_transfer_result
+
+        rng = np.random.default_rng(7)
+        original = TransferabilityResult(
+            model_names=["single_stage-seed1", "single_stage-seed2"],
+            matrix=rng.uniform(0, 1, size=(2, 2)),
+            masks_intensity=[0.25, 0.5],
+            best_masks=[rng.normal(0, 4, size=(6, 10, 3)) for _ in range(2)],
+            experiment_seed=11,
+            execution={
+                "backend": "process",
+                "n_jobs": 2,
+                "duration_seconds": 1.5,
+                "cache_enabled": True,
+                "cache_stats": {"hits": 3, "misses": 4, "evictions": 0, "hit_rate": 3 / 7},
+            },
+        )
+        path = save_transfer_result(original, tmp_path / "transfer")
+        loaded = load_transfer_result(path)
+        assert loaded.model_names == original.model_names
+        assert np.array_equal(loaded.matrix, original.matrix)
+        assert loaded.masks_intensity == original.masks_intensity
+        for left, right in zip(loaded.best_masks, original.best_masks):
+            assert np.array_equal(left, right)
+        assert loaded.experiment_seed == 11
+        assert loaded.execution == original.execution
+        assert loaded.transfer_gap() == original.transfer_gap()
+
+    def test_minimal_report_roundtrip(self, tmp_path):
+        """A report without masks/provenance (e.g. the reference loop) saves."""
+        from repro.experiments.transfer import TransferabilityResult
+        from repro.io.serialization import load_transfer_result, save_transfer_result
+
+        original = TransferabilityResult(
+            model_names=["only"], matrix=np.array([[0.5]])
+        )
+        loaded = load_transfer_result(
+            save_transfer_result(original, tmp_path / "minimal")
+        )
+        assert loaded.model_names == ["only"]
+        assert loaded.best_masks == []
+        assert loaded.execution is None
+        assert loaded.experiment_seed is None
+
+
+def _attack_result_for_io(detector_name="detr-seed1"):
+    rng = np.random.default_rng(9)
+    from repro.core.results import AttackResult, ParetoSolution
+
+    solution = ParetoSolution(
+        mask=FilterMask(rng.normal(0, 5, size=(6, 10, 3))),
+        intensity=0.5,
+        degradation=0.25,
+        distance=1.5,
+        rank=1,
+    )
+    return AttackResult(
+        image=rng.uniform(0, 255, size=(6, 10, 3)),
+        clean_prediction=Prediction(
+            [BoundingBox(cl=0, x=2.0, y=3.0, l=4.0, w=5.0, score=0.9)]
+        ),
+        solutions=[solution],
+        detector_name=detector_name,
+        num_evaluations=10,
+        cache_hits=2,
+    )
+
+
+class TestDefenseEvaluationSerialization:
+    def test_roundtrip_is_exact(self, tmp_path):
+        from repro.defenses.evaluation import DefenseEvaluation
+        from repro.io.serialization import (
+            load_defense_evaluation,
+            save_defense_evaluation,
+        )
+
+        original = DefenseEvaluation(
+            undefended_result=_attack_result_for_io("detr-seed1"),
+            defended_result=_attack_result_for_io("detr-seed1-noise_defended"),
+            undefended_best_degradation=0.25,
+            defended_best_degradation=0.75,
+            clean_recall_undefended=1.0,
+            clean_recall_defended=0.5,
+            execution={"backend": "serial", "n_jobs": 1},
+        )
+        loaded = load_defense_evaluation(
+            save_defense_evaluation(original, tmp_path / "defense")
+        )
+        assert (
+            loaded.undefended_result.fingerprint()
+            == original.undefended_result.fingerprint()
+        )
+        assert (
+            loaded.defended_result.fingerprint()
+            == original.defended_result.fingerprint()
+        )
+        assert loaded.robustness_gain == original.robustness_gain
+        assert loaded.clean_recall_undefended == 1.0
+        assert loaded.clean_recall_defended == 0.5
+        assert loaded.execution == original.execution
+        assert loaded.summary_rows() == original.summary_rows()
+
+    def test_ensemble_roundtrip_is_exact(self, tmp_path):
+        from repro.defenses.evaluation import EnsembleDefenseEvaluation
+        from repro.io.serialization import (
+            load_ensemble_defense_evaluation,
+            save_ensemble_defense_evaluation,
+        )
+
+        original = EnsembleDefenseEvaluation(
+            attack_result=_attack_result_for_io("ensemble"),
+            member_degradations=[0.3, 0.9],
+            fused_degradation=0.8,
+            execution={"backend": "process", "n_jobs": 4},
+        )
+        loaded = load_ensemble_defense_evaluation(
+            save_ensemble_defense_evaluation(original, tmp_path / "ensemble")
+        )
+        assert (
+            loaded.attack_result.fingerprint() == original.attack_result.fingerprint()
+        )
+        assert loaded.member_degradations == original.member_degradations
+        assert loaded.fused_degradation == original.fused_degradation
+        assert loaded.fusion_helps == original.fusion_helps
+        assert loaded.execution == original.execution
