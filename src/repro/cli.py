@@ -90,11 +90,12 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend",
-        choices=["serial", "process"],
+        choices=["serial", "process", "persistent"],
         default=None,
         help=(
             "execution backend for the sweep; default: serial for --jobs 1, "
-            "a multiprocessing pool otherwise"
+            "a multiprocessing pool otherwise; 'persistent' keeps a pool of "
+            "long-lived workers with shared-memory scene/activation tensors"
         ),
     )
     parser.add_argument(
@@ -121,7 +122,8 @@ def _print_execution_summary(execution: dict | None) -> None:
         stats = execution["cache_stats"]
         print(
             f"Activation cache (sweep total): {stats['hits']} hits, "
-            f"{stats['misses']} misses, {stats['evictions']} evictions "
+            f"{stats['misses']} misses, {stats['evictions']} evictions, "
+            f"{stats.get('invalidations', 0)} invalidations "
             f"(hit rate {stats['hit_rate']:.1%})"
         )
     else:

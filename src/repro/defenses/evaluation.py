@@ -232,12 +232,17 @@ def evaluate_defense(
         attack_config,
         experiment_seed=experiment_seed,
     )
+    owns_backend = not isinstance(backend, ExecutionBackend)
     engine_backend = resolve_backend(backend, n_jobs=n_jobs)
     try:
         execution = execute_plan(plan, engine_backend)
     finally:
         if release_models:
             release_plan_models(plan)
+        if owns_backend:
+            # Resolved from a name: the sweep owns the backend's resources;
+            # a caller-provided instance is left alive for reuse.
+            engine_backend.close()
     return _assemble_defense_evaluation(execution.outcomes, execution.summary())
 
 
@@ -278,12 +283,15 @@ def ensemble_defense_evaluation(
         experiment_seed=experiment_seed,
         name="ensemble-defense",
     )
+    owns_backend = not isinstance(backend, ExecutionBackend)
     engine_backend = resolve_backend(backend, n_jobs=n_jobs)
     try:
         execution = execute_plan(plan, engine_backend)
     finally:
         if release_models:
             release_plan_models(plan)
+        if owns_backend:
+            engine_backend.close()
     payload = execution.outcomes[0].result
     return EnsembleDefenseEvaluation(
         attack_result=payload.attack_result,

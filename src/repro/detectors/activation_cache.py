@@ -10,9 +10,15 @@ cache machinery:
 * :class:`CleanActivations` — the per-``(detector, image)`` bundle of
   cached tensors plus the decoded clean prediction;
 * :class:`ActivationCacheStore` — a small content-keyed LRU store with a
-  size cap, hit/miss/eviction counters and explicit invalidation, used by
-  the experiment runner to manage per-scene cache lifecycle across a
-  models × images sweep;
+  size cap, hit/miss/eviction/invalidation counters and explicit
+  invalidation, used by the experiment runner to manage per-scene cache
+  lifecycle across a models × images sweep;
+* :class:`SharedMemoryActivationStore` — the same store with every cached
+  tensor placed in a ``multiprocessing.shared_memory`` segment.  The
+  persistent worker runtime (:mod:`repro.experiments.persistent`) gives
+  each long-lived worker one, so bundle memory lives in named segments the
+  parent can audit and reap; segments are refcount-retired on
+  eviction/invalidation and explicitly unlinked on shutdown.
 * :class:`CacheStats` — an immutable counter snapshot that supports
   differences (per-job/per-model deltas) and merging (summing per-worker
   counters into sweep-level totals across a process pool, where every
@@ -26,6 +32,7 @@ image always misses and rebuilds.
 from __future__ import annotations
 
 import hashlib
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -48,17 +55,23 @@ def image_digest(image: np.ndarray) -> bytes:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Immutable hit/miss/eviction counters of an activation store.
+    """Immutable hit/miss/eviction/invalidation counters of a store.
 
     Snapshots subtract (``after - before`` gives the delta attributable to
     one attack job) and add (merging per-worker or per-model deltas into
     sweep totals), so the experiment engine can report per-model hit rates
     even when jobs fan out over a process pool of private stores.
+
+    ``evictions`` counts cap-driven LRU drops only; ``invalidations``
+    counts entries dropped by explicit :meth:`ActivationCacheStore.invalidate`
+    calls (per-model lifecycle, shutdown).  Keeping the two separate lets
+    persisted provenance distinguish cache pressure from lifecycle churn.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def requests(self) -> int:
@@ -75,6 +88,7 @@ class CacheStats:
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
             evictions=self.evictions + other.evictions,
+            invalidations=self.invalidations + other.invalidations,
         )
 
     def __sub__(self, other: "CacheStats") -> "CacheStats":
@@ -82,6 +96,7 @@ class CacheStats:
             hits=self.hits - other.hits,
             misses=self.misses - other.misses,
             evictions=self.evictions - other.evictions,
+            invalidations=self.invalidations - other.invalidations,
         )
 
     def as_dict(self) -> dict[str, float]:
@@ -90,6 +105,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }
 
@@ -150,6 +166,7 @@ class ActivationCacheStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -172,37 +189,57 @@ class ActivationCacheStore:
         activations = detector.clean_activations(image)
         if activations is None:
             return None
+        activations = self._admit(activations)
         while len(self._entries) >= self.max_entries:
             oldest = next(iter(self._entries))
-            del self._entries[oldest]
+            self._drop(oldest)
             self.evictions += 1
         self._entries[key] = _StoreEntry(detector=detector, activations=activations)
         return activations
 
+    def _admit(self, activations: CleanActivations) -> CleanActivations:
+        """Hook: transform a freshly built bundle before caching it."""
+        return activations
+
+    def _drop(self, key: tuple[int, bytes]) -> None:
+        """Hook: remove one entry (eviction or invalidation)."""
+        del self._entries[key]
+
     def invalidate(self, detector: "Detector | None" = None) -> int:
-        """Drop entries (all of them, or one detector's); returns the count."""
+        """Drop entries (all of them, or one detector's); returns the count.
+
+        Explicit drops are counted in ``invalidations`` (not ``evictions``,
+        which stays cap-driven only) so persisted provenance reports entry
+        turnover completely.
+        """
         if detector is None:
-            dropped = len(self._entries)
-            self._entries.clear()
-            return dropped
-        keys = [key for key in self._entries if key[0] == id(detector)]
+            keys = list(self._entries)
+        else:
+            keys = [key for key in self._entries if key[0] == id(detector)]
         for key in keys:
-            del self._entries[key]
+            self._drop(key)
+        self.invalidations += len(keys)
         return len(keys)
 
     @property
     def stats(self) -> dict[str, int]:
-        """Hit/miss/eviction counters plus the current entry count."""
+        """Hit/miss/eviction/invalidation counters plus the entry count."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "entries": len(self._entries),
         }
 
     def snapshot(self) -> CacheStats:
         """The current counters as an immutable :class:`CacheStats`."""
-        return CacheStats(hits=self.hits, misses=self.misses, evictions=self.evictions)
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            invalidations=self.invalidations,
+        )
 
     def reset_stats(self) -> CacheStats:
         """Zero the counters and return the pre-reset snapshot.
@@ -217,4 +254,145 @@ class ActivationCacheStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
         return snapshot
+
+
+# --- shared-memory-backed store ----------------------------------------------
+
+#: Process-wide counter making shared-segment names unique per store.
+_SHM_STORE_SEQ = 0
+
+
+class SharedMemoryActivationStore(ActivationCacheStore):
+    """Activation store whose cached tensors live in named shared memory.
+
+    Functionally identical to :class:`ActivationCacheStore` (same keys,
+    same LRU, same counters — the parity suites cover both), but every
+    admitted bundle's ``clean_image`` and stage tensors are copied into
+    ``multiprocessing.shared_memory`` segments and served as read-only
+    views.  The persistent worker runtime gives each long-lived worker one
+    of these so that
+
+    * bundle memory is visible to (and auditable by) the parent through
+      the segment *name prefix* — a worker killed mid-job leaves segments
+      the runtime reaps by prefix instead of leaking them, and
+    * segments are retired with an explicit lifecycle: ``unlink`` happens
+      immediately on eviction/invalidation (the name disappears), while
+      the mapping is kept on a retired list until :meth:`release_retired`
+      — a bundle fetched earlier in a job stays readable even if a later
+      miss in the same job evicts it (the refcount is the job boundary).
+
+    ``shutdown()`` drops every entry and closes every mapping; after it
+    returns, no segment created by this store exists.
+    """
+
+    def __init__(self, max_entries: int = 4, segment_prefix: str | None = None) -> None:
+        super().__init__(max_entries=max_entries)
+        global _SHM_STORE_SEQ
+        if segment_prefix is None:
+            segment_prefix = f"rpa{os.getpid()}x{_SHM_STORE_SEQ}"
+            _SHM_STORE_SEQ += 1
+        self.segment_prefix = segment_prefix
+        self._segment_seq = 0
+        self._segments: dict[tuple[int, bytes], list] = {}
+        self._retired: list = []
+        self.segments_created = 0
+
+    # -- segment bookkeeping ------------------------------------------------
+    @property
+    def active_segments(self) -> int:
+        """Live (linked) segments: cached entries only, not retired maps."""
+        return sum(len(segments) for segments in self._segments.values())
+
+    def _share_array(self, array: np.ndarray):
+        """Copy one array into a fresh segment; returns (segment, view)."""
+        from multiprocessing import shared_memory
+
+        array = np.ascontiguousarray(array)
+        name = f"{self.segment_prefix}n{self._segment_seq}"
+        self._segment_seq += 1
+        segment = shared_memory.SharedMemory(
+            create=True, name=name, size=max(1, array.nbytes)
+        )
+        self.segments_created += 1
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        # Cached bundles are read-only by the PR 2 contract (delta paths
+        # .copy() before splicing); enforce it so a violation fails loudly
+        # instead of corrupting every later job that hits this entry.
+        view.flags.writeable = False
+        return segment, view
+
+    def _admit(self, activations: CleanActivations) -> CleanActivations:
+        segments: list = []
+        clean_segment, clean_view = self._share_array(activations.clean_image)
+        segments.append(clean_segment)
+        tensors: dict[str, np.ndarray] = {}
+        for name, tensor in activations.tensors.items():
+            segment, view = self._share_array(tensor)
+            segments.append(segment)
+            tensors[name] = view
+        shared = CleanActivations(
+            clean_image=clean_view,
+            prediction=activations.prediction,
+            tensors=tensors,
+        )
+        self._pending_segments = segments
+        return shared
+
+    def _drop(self, key: tuple[int, bytes]) -> None:
+        super()._drop(key)
+        for segment in self._segments.pop(key, ()):  # unlink now, close later
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            self._retired.append(segment)
+
+    def get(self, detector, image):
+        activations = super().get(detector, image)
+        pending = getattr(self, "_pending_segments", None)
+        if pending is not None:
+            # _admit ran for this miss: bind the segments to the entry the
+            # base class just inserted (it is the MRU key by construction).
+            self._pending_segments = None
+            if self._entries:
+                newest = next(reversed(self._entries))
+                self._segments[newest] = pending
+            else:  # pragma: no cover - cap >= 1 keeps the new entry cached
+                self._retire_now(pending)
+        return activations
+
+    def _retire_now(self, segments) -> None:
+        for segment in segments:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            self._retired.append(segment)
+
+    def release_retired(self) -> int:
+        """Close retired (already unlinked) mappings; returns the count.
+
+        The persistent worker calls this at each job boundary — no view of
+        a retired bundle can be live once the job that fetched it returned.
+        """
+        released = len(self._retired)
+        for segment in self._retired:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        self._retired.clear()
+        return released
+
+    def shutdown(self) -> None:
+        """Drop every entry and close every mapping (idempotent).
+
+        After this returns no segment created by the store is linked or
+        mapped; the parent's leak audit must find nothing under
+        ``segment_prefix``.
+        """
+        self.invalidate()
+        self.release_retired()

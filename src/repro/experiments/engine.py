@@ -14,6 +14,10 @@ that execute one:
   workers.  Each worker owns a private activation store and a private
   detector memo (stores are never shared across processes); jobs return as
   they complete and the engine reassembles them into plan order.
+* ``PersistentPoolBackend`` (:mod:`repro.experiments.persistent`) — a pool
+  of long-lived workers that survive across ``execute_plan`` calls, with
+  model-affinity scheduling and shared-memory scene/activation tensors.
+  Resolved by name (``"persistent"``) to avoid an import cycle.
 
 Because every job carries its own pre-derived NSGA-II seed (or the shared
 default), and jobs are deterministic given (model specs, image, config,
@@ -33,6 +37,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -50,7 +55,38 @@ from repro.experiments.jobs import (
 )
 
 #: Backend names accepted by :func:`resolve_backend` (and the CLI).
-BACKEND_NAMES: tuple[str, ...] = ("serial", "process")
+BACKEND_NAMES: tuple[str, ...] = ("serial", "process", "persistent")
+
+
+class JobExecutionError(RuntimeError):
+    """A job raised inside a worker process.
+
+    Captures which job failed, where it ran and the worker-side traceback,
+    and — unlike an arbitrary exception re-raised through a pool — survives
+    pickling across the process boundary (multi-argument exceptions break
+    the default unpickle path, so :meth:`__reduce__` is explicit).
+    """
+
+    def __init__(
+        self,
+        job_id: object,
+        worker_id: str,
+        message: str,
+        worker_traceback: str = "",
+    ) -> None:
+        super().__init__(
+            f"job {job_id!r} failed on worker {worker_id}: {message}"
+        )
+        self.job_id = job_id
+        self.worker_id = worker_id
+        self.job_message = message
+        self.worker_traceback = worker_traceback
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.job_id, self.worker_id, self.job_message, self.worker_traceback),
+        )
 
 
 @dataclass
@@ -84,6 +120,7 @@ class ExecutionReport:
                 "hits": stats.hits,
                 "misses": stats.misses,
                 "evictions": stats.evictions,
+                "invalidations": stats.invalidations,
                 "hit_rate": stats.hit_rate,
             }
             for name, stats in self.per_model.items()
@@ -124,9 +161,21 @@ def merge_execution_summaries(parts: "Sequence[dict]") -> dict[str, object]:
             hits=int(stats.get("hits", 0)),
             misses=int(stats.get("misses", 0)),
             evictions=int(stats.get("evictions", 0)),
+            invalidations=int(stats.get("invalidations", 0)),
         )
+    # A multi-stage sweep may legitimately run its stages on different
+    # backends; stamping the whole run with the first stage's name would
+    # misreport every later stage, so disagreement is reported as "mixed"
+    # (per-stage names stay available under "stages").
+    backends = {str(part.get("backend", "serial")) for part in parts}
+    if not backends:
+        backend = "serial"
+    elif len(backends) == 1:
+        backend = backends.pop()
+    else:
+        backend = "mixed"
     return {
-        "backend": parts[0]["backend"] if parts else "serial",
+        "backend": backend,
         "n_jobs": max((int(part.get("n_jobs", 1)) for part in parts), default=1),
         "duration_seconds": sum(
             float(part.get("duration_seconds", 0.0)) for part in parts
@@ -146,6 +195,27 @@ class ExecutionBackend(ABC):
     @abstractmethod
     def run(self, plan: ExperimentPlan) -> list[JobOutcome]:
         """Execute every job of the plan; outcomes may be in any order."""
+
+    def close(self) -> None:
+        """Release backend-held resources (worker processes, shared memory).
+
+        A no-op for the stateless backends; sweeps that *resolve* a backend
+        from a name own it and close it when done, while a caller-provided
+        instance is left alive for the caller to reuse.
+        """
+
+    def pin_models(self, specs: Sequence) -> None:
+        """Defer cache invalidation for ``specs`` until they are unpinned.
+
+        Multi-stage sweeps pin the models bridging their stages so the
+        per-model lifecycle (drop a finished model's cache entries) does
+        not destroy state the next stage will hit.  No-op on backends
+        without cross-plan state — serial and the one-shot pool rebuild
+        their stores per ``run()`` anyway.
+        """
+
+    def unpin_models(self, specs: Sequence) -> None:
+        """Lift :meth:`pin_models`, applying any deferred invalidation."""
 
 
 class SerialBackend(ExecutionBackend):
@@ -210,8 +280,21 @@ def _init_worker(use_cache: bool, cache_size: int) -> None:
 
 
 def _run_job_in_worker(job) -> JobOutcome:
-    outcome = job.execute(WorkerContext(store=_WORKER_STORE))
-    outcome.worker_id = f"pid-{os.getpid()}"
+    worker_id = f"pid-{os.getpid()}"
+    try:
+        outcome = job.execute(WorkerContext(store=_WORKER_STORE, worker_id=worker_id))
+    except Exception as exc:
+        # Re-raise as a picklable, self-describing error: the parent's
+        # imap_unordered re-raises it with the failing job and the
+        # worker-side traceback attached instead of hanging on or silently
+        # truncating the outcome list.
+        raise JobExecutionError(
+            getattr(job, "job_id", None),
+            worker_id,
+            f"{type(exc).__name__}: {exc}",
+            traceback.format_exc(),
+        ) from exc
+    outcome.worker_id = worker_id
     return outcome
 
 
@@ -287,7 +370,8 @@ def resolve_backend(
     """Build a backend from a name (or pass an instance through).
 
     ``None`` auto-selects: serial for ``n_jobs == 1``, a process pool
-    otherwise.
+    otherwise.  ``"persistent"`` builds the long-lived shared-memory
+    worker runtime (lazily imported — it depends on this module).
     """
     if isinstance(backend, ExecutionBackend):
         return backend
@@ -298,6 +382,10 @@ def resolve_backend(
         return SerialBackend()
     if name == "process":
         return ProcessPoolBackend(n_jobs=max(1, n_jobs))
+    if name == "persistent":
+        from repro.experiments.persistent import PersistentPoolBackend
+
+        return PersistentPoolBackend(n_jobs=max(1, n_jobs))
     raise ValueError(
         f"unknown execution backend {backend!r}; expected one of {BACKEND_NAMES}"
     )

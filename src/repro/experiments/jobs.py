@@ -125,6 +125,28 @@ def clear_detector_memo() -> int:
     return count
 
 
+def detector_if_built(spec) -> Detector | None:
+    """The memoised detector for ``spec`` if one exists — never builds.
+
+    The persistent runtime's invalidation broadcast uses this to find the
+    worker-local instance whose ``id()`` keys the activation store: a model
+    the worker never built has nothing to invalidate, and building one just
+    to drop it would be absurd.  Unhashable specs return ``None``.
+    """
+    try:
+        return _DETECTOR_MEMO.get(spec)
+    except TypeError:  # pragma: no cover - specs are hashable by contract
+        return None
+
+
+def release_detector(spec) -> bool:
+    """Drop one spec's detector from the process-local memo, if present."""
+    try:
+        return _DETECTOR_MEMO.pop(spec, None) is not None
+    except TypeError:  # pragma: no cover - specs are hashable by contract
+        return False
+
+
 def release_plan_models(plan: "ExperimentPlan") -> int:
     """Drop a finished plan's detectors from the process-local memo.
 
@@ -206,10 +228,13 @@ class WorkerContext:
     a pool worker's private store.  ``store`` is ``None`` when the plan's
     attack config disables the activation cache.  The per-process detector
     memo is reached through :func:`build_cached` (module state, shared by
-    every job the process runs).
+    every job the process runs).  ``worker_id`` names the executing worker
+    (outcome attribution); long-lived executors such as the persistent
+    runtime keep one context for their whole life and stamp it once.
     """
 
     store: ActivationCacheStore | None = None
+    worker_id: str = "serial"
 
     def detector(self, spec) -> Detector:
         """The process-local detector for ``spec`` (memoised build)."""

@@ -1,0 +1,663 @@
+"""Persistent shared-memory worker runtime with model-affinity scheduling.
+
+The one-shot :class:`~repro.experiments.engine.ProcessPoolBackend` loses to
+serial on small machines for three structural reasons: every plan pays pool
+startup, every job pickles its full scene across the pipe, and every worker
+privately rebuilds detectors and ``CleanActivations`` bundles that some
+other worker (or the previous plan stage) already built.  This module keeps
+the engine's contract — bit-identical results to
+:class:`~repro.experiments.engine.SerialBackend` for any plan, worker count
+and submission order — while removing all three costs:
+
+* **Long-lived workers** (:class:`PersistentWorkerRuntime`): processes
+  spawn once and survive across ``execute_plan`` calls, keeping their
+  detector memo and activation store warm.  A transfer sweep's
+  cross-evaluation stage lands on workers that still hold the attack
+  stage's bundles — under the one-shot pool (and serial, which rebuilds
+  its store per ``run()``) that state is rebuilt from scratch.
+* **Model-affinity scheduling**: a job for model M routes to the worker
+  already holding M (most-overlap first, least-loaded as the tiebreak and
+  fallback), so a model's bundles are built once per *runtime*, not once
+  per worker.
+* **Shared-memory payloads**: scene tensors are interned into
+  ``multiprocessing.shared_memory`` segments by the parent
+  (:class:`~repro.experiments.shm.SharedScenePool`) and jobs ship segment
+  refs instead of pickled arrays; each worker's activation store is a
+  :class:`~repro.detectors.activation_cache.SharedMemoryActivationStore`
+  whose segments the parent can audit and reap by name prefix.
+
+The runtime also runs the per-model cache lifecycle the serial backend
+applies (and the one-shot pool never did): it tracks remaining jobs per
+model across the whole plan and broadcasts an invalidation to every worker
+when a model's last job finishes, so long sweeps do not thrash worker LRUs
+with dead models' scenes.  :meth:`PersistentWorkerRuntime.pin_models`
+defers that invalidation for models bridging multi-stage sweeps.
+
+Failure semantics: a job that raises surfaces as a
+:class:`~repro.experiments.engine.JobExecutionError` carrying the
+worker-side traceback; a worker that *dies* is reaped (its leftover
+segments force-unlinked), respawned and its jobs re-dispatched, with a
+per-job crash budget that turns a poison job into a
+:class:`WorkerCrashError` instead of an infinite respawn loop.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.detectors.activation_cache import SharedMemoryActivationStore
+from repro.experiments.engine import ExecutionBackend, JobExecutionError
+from repro.experiments.jobs import (
+    DetectorInstanceSpec,
+    ExperimentPlan,
+    JobOutcome,
+    WorkerContext,
+    build_cached,
+    detector_if_built,
+    job_model_specs,
+    release_detector,
+)
+from repro.experiments.shm import (
+    SharedArrayAttachments,
+    SharedScenePool,
+    extract_shared_arrays,
+    list_segments,
+    reap_segments,
+    restore_shared_arrays,
+)
+
+#: Process-wide counter giving each runtime a unique segment-name prefix.
+_RUNTIME_SEQ = 0
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker died repeatedly while the same job was in flight.
+
+    Raised after the per-job crash budget is exhausted; distinguishes a
+    poison job (kills every worker it lands on) from a transient worker
+    death, which the runtime absorbs by respawning and re-dispatching.
+    """
+
+    def __init__(self, job_id: object, crashes: int) -> None:
+        super().__init__(
+            f"job {job_id!r} was in flight through {crashes} worker deaths; "
+            "giving up instead of respawning forever"
+        )
+        self.job_id = job_id
+        self.crashes = crashes
+
+
+# --- worker process ----------------------------------------------------------
+
+
+def _worker_main(
+    index: int,
+    generation: int,
+    segment_prefix: str,
+    task_queue,
+    result_queue,
+    use_cache: bool,
+    cache_size: int,
+) -> None:
+    """The long-lived worker loop: jobs, lifecycle messages, clean stop.
+
+    All state a worker accumulates — detector memo, shared-memory
+    activation store, scene attachments — lives for the whole process and
+    is what makes the runtime pay off across plans.  Messages arrive on a
+    private FIFO queue, so lifecycle broadcasts (invalidate, detach) are
+    ordered against the job stream.
+    """
+    store = (
+        SharedMemoryActivationStore(
+            max_entries=cache_size, segment_prefix=segment_prefix
+        )
+        if use_cache
+        else None
+    )
+    attachments = SharedArrayAttachments()
+    context = WorkerContext(store=store, worker_id=f"worker-{index}")
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "job":
+            _, epoch, job, refs = message
+            try:
+                restore_shared_arrays(job, refs, attachments)
+                outcome = job.execute(context)
+                outcome.worker_id = context.worker_id
+                result_queue.put(("done", index, generation, epoch, outcome))
+            except Exception as exc:
+                result_queue.put(
+                    (
+                        "error",
+                        index,
+                        generation,
+                        epoch,
+                        getattr(job, "job_id", None),
+                        f"{type(exc).__name__}: {exc}",
+                        traceback.format_exc(),
+                    )
+                )
+            finally:
+                # By-value specs (wrapped live detectors) never recur — a
+                # fresh copy arrives with every job — so keeping them would
+                # grow the memo without bound in a long-lived process.
+                for spec in job_model_specs(job):
+                    if isinstance(spec, DetectorInstanceSpec):
+                        if store is not None:
+                            store.invalidate(spec.detector)
+                        release_detector(spec)
+                if store is not None:
+                    store.release_retired()
+        elif kind == "invalidate":
+            # Per-model lifecycle broadcast: the model's last job finished
+            # somewhere in the runtime; drop its bundles and its memo entry.
+            _, specs = message
+            for spec in specs:
+                detector = detector_if_built(spec)
+                if detector is not None and store is not None:
+                    store.invalidate(detector)
+                release_detector(spec)
+            if store is not None:
+                store.release_retired()
+        elif kind == "detach":
+            attachments.close_all()
+        elif kind == "stats":
+            result_queue.put(
+                (
+                    "stats",
+                    index,
+                    generation,
+                    None if store is None else dict(store.stats),
+                )
+            )
+        elif kind == "stop":
+            if store is not None:
+                store.shutdown()
+            attachments.close_all()
+            result_queue.put(("stopped", index, generation))
+            return
+
+
+# --- parent-side runtime -----------------------------------------------------
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    index: int
+    generation: int
+    process: object
+    task_queue: object
+    segment_prefix: str
+    models: set = field(default_factory=set)
+    backlog: deque = field(default_factory=deque)
+    inflight: dict = field(default_factory=dict)
+    assigned: int = 0
+
+    @property
+    def worker_id(self) -> str:
+        return f"worker-{self.index}"
+
+
+class PersistentWorkerRuntime:
+    """A pool of long-lived workers executing plans with affinity routing.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker-process count.
+    use_cache / cache_size:
+        Per-worker activation-store provisioning (a store lives as long as
+        its worker, which is the whole point).
+    start_method:
+        ``multiprocessing`` start method; ``None`` = platform default.
+    prefetch:
+        Jobs kept in flight per worker.  Small (default 2) so the per-model
+        lifecycle broadcasts interleave with the job stream instead of
+        arriving after a worker's whole plan share is queued.
+    max_crashes_per_job:
+        Worker deaths a single job may witness before the runtime raises
+        :class:`WorkerCrashError` instead of re-dispatching it again.
+    """
+
+    def __init__(
+        self,
+        n_jobs: int = 2,
+        use_cache: bool = True,
+        cache_size: int = 4,
+        start_method: str | None = None,
+        prefetch: int = 2,
+        max_crashes_per_job: int = 3,
+    ) -> None:
+        global _RUNTIME_SEQ
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
+        self.n_jobs = int(n_jobs)
+        self.use_cache = bool(use_cache)
+        self.cache_size = int(cache_size)
+        self.prefetch = max(1, int(prefetch))
+        self.max_crashes_per_job = max(1, int(max_crashes_per_job))
+        self._context = multiprocessing.get_context(start_method)
+        self._prefix = f"rpr{os.getpid()}x{_RUNTIME_SEQ}"
+        _RUNTIME_SEQ += 1
+        self._result_queue = None
+        self._workers: list[_WorkerHandle] = []
+        self._epoch = 0
+        self._pinned: set = set()
+        self._deferred_invalidation: set = set()
+        self.started = False
+        self.closed = False
+        self.workers_respawned = 0
+        atexit.register(self.close)
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def cache_signature(self) -> tuple[bool, int]:
+        return (self.use_cache, self.cache_size)
+
+    @property
+    def start_method_is_fork(self) -> bool:
+        return self._context.get_start_method() == "fork"
+
+    @property
+    def segment_prefix(self) -> str:
+        """Prefix under which every segment of this runtime is named."""
+        return self._prefix
+
+    def start(self) -> None:
+        """Spawn the workers (idempotent; called lazily by execute)."""
+        if self.closed:
+            raise RuntimeError("runtime is closed")
+        if self.started:
+            return
+        self._result_queue = self._context.Queue()
+        self._workers = [
+            self._spawn(index, generation=0) for index in range(self.n_jobs)
+        ]
+        self.started = True
+
+    def _spawn(self, index: int, generation: int) -> _WorkerHandle:
+        segment_prefix = f"{self._prefix}w{index}g{generation}"
+        task_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                index,
+                generation,
+                segment_prefix,
+                task_queue,
+                self._result_queue,
+                self.use_cache,
+                self.cache_size,
+            ),
+            daemon=True,
+            name=f"repro-persistent-{index}",
+        )
+        process.start()
+        return _WorkerHandle(
+            index=index,
+            generation=generation,
+            process=process,
+            task_queue=task_queue,
+            segment_prefix=segment_prefix,
+        )
+
+    def close(self) -> None:
+        """Stop every worker and release all shared memory (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        if not self.started:
+            return
+        for worker in self._workers:
+            try:
+                worker.task_queue.put(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
+        deadline = time.monotonic() + 10.0
+        for worker in self._workers:
+            worker.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            # Normal stops already unlinked everything; this is the crash
+            # fallback that keeps the no-leaked-segments guarantee.
+            reap_segments(worker.segment_prefix)
+            try:
+                worker.task_queue.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        reap_segments(self._prefix)
+        if self._result_queue is not None:
+            try:
+                self._result_queue.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        self._workers = []
+
+    def leaked_segments(self) -> list[str]:
+        """Live segments under this runtime's prefix (should be [] when idle
+        with caches empty, and always [] after :meth:`close`)."""
+        return list_segments(self._prefix)
+
+    # -- model pinning ------------------------------------------------------
+    def pin_models(self, specs: Sequence) -> None:
+        """Defer end-of-model invalidation for ``specs`` until unpinned."""
+        self._pinned.update(specs)
+
+    def unpin_models(self, specs: Sequence) -> None:
+        """Lift pins; models that finished while pinned are invalidated now."""
+        due = []
+        for spec in specs:
+            self._pinned.discard(spec)
+            if spec in self._deferred_invalidation:
+                self._deferred_invalidation.discard(spec)
+                due.append(spec)
+        if due:
+            self._broadcast_invalidate(due)
+
+    def _broadcast_invalidate(self, specs: Sequence) -> None:
+        if not self.started:
+            return
+        specs = list(specs)
+        for worker in self._workers:
+            worker.task_queue.put(("invalidate", specs))
+            worker.models.difference_update(specs)
+
+    # -- scheduling ---------------------------------------------------------
+    def _pick_worker(self, job) -> _WorkerHandle:
+        """Model affinity first (most spec overlap), least-loaded fallback."""
+        specs = set(job_model_specs(job))
+        if specs:
+            candidates = [w for w in self._workers if specs & w.models]
+            if candidates:
+                return min(
+                    candidates,
+                    key=lambda w: (-len(specs & w.models), w.assigned, w.index),
+                )
+        return min(self._workers, key=lambda w: (w.assigned, w.index))
+
+    def _fill(self, worker: _WorkerHandle, epoch: int) -> None:
+        """Top the worker's in-flight window up from its backlog."""
+        while worker.backlog and len(worker.inflight) < self.prefetch:
+            job_id, slim, refs = worker.backlog.popleft()
+            worker.inflight[job_id] = (slim, refs)
+            worker.task_queue.put(("job", epoch, slim, refs))
+
+    # -- execution ----------------------------------------------------------
+    def execute(self, jobs: Sequence) -> list[JobOutcome]:
+        """Run ``jobs`` on the persistent pool; outcomes in ``jobs`` order.
+
+        Results are bit-identical to serial execution: jobs are
+        deterministic in their own payload, so routing, prefetch and
+        completion order never leak into outcomes.
+        """
+        self.start()
+        self._epoch += 1
+        epoch = self._epoch
+        jobs = list(jobs)
+        scene_pool = SharedScenePool(prefix=f"{self._prefix}s{epoch}")
+
+        for worker in self._workers:
+            worker.assigned = 0
+            worker.backlog.clear()
+            worker.inflight.clear()
+
+        remaining: dict = {}
+        specs_by_job: dict = {}
+        for job in jobs:
+            specs = job_model_specs(job)
+            specs_by_job[job.job_id] = specs
+            for spec in specs:
+                remaining[spec] = remaining.get(spec, 0) + 1
+
+        for job in jobs:
+            slim, refs = extract_shared_arrays(job, scene_pool)
+            worker = self._pick_worker(job)
+            worker.backlog.append((job.job_id, slim, refs))
+            worker.assigned += 1
+            worker.models.update(job_model_specs(job))
+
+        outcomes: dict = {}
+        crashes: dict = {}
+        try:
+            for worker in self._workers:
+                self._fill(worker, epoch)
+            while len(outcomes) < len(jobs):
+                message = self._next_message(epoch, crashes)
+                kind = message[0]
+                if kind == "done":
+                    _, index, generation, msg_epoch, outcome = message
+                    if msg_epoch != epoch:
+                        continue  # stale result from an aborted plan
+                    worker = self._workers[index]
+                    if worker.generation == generation:
+                        # Free the slot even for a respawn duplicate, or the
+                        # replacement's in-flight window would starve.
+                        worker.inflight.pop(outcome.job_id, None)
+                        self._fill(worker, epoch)
+                    if outcome.job_id in outcomes:
+                        continue  # duplicate completion after a respawn
+                    outcomes[outcome.job_id] = outcome
+                    self._finish_models(specs_by_job.get(outcome.job_id, ()), remaining)
+                elif kind == "error":
+                    _, index, generation, msg_epoch, job_id, text, tb = message
+                    if msg_epoch != epoch:
+                        continue
+                    raise JobExecutionError(job_id, f"worker-{index}", text, tb)
+                # anything else ("stats", "stopped" leftovers) is dropped
+        except BaseException:
+            self._abort()
+            raise
+        finally:
+            for worker in self._workers:
+                try:
+                    worker.task_queue.put(("detach",))
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+            scene_pool.close()
+        return [outcomes[job.job_id] for job in jobs]
+
+    def _finish_models(self, specs, remaining: dict) -> None:
+        """Decrement per-model job counts; broadcast lifecycle invalidation.
+
+        This is the pooled equivalent of the serial backend's per-model
+        lifecycle: once a model's last job (anywhere in the runtime)
+        completes, every worker drops its entries — unless the model is
+        pinned, in which case the drop is deferred to ``unpin_models``.
+        """
+        finished = []
+        for spec in specs:
+            remaining[spec] = remaining.get(spec, 1) - 1
+            if remaining[spec] == 0:
+                if spec in self._pinned:
+                    self._deferred_invalidation.add(spec)
+                else:
+                    finished.append(spec)
+        if finished:
+            self._broadcast_invalidate(finished)
+
+    def _next_message(self, epoch: int, crashes: dict):
+        """Block for the next result, policing worker liveness meanwhile."""
+        while True:
+            try:
+                return self._result_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                for worker in list(self._workers):
+                    if not worker.process.is_alive():
+                        self._respawn(worker, epoch, crashes)
+
+    def _respawn(self, worker: _WorkerHandle, epoch: int, crashes: dict) -> None:
+        """Reap a dead worker, replace it, and re-dispatch its jobs."""
+        self.workers_respawned += 1
+        for job_id in worker.inflight:
+            crashes[job_id] = crashes.get(job_id, 0) + 1
+            if crashes[job_id] >= self.max_crashes_per_job:
+                self._reap_worker(worker)
+                raise WorkerCrashError(job_id, crashes[job_id])
+        self._reap_worker(worker)
+        replacement = self._spawn(worker.index, worker.generation + 1)
+        # Re-dispatch in-flight jobs first, then the untouched backlog; the
+        # fresh process holds no models, so its affinity set restarts from
+        # what it is about to run.
+        for job_id, (slim, refs) in worker.inflight.items():
+            replacement.backlog.append((job_id, slim, refs))
+        replacement.backlog.extend(worker.backlog)
+        replacement.assigned = worker.assigned
+        for job_id, slim, refs in replacement.backlog:
+            replacement.models.update(job_model_specs(slim))
+        self._workers[worker.index] = replacement
+        self._fill(replacement, epoch)
+
+    def _reap_worker(self, worker: _WorkerHandle) -> None:
+        worker.process.join(timeout=1.0)
+        reap_segments(worker.segment_prefix)
+        try:
+            worker.task_queue.close()
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+
+    def _abort(self) -> None:
+        """Clear plan state after a failure; stale results die by epoch."""
+        for worker in self._workers:
+            worker.backlog.clear()
+            worker.inflight.clear()
+
+    # -- introspection ------------------------------------------------------
+    def worker_cache_stats(self, timeout: float = 30.0) -> dict[str, dict | None]:
+        """Each worker's *cumulative* store counters (test/debug hook).
+
+        Only meaningful between plans (the runtime is single-plan at a
+        time); per-job deltas on outcomes remain the source of truth for
+        reported statistics.
+        """
+        self.start()
+        for worker in self._workers:
+            worker.task_queue.put(("stats",))
+        collected: dict[str, dict | None] = {}
+        deadline = time.monotonic() + timeout
+        while len(collected) < len(self._workers):
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                raise TimeoutError("workers did not report cache stats in time")
+            try:
+                message = self._result_queue.get(timeout=budget)
+            except queue_module.Empty:
+                continue
+            if message[0] != "stats":
+                continue  # stale plan traffic
+            _, index, generation, payload = message
+            worker = self._workers[index]
+            if worker.generation == generation:
+                collected[worker.worker_id] = payload
+        return collected
+
+
+# --- engine backend ----------------------------------------------------------
+
+
+class PersistentPoolBackend(ExecutionBackend):
+    """Engine backend running plans on one :class:`PersistentWorkerRuntime`.
+
+    The runtime is created lazily from the first plan's cache settings and
+    *reused across* ``run()`` calls — that reuse (warm detector memos, warm
+    activation bundles, no pool startup) is what beats both the one-shot
+    pool and serial on repeated or multi-stage sweeps.  A plan with
+    different cache settings transparently restarts the runtime.
+
+    ``submission_seed`` shuffles dispatch order exactly like the one-shot
+    pool (parity suites exercise scheduling independence with it);
+    ``warm_start`` pre-builds the first plan's detectors in the parent so
+    fork-started workers inherit them copy-on-write.
+    """
+
+    name = "persistent"
+
+    def __init__(
+        self,
+        n_jobs: int = 2,
+        start_method: str | None = None,
+        submission_seed: int | None = None,
+        warm_start: bool = True,
+        prefetch: int = 2,
+        max_crashes_per_job: int = 3,
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
+        self.n_jobs = int(n_jobs)
+        self.start_method = start_method
+        self.submission_seed = submission_seed
+        self.warm_start = warm_start
+        self.prefetch = prefetch
+        self.max_crashes_per_job = max_crashes_per_job
+        self._runtime: PersistentWorkerRuntime | None = None
+        self._pinned: set = set()
+
+    @property
+    def runtime(self) -> PersistentWorkerRuntime | None:
+        """The live runtime (``None`` before the first run / after close)."""
+        return self._runtime
+
+    def _ensure_runtime(self, attack_config) -> PersistentWorkerRuntime:
+        signature = (
+            bool(attack_config.use_activation_cache),
+            int(attack_config.activation_cache_size),
+        )
+        runtime = self._runtime
+        if runtime is not None and (
+            runtime.closed or runtime.cache_signature != signature
+        ):
+            runtime.close()
+            runtime = None
+        if runtime is None:
+            runtime = PersistentWorkerRuntime(
+                n_jobs=self.n_jobs,
+                use_cache=signature[0],
+                cache_size=signature[1],
+                start_method=self.start_method,
+                prefetch=self.prefetch,
+                max_crashes_per_job=self.max_crashes_per_job,
+            )
+            if self._pinned:
+                runtime.pin_models(list(self._pinned))
+            self._runtime = runtime
+        return runtime
+
+    def run(self, plan: ExperimentPlan) -> list[JobOutcome]:
+        runtime = self._ensure_runtime(plan.attack_config)
+        jobs = list(plan.jobs)
+        if self.submission_seed is not None:
+            rng = np.random.default_rng(self.submission_seed)
+            jobs = [jobs[i] for i in rng.permutation(len(jobs))]
+        if self.warm_start and not runtime.started and runtime.start_method_is_fork:
+            for spec in plan.model_specs():
+                build_cached(spec)
+        return runtime.execute(jobs)
+
+    def pin_models(self, specs: Sequence) -> None:
+        self._pinned.update(specs)
+        if self._runtime is not None:
+            self._runtime.pin_models(specs)
+
+    def unpin_models(self, specs: Sequence) -> None:
+        for spec in specs:
+            self._pinned.discard(spec)
+        if self._runtime is not None:
+            self._runtime.unpin_models(specs)
+
+    def close(self) -> None:
+        if self._runtime is not None:
+            self._runtime.close()
+            self._runtime = None

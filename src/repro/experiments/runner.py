@@ -174,6 +174,7 @@ def run_architecture_comparison(
         # execution_backend="serial" pins the in-process executor even
         # with n_jobs > 1 (resolve_backend only auto-selects on None).
         backend = experiment.execution_backend
+    owns_backend = not isinstance(backend, ExecutionBackend)
     engine_backend = resolve_backend(backend, n_jobs=n_jobs)
 
     plan = build_attack_plan(
@@ -191,6 +192,11 @@ def run_architecture_comparison(
         # repeated sweeps in one process would otherwise accumulate every
         # zoo ever trained.
         release_plan_models(plan)
+        if owns_backend:
+            # Resolved from a name: this sweep owns the backend and its
+            # resources (persistent workers, shared memory).  A caller-
+            # provided instance stays alive for the caller to reuse.
+            engine_backend.close()
 
     # Plan order is the historical nested-loop order, so assembling the
     # report from plan-ordered outcomes reproduces the original row order

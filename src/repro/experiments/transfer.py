@@ -300,11 +300,17 @@ def run_transferability_experiment(
     attack_config = attack_config if attack_config is not None else AttackConfig.fast()
     image = np.asarray(image, dtype=np.float64)
     specs = [as_model_spec(model) for model in models]
+    owns_backend = not isinstance(backend, ExecutionBackend)
     engine_backend = resolve_backend(backend, n_jobs=n_jobs)
 
     optimise_plan = build_transfer_attack_plan(
         specs, image, attack_config, experiment_seed=experiment_seed
     )
+    # Every model bridges both stages (its bundle built by the optimise
+    # stage is exactly what the eval stage's clean prediction hits), so pin
+    # them: a stateful backend defers its end-of-model invalidation until
+    # after the matrix stage instead of discarding the state in between.
+    engine_backend.pin_models(specs)
     try:
         optimise = execute_plan(optimise_plan, engine_backend)
 
@@ -322,8 +328,14 @@ def run_transferability_experiment(
         )
         evaluate = execute_plan(eval_plan, engine_backend)
     finally:
+        engine_backend.unpin_models(specs)
         if release_models:
             release_plan_models(optimise_plan)
+        if owns_backend:
+            # Resolved from a name: this sweep owns the backend (and any
+            # worker processes / shared memory it spawned).  A caller-
+            # provided instance stays alive for the caller to reuse.
+            engine_backend.close()
 
     matrix = np.ones((len(specs), len(specs)))
     for outcome in evaluate.outcomes:

@@ -12,8 +12,10 @@ from repro.detectors.activation_cache import (
     ActivationCacheStore,
     CacheStats,
     CleanActivations,
+    SharedMemoryActivationStore,
     image_digest,
 )
+from repro.experiments.shm import list_segments
 
 
 def _scene(seed, shape=(64, 208, 3)):
@@ -40,7 +42,9 @@ class TestActivationCacheStore:
         image = _scene(1)
         first = store.get(yolo_detector, image)
         assert isinstance(first, CleanActivations)
-        assert store.stats == {"hits": 0, "misses": 1, "evictions": 0, "entries": 1}
+        assert store.stats == {
+            "hits": 0, "misses": 1, "evictions": 0, "invalidations": 0, "entries": 1,
+        }
         second = store.get(yolo_detector, image)
         assert second is first
         assert store.hits == 1
@@ -101,6 +105,31 @@ class TestActivationCacheStore:
         assert store.invalidate() == 2
         assert len(store) == 0
 
+    def test_invalidations_counted_separately_from_evictions(
+        self, yolo_detector, detr_detector
+    ):
+        """Explicit drops increment ``invalidations``, never ``evictions``.
+
+        The regression: ``invalidate`` used to delete entries without
+        counting them anywhere, so persisted provenance under-reported
+        entry turnover relative to cap-driven evictions.
+        """
+        store = ActivationCacheStore(max_entries=8)
+        image = _scene(8)
+        store.get(yolo_detector, image)
+        store.get(detr_detector, image)
+        assert store.invalidations == 0
+        store.invalidate(yolo_detector)
+        assert store.invalidations == 1
+        store.invalidate()
+        assert store.invalidations == 2
+        assert store.evictions == 0  # cap never hit: evictions untouched
+        assert store.snapshot().invalidations == 2
+        assert store.stats["invalidations"] == 2
+        previous = store.reset_stats()
+        assert previous.invalidations == 2
+        assert store.invalidations == 0
+
     def test_non_incremental_detector_not_cached(self, yolo_detector):
         class Opaque:
             def clean_activations(self, image):
@@ -130,10 +159,18 @@ class TestCacheStats:
         assert CacheStats(hits=3, misses=1).requests == 4
 
     def test_as_dict(self):
-        stats = CacheStats(hits=1, misses=3, evictions=2)
+        stats = CacheStats(hits=1, misses=3, evictions=2, invalidations=4)
         assert stats.as_dict() == {
-            "hits": 1, "misses": 3, "evictions": 2, "hit_rate": 0.25,
+            "hits": 1, "misses": 3, "evictions": 2, "invalidations": 4,
+            "hit_rate": 0.25,
         }
+
+    def test_invalidations_propagate_through_arithmetic(self):
+        first = CacheStats(hits=1, invalidations=2)
+        second = CacheStats(misses=1, invalidations=3)
+        assert (first + second).invalidations == 5
+        assert (first - second).invalidations == -1
+        assert CacheStats.merge([first, second]).invalidations == 5
 
 
 class TestStatsLifecycle:
@@ -165,3 +202,70 @@ class TestStatsLifecycle:
         assert len(store) == 1  # entries untouched — only counters reset
         store.get(yolo_detector, image)
         assert store.snapshot() == CacheStats(hits=1, misses=0, evictions=0)
+
+
+class TestSharedMemoryActivationStore:
+    """The shm-backed store: same caching semantics, audited segments."""
+
+    def test_bundles_served_from_shared_segments(self, yolo_detector):
+        store = SharedMemoryActivationStore(max_entries=2, segment_prefix="tshma")
+        try:
+            image = _scene(20)
+            cached = store.get(yolo_detector, image)
+            assert isinstance(cached, CleanActivations)
+            # Bundle content matches what a plain store would serve...
+            reference = yolo_detector.clean_activations(image)
+            assert np.array_equal(cached.clean_image, reference.clean_image)
+            for name, tensor in reference.tensors.items():
+                assert np.array_equal(cached.tensors[name], tensor)
+            # ...but the arrays live in named, auditable segments.
+            assert store.active_segments == 1 + len(reference.tensors)
+            assert list_segments("tshma") != []
+            assert not cached.clean_image.flags.writeable
+            assert store.get(yolo_detector, image) is cached
+            assert store.hits == 1
+        finally:
+            store.shutdown()
+
+    def test_drop_unlinks_but_defers_close_until_release(self, yolo_detector):
+        """Evicted/invalidated segments unlink at once, unmap at the job
+        boundary — a view fetched earlier in the job stays readable."""
+        store = SharedMemoryActivationStore(max_entries=1, segment_prefix="tshmb")
+        try:
+            first = store.get(yolo_detector, _scene(21))
+            held = first.clean_image
+            store.get(yolo_detector, _scene(22))  # cap=1: evicts the first
+            assert store.evictions == 1
+            remaining = list_segments("tshmb")
+            assert len(remaining) == store.active_segments  # evictee unlinked
+            assert float(held.sum()) >= 0.0  # mapping still readable
+            released = store.release_retired()
+            assert released > 0
+            assert store.release_retired() == 0  # idempotent
+        finally:
+            store.shutdown()
+
+    def test_invalidate_unlinks_segments(self, yolo_detector, detr_detector):
+        store = SharedMemoryActivationStore(max_entries=4, segment_prefix="tshmc")
+        try:
+            image = _scene(23)
+            store.get(yolo_detector, image)
+            store.get(detr_detector, image)
+            before = len(list_segments("tshmc"))
+            assert store.invalidate(yolo_detector) == 1
+            assert store.invalidations == 1
+            after = len(list_segments("tshmc"))
+            assert after < before
+            assert after == store.active_segments
+        finally:
+            store.shutdown()
+
+    def test_shutdown_leaves_no_segments(self, yolo_detector):
+        store = SharedMemoryActivationStore(max_entries=4, segment_prefix="tshmd")
+        store.get(yolo_detector, _scene(24))
+        store.get(yolo_detector, _scene(25))
+        assert list_segments("tshmd") != []
+        store.shutdown()
+        assert list_segments("tshmd") == []
+        assert store.active_segments == 0
+        store.shutdown()  # idempotent

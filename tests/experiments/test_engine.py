@@ -19,12 +19,14 @@ from repro.detectors.activation_cache import ActivationCacheStore, CacheStats
 from repro.detectors.training import TrainingConfig
 from repro.detectors.zoo import build_model_zoo
 from repro.experiments.engine import (
+    JobExecutionError,
     ProcessPoolBackend,
     SerialBackend,
     execute_plan,
+    merge_execution_summaries,
     resolve_backend,
 )
-from repro.experiments.jobs import build_attack_plan
+from repro.experiments.jobs import ExperimentPlan, build_attack_plan
 from repro.experiments.runner import run_architecture_comparison
 from repro.nsga.algorithm import NSGAConfig
 
@@ -240,6 +242,76 @@ class TestCacheStatsAggregation:
         assert report.per_model == {}  # no cache traffic to attribute
         assert report.cache_stats == CacheStats()
         assert report.cache_enabled is False
+
+
+class _PoolFailingJob:
+    """Module level so it pickles into pool workers."""
+
+    def __init__(self, job_id: int):
+        self.job_id = job_id
+
+    def execute(self, context):
+        raise ValueError("deliberate pool failure")
+
+
+class TestPoolFailure:
+    def test_job_error_surfaces_with_worker_context(self, attack_config):
+        """A job raising inside a pool worker reaches the caller as a
+        JobExecutionError naming the job and carrying the worker traceback
+        (not a bare pickling artefact of the original exception)."""
+        plan = ExperimentPlan(
+            jobs=[_PoolFailingJob(0)], attack_config=attack_config, name="failing"
+        )
+        with pytest.raises(JobExecutionError) as err:
+            execute_plan(plan, ProcessPoolBackend(n_jobs=2))
+        assert err.value.job_id == 0
+        assert "ValueError: deliberate pool failure" in str(err.value)
+        assert "deliberate pool failure" in err.value.worker_traceback
+
+
+class TestMergeExecutionSummaries:
+    @staticmethod
+    def _part(backend, hits=0, invalidations=0):
+        return {
+            "backend": backend,
+            "n_jobs": 2,
+            "duration_seconds": 1.5,
+            "cache_enabled": True,
+            "cache_stats": {
+                "hits": hits, "misses": 0, "evictions": 0,
+                "invalidations": invalidations,
+            },
+        }
+
+    def test_single_backend_name_preserved(self):
+        merged = merge_execution_summaries(
+            [self._part("persistent"), self._part("persistent")]
+        )
+        assert merged["backend"] == "persistent"
+
+    def test_mixed_stage_backends_reported_as_mixed(self):
+        """Regression: the merged record used to stamp the whole run with
+        ``parts[0]["backend"]`` even when stages ran on different backends,
+        misreporting every later stage's provenance."""
+        merged = merge_execution_summaries(
+            [self._part("serial"), self._part("persistent")]
+        )
+        assert merged["backend"] == "mixed"
+        # Per-stage truth stays available for anyone who needs it.
+        assert [s["backend"] for s in merged["stages"]] == ["serial", "persistent"]
+
+    def test_cache_totals_include_invalidations(self):
+        merged = merge_execution_summaries(
+            [
+                self._part("serial", hits=2, invalidations=1),
+                self._part("serial", hits=1, invalidations=3),
+            ]
+        )
+        assert merged["cache_stats"]["hits"] == 3
+        assert merged["cache_stats"]["invalidations"] == 4
+
+    def test_empty_parts_default_to_serial(self):
+        assert merge_execution_summaries([])["backend"] == "serial"
 
 
 class TestResolveBackend:
