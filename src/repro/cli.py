@@ -126,6 +126,12 @@ def _print_execution_summary(execution: dict | None) -> None:
             f"{stats.get('invalidations', 0)} invalidations "
             f"(hit rate {stats['hit_rate']:.1%})"
         )
+        if stats.get("delta_hits", 0) or stats.get("delta_misses", 0):
+            print(
+                f"Delta reuse (sweep total): {stats['delta_hits']} ancestor "
+                f"hits, {stats['delta_misses']} misses "
+                f"(hit rate {stats.get('delta_hit_rate', 0.0):.1%})"
+            )
     else:
         print("Activation cache: disabled")
 
@@ -172,6 +178,25 @@ def build_parser() -> argparse.ArgumentParser:
             "entry cap of the clean-activation store (one entry per cached "
             "(detector, scene) pair; least recently used scenes are evicted)"
         ),
+    )
+    attack.add_argument(
+        "--delta-reuse",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "memoise each evaluated mask's spliced activations and re-splice "
+            "only the child-vs-parent diff for offspring whose ancestor is "
+            "still cached (bit-identical to the clean-splice path, only "
+            "faster on lineage-heavy populations); --no-delta-reuse forces "
+            "every mask through the full clean-splice.  Default: on, unless "
+            "REPRO_DELTA_REUSE=0"
+        ),
+    )
+    attack.add_argument(
+        "--delta-store-size",
+        type=_positive_int,
+        default=None,
+        help="entry cap of the per-scene delta-activation store (default 256)",
     )
 
     compare = subparsers.add_parser(
@@ -247,6 +272,10 @@ def _attack_config(args: argparse.Namespace) -> AttackConfig:
         cache_overrides["use_activation_cache"] = bool(args.activation_cache)
     if getattr(args, "activation_cache_size", None) is not None:
         cache_overrides["activation_cache_size"] = int(args.activation_cache_size)
+    if getattr(args, "delta_reuse", None) is not None:
+        cache_overrides["use_delta_reuse"] = bool(args.delta_reuse)
+    if getattr(args, "delta_store_size", None) is not None:
+        cache_overrides["delta_store_size"] = int(args.delta_store_size)
     if getattr(args, "paper_budget", False):
         base = AttackConfig.paper_defaults(region=region)
         return replace(base, **cache_overrides) if cache_overrides else base
@@ -268,7 +297,10 @@ def _run_attack(args: argparse.Namespace) -> int:
 
     config = _attack_config(args)
     activation_store = (
-        ActivationCacheStore(max_entries=config.activation_cache_size)
+        ActivationCacheStore(
+            max_entries=config.activation_cache_size,
+            delta_store_size=config.delta_store_size if config.use_delta_reuse else 0,
+        )
         if config.use_activation_cache
         else None
     )
@@ -288,6 +320,25 @@ def _run_attack(args: argparse.Namespace) -> int:
             f"{stats['hits']} hits, {stats['misses']} misses, "
             f"{stats['evictions']} evictions"
         )
+        if "delta_hits" in stats:
+            print(
+                f"Delta reuse: {stats['delta_hits']} ancestor hits, "
+                f"{stats['delta_misses']} misses, "
+                f"{stats['delta_bytes']} bytes admitted"
+            )
+    incremental_rows = [
+        {
+            "generation": entry["generation"],
+            "dirty_area": f"{entry['incremental']['dirty_area_ratio']:.1%}",
+            "delta_hits": entry["incremental"]["delta_hits"],
+            "delta_misses": entry["incremental"]["delta_misses"],
+        }
+        for entry in result.history
+        if entry.get("incremental") is not None
+    ]
+    if incremental_rows:
+        print("Incremental inference per generation:")
+        print(format_table(incremental_rows))
     rows = [
         {
             "solution": index,

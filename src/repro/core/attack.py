@@ -71,6 +71,8 @@ class ButterflyAttack:
             extra_objectives=self.extra_objectives,
             use_activation_cache=self.config.use_activation_cache,
             activation_store=self.activation_store,
+            use_delta_reuse=self.config.use_delta_reuse,
+            delta_store_size=self.config.delta_store_size,
         )
 
     def _nsga_config(self) -> "NSGAConfig":
@@ -129,6 +131,7 @@ class ButterflyAttack:
             num_evaluations=nsga_result.num_evaluations,
             cache_hits=nsga_result.cache_hits,
             history=nsga_result.history,
+            incremental=nsga_result.incremental,
         )
 
         # Fill in perturbed predictions and error transitions for the front

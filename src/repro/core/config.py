@@ -22,6 +22,18 @@ def default_use_activation_cache() -> bool:
     return os.environ.get("REPRO_ACTIVATION_CACHE", "1") != "0"
 
 
+def default_use_delta_reuse() -> bool:
+    """Default for every ``use_delta_reuse`` switch in the attack stack.
+
+    The ``REPRO_DELTA_REUSE`` environment variable (``0`` disables) lets
+    the benchmark/CI A/B jobs run the whole suite with and without the
+    cross-generation delta-reuse path without touching every call site;
+    ``AttackConfig`` and ``ButterflyObjectives`` default through this
+    function.  Both paths are bit-identical, so this only changes speed.
+    """
+    return os.environ.get("REPRO_DELTA_REUSE", "1") != "0"
+
+
 @dataclass(frozen=True)
 class AttackConfig:
     """Configuration of a butterfly-effect attack run.
@@ -53,6 +65,15 @@ class AttackConfig:
         spot from generation zero.  ``0.0`` (the default) keeps the paper's
         dense initialisation bit-exactly — the search dynamics only change
         when this is explicitly enabled.
+    use_delta_reuse:
+        Memoise each evaluated mask's spliced activations and re-splice
+        only the child-vs-parent diff for offspring whose ancestor is still
+        cached (cross-generation delta reuse).  Bit-identical to the
+        clean-splice path; only changes speed.  Defaults to on unless
+        ``REPRO_DELTA_REUSE=0`` is set.
+    delta_store_size:
+        LRU entry cap of the per-scene delta-activation store feeding the
+        cross-generation reuse path.
     """
 
     nsga: NSGAConfig = field(default_factory=NSGAConfig)
@@ -62,12 +83,16 @@ class AttackConfig:
     use_activation_cache: bool = field(default_factory=default_use_activation_cache)
     activation_cache_size: int = 4
     sparse_init_fraction: float = 0.0
+    use_delta_reuse: bool = field(default_factory=default_use_delta_reuse)
+    delta_store_size: int = 256
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.sparse_init_fraction <= 1.0:
             raise ValueError("sparse_init_fraction must be in [0, 1]")
         if self.activation_cache_size < 1:
             raise ValueError("activation_cache_size must be at least 1")
+        if self.delta_store_size < 1:
+            raise ValueError("delta_store_size must be at least 1")
 
     @staticmethod
     def paper_defaults(region: Region | None = None, seed: int = 0) -> "AttackConfig":

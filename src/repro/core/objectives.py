@@ -39,13 +39,18 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.core.config import default_use_activation_cache
+from repro.core.config import default_use_activation_cache, default_use_delta_reuse
 from repro.core.masks import FilterMask, apply_mask
 from repro.detection.boxes import iou_matrix
 from repro.detection.prediction import Prediction
-from repro.detectors.activation_cache import ActivationCacheStore, CleanActivations
+from repro.detectors.activation_cache import (
+    DEFAULT_DELTA_STORE_ENTRIES,
+    ActivationCacheStore,
+    CleanActivations,
+    DeltaActivationStore,
+)
 from repro.detectors.base import Detector
-from repro.nn.incremental import BBox, bbox_is_empty, mask_nonzero_bbox
+from repro.nn.incremental import BBox, bbox_area, bbox_is_empty, mask_nonzero_bbox
 
 
 def objective_intensity(mask: np.ndarray) -> float:
@@ -203,6 +208,16 @@ class ButterflyObjectives:
         Optional shared :class:`ActivationCacheStore` (e.g. one per
         experiment sweep) supplying the clean activations; without it the
         evaluator builds its own private bundle.
+    use_delta_reuse:
+        Memoise each evaluated mask's spliced activations (keyed by the
+        genome fingerprint NSGA-II propagates) and re-splice only the
+        child-vs-parent diff for offspring whose ancestor is still cached.
+        Requires the activation cache and a detector with delta-reuse
+        support; bit-identical to the clean-splice path — the parity suite
+        enforces it — so this switch only changes speed.  Defaults to on
+        unless ``REPRO_DELTA_REUSE=0`` is set (the benchmark A/B switch).
+    delta_store_size:
+        LRU capacity (entries) of the per-scene delta-activation store.
     """
 
     detector: Detector
@@ -215,12 +230,19 @@ class ButterflyObjectives:
     normalize_distance: bool = True
     use_activation_cache: bool = field(default_factory=default_use_activation_cache)
     activation_store: Optional[ActivationCacheStore] = None
+    use_delta_reuse: bool = field(default_factory=default_use_delta_reuse)
+    delta_store_size: int = DEFAULT_DELTA_STORE_ENTRIES
 
     def __post_init__(self) -> None:
         self.image = np.asarray(self.image, dtype=np.float64)
         if self.image.ndim != 3 or self.image.shape[2] != 3:
             raise ValueError("image must have shape (L, W, 3)")
+        if self.delta_store_size < 1:
+            raise ValueError("delta_store_size must be at least 1")
         self._scratch: Optional[np.ndarray] = None
+        self._inc_masks = 0
+        self._inc_dirty_area = 0
+        self._inc_total_area = 0
         self.clean_activations: Optional[CleanActivations] = None
         if self.use_activation_cache and getattr(
             self.detector, "supports_incremental", False
@@ -231,6 +253,19 @@ class ButterflyObjectives:
                 )
             else:
                 self.clean_activations = self.detector.clean_activations(self.image)
+        # Delta reuse rides on the clean bundle: attach a per-scene store
+        # when the detector supports reuse and the owning cache did not
+        # already provide one (a store-managed bundle shares its store's
+        # lifecycle — dropping the bundle drops the memoised deltas too).
+        self._delta_reuse_active = (
+            self.use_delta_reuse
+            and self.clean_activations is not None
+            and getattr(self.detector, "supports_delta_reuse", False)
+        )
+        if self._delta_reuse_active and self.clean_activations.delta is None:
+            self.clean_activations.delta = DeltaActivationStore(
+                max_entries=self.delta_store_size
+            )
         if self.clean_activations is not None:
             # The cached clean prediction is decoded from the same forward
             # pass predict() would run, so downstream numbers are unchanged.
@@ -337,8 +372,38 @@ class ButterflyObjectives:
         """
         mask = np.asarray(mask, dtype=np.float64)
         bbox = mask_nonzero_bbox(mask, within=dirty_bound)
+        if self.clean_activations is not None:
+            self._record_incremental([bbox])
         perturbed = self._predict_perturbed(mask, bbox)
         return self._vector(mask, perturbed, bbox)
+
+    def _record_incremental(self, bboxes: Sequence[BBox | None]) -> None:
+        """Accumulate the dirty-area counters behind the per-generation stats."""
+        frame = int(self.image.shape[0] * self.image.shape[1])
+        self._inc_masks += len(bboxes)
+        self._inc_total_area += frame * len(bboxes)
+        self._inc_dirty_area += sum(
+            bbox_area(bbox) if bbox is not None else frame for bbox in bboxes
+        )
+
+    def incremental_snapshot(self) -> dict | None:
+        """Monotonic incremental-inference counters, ``None`` off the path.
+
+        NSGA-II diffs consecutive snapshots into per-generation stats
+        (dirty-area ratio, delta hits/misses); the counters never feed back
+        into objective values.
+        """
+        if self.clean_activations is None:
+            return None
+        delta = self.clean_activations.delta
+        counters = delta.counters() if delta is not None else None
+        return {
+            "masks_evaluated": self._inc_masks,
+            "dirty_area": self._inc_dirty_area,
+            "total_area": self._inc_total_area,
+            "delta_hits": counters.delta_hits if counters is not None else 0,
+            "delta_misses": counters.delta_misses if counters is not None else 0,
+        }
 
     def _vector(
         self, mask: np.ndarray, perturbed: Prediction, bbox: BBox | None = None
@@ -389,6 +454,7 @@ class ButterflyObjectives:
         self,
         masks: np.ndarray,
         dirty_bounds: Sequence[BBox | None] | None = None,
+        ancestry: Sequence[dict | None] | None = None,
     ) -> np.ndarray:
         """Evaluate a whole population of masks; shape (B, num_objectives).
 
@@ -398,9 +464,13 @@ class ButterflyObjectives:
         one broadcast pass into a reused scratch buffer and the detector
         runs once over the stacked batch.  ``dirty_bounds`` optionally caps
         the per-mask nonzero scans (one bound per mask, ``None`` entries
-        meaning unknown).  Per-mask objective vectors are identical to
-        calling the evaluator mask by mask on every route, which is what
-        lets NSGA-II switch freely between the evaluation paths.
+        meaning unknown).  ``ancestry`` optionally carries one lineage
+        record per mask (own fingerprint, parent fingerprint, diff bound)
+        for the cross-generation delta-reuse path; records are forwarded
+        only when reuse is active and never change objective values.
+        Per-mask objective vectors are identical to calling the evaluator
+        mask by mask on every route, which is what lets NSGA-II switch
+        freely between the evaluation paths.
         """
         masks = np.asarray(masks, dtype=np.float64)
         if masks.ndim != 4 or masks.shape[1:] != self.image.shape:
@@ -421,9 +491,24 @@ class ButterflyObjectives:
             for mask, bound in zip(masks, bounds)
         ]
         if self.clean_activations is not None:
-            predictions = self.detector.predict_delta_batch(
-                self.image, masks, bboxes, self.clean_activations
-            )
+            self._record_incremental(bboxes)
+            delta = self.clean_activations.delta
+            if delta is not None:
+                # Population boundary: shared-memory mappings of entries
+                # evicted during the previous batch are safe to close now.
+                delta.release_evicted()
+            if self._delta_reuse_active:
+                predictions = self.detector.predict_delta_batch(
+                    self.image,
+                    masks,
+                    bboxes,
+                    self.clean_activations,
+                    ancestry=list(ancestry) if ancestry is not None else None,
+                )
+            else:
+                predictions = self.detector.predict_delta_batch(
+                    self.image, masks, bboxes, self.clean_activations
+                )
         else:
             perturbed_images = self.apply_masks(
                 masks, out=self._population_scratch(masks.shape)

@@ -74,6 +74,11 @@ class AttackResult:
     num_evaluations: int = 0
     cache_hits: int = 0
     history: list[dict] = field(default_factory=list)
+    #: Run-level incremental-inference stats (dirty-area ratio inputs,
+    #: delta hits/misses) when the attack used activation caching;
+    #: ``None`` on the dense path.  Per-generation entries live in
+    #: ``history[gen]["incremental"]``.
+    incremental: Optional[dict] = None
     architecture: str = ""
     model_seed: Optional[int] = None
     scene_index: Optional[int] = None

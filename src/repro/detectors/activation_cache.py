@@ -23,6 +23,14 @@ cache machinery:
   differences (per-job/per-model deltas) and merging (summing per-worker
   counters into sweep-level totals across a process pool, where every
   worker owns a private store).
+* :class:`DeltaActivationStore` — a second-order cache hanging off each
+  clean bundle: it memoizes the *spliced* activation grids of already
+  evaluated masks, keyed by the mask's provenance fingerprint, so an NSGA
+  offspring can re-splice only the window where it differs from an
+  evaluated ancestor instead of its whole dirty region (cross-generation
+  delta reuse).  Its lifecycle is tied to the parent bundle: dropping the
+  bundle (eviction, invalidation, shutdown) drops the delta entries with
+  it and folds their counters into the parent store's totals.
 
 Entries are keyed by the *content digest* of the image (plus the detector
 instance), so presenting a new scene can never hit a stale entry — a fresh
@@ -39,6 +47,12 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.detection.prediction import Prediction
+from repro.nn.incremental import (
+    BBox,
+    EMPTY_BBOX,
+    bbox_intersection,
+    bbox_is_empty,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.detectors.base import Detector
@@ -66,12 +80,22 @@ class CacheStats:
     counts entries dropped by explicit :meth:`ActivationCacheStore.invalidate`
     calls (per-model lifecycle, shutdown).  Keeping the two separate lets
     persisted provenance distinguish cache pressure from lifecycle churn.
+
+    ``delta_hits``/``delta_misses``/``delta_bytes`` count the second-order
+    :class:`DeltaActivationStore` traffic (ancestor-grid lookups by the
+    cross-generation reuse path and cumulative bytes of spliced grids
+    admitted); they stay zero for stores without delta reuse, and
+    :meth:`as_dict` omits them in that case so pre-existing persisted
+    reports keep their exact shape.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    delta_hits: int = 0
+    delta_misses: int = 0
+    delta_bytes: int = 0
 
     @property
     def requests(self) -> int:
@@ -83,12 +107,25 @@ class CacheStats:
         """Fraction of lookups answered from the cache (0.0 when idle)."""
         return self.hits / self.requests if self.requests else 0.0
 
+    @property
+    def delta_requests(self) -> int:
+        """Total delta-store lookups observed (delta hits + misses)."""
+        return self.delta_hits + self.delta_misses
+
+    @property
+    def delta_hit_rate(self) -> float:
+        """Fraction of delta lookups answered from stored grids."""
+        return self.delta_hits / self.delta_requests if self.delta_requests else 0.0
+
     def __add__(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
             evictions=self.evictions + other.evictions,
             invalidations=self.invalidations + other.invalidations,
+            delta_hits=self.delta_hits + other.delta_hits,
+            delta_misses=self.delta_misses + other.delta_misses,
+            delta_bytes=self.delta_bytes + other.delta_bytes,
         )
 
     def __sub__(self, other: "CacheStats") -> "CacheStats":
@@ -97,17 +134,30 @@ class CacheStats:
             misses=self.misses - other.misses,
             evictions=self.evictions - other.evictions,
             invalidations=self.invalidations - other.invalidations,
+            delta_hits=self.delta_hits - other.delta_hits,
+            delta_misses=self.delta_misses - other.delta_misses,
+            delta_bytes=self.delta_bytes - other.delta_bytes,
         )
 
     def as_dict(self) -> dict[str, float]:
-        """JSON-friendly counters plus the derived hit rate."""
-        return {
+        """JSON-friendly counters plus the derived hit rate.
+
+        Delta-store counters appear only when there was delta traffic, so
+        reports from runs without delta reuse keep the pre-existing shape.
+        """
+        counters = {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }
+        if self.delta_hits or self.delta_misses or self.delta_bytes:
+            counters["delta_hits"] = self.delta_hits
+            counters["delta_misses"] = self.delta_misses
+            counters["delta_bytes"] = self.delta_bytes
+            counters["delta_hit_rate"] = self.delta_hit_rate
+        return counters
 
     @staticmethod
     def merge(parts: "list[CacheStats] | tuple[CacheStats, ...]") -> "CacheStats":
@@ -135,11 +185,195 @@ class CleanActivations:
         Architecture-specific cached stages, e.g. the raw feature grid and
         the smoothed feature grid for the single-stage detector or the raw
         patch tokens for the transformer.
+    delta:
+        Optional second-order store of spliced activation grids for masks
+        already evaluated against this bundle (cross-generation reuse).
+        Attached by the owning :class:`ActivationCacheStore` when delta
+        reuse is configured, or lazily by an evaluator; dropped with the
+        bundle.
     """
 
     clean_image: np.ndarray
     prediction: Prediction
     tensors: dict[str, np.ndarray] = field(default_factory=dict)
+    delta: "DeltaActivationStore | None" = None
+
+
+#: Default LRU cap of a per-bundle delta store — a couple of generations of
+#: the paper's 101-individual population.
+DEFAULT_DELTA_STORE_ENTRIES = 256
+
+
+@dataclass
+class DeltaActivations:
+    """Spliced activation grids of one evaluated mask against one bundle.
+
+    Attributes
+    ----------
+    mask_window:
+        The mask values cropped to ``pixel_bbox`` (everything outside the
+        crop is zero by construction) — enough to compute the *exact*
+        relative dirty region of a descendant without holding a full-frame
+        copy per entry.
+    pixel_bbox:
+        The exact nonzero bounding box of the full mask.
+    prediction:
+        The decoded prediction of ``clip(image + mask)``; returned directly
+        when a descendant turns out to be bit-identical to this mask.
+    tensors:
+        The architecture's *pre-finalisation* spliced grids (the same stage
+        names as the parent bundle's tensors), bit-identical to what a
+        clean-bundle splice of the full dirty region produces — so a
+        descendant can splice only its relative window into them.
+    """
+
+    mask_window: np.ndarray
+    pixel_bbox: BBox
+    prediction: Prediction
+    tensors: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Array payload of the entry (mask crop plus spliced grids)."""
+        return self.mask_window.nbytes + sum(
+            tensor.nbytes for tensor in self.tensors.values()
+        )
+
+    def diff_bbox(self, mask: np.ndarray, within: BBox | None) -> BBox:
+        """Exact bbox of the pixels where ``mask`` differs from this entry.
+
+        ``within`` must contain every differing pixel (callers intersect
+        the lineage diff bound with the union of both supports); ``None``
+        scans the whole frame.  The stored crop is compared against the
+        matching window of ``mask``, with zeros outside ``pixel_bbox``.
+        """
+        if within is None:
+            within = (0, mask.shape[0], 0, mask.shape[1])
+        if bbox_is_empty(within):
+            return EMPTY_BBOX
+        r0, r1, c0, c1 = within
+        window = mask[r0:r1, c0:c1]
+        ancestor = np.zeros_like(window)
+        overlap = bbox_intersection(within, self.pixel_bbox)
+        if overlap is not None and not bbox_is_empty(overlap):
+            o_r0, o_r1, o_c0, o_c1 = overlap
+            p_r0, _, p_c0, _ = self.pixel_bbox
+            ancestor[o_r0 - r0 : o_r1 - r0, o_c0 - c0 : o_c1 - c0] = (
+                self.mask_window[
+                    o_r0 - p_r0 : o_r1 - p_r0, o_c0 - p_c0 : o_c1 - p_c0
+                ]
+            )
+        differ = window != ancestor
+        if differ.ndim == 3:
+            differ = differ.any(axis=2)
+        rows = np.flatnonzero(differ.any(axis=1))
+        if rows.size == 0:
+            return EMPTY_BBOX
+        cols = np.flatnonzero(differ.any(axis=0))
+        return (
+            r0 + int(rows[0]),
+            r0 + int(rows[-1]) + 1,
+            c0 + int(cols[0]),
+            c0 + int(cols[-1]) + 1,
+        )
+
+
+class DeltaActivationStore:
+    """Per-bundle LRU of spliced activation grids keyed by mask provenance.
+
+    The NSGA loop stamps every evaluated individual with a content
+    fingerprint; offspring carry their parent's fingerprint.  When the
+    evaluator meets an offspring whose ancestor's grids are stored here it
+    re-splices only the *relative* dirty window (where the two masks
+    differ) instead of the offspring's whole dirty region — a second-order
+    incremental path that is bit-identical to the clean-bundle splice.
+
+    The store lives on one :class:`CleanActivations` bundle and dies with
+    it: the owning :class:`ActivationCacheStore` folds its counters into
+    the parent totals and calls :meth:`clear` whenever the bundle is
+    evicted, invalidated or shut down, so a delta entry can never outlive
+    (or leak across) the clean grids it was spliced from.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_DELTA_STORE_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = int(max_entries)
+        self._entries: dict[bytes, DeltaActivations] = {}
+        self.hits = 0
+        self.misses = 0
+        self.bytes_admitted = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: bytes | None) -> DeltaActivations | None:
+        """The stored entry for a fingerprint (``None`` misses trivially)."""
+        if fingerprint is None:
+            return None
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            self.hits += 1
+            # Move to the MRU end so the cap evicts stale lineages first.
+            self._entries[fingerprint] = self._entries.pop(fingerprint)
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, fingerprint: bytes | None, entry: DeltaActivations) -> None:
+        """Admit one evaluated mask's spliced grids under its fingerprint.
+
+        Unkeyed masks (no provenance) are not stored; re-putting a known
+        fingerprint only refreshes its LRU position — the content is
+        identical by construction (the fingerprint is a content digest).
+        """
+        if fingerprint is None:
+            return
+        if fingerprint in self._entries:
+            self._entries[fingerprint] = self._entries.pop(fingerprint)
+            return
+        entry = self._admit(entry)
+        while len(self._entries) >= self.max_entries:
+            self._evict(next(iter(self._entries)))
+        self._entries[fingerprint] = entry
+        self.bytes_admitted += entry.nbytes
+        self._bind(fingerprint)
+
+    # -- subclass hooks -----------------------------------------------------
+    def _admit(self, entry: DeltaActivations) -> DeltaActivations:
+        """Hook: transform a fresh entry before caching it."""
+        return entry
+
+    def _evict(self, fingerprint: bytes) -> None:
+        """Hook: remove one entry (cap-driven)."""
+        del self._entries[fingerprint]
+
+    def _bind(self, fingerprint: bytes) -> None:
+        """Hook: associate out-of-band resources with the admitted key."""
+
+    def release_evicted(self) -> int:
+        """Hook: free resources of evicted entries (population boundary)."""
+        return 0
+
+    def clear(self) -> int:
+        """Drop every entry (parent bundle dropped); returns the count."""
+        count = len(self._entries)
+        self._entries.clear()
+        return count
+
+    # -- counters -----------------------------------------------------------
+    def counters(self) -> CacheStats:
+        """The store's traffic as delta-counter-only :class:`CacheStats`."""
+        return CacheStats(
+            delta_hits=self.hits,
+            delta_misses=self.misses,
+            delta_bytes=self.bytes_admitted,
+        )
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.bytes_admitted = 0
 
 
 @dataclass
@@ -158,15 +392,21 @@ class ActivationCacheStore:
     evicted first.
     """
 
-    def __init__(self, max_entries: int = 4) -> None:
+    def __init__(self, max_entries: int = 4, delta_store_size: int = 0) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
+        if delta_store_size < 0:
+            raise ValueError("delta_store_size must be non-negative")
         self.max_entries = int(max_entries)
+        self.delta_store_size = int(delta_store_size)
         self._entries: dict[tuple[int, bytes], _StoreEntry] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        # Delta traffic of bundles already dropped — folded in at _drop so
+        # snapshots stay monotonic while bundles churn.
+        self._delta_dropped = CacheStats()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -190,6 +430,8 @@ class ActivationCacheStore:
         if activations is None:
             return None
         activations = self._admit(activations)
+        if self.delta_store_size > 0 and activations.delta is None:
+            activations.delta = self._make_delta_store()
         while len(self._entries) >= self.max_entries:
             oldest = next(iter(self._entries))
             self._drop(oldest)
@@ -201,9 +443,41 @@ class ActivationCacheStore:
         """Hook: transform a freshly built bundle before caching it."""
         return activations
 
+    def _make_delta_store(self) -> DeltaActivationStore:
+        """Hook: build the per-bundle delta store (shm stores share segments)."""
+        return DeltaActivationStore(max_entries=self.delta_store_size)
+
     def _drop(self, key: tuple[int, bytes]) -> None:
-        """Hook: remove one entry (eviction or invalidation)."""
-        del self._entries[key]
+        """Hook: remove one entry (eviction or invalidation).
+
+        A bundle's delta store dies with the bundle: its counters fold into
+        the parent totals (so per-job snapshot deltas stay monotonic) and
+        its entries are cleared — a spliced grid never outlives the clean
+        grids it derives from.
+        """
+        entry = self._entries.pop(key)
+        delta = entry.activations.delta
+        if delta is not None:
+            self._delta_dropped = self._delta_dropped + delta.counters()
+            delta.reset_counters()
+            delta.clear()
+
+    def resize(self, max_entries: int) -> int:
+        """Change the entry cap in place; returns the cap actually applied.
+
+        Growing never touches existing entries; shrinking evicts from the
+        LRU end until the store fits (counted as evictions).  The
+        persistent runtime broadcasts grow-only resizes when a plan brings
+        more distinct models than the configured cap, so long-lived workers
+        adopt the auto-sized cap without a restart.
+        """
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = int(max_entries)
+        while len(self._entries) > self.max_entries:
+            self._drop(next(iter(self._entries)))
+            self.evictions += 1
+        return self.max_entries
 
     def invalidate(self, detector: "Detector | None" = None) -> int:
         """Drop entries (all of them, or one detector's); returns the count.
@@ -221,24 +495,46 @@ class ActivationCacheStore:
         self.invalidations += len(keys)
         return len(keys)
 
+    def _delta_totals(self) -> CacheStats:
+        """Delta traffic: dropped bundles' folded counters plus live stores."""
+        totals = self._delta_dropped
+        for entry in self._entries.values():
+            delta = entry.activations.delta
+            if delta is not None:
+                totals = totals + delta.counters()
+        return totals
+
     @property
     def stats(self) -> dict[str, int]:
-        """Hit/miss/eviction/invalidation counters plus the entry count."""
-        return {
+        """Hit/miss/eviction/invalidation counters plus the entry count.
+
+        Delta-store counters appear only on stores configured for (or
+        carrying) delta reuse, keeping the pre-existing shape otherwise.
+        """
+        counters = {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "entries": len(self._entries),
         }
+        delta_totals = self._delta_totals()
+        if self.delta_store_size > 0 or delta_totals != CacheStats():
+            counters["delta_hits"] = delta_totals.delta_hits
+            counters["delta_misses"] = delta_totals.delta_misses
+            counters["delta_bytes"] = delta_totals.delta_bytes
+        return counters
 
     def snapshot(self) -> CacheStats:
         """The current counters as an immutable :class:`CacheStats`."""
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            invalidations=self.invalidations,
+        return (
+            CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                invalidations=self.invalidations,
+            )
+            + self._delta_totals()
         )
 
     def reset_stats(self) -> CacheStats:
@@ -255,6 +551,11 @@ class ActivationCacheStore:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self._delta_dropped = CacheStats()
+        for entry in self._entries.values():
+            delta = entry.activations.delta
+            if delta is not None:
+                delta.reset_counters()
         return snapshot
 
 
@@ -287,8 +588,13 @@ class SharedMemoryActivationStore(ActivationCacheStore):
     returns, no segment created by this store exists.
     """
 
-    def __init__(self, max_entries: int = 4, segment_prefix: str | None = None) -> None:
-        super().__init__(max_entries=max_entries)
+    def __init__(
+        self,
+        max_entries: int = 4,
+        segment_prefix: str | None = None,
+        delta_store_size: int = 0,
+    ) -> None:
+        super().__init__(max_entries=max_entries, delta_store_size=delta_store_size)
         global _SHM_STORE_SEQ
         if segment_prefix is None:
             segment_prefix = f"rpa{os.getpid()}x{_SHM_STORE_SEQ}"
@@ -340,6 +646,13 @@ class SharedMemoryActivationStore(ActivationCacheStore):
         )
         self._pending_segments = segments
         return shared
+
+    def _make_delta_store(self) -> DeltaActivationStore:
+        """Delta entries share the owner's segment namespace, so the
+        parent's reap-by-prefix and leak audits cover them for free."""
+        return _SharedMemoryDeltaStore(
+            max_entries=self.delta_store_size, owner=self
+        )
 
     def _drop(self, key: tuple[int, bytes]) -> None:
         super()._drop(key)
@@ -396,3 +709,85 @@ class SharedMemoryActivationStore(ActivationCacheStore):
         """
         self.invalidate()
         self.release_retired()
+
+
+class _SharedMemoryDeltaStore(DeltaActivationStore):
+    """Delta store whose entries live in the owning shm store's segments.
+
+    Entries are copied into segments named under the owner's prefix (so the
+    persistent runtime's reap-by-prefix and leak audits cover them), with
+    the same unlink-now / close-later retirement discipline:
+
+    * cap-driven evictions unlink immediately and keep the mapping on a
+      local list until :meth:`release_evicted` — the evaluator calls that
+      at each population boundary, the only point where no view of an
+      evicted entry can still be live;
+    * :meth:`clear` (the parent bundle was dropped) unlinks everything and
+      hands the mappings to the *owner's* retired list, closed at the next
+      job boundary alongside the bundle's own segments — a view fetched
+      earlier in the job stays readable.
+    """
+
+    def __init__(self, max_entries: int, owner: SharedMemoryActivationStore) -> None:
+        super().__init__(max_entries=max_entries)
+        self._owner = owner
+        self._segments: dict[bytes, list] = {}
+        self._evicted: list = []
+        self._pending_segments: list | None = None
+
+    def _admit(self, entry: DeltaActivations) -> DeltaActivations:
+        segments: list = []
+        mask_segment, mask_view = self._owner._share_array(entry.mask_window)
+        segments.append(mask_segment)
+        tensors: dict[str, np.ndarray] = {}
+        for name, tensor in entry.tensors.items():
+            segment, view = self._owner._share_array(tensor)
+            segments.append(segment)
+            tensors[name] = view
+        self._pending_segments = segments
+        return DeltaActivations(
+            mask_window=mask_view,
+            pixel_bbox=entry.pixel_bbox,
+            prediction=entry.prediction,
+            tensors=tensors,
+        )
+
+    def _bind(self, fingerprint: bytes) -> None:
+        if self._pending_segments is not None:
+            self._segments[fingerprint] = self._pending_segments
+            self._pending_segments = None
+
+    def _evict(self, fingerprint: bytes) -> None:
+        super()._evict(fingerprint)
+        for segment in self._segments.pop(fingerprint, ()):
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+            self._evicted.append(segment)
+
+    def release_evicted(self) -> int:
+        """Close evicted (already unlinked) mappings; returns the count."""
+        released = len(self._evicted)
+        for segment in self._evicted:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        self._evicted.clear()
+        return released
+
+    def clear(self) -> int:
+        count = super().clear()
+        for segments in self._segments.values():
+            for segment in segments:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+                self._owner._retired.append(segment)
+        self._segments.clear()
+        # Evicted mappings not yet released ride the same owner boundary.
+        self._owner._retired.extend(self._evicted)
+        self._evicted.clear()
+        return count

@@ -9,13 +9,25 @@ import numpy as np
 
 from repro.detection.prediction import Prediction
 from repro.detectors import decode as cell_decode
-from repro.detectors.activation_cache import CleanActivations
+from repro.detectors.activation_cache import (
+    CleanActivations,
+    DeltaActivations,
+    DeltaActivationStore,
+)
 from repro.nn.incremental import (
     BBox,
+    bbox_area,
     bbox_area_fraction,
+    bbox_intersection,
     bbox_is_empty,
+    bbox_union,
     mask_nonzero_bbox,
 )
+
+#: A "splice item" of the generalised windowed hook: the population index,
+#: the pixel window to recompute, the source grids to splice into, and the
+#: prediction to return when the window touches no grid cell.
+SpliceItem = tuple[int, BBox, dict, Prediction]
 
 
 @dataclass(frozen=True)
@@ -80,6 +92,14 @@ class Detector(abc.ABC):
     #: detector implements a windowed dirty-region forward pass).
     supports_incremental: bool = False
 
+    #: Whether the detector implements :meth:`_predict_delta_spliced_batch`
+    #: — the generalised windowed hook that can splice against an evaluated
+    #: ancestor's grids instead of the clean bundle (cross-generation delta
+    #: reuse).  Third-party detectors that only override the legacy
+    #: ``_predict_delta_windowed*`` hooks keep working: ancestry is simply
+    #: ignored for them.
+    supports_delta_reuse: bool = False
+
     #: Dirty-bounding-box area fraction (of the image plane) above which the
     #: delta path routes a mask through the dense batched forward pass
     #: instead of the windowed one.  Near-full windows pay the windowed
@@ -136,6 +156,7 @@ class Detector(abc.ABC):
         mask: np.ndarray,
         dirty_bound: BBox | None = None,
         clean: CleanActivations | None = None,
+        ancestry: dict | None = None,
     ) -> Prediction:
         """Prediction on ``clip(image + mask, 0, 255)``, bit-identical to
         :meth:`predict` on the perturbed image.
@@ -149,6 +170,11 @@ class Detector(abc.ABC):
         operators); the exact box is still computed, so a loose bound never
         changes the result.  Without ``clean`` the perturbed image is
         simply run through the full forward pass.
+
+        ``ancestry`` opts the mask into cross-generation reuse against the
+        bundle's :class:`DeltaActivationStore` (see
+        :meth:`predict_delta_batch` for the dict shape); every route stays
+        bit-identical, so ancestry only affects speed.
         """
         image = validate_image(image)
         mask = self._validate_mask(image, mask)
@@ -157,7 +183,44 @@ class Detector(abc.ABC):
             if bbox_is_empty(pixel_bbox):
                 return clean.prediction
             plane = (image.shape[0], image.shape[1])
-            if bbox_area_fraction(pixel_bbox, plane) <= self.incremental_dense_fraction:
+            delta_store = clean.delta
+            if (
+                ancestry is not None
+                and self.supports_delta_reuse
+                and delta_store is not None
+            ):
+                outcome, payload = self._ancestor_splice(
+                    mask, pixel_bbox, plane, delta_store, ancestry
+                )
+                if outcome == "hit":
+                    return payload
+                if outcome == "splice":
+                    rel_bbox, tensors, fallback = payload
+                    item: SpliceItem = (0, rel_bbox, tensors, fallback)
+                elif (
+                    bbox_area_fraction(pixel_bbox, plane)
+                    <= self.incremental_dense_fraction
+                ):
+                    item = (0, pixel_bbox, clean.tensors, clean.prediction)
+                else:
+                    item = None  # type: ignore[assignment]
+                if item is not None:
+                    spliced, states = self._predict_delta_spliced_batch(
+                        image, mask[None, ...], [item]
+                    )
+                    self._store_delta(
+                        delta_store,
+                        ancestry.get("fingerprint"),
+                        mask,
+                        pixel_bbox,
+                        spliced[0],
+                        states[0],
+                    )
+                    return spliced[0]
+            elif (
+                bbox_area_fraction(pixel_bbox, plane)
+                <= self.incremental_dense_fraction
+            ):
                 return self._predict_delta_windowed(image, mask, pixel_bbox, clean)
         return self.predict(np.clip(image + mask, 0.0, 255.0))
 
@@ -167,6 +230,7 @@ class Detector(abc.ABC):
         masks: np.ndarray,
         dirty_bounds: list[BBox | None] | None = None,
         clean: CleanActivations | None = None,
+        ancestry: list[dict | None] | None = None,
     ) -> list[Prediction]:
         """Per-mask predictions on ``clip(image + masks[b], 0, 255)``.
 
@@ -177,6 +241,19 @@ class Detector(abc.ABC):
         dense regions fall back to the stacked :meth:`predict_batch` fast
         path.  All three routes are bit-identical to :meth:`predict` per
         mask, so the routing only affects speed.
+
+        ``ancestry`` (one dict or ``None`` per mask) opts a mask into
+        cross-generation reuse against the bundle's delta store.  The dict
+        carries ``"fingerprint"`` (the mask's own provenance key — evaluated
+        grids are stored under it), ``"ancestor"`` (the key of the evaluated
+        relative whose grids to splice against) and ``"diff_bound"`` (a bbox
+        covering every pixel where the two masks differ, or ``None`` for
+        unknown).  When the ancestor's grids are stored, only the *relative*
+        dirty window (the exact diff, rescanned) is re-spliced — and a mask
+        bit-identical to its ancestor answers from the stored prediction
+        outright.  The bound is only a scan window: the exact diff is always
+        recomputed, so a loose bound never changes the result, and every
+        route remains bit-identical to :meth:`predict`.
         """
         image = validate_image(image)
         masks = np.asarray(masks, dtype=np.float64)
@@ -191,8 +268,22 @@ class Detector(abc.ABC):
             raise ValueError(
                 f"expected {count} dirty bounds, got {len(dirty_bounds)}"
             )
+        delta_store: DeltaActivationStore | None = None
+        if (
+            ancestry is not None
+            and clean is not None
+            and self.supports_incremental
+            and self.supports_delta_reuse
+        ):
+            if len(ancestry) != count:
+                raise ValueError(
+                    f"expected {count} ancestry entries, got {len(ancestry)}"
+                )
+            delta_store = clean.delta
         predictions: list[Prediction | None] = [None] * count
         sparse: list[tuple[int, BBox]] = []
+        spliced_items: list[SpliceItem] = []
+        store_meta: dict[int, tuple[bytes | None, BBox]] = {}
         dense: list[int] = []
         if clean is not None and self.supports_incremental:
             plane = (image.shape[0], image.shape[1])
@@ -200,8 +291,35 @@ class Detector(abc.ABC):
                 bbox = mask_nonzero_bbox(masks[index], within=dirty_bounds[index])
                 if bbox_is_empty(bbox):
                     predictions[index] = clean.prediction
-                elif bbox_area_fraction(bbox, plane) <= self.incremental_dense_fraction:
-                    sparse.append((index, bbox))
+                    continue
+                if delta_store is not None:
+                    info = ancestry[index]  # type: ignore[index]
+                    outcome, payload = self._ancestor_splice(
+                        masks[index], bbox, plane, delta_store, info
+                    )
+                    if outcome == "hit":
+                        predictions[index] = payload
+                        continue
+                    if outcome == "splice":
+                        rel_bbox, tensors, fallback = payload
+                        spliced_items.append((index, rel_bbox, tensors, fallback))
+                        store_meta[index] = (
+                            info.get("fingerprint") if info else None,
+                            bbox,
+                        )
+                        continue
+                if bbox_area_fraction(bbox, plane) <= self.incremental_dense_fraction:
+                    if delta_store is not None:
+                        info = ancestry[index]  # type: ignore[index]
+                        spliced_items.append(
+                            (index, bbox, clean.tensors, clean.prediction)
+                        )
+                        store_meta[index] = (
+                            info.get("fingerprint") if info else None,
+                            bbox,
+                        )
+                    else:
+                        sparse.append((index, bbox))
                 else:
                     dense.append(index)
         else:
@@ -215,7 +333,86 @@ class Detector(abc.ABC):
                 sparse, self._predict_delta_windowed_batch(image, masks, sparse, clean)
             ):
                 predictions[index] = prediction
+        if spliced_items:
+            spliced, states = self._predict_delta_spliced_batch(
+                image, masks, spliced_items
+            )
+            for (index, _, _, _), prediction, state in zip(
+                spliced_items, spliced, states
+            ):
+                predictions[index] = prediction
+                fingerprint, own_bbox = store_meta[index]
+                self._store_delta(
+                    delta_store, fingerprint, masks[index], own_bbox, prediction, state
+                )
         return predictions  # type: ignore[return-value]
+
+    def _ancestor_splice(
+        self,
+        mask: np.ndarray,
+        bbox: BBox,
+        plane: tuple[int, int],
+        delta_store: DeltaActivationStore,
+        info: dict | None,
+    ):
+        """Route one mask against its ancestor's stored grids, if cheaper.
+
+        Returns ``("hit", prediction)`` when the mask is bit-identical to
+        the stored ancestor (nothing to recompute), ``("splice", (rel_bbox,
+        tensors, fallback))`` when re-splicing the exact relative diff
+        window into the ancestor's grids beats the clean-bundle splice, and
+        ``("none", None)`` otherwise (no usable ancestor, or the relative
+        window is not smaller than the mask's own dirty region).
+        """
+        if info is None:
+            return "none", None
+        ancestor_key = info.get("ancestor")
+        if ancestor_key is None:
+            return "none", None
+        entry = delta_store.get(ancestor_key)
+        if entry is None:
+            return "none", None
+        window = bbox_intersection(
+            info.get("diff_bound"), bbox_union(bbox, entry.pixel_bbox)
+        )
+        rel_bbox = entry.diff_bbox(mask, window)
+        if bbox_is_empty(rel_bbox):
+            return "hit", entry.prediction
+        if (
+            bbox_area(rel_bbox) <= bbox_area(bbox)
+            and bbox_area_fraction(rel_bbox, plane) <= self.incremental_dense_fraction
+        ):
+            return "splice", (rel_bbox, entry.tensors, entry.prediction)
+        return "none", None
+
+    def _store_delta(
+        self,
+        delta_store: DeltaActivationStore | None,
+        fingerprint: bytes | None,
+        mask: np.ndarray,
+        pixel_bbox: BBox,
+        prediction: Prediction,
+        state: dict | None,
+    ) -> None:
+        """Memoize one evaluated mask's spliced grids for its descendants.
+
+        ``state`` is the architecture's pre-finalisation spliced grids (or
+        ``None`` when the window touched no cell — such masks are not worth
+        storing: descendants fall back to the clean splice).  Dense-routed
+        masks are never stored either; their grids are not materialised.
+        """
+        if delta_store is None or fingerprint is None or state is None:
+            return
+        r0, r1, c0, c1 = pixel_bbox
+        delta_store.put(
+            fingerprint,
+            DeltaActivations(
+                mask_window=mask[r0:r1, c0:c1].copy(),
+                pixel_bbox=pixel_bbox,
+                prediction=prediction,
+                tensors=state,
+            ),
+        )
 
     def _validate_mask(self, image: np.ndarray, mask: np.ndarray) -> np.ndarray:
         mask = np.asarray(mask, dtype=np.float64)
@@ -259,6 +456,30 @@ class Detector(abc.ABC):
             self._predict_delta_windowed(image, masks[index], bbox, clean)
             for index, bbox in items
         ]
+
+    def _predict_delta_spliced_batch(
+        self,
+        image: np.ndarray,
+        masks: np.ndarray,
+        items: list[SpliceItem],
+    ) -> tuple[list[Prediction], list[dict | None]]:
+        """Architecture hook: windowed recompute against explicit sources.
+
+        The generalised form of :meth:`_predict_delta_windowed_batch`: each
+        item names the grids to splice into (the clean bundle's tensors or
+        an evaluated ancestor's stored grids — both carry the same stage
+        names), so the same code path serves first-order and
+        cross-generation incremental inference.  Returns the per-item
+        predictions plus the per-item *pre-finalisation* spliced grids
+        (``None`` when the window touched no cell and the fallback
+        prediction was returned) for the caller to memoize.  Only reached
+        when :attr:`supports_delta_reuse` is True; such detectors must
+        override it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares delta-reuse support but does not "
+            "implement _predict_delta_spliced_batch"
+        )
 
     def _decode(
         self, probabilities: np.ndarray, image_shape: tuple[int, int]

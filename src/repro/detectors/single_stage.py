@@ -56,6 +56,7 @@ class SingleStageDetector(Detector):
 
     architecture = "single_stage"
     supports_incremental = True
+    supports_delta_reuse = True
 
     def __init__(
         self,
@@ -179,21 +180,25 @@ class SingleStageDetector(Detector):
             clean_image=clean_image, prediction=prediction, tensors=tensors
         )
 
-    def _delta_feature_grid(
+    def _delta_feature_state(
         self,
         image: np.ndarray,
         mask: np.ndarray,
         pixel_bbox: BBox,
-        clean: CleanActivations,
-    ) -> np.ndarray | None:
-        """Finalised feature grid of the perturbed image, or ``None`` when
-        the dirty region touches no grid cell (prediction is the clean one).
+        source: dict[str, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray | None] | None:
+        """Pre-finalisation ``(features, smoothed)`` pair after splicing the
+        ``pixel_bbox`` window into ``source`` grids, or ``None`` when the
+        window touches no grid cell.
 
-        Recomputes the feature extraction on the dirty cell window (pixel
-        box dilated by the 1-pixel Sobel halo), splices it into the cached
-        raw grid, recomputes the local smoothing on the window dilated by
-        the box-filter radius, and finishes with the whole-grid blend and
-        global-context stages — every step bit-identical to the full pass.
+        ``source`` is either the clean bundle's tensors or an evaluated
+        ancestor's stored grids (cross-generation reuse) — the splice is
+        the same either way: recompute the feature extraction on the dirty
+        cell window (pixel box dilated by the 1-pixel Sobel halo), splice
+        it into the source raw grid, and recompute the local smoothing on
+        the window dilated by the box-filter radius.  Cells outside the
+        window read identical input pixels in the source and the perturbed
+        image, so the spliced grids are bit-identical to a full recompute.
         """
         grid_shape = self.extractor.grid_shape(image)
         cell_bbox = pixel_bbox_to_cell_bbox(
@@ -203,7 +208,7 @@ class SingleStageDetector(Detector):
         )
         if bbox_is_empty(cell_bbox):
             return None
-        features = clean.tensors["features"].copy()
+        features = source["features"].copy()
         cr0, cr1, cc0, cc1 = cell_bbox
         features[cr0:cr1, cc0:cc1] = self.extractor.window_features(
             image, mask, cell_bbox
@@ -211,7 +216,7 @@ class SingleStageDetector(Detector):
         smoothed: np.ndarray | None = None
         if self.local_smoothing > 1:
             if self.local_smoothing % 2 == 1:
-                smoothed = clean.tensors["smoothed"].copy()
+                smoothed = source["smoothed"].copy()
                 smooth_bbox = dilate_bbox(
                     cell_bbox, self.local_smoothing // 2, grid_shape
                 )
@@ -224,7 +229,26 @@ class SingleStageDetector(Detector):
                 # the windowed kernels do not reproduce; the grid is tiny,
                 # so recompute the smoothing stage whole-grid instead.
                 smoothed = self._smooth(features)
-        return self._finalize_features(features, smoothed)
+        return features, smoothed
+
+    def _delta_feature_grid(
+        self,
+        image: np.ndarray,
+        mask: np.ndarray,
+        pixel_bbox: BBox,
+        clean: CleanActivations,
+    ) -> np.ndarray | None:
+        """Finalised feature grid of the perturbed image, or ``None`` when
+        the dirty region touches no grid cell (prediction is the clean one).
+
+        The windowed splice happens in :meth:`_delta_feature_state`; this
+        finishes with the whole-grid blend and global-context stages —
+        every step bit-identical to the full pass.
+        """
+        state = self._delta_feature_state(image, mask, pixel_bbox, clean.tensors)
+        if state is None:
+            return None
+        return self._finalize_features(*state)
 
     def _predict_delta_windowed(
         self,
@@ -267,3 +291,45 @@ class SingleStageDetector(Detector):
             for i, prediction in zip(live, decoded):
                 predictions[i] = prediction
         return predictions
+
+    def _predict_delta_spliced_batch(
+        self,
+        image: np.ndarray,
+        masks: np.ndarray,
+        items: list[tuple[int, BBox, dict, Prediction]],
+    ) -> tuple[list[Prediction], list[dict | None]]:
+        """Windowed recompute of sparse members against explicit sources.
+
+        Identical arithmetic to :meth:`_predict_delta_windowed_batch` — the
+        per-cell prototype probabilities are independent per grid, so the
+        stacked head gives bit-identical results however items mix clean
+        and ancestor sources — plus the pre-finalisation grids for the
+        delta store.
+        """
+        states = [
+            self._delta_feature_state(image, masks[index], bbox, source)
+            for index, bbox, source, _ in items
+        ]
+        live = [i for i, state in enumerate(states) if state is not None]
+        predictions: list[Prediction] = [fallback for _, _, _, fallback in items]
+        if live:
+            probabilities = self.prototypes.probabilities(
+                np.stack(
+                    [self._finalize_features(*states[i]) for i in live], axis=0
+                )
+            )
+            image_shape = (image.shape[0], image.shape[1])
+            decoded = self._decode_batch(probabilities, image_shape)
+            for i, prediction in zip(live, decoded):
+                predictions[i] = prediction
+        state_dicts: list[dict | None] = []
+        for state in states:
+            if state is None:
+                state_dicts.append(None)
+                continue
+            features, smoothed = state
+            tensors = {"features": features}
+            if smoothed is not None:
+                tensors["smoothed"] = smoothed
+            state_dicts.append(tensors)
+        return predictions, state_dicts

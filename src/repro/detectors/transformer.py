@@ -69,6 +69,7 @@ class TransformerDetector(Detector):
 
     architecture = "transformer"
     supports_incremental = True
+    supports_delta_reuse = True
 
     def __init__(
         self,
@@ -216,6 +217,33 @@ class TransformerDetector(Detector):
             clean_image=clean_image, prediction=prediction, tensors={"raw": raw}
         )
 
+    def _delta_raw_state(
+        self,
+        image: np.ndarray,
+        mask: np.ndarray,
+        pixel_bbox: BBox,
+        source: dict[str, np.ndarray],
+    ) -> np.ndarray | None:
+        """Raw patch tokens after splicing the ``pixel_bbox`` window into a
+        ``source`` raw grid (the clean bundle's, or an evaluated ancestor's
+        stored tokens for cross-generation reuse); ``None`` when no cell is
+        touched.  Tokens outside the window read identical input pixels, so
+        the spliced grid is bit-identical to a full extraction; the global
+        attention stage is always recomputed from it.
+        """
+        grid_shape = self.extractor.grid_shape(image)
+        cell_bbox = pixel_bbox_to_cell_bbox(
+            dilate_bbox(pixel_bbox, 1, (image.shape[0], image.shape[1])),
+            self.config.cell,
+            grid_shape,
+        )
+        if bbox_is_empty(cell_bbox):
+            return None
+        raw = source["raw"].copy()
+        cr0, cr1, cc0, cc1 = cell_bbox
+        raw[cr0:cr1, cc0:cc1] = self.extractor.window_features(image, mask, cell_bbox)
+        return raw
+
     def _delta_raw_grid(
         self,
         image: np.ndarray,
@@ -227,18 +255,7 @@ class TransformerDetector(Detector):
         clean grid; ``None`` when no cell is touched (clean prediction
         stands — unperturbed tokens produce the clean attention pattern).
         """
-        grid_shape = self.extractor.grid_shape(image)
-        cell_bbox = pixel_bbox_to_cell_bbox(
-            dilate_bbox(pixel_bbox, 1, (image.shape[0], image.shape[1])),
-            self.config.cell,
-            grid_shape,
-        )
-        if bbox_is_empty(cell_bbox):
-            return None
-        raw = clean.tensors["raw"].copy()
-        cr0, cr1, cc0, cc1 = cell_bbox
-        raw[cr0:cr1, cc0:cc1] = self.extractor.window_features(image, mask, cell_bbox)
-        return raw
+        return self._delta_raw_state(image, mask, pixel_bbox, clean.tensors)
 
     def _predict_delta_windowed(
         self,
@@ -288,3 +305,41 @@ class TransformerDetector(Detector):
             for i, prediction in zip(live, decoded):
                 predictions[i] = prediction
         return predictions
+
+    def _predict_delta_spliced_batch(
+        self,
+        image: np.ndarray,
+        masks: np.ndarray,
+        items: list[tuple[int, BBox, dict, Prediction]],
+    ) -> tuple[list[Prediction], list[dict | None]]:
+        """Windowed recompute of sparse members against explicit sources.
+
+        Cross-generation reuse skips re-extracting the ancestor's patch
+        tokens — only the relative dirty window is spliced — but the global
+        attention stage (the parity-capped part of the transformer path) is
+        always recomputed from the full spliced grid, in the same chunks as
+        :meth:`_predict_delta_windowed_batch`; attention carries the batch
+        axis through every token operation unchanged, so per-grid results
+        are bit-identical however items mix clean and ancestor sources.
+        """
+        grids = [
+            self._delta_raw_state(image, masks[index], bbox, source)
+            for index, bbox, source, _ in items
+        ]
+        live = [i for i, grid in enumerate(grids) if grid is not None]
+        predictions: list[Prediction] = [fallback for _, _, _, fallback in items]
+        if live:
+            stacked = np.stack([grids[i] for i in live], axis=0)
+            image_shape = (image.shape[0], image.shape[1])
+            chunk = max(1, int(self.delta_batch_chunk))
+            decoded: list[Prediction] = []
+            for start in range(0, stacked.shape[0], chunk):
+                probabilities = self.prototypes.probabilities(
+                    self._mix_features(stacked[start : start + chunk])
+                )
+                decoded.extend(self._decode_batch(probabilities, image_shape))
+            for i, prediction in zip(live, decoded):
+                predictions[i] = prediction
+        return predictions, [
+            None if grid is None else {"raw": grid} for grid in grids
+        ]

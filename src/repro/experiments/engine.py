@@ -38,6 +38,7 @@ import multiprocessing
 import os
 import time
 import traceback
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -56,6 +57,40 @@ from repro.experiments.jobs import (
 
 #: Backend names accepted by :func:`resolve_backend` (and the CLI).
 BACKEND_NAMES: tuple[str, ...] = ("serial", "process", "persistent")
+
+
+def effective_cache_size(plan: ExperimentPlan) -> int:
+    """The activation-cache entry cap a backend should provision for a plan.
+
+    A cap smaller than the plan's distinct-model count guarantees lifecycle
+    thrash — every model's bundle is evicted before its next scene arrives —
+    so the cap is auto-grown to the model count (with a one-line warning
+    naming both sizes).  Growth never changes results, only hit rates.
+    """
+    configured = int(plan.attack_config.activation_cache_size)
+    distinct = len(plan.model_specs())
+    if distinct > configured:
+        warnings.warn(
+            f"activation_cache_size={configured} is below the plan's "
+            f"{distinct} distinct models; growing the cache to {distinct} "
+            "entries to avoid lifecycle thrash",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return distinct
+    return configured
+
+
+def delta_store_size_for_config(config) -> int:
+    """Delta-store entry cap an attack config implies (0 = reuse off)."""
+    if not getattr(config, "use_delta_reuse", False):
+        return 0
+    return int(getattr(config, "delta_store_size", 0))
+
+
+def plan_delta_store_size(plan: ExperimentPlan) -> int:
+    """Delta-store entry cap for a plan's stores (0 = delta reuse off)."""
+    return delta_store_size_for_config(plan.attack_config)
 
 
 class JobExecutionError(RuntimeError):
@@ -162,6 +197,9 @@ def merge_execution_summaries(parts: "Sequence[dict]") -> dict[str, object]:
             misses=int(stats.get("misses", 0)),
             evictions=int(stats.get("evictions", 0)),
             invalidations=int(stats.get("invalidations", 0)),
+            delta_hits=int(stats.get("delta_hits", 0)),
+            delta_misses=int(stats.get("delta_misses", 0)),
+            delta_bytes=int(stats.get("delta_bytes", 0)),
         )
     # A multi-stage sweep may legitimately run its stages on different
     # backends; stamping the whole run with the first stage's name would
@@ -238,7 +276,10 @@ class SerialBackend(ExecutionBackend):
     def run(self, plan: ExperimentPlan) -> list[JobOutcome]:
         config = plan.attack_config
         store = (
-            ActivationCacheStore(max_entries=config.activation_cache_size)
+            ActivationCacheStore(
+                max_entries=effective_cache_size(plan),
+                delta_store_size=plan_delta_store_size(plan),
+            )
             if config.use_activation_cache
             else None
         )
@@ -272,10 +313,14 @@ class SerialBackend(ExecutionBackend):
 _WORKER_STORE: ActivationCacheStore | None = None
 
 
-def _init_worker(use_cache: bool, cache_size: int) -> None:
+def _init_worker(use_cache: bool, cache_size: int, delta_store_size: int = 0) -> None:
     global _WORKER_STORE
     _WORKER_STORE = (
-        ActivationCacheStore(max_entries=cache_size) if use_cache else None
+        ActivationCacheStore(
+            max_entries=cache_size, delta_store_size=delta_store_size
+        )
+        if use_cache
+        else None
     )
 
 
@@ -356,7 +401,11 @@ class ProcessPoolBackend(ExecutionBackend):
         with context.Pool(
             processes=self.n_jobs,
             initializer=_init_worker,
-            initargs=(config.use_activation_cache, config.activation_cache_size),
+            initargs=(
+                config.use_activation_cache,
+                effective_cache_size(plan),
+                plan_delta_store_size(plan),
+            ),
         ) as pool:
             outcomes = list(
                 pool.imap_unordered(_run_job_in_worker, jobs, chunksize=self.chunksize)

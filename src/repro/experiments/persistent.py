@@ -56,7 +56,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.detectors.activation_cache import SharedMemoryActivationStore
-from repro.experiments.engine import ExecutionBackend, JobExecutionError
+from repro.experiments.engine import (
+    ExecutionBackend,
+    JobExecutionError,
+    delta_store_size_for_config,
+    effective_cache_size,
+)
 from repro.experiments.jobs import (
     DetectorInstanceSpec,
     ExperimentPlan,
@@ -108,6 +113,7 @@ def _worker_main(
     result_queue,
     use_cache: bool,
     cache_size: int,
+    delta_store_size: int = 0,
 ) -> None:
     """The long-lived worker loop: jobs, lifecycle messages, clean stop.
 
@@ -119,7 +125,9 @@ def _worker_main(
     """
     store = (
         SharedMemoryActivationStore(
-            max_entries=cache_size, segment_prefix=segment_prefix
+            max_entries=cache_size,
+            segment_prefix=segment_prefix,
+            delta_store_size=delta_store_size,
         )
         if use_cache
         else None
@@ -170,6 +178,12 @@ def _worker_main(
                 release_detector(spec)
             if store is not None:
                 store.release_retired()
+        elif kind == "resize":
+            # Grow-only cap broadcast (plan auto-sizing); never changes
+            # results, only how many bundles survive between plans.
+            _, new_size = message
+            if store is not None:
+                store.resize(new_size)
         elif kind == "detach":
             attachments.close_all()
         elif kind == "stats":
@@ -240,6 +254,7 @@ class PersistentWorkerRuntime:
         start_method: str | None = None,
         prefetch: int = 2,
         max_crashes_per_job: int = 3,
+        delta_store_size: int = 0,
     ) -> None:
         global _RUNTIME_SEQ
         if n_jobs < 1:
@@ -247,6 +262,11 @@ class PersistentWorkerRuntime:
         self.n_jobs = int(n_jobs)
         self.use_cache = bool(use_cache)
         self.cache_size = int(cache_size)
+        # The configured cap is the restart signature; the effective cap
+        # grows (grow-only) when a plan brings more distinct models, via a
+        # "resize" broadcast instead of a warm-state-destroying restart.
+        self.effective_cache_size = int(cache_size)
+        self.delta_store_size = int(delta_store_size)
         self.prefetch = max(1, int(prefetch))
         self.max_crashes_per_job = max(1, int(max_crashes_per_job))
         self._context = multiprocessing.get_context(start_method)
@@ -264,8 +284,8 @@ class PersistentWorkerRuntime:
 
     # -- lifecycle ----------------------------------------------------------
     @property
-    def cache_signature(self) -> tuple[bool, int]:
-        return (self.use_cache, self.cache_size)
+    def cache_signature(self) -> tuple[bool, int, int]:
+        return (self.use_cache, self.cache_size, self.delta_store_size)
 
     @property
     def start_method_is_fork(self) -> bool:
@@ -300,7 +320,8 @@ class PersistentWorkerRuntime:
                 task_queue,
                 self._result_queue,
                 self.use_cache,
-                self.cache_size,
+                self.effective_cache_size,
+                self.delta_store_size,
             ),
             daemon=True,
             name=f"repro-persistent-{index}",
@@ -346,6 +367,21 @@ class PersistentWorkerRuntime:
             except (OSError, ValueError):  # pragma: no cover
                 pass
         self._workers = []
+
+    def resize_cache(self, max_entries: int) -> None:
+        """Grow every worker's activation-store cap (never shrinks).
+
+        Respawned workers pick the grown cap up through
+        ``effective_cache_size``; the configured cap (and with it the
+        restart signature) is untouched.
+        """
+        max_entries = int(max_entries)
+        if max_entries <= self.effective_cache_size:
+            return
+        self.effective_cache_size = max_entries
+        if self.started:
+            for worker in self._workers:
+                worker.task_queue.put(("resize", max_entries))
 
     def leaked_segments(self) -> list[str]:
         """Live segments under this runtime's prefix (should be [] when idle
@@ -614,6 +650,7 @@ class PersistentPoolBackend(ExecutionBackend):
         signature = (
             bool(attack_config.use_activation_cache),
             int(attack_config.activation_cache_size),
+            delta_store_size_for_config(attack_config),
         )
         runtime = self._runtime
         if runtime is not None and (
@@ -629,6 +666,7 @@ class PersistentPoolBackend(ExecutionBackend):
                 start_method=self.start_method,
                 prefetch=self.prefetch,
                 max_crashes_per_job=self.max_crashes_per_job,
+                delta_store_size=signature[2],
             )
             if self._pinned:
                 runtime.pin_models(list(self._pinned))
@@ -637,6 +675,7 @@ class PersistentPoolBackend(ExecutionBackend):
 
     def run(self, plan: ExperimentPlan) -> list[JobOutcome]:
         runtime = self._ensure_runtime(plan.attack_config)
+        runtime.resize_cache(effective_cache_size(plan))
         jobs = list(plan.jobs)
         if self.submission_seed is not None:
             rng = np.random.default_rng(self.submission_seed)

@@ -157,6 +157,81 @@ def mask_nonzero_bbox(mask: np.ndarray, within: BBox | None = None) -> BBox:
     )
 
 
+def bbox_symmetric_difference(first: BBox | None, second: BBox | None) -> BBox | None:
+    """Hull of the region covered by exactly one of the two boxes.
+
+    The true symmetric difference of two rectangles is not a rectangle in
+    general; this returns a rectangular **superset** of it — the tightest
+    one expressible with the information at hand — which is what a dirty
+    bound needs (a superset never changes results, only the recompute
+    window).  Equal boxes give :data:`EMPTY_BBOX`; an empty box gives the
+    other box; boxes sharing a row range (or a column range) confine the
+    difference to the complementary axis; anything else falls back to the
+    union hull.  ``None`` (unknown extent) is absorbing.
+    """
+    if first is None or second is None:
+        return None
+    if bbox_is_empty(first):
+        return EMPTY_BBOX if bbox_is_empty(second) else second
+    if bbox_is_empty(second):
+        return first
+    if first == second:
+        return EMPTY_BBOX
+    fr0, fr1, fc0, fc1 = first
+    sr0, sr1, sc0, sc1 = second
+    if (fr0, fr1) == (sr0, sr1):
+        c0 = min(fc1, sc1) if fc0 == sc0 else min(fc0, sc0)
+        c1 = max(fc0, sc0) if fc1 == sc1 else max(fc1, sc1)
+        return (fr0, fr1, c0, c1)
+    if (fc0, fc1) == (sc0, sc1):
+        r0 = min(fr1, sr1) if fr0 == sr0 else min(fr0, sr0)
+        r1 = max(fr0, sr0) if fr1 == sr1 else max(fr1, sr1)
+        return (r0, r1, fc0, fc1)
+    return bbox_union(first, second)
+
+
+def masks_differ_bbox(
+    first: np.ndarray, second: np.ndarray, within: BBox | None = None
+) -> BBox:
+    """Exact bounding box of the pixels where two masks differ in any channel.
+
+    The relative dirty region of a child mask against an ancestor: splicing
+    only this window (dilated by the receptive field) into the ancestor's
+    activation grids reproduces the child's grids bit for bit.  ``within``
+    restricts the scan to a window known to contain every differing pixel
+    (e.g. the intersection of the lineage diff bound with the union of both
+    supports); the result is identical to the full scan but costs only
+    O(window).  Returns :data:`EMPTY_BBOX` for identical masks.
+    """
+    first = np.asarray(first)
+    second = np.asarray(second)
+    if first.shape != second.shape:
+        raise ValueError(
+            f"mask shapes differ: {first.shape} vs {second.shape}"
+        )
+    off_r = off_c = 0
+    if within is not None and not bbox_is_empty(within):
+        r0, r1, c0, c1 = within
+        first = first[r0:r1, c0:c1]
+        second = second[r0:r1, c0:c1]
+        off_r, off_c = r0, c0
+    elif within is not None:
+        return EMPTY_BBOX
+    differ = first != second
+    if differ.ndim == 3:
+        differ = differ.any(axis=2)
+    rows = np.flatnonzero(differ.any(axis=1))
+    if rows.size == 0:
+        return EMPTY_BBOX
+    cols = np.flatnonzero(differ.any(axis=0))
+    return (
+        off_r + int(rows[0]),
+        off_r + int(rows[-1]) + 1,
+        off_c + int(cols[0]),
+        off_c + int(cols[-1]) + 1,
+    )
+
+
 def reflect_indices(start: int, stop: int, size: int) -> np.ndarray:
     """Indices ``start..stop`` mapped into ``[0, size)`` by symmetric reflection.
 

@@ -44,11 +44,12 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.nsga.crossover import one_point_crossover_tracked
+from repro.nn.incremental import bbox_union
+from repro.nsga.crossover import one_point_crossover_lineage
 from repro.nsga.crowding import crowding_distance
 from repro.nsga.individual import Individual
 from repro.nsga.initialization import InitializationConfig, initialize_population
-from repro.nsga.mutation import MutationConfig, mutate_tracked
+from repro.nsga.mutation import MutationConfig, mutate_tracked_lineage
 from repro.nsga.selection import binary_tournament
 from repro.nsga.sorting import fast_non_dominated_sort
 
@@ -136,6 +137,10 @@ class NSGAResult:
     history: list[dict] = field(default_factory=list)
     num_evaluations: int = 0
     cache_hits: int = 0
+    #: Run-level incremental-inference counters (delta hits/misses and the
+    #: dirty-area ratio) when the objective function exposes them; ``None``
+    #: for objective functions without an incremental path.
+    incremental: dict | None = None
 
     @property
     def num_queries(self) -> int:
@@ -200,12 +205,19 @@ class NSGAII:
         # propagate in Individual.metadata; bounds only cap the nonzero
         # scans, they never change objective values.
         self._batch_accepts_bounds = False
+        # Evaluators with a cross-generation delta-reuse path additionally
+        # accept per-genome ancestry records (own fingerprint, parent
+        # fingerprint and a bound on the child-vs-parent diff); ancestry
+        # only redirects which cached activations are spliced, the exact
+        # diff is always rescanned, so results never change.
+        self._batch_accepts_ancestry = False
         if self._batch_evaluator is not None:
             try:
                 parameters = inspect.signature(self._batch_evaluator).parameters
             except (TypeError, ValueError):
                 parameters = {}
             self._batch_accepts_bounds = "dirty_bounds" in parameters
+            self._batch_accepts_ancestry = "ancestry" in parameters
 
     def _apply_constraint(self, genome: np.ndarray) -> np.ndarray:
         if self.constraint is None:
@@ -220,6 +232,22 @@ class NSGAII:
         digest.update(str(genome.shape).encode())
         digest.update(np.ascontiguousarray(genome).tobytes())
         return digest.digest()
+
+    @staticmethod
+    def _ancestry_record(individual: Individual, key: Optional[bytes]) -> dict:
+        """Per-genome ancestry record for delta-reuse batch evaluators.
+
+        ``fingerprint`` is the genome's own digest (the delta store admits
+        spliced activations under it); ``ancestor``/``diff_bound`` name the
+        head parent's digest and a box bounding where the genome can differ
+        from that parent (``None`` ancestor = no usable lineage).
+        """
+        lineage = individual.metadata.get("ancestor")
+        return {
+            "fingerprint": key,
+            "ancestor": lineage.get("fingerprint") if lineage else None,
+            "diff_bound": lineage.get("diff_bound") if lineage else None,
+        }
 
     def _evaluate(self, population: Sequence[Individual]) -> None:
         """Assign objective vectors to every unevaluated individual.
@@ -237,12 +265,20 @@ class NSGAII:
         unique: list[Individual] = []
         unique_keys: list[Optional[bytes]] = []
         duplicates: list[tuple[Individual, int]] = []
-        if self.config.evaluation_cache:
+        if self.config.evaluation_cache or self._batch_accepts_ancestry:
             # Resolve cache hits first; duplicated genomes inside one batch
             # collapse onto a single evaluation via the per-batch key map.
+            # The genome digest doubles as the individual's *fingerprint* —
+            # the key under which the delta-reuse path stores its spliced
+            # activations and under which children look their parents up.
             batch_positions: dict[bytes, int] = {}
             for individual in pending:
                 key = self._genome_key(individual.genome)
+                individual.metadata["fingerprint"] = key
+                if not self.config.evaluation_cache:
+                    unique.append(individual)
+                    unique_keys.append(key)
+                    continue
                 cached = self._cache.get(key)
                 if cached is not None:
                     individual.set_objectives(cached.copy())
@@ -261,16 +297,19 @@ class NSGAII:
         if unique:
             if self._batch_evaluator is not None:
                 genomes = np.stack([ind.genome for ind in unique], axis=0)
+                kwargs: dict = {}
                 if self._batch_accepts_bounds:
-                    bounds = [ind.metadata.get("dirty_bound") for ind in unique]
-                    matrix = np.asarray(
-                        self._batch_evaluator(genomes, dirty_bounds=bounds),
-                        dtype=np.float64,
-                    )
-                else:
-                    matrix = np.asarray(
-                        self._batch_evaluator(genomes), dtype=np.float64
-                    )
+                    kwargs["dirty_bounds"] = [
+                        ind.metadata.get("dirty_bound") for ind in unique
+                    ]
+                if self._batch_accepts_ancestry:
+                    kwargs["ancestry"] = [
+                        self._ancestry_record(ind, key)
+                        for ind, key in zip(unique, unique_keys)
+                    ]
+                matrix = np.asarray(
+                    self._batch_evaluator(genomes, **kwargs), dtype=np.float64
+                )
                 if matrix.shape[0] != len(unique):
                     raise ValueError(
                         "evaluate_population returned "
@@ -283,9 +322,10 @@ class NSGAII:
                     individual.set_objectives(
                         self.objective_function(individual.genome)
                     )
-            for individual, key in zip(unique, unique_keys):
-                if key is not None:
-                    self._cache[key] = individual.objectives.copy()
+            if self.config.evaluation_cache:
+                for individual, key in zip(unique, unique_keys):
+                    if key is not None:
+                        self._cache[key] = individual.objectives.copy()
 
         for individual, position in duplicates:
             individual.set_objectives(unique[position].objectives.copy())
@@ -318,44 +358,60 @@ class NSGAII:
         plain ones, so seeded runs are unchanged; each offspring carries a
         ``metadata["dirty_bound"]`` box covering its nonzero support
         (``None`` = unknown), which the incremental evaluation path uses to
-        cap its exact nonzero scans.
+        cap its exact nonzero scans, plus a ``metadata["ancestor"]`` record
+        naming its head parent's fingerprint and a box bounding where it
+        can differ from that parent — the cross-generation delta-reuse path
+        re-splices only that region into the parent's cached activations.
         """
         parents = binary_tournament(population, self.rng, self.config.population_size)
         offspring: list[Individual] = []
         for index in range(0, len(parents) - 1, 2):
             parent_a, parent_b = parents[index], parents[index + 1]
-            child_a, child_b, bound_a, bound_b = one_point_crossover_tracked(
-                parent_a.genome,
-                parent_b.genome,
-                self.rng,
-                probability=self.config.crossover_probability,
-                first_bound=parent_a.metadata.get("dirty_bound"),
-                second_bound=parent_b.metadata.get("dirty_bound"),
+            child_a, child_b, bound_a, bound_b, rel_a, rel_b = (
+                one_point_crossover_lineage(
+                    parent_a.genome,
+                    parent_b.genome,
+                    self.rng,
+                    probability=self.config.crossover_probability,
+                    first_bound=parent_a.metadata.get("dirty_bound"),
+                    second_bound=parent_b.metadata.get("dirty_bound"),
+                )
             )
-            child_a, bound_a = mutate_tracked(
+            child_a, bound_a, touched_a = mutate_tracked_lineage(
                 child_a, self.rng, self.config.mutation, bound_a
             )
-            child_b, bound_b = mutate_tracked(
+            child_b, bound_b, touched_b = mutate_tracked_lineage(
                 child_b, self.rng, self.config.mutation, bound_b
             )
-            # Constraints (region projection, rounding, clipping) can only
-            # zero pixels out, so the propagated bounds remain supersets.
+            # Constraints (region projection, rounding, clipping) are
+            # pixelwise and can only zero pixels out, so both the support
+            # bounds and the child-vs-parent diff bounds remain supersets.
             offspring.append(
                 Individual(
                     genome=self._apply_constraint(child_a),
-                    metadata={"dirty_bound": bound_a},
+                    metadata={
+                        "dirty_bound": bound_a,
+                        "ancestor": self._lineage_record(
+                            parent_a, bbox_union(rel_a, touched_a)
+                        ),
+                    },
                 )
             )
             offspring.append(
                 Individual(
                     genome=self._apply_constraint(child_b),
-                    metadata={"dirty_bound": bound_b},
+                    metadata={
+                        "dirty_bound": bound_b,
+                        "ancestor": self._lineage_record(
+                            parent_b, bbox_union(rel_b, touched_b)
+                        ),
+                    },
                 )
             )
         # Odd population sizes (the paper uses 101) get one extra mutant of
         # the last parent so that |offspring| == |population|.
         while len(offspring) < self.config.population_size:
-            extra, bound = mutate_tracked(
+            extra, bound, touched = mutate_tracked_lineage(
                 parents[-1].genome,
                 self.rng,
                 self.config.mutation,
@@ -364,10 +420,21 @@ class NSGAII:
             offspring.append(
                 Individual(
                     genome=self._apply_constraint(extra),
-                    metadata={"dirty_bound": bound},
+                    metadata={
+                        "dirty_bound": bound,
+                        "ancestor": self._lineage_record(parents[-1], touched),
+                    },
                 )
             )
         return offspring[: self.config.population_size]
+
+    @staticmethod
+    def _lineage_record(parent: Individual, diff_bound) -> dict | None:
+        """Ancestor record for an offspring, ``None`` without a fingerprint."""
+        fingerprint = parent.metadata.get("fingerprint")
+        if fingerprint is None:
+            return None
+        return {"fingerprint": fingerprint, "diff_bound": diff_bound}
 
     def _environmental_selection(
         self, combined: list[Individual]
@@ -388,11 +455,34 @@ class NSGAII:
                 break
         return survivors
 
+    @staticmethod
+    def _incremental_delta(
+        before: dict | None, after: dict | None
+    ) -> dict | None:
+        """Per-generation view of two monotonic incremental snapshots."""
+        if before is None or after is None:
+            return None
+        entry = {key: after[key] - before.get(key, 0) for key in after}
+        total = entry.pop("total_area", 0)
+        entry["dirty_area_ratio"] = (
+            float(entry.pop("dirty_area", 0) / total) if total > 0 else 0.0
+        )
+        return entry
+
     def run(self) -> NSGAResult:
         """Execute the configured number of generations and return the result."""
+        # Objective functions with an incremental-inference path expose
+        # monotonic counters; snapshot diffs give per-generation stats
+        # (delta hits/misses, dirty-area ratio) without touching results.
+        snapshot = getattr(self.objective_function, "incremental_snapshot", None)
+        baseline = snapshot() if callable(snapshot) else None
+        run_start = baseline
+
         population = self._initial_population()
         self._evaluate(population)
         self._rank_population(population)
+        if callable(snapshot):
+            baseline = snapshot()
 
         history: list[dict] = []
         for generation in range(self.config.num_iterations):
@@ -409,6 +499,12 @@ class NSGAII:
                     "front_size": sum(1 for ind in population if ind.rank == 1),
                 }
             )
+            if callable(snapshot):
+                current = snapshot()
+                entry = self._incremental_delta(baseline, current)
+                if entry is not None:
+                    history[-1]["incremental"] = entry
+                baseline = current
             if self.callback is not None:
                 self.callback(generation, population)
 
@@ -419,4 +515,7 @@ class NSGAII:
             history=history,
             num_evaluations=self.num_evaluations,
             cache_hits=self.cache_hits,
+            incremental=self._incremental_delta(
+                run_start, snapshot() if callable(snapshot) else None
+            ),
         )

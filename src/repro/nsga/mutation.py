@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.incremental import BBox, bbox_union
+from repro.nn.incremental import BBox, EMPTY_BBOX, bbox_union
 
 
 @dataclass(frozen=True)
@@ -246,11 +246,31 @@ def mutate_tracked(
     Consumes exactly the same random draws as :func:`mutate`, so seeded
     runs are unchanged.
     """
+    child, bound, _ = mutate_tracked_lineage(genome, rng, config, parent_bound)
+    return child, bound
+
+
+def mutate_tracked_lineage(
+    genome: np.ndarray,
+    rng: np.random.Generator,
+    config: MutationConfig | None = None,
+    parent_bound: BBox | None = None,
+) -> tuple[np.ndarray, BBox | None, BBox]:
+    """:func:`mutate_tracked` plus the *lineage* diff bound.
+
+    Returns ``(child, bound, touched)`` where ``touched`` bounds the pixels
+    where the child can differ from the input genome: the box the mutation
+    operator touched, or ``EMPTY_BBOX`` when no mutation happened (the child
+    is a pixel-identical copy).  The cross-generation delta-reuse path uses
+    it to cap the exact child-vs-ancestor diff scan; a loose bound never
+    changes results, only scan cost.  Consumes exactly the same random
+    draws as :func:`mutate`, so seeded runs are unchanged.
+    """
     config = config if config is not None else MutationConfig()
     if rng.random() >= config.probability:
-        return genome.copy(), parent_bound
+        return genome.copy(), parent_bound, EMPTY_BBOX
     operator_name = config.operators[int(rng.integers(0, len(config.operators)))]
     mutated, touched = _TRACKED_OPERATORS[operator_name](
         genome, rng, config.window_fraction, config.max_value
     )
-    return mutated, bbox_union(parent_bound, touched)
+    return mutated, bbox_union(parent_bound, touched), touched
