@@ -15,10 +15,12 @@ Six subcommands cover the common workflows:
 * ``repro-attack table``     — print Table I / Table II.
 
 The sweep commands (``compare``, ``transfer``, ``defend``) share the
-execution-engine options ``--jobs``, ``--backend`` and
-``--experiment-seed`` — results are bit-identical for every backend and
-worker count.  The CLI works entirely on the synthetic substrate, so every
-command runs offline on a laptop.
+execution-engine options ``--jobs``, ``--backend``, ``--experiment-seed``,
+``--checkpoint-dir``/``--resume`` (fault-tolerant journaled execution: an
+interrupted sweep resumes from the journal with bit-identical results) and
+``--max-retries`` (in-run requeue of crashed/raising jobs) — results are
+bit-identical for every backend and worker count.  The CLI works entirely
+on the synthetic substrate, so every command runs offline on a laptop.
 """
 
 from __future__ import annotations
@@ -50,6 +52,7 @@ from repro.experiments.figures import (
     figure3_figure4_contrast,
     figure5_ghost_objects,
 )
+from repro.experiments.engine import RetryPolicy
 from repro.experiments.jobs import ModelSpec
 from repro.experiments.runner import run_architecture_comparison
 from repro.experiments.transfer import run_transferability_experiment
@@ -108,6 +111,52 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
             "scheduling); default: every job runs the same configured seed"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "journal completed jobs to this directory as they finish; an "
+            "interrupted sweep re-run with --resume picks up from the "
+            "journal with bit-identical final results"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from the journals in --checkpoint-dir (already-journaled "
+            "jobs are skipped); without --resume an existing journal is an "
+            "error so a stale directory cannot silently skip work"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=_non_negative_int,
+        default=None,
+        help=(
+            "requeue a job whose worker crashed or raised up to this many "
+            "times before giving up; default: fail fast on the first error"
+        ),
+    )
+
+
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Resolve the shared engine options into sweep keyword arguments."""
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("error: --resume requires --checkpoint-dir")
+    retry = (
+        RetryPolicy(max_retries=args.max_retries)
+        if args.max_retries is not None
+        else None
+    )
+    return {
+        "n_jobs": args.jobs,
+        "backend": args.backend,
+        "experiment_seed": args.experiment_seed,
+        "checkpoint_dir": args.checkpoint_dir,
+        "resume": args.resume,
+        "retry": retry,
+    }
 
 
 def _print_execution_summary(execution: dict | None) -> None:
@@ -118,6 +167,11 @@ def _print_execution_summary(execution: dict | None) -> None:
         f"Execution: backend={execution['backend']} jobs={execution['n_jobs']} "
         f"wall={execution['duration_seconds']:.2f}s"
     )
+    if execution.get("journal_hits") or execution.get("retries"):
+        print(
+            f"Fault tolerance: {execution.get('journal_hits', 0)} jobs "
+            f"restored from journal, {execution.get('retries', 0)} retries"
+        )
     if execution.get("cache_enabled"):
         stats = execution["cache_stats"]
         print(
@@ -368,9 +422,7 @@ def _run_compare(args: argparse.Namespace) -> int:
     comparison = run_architecture_comparison(
         experiment=experiment,
         nsga=nsga,
-        n_jobs=args.jobs,
-        backend=args.backend,
-        experiment_seed=args.experiment_seed,
+        **_engine_kwargs(args),
     )
     print(comparison.report.to_text())
     summary = comparison.susceptibility_summary()
@@ -386,6 +438,11 @@ def _run_compare(args: argparse.Namespace) -> int:
             f"Execution: backend={execution.backend} jobs={execution.n_jobs} "
             f"wall={execution.duration_seconds:.2f}s workers={len(execution.per_worker)}"
         )
+        if execution.journal_hits or execution.retries:
+            print(
+                f"Fault tolerance: {execution.journal_hits} jobs restored "
+                f"from journal, {execution.retries} retries"
+            )
         if execution.cache_enabled:
             print(
                 f"Activation cache (sweep total): {total.hits} hits, "
@@ -436,9 +493,7 @@ def _run_transfer(args: argparse.Namespace) -> int:
         specs,
         sample.image,
         _sweep_attack_config(args),
-        n_jobs=args.jobs,
-        backend=args.backend,
-        experiment_seed=args.experiment_seed,
+        **_engine_kwargs(args),
     )
     print(format_table(result.as_rows()))
     print(
@@ -468,9 +523,7 @@ def _run_defend(args: argparse.Namespace) -> int:
         sample.image,
         sample.ground_truth,
         config,
-        n_jobs=args.jobs,
-        backend=args.backend,
-        experiment_seed=args.experiment_seed,
+        **_engine_kwargs(args),
     )
     print(format_table(evaluation.summary_rows()))
     print(
@@ -489,9 +542,7 @@ def _run_defend(args: argparse.Namespace) -> int:
             members,
             sample.image,
             config,
-            n_jobs=args.jobs,
-            backend=args.backend,
-            experiment_seed=args.experiment_seed,
+            **_engine_kwargs(args),
         )
         member_mean = (
             sum(ensemble_evaluation.member_degradations)

@@ -39,6 +39,7 @@ from repro.detectors.base import Detector
 from repro.detectors.ensemble import DetectorEnsemble
 from repro.experiments.engine import (
     ExecutionBackend,
+    RetryPolicy,
     execute_plan,
     resolve_backend,
 )
@@ -48,6 +49,20 @@ from repro.experiments.jobs import (
     as_model_spec,
     release_plan_models,
 )
+
+
+def _open_checkpoint(checkpoint_dir, resume):
+    """Build a journal for one defense sweep (``None`` when not requested).
+
+    Function-level import: ``repro.experiments.checkpoint`` pulls this
+    module in (via :mod:`repro.io.serialization`) for the defense-result
+    codecs, so a module-level import here would cycle.
+    """
+    if checkpoint_dir is None:
+        return None
+    from repro.experiments.checkpoint import PlanCheckpoint
+
+    return PlanCheckpoint(checkpoint_dir, resume=resume)
 
 
 @dataclass
@@ -215,6 +230,9 @@ def evaluate_defense(
     backend: "str | ExecutionBackend | None" = None,
     experiment_seed: int | None = None,
     release_models: bool = True,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> DefenseEvaluation:
     """Attack both detectors with the same budget and compare the outcomes.
 
@@ -222,6 +240,9 @@ def evaluate_defense(
     interface) or picklable model specs; either way the two attacks run as
     a declarative plan on the experiment engine, so ``n_jobs``/``backend``
     fan them out over worker processes with bit-identical results.
+    ``checkpoint_dir`` journals completed jobs for resume (``resume=True``)
+    and ``retry`` requeues crashed/raising jobs in-run — both identical in
+    behaviour to the architecture-comparison runner.
     """
     attack_config = attack_config if attack_config is not None else AttackConfig.fast()
     plan = build_defense_plan(
@@ -234,9 +255,14 @@ def evaluate_defense(
     )
     owns_backend = not isinstance(backend, ExecutionBackend)
     engine_backend = resolve_backend(backend, n_jobs=n_jobs)
+    checkpoint = _open_checkpoint(checkpoint_dir, resume)
     try:
-        execution = execute_plan(plan, engine_backend)
+        execution = execute_plan(
+            plan, engine_backend, checkpoint=checkpoint, retry=retry
+        )
     finally:
+        if checkpoint is not None:
+            checkpoint.close()
         if release_models:
             release_plan_models(plan)
         if owns_backend:
@@ -256,6 +282,9 @@ def ensemble_defense_evaluation(
     backend: "str | ExecutionBackend | None" = None,
     experiment_seed: int | None = None,
     release_models: bool = True,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> EnsembleDefenseEvaluation:
     """Attack the ensemble jointly, then measure the fused-prediction damage.
 
@@ -285,9 +314,14 @@ def ensemble_defense_evaluation(
     )
     owns_backend = not isinstance(backend, ExecutionBackend)
     engine_backend = resolve_backend(backend, n_jobs=n_jobs)
+    checkpoint = _open_checkpoint(checkpoint_dir, resume)
     try:
-        execution = execute_plan(plan, engine_backend)
+        execution = execute_plan(
+            plan, engine_backend, checkpoint=checkpoint, retry=retry
+        )
     finally:
+        if checkpoint is not None:
+            checkpoint.close()
         if release_models:
             release_plan_models(plan)
         if owns_backend:

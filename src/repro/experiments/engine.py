@@ -29,7 +29,19 @@ suites in ``tests/experiments/test_engine.py`` (attack jobs),
 
 :func:`execute_plan` is the single entry point: it runs a backend, restores
 plan order, and merges the per-job :class:`CacheStats` deltas into
-per-model, per-worker and sweep-level totals.
+per-model, per-worker and sweep-level totals.  Two optional layers make
+long plans restartable:
+
+* ``checkpoint`` — a :class:`~repro.experiments.checkpoint.PlanCheckpoint`
+  journal (duck-typed: ``load(plan)`` + ``record(outcome)``).  Completed
+  outcomes are journaled *as they stream in* (via the backend's
+  ``on_outcome`` hook, not after ``run()`` returns), so a plan killed
+  mid-flight resumes from its journal: journaled jobs are skipped and
+  their outcomes loaded.
+* ``retry`` — a :class:`RetryPolicy` re-running the un-collected remainder
+  of a plan after a :class:`JobExecutionError` (transient worker-side
+  failure) or a :class:`WorkerCrashError` (crash budget exhausted), with a
+  per-job attempt budget that keeps poison jobs from looping forever.
 """
 
 from __future__ import annotations
@@ -40,8 +52,8 @@ import time
 import traceback
 import warnings
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass, field, replace as dataclasses_replace
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -124,6 +136,52 @@ class JobExecutionError(RuntimeError):
         )
 
 
+class WorkerCrashError(RuntimeError):
+    """A worker died repeatedly while the same job was in flight.
+
+    Raised by the persistent runtime after the per-job crash budget is
+    exhausted; distinguishes a poison job (kills every worker it lands on)
+    from a transient worker death, which the runtime absorbs by respawning
+    and re-dispatching.  Defined here (not in
+    :mod:`repro.experiments.persistent`) so :class:`RetryPolicy` can
+    classify it without importing the runtime.
+    """
+
+    def __init__(self, job_id: object, crashes: int) -> None:
+        super().__init__(
+            f"job {job_id!r} was in flight through {crashes} worker deaths; "
+            "giving up instead of respawning forever"
+        )
+        self.job_id = job_id
+        self.crashes = crashes
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :func:`execute_plan` requeues jobs after a worker-side failure.
+
+    ``max_retries`` is the number of *additional* dispatches a failing job
+    may get (so ``max_retries=2`` allows three attempts in total).  Once a
+    job exhausts its budget the original error propagates — that is the
+    poison-job verdict, as opposed to a transient failure that succeeds on
+    requeue.  Only failures raised *by workers* are retried: an exception
+    escaping :class:`SerialBackend` is an in-process bug, re-running it
+    would re-raise identically.
+    """
+
+    max_retries: int = 2
+    retry_errors: bool = True
+    retry_crashes: bool = True
+
+    def should_retry(self, error: BaseException) -> bool:
+        """Whether this failure class is requeued at all (budget aside)."""
+        if isinstance(error, WorkerCrashError):
+            return self.retry_crashes
+        if isinstance(error, JobExecutionError):
+            return self.retry_errors
+        return False
+
+
 @dataclass
 class ExecutionReport:
     """Everything :func:`execute_plan` learned while running a plan.
@@ -132,6 +190,11 @@ class ExecutionReport:
     the jobs.  The cache-stats maps aggregate the per-job deltas: per model
     (the per-model hit rates the sweep reports), per worker (one entry per
     pool process, or ``"serial"``), and in total.
+
+    ``journal_hits`` counts outcomes loaded from the checkpoint journal
+    instead of executed this run (0 for a fresh or checkpoint-less run);
+    ``retries`` counts failed sub-plan dispatches the :class:`RetryPolicy`
+    absorbed.
     """
 
     outcomes: list[JobOutcome]
@@ -141,6 +204,8 @@ class ExecutionReport:
     per_worker: dict[str, CacheStats] = field(default_factory=dict)
     duration_seconds: float = 0.0
     cache_enabled: bool = True
+    journal_hits: int = 0
+    retries: int = 0
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -179,6 +244,8 @@ class ExecutionReport:
             "per_model_cache": {
                 name: stats.as_dict() for name, stats in self.per_model.items()
             },
+            "journal_hits": self.journal_hits,
+            "retries": self.retries,
         }
 
 
@@ -220,6 +287,8 @@ def merge_execution_summaries(parts: "Sequence[dict]") -> dict[str, object]:
         ),
         "cache_enabled": any(part.get("cache_enabled", False) for part in parts),
         "cache_stats": merged_stats.as_dict(),
+        "journal_hits": sum(int(part.get("journal_hits", 0)) for part in parts),
+        "retries": sum(int(part.get("retries", 0)) for part in parts),
         "stages": list(parts),
     }
 
@@ -229,10 +298,21 @@ class ExecutionBackend(ABC):
 
     name: str = "abstract"
     n_jobs: int = 1
+    #: Streaming hook set by :func:`execute_plan` when journaling: called
+    #: with each completed :class:`JobOutcome` *as it arrives*, before
+    #: ``run()`` returns — the property that lets a checkpoint journal
+    #: survive the parent dying mid-plan.
+    on_outcome: "Callable[[JobOutcome], None] | None" = None
 
     @abstractmethod
     def run(self, plan: ExperimentPlan) -> list[JobOutcome]:
         """Execute every job of the plan; outcomes may be in any order."""
+
+    def _notify(self, outcome: JobOutcome) -> None:
+        """Deliver one completed outcome to the streaming hook, if set."""
+        callback = self.on_outcome
+        if callback is not None:
+            callback(outcome)
 
     def close(self) -> None:
         """Release backend-held resources (worker processes, shared memory).
@@ -292,6 +372,7 @@ class SerialBackend(ExecutionBackend):
             outcome = job.execute(context)
             outcome.worker_id = "serial"
             outcomes.append(outcome)
+            self._notify(outcome)
             for spec in job_model_specs(job):
                 remaining[spec] -= 1
                 if remaining[spec] == 0 and store is not None:
@@ -407,9 +488,12 @@ class ProcessPoolBackend(ExecutionBackend):
                 plan_delta_store_size(plan),
             ),
         ) as pool:
-            outcomes = list(
-                pool.imap_unordered(_run_job_in_worker, jobs, chunksize=self.chunksize)
-            )
+            outcomes = []
+            for outcome in pool.imap_unordered(
+                _run_job_in_worker, jobs, chunksize=self.chunksize
+            ):
+                outcomes.append(outcome)
+                self._notify(outcome)
         return outcomes
 
 
@@ -440,21 +524,85 @@ def resolve_backend(
     )
 
 
-def execute_plan(plan: ExperimentPlan, backend: ExecutionBackend) -> ExecutionReport:
-    """Run the plan on a backend and aggregate outcomes in plan order."""
-    start = time.perf_counter()
-    raw = backend.run(plan)
-    duration = time.perf_counter() - start
-    if len(raw) != len(plan.jobs):
-        raise RuntimeError(
-            f"backend {backend.name!r} returned {len(raw)} outcomes "
-            f"for {len(plan.jobs)} jobs"
-        )
-    by_id = {outcome.job_id: outcome for outcome in raw}
-    if len(by_id) != len(plan.jobs):
-        raise RuntimeError(f"backend {backend.name!r} returned duplicate job ids")
+def execute_plan(
+    plan: ExperimentPlan,
+    backend: ExecutionBackend,
+    checkpoint=None,
+    retry: RetryPolicy | None = None,
+) -> ExecutionReport:
+    """Run the plan on a backend and aggregate outcomes in plan order.
 
-    outcomes = [by_id[job.job_id] for job in plan.jobs]
+    Parameters
+    ----------
+    checkpoint:
+        Optional :class:`~repro.experiments.checkpoint.PlanCheckpoint`
+        (duck-typed: ``load(plan) -> {job_id: JobOutcome}`` +
+        ``record(outcome)``).  Already-journaled jobs are skipped and their
+        outcomes loaded (``report.journal_hits`` counts them); every newly
+        completed outcome is journaled as it streams in, so an interrupted
+        plan resumes where it stopped.
+    retry:
+        Optional :class:`RetryPolicy`: after a worker-side failure
+        (:class:`JobExecutionError` / :class:`WorkerCrashError`) the
+        un-collected remainder of the plan is re-dispatched, until the
+        failing job exhausts its per-job attempt budget — then the error
+        propagates (a poison job).  Outcomes collected before the failure
+        are kept (and journaled), never re-run.
+    """
+    start = time.perf_counter()
+    collected: dict = {}
+    if checkpoint is not None:
+        collected.update(checkpoint.load(plan))
+    journal_hits = len(collected)
+    retries = 0
+    attempts: dict = {}
+
+    def _collect(outcome: JobOutcome) -> None:
+        if outcome.job_id in collected:
+            return
+        collected[outcome.job_id] = outcome
+        if checkpoint is not None:
+            checkpoint.record(outcome)
+
+    while True:
+        pending = [job for job in plan.jobs if job.job_id not in collected]
+        if not pending:
+            break
+        subplan = (
+            plan
+            if len(pending) == len(plan.jobs)
+            else dataclasses_replace(plan, jobs=pending)
+        )
+        backend.on_outcome = _collect
+        try:
+            raw = backend.run(subplan)
+        except (JobExecutionError, WorkerCrashError) as error:
+            count = attempts[error.job_id] = attempts.get(error.job_id, 0) + 1
+            if (
+                retry is None
+                or not retry.should_retry(error)
+                or count > retry.max_retries
+            ):
+                raise
+            retries += 1
+            continue
+        finally:
+            backend.on_outcome = None
+        if len(raw) != len(subplan.jobs):
+            raise RuntimeError(
+                f"backend {backend.name!r} returned {len(raw)} outcomes "
+                f"for {len(subplan.jobs)} jobs"
+            )
+        if len({outcome.job_id for outcome in raw}) != len(raw):
+            raise RuntimeError(
+                f"backend {backend.name!r} returned duplicate job ids"
+            )
+        for outcome in raw:
+            _collect(outcome)
+        break
+    duration = time.perf_counter() - start
+
+    outcomes = [collected[job.job_id] for job in plan.jobs]
     per_model: dict[str, CacheStats] = {}
     per_worker: dict[str, CacheStats] = {}
     for job, outcome in zip(plan.jobs, outcomes):
@@ -479,4 +627,6 @@ def execute_plan(plan: ExperimentPlan, backend: ExecutionBackend) -> ExecutionRe
         per_worker=per_worker,
         duration_seconds=duration,
         cache_enabled=plan.attack_config.use_activation_cache,
+        journal_hits=journal_hits,
+        retries=retries,
     )

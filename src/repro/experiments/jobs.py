@@ -43,6 +43,7 @@ into data:
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
@@ -371,6 +372,10 @@ class JobOutcome:
     matrix column for cross-evaluation jobs, a defense comparison bundle
     for defense jobs.  The engine never looks inside it; only the sweep
     orchestrator that built the plan does.
+
+    ``restored`` marks an outcome loaded from a checkpoint journal instead
+    of executed this run (``worker_id``/``duration_seconds``/``cache_stats``
+    then describe the *original* execution).
     """
 
     job_id: int
@@ -378,6 +383,7 @@ class JobOutcome:
     cache_stats: CacheStats | None = None
     worker_id: str = "serial"
     duration_seconds: float = 0.0
+    restored: bool = False
 
 
 @dataclass
@@ -421,6 +427,27 @@ class AttackPlan(ExperimentPlan):
     """The models × images sweep plan: jobs plus architecture labels."""
 
     labels: tuple[str, ...] = ()
+
+
+def plan_fingerprint(plan: ExperimentPlan) -> dict:
+    """A plan's identity for checkpoint-journal validation.
+
+    Cheap but discriminating: name, job count, experiment seed and a
+    digest of the job-id/job-type sequence.  A journal written for one
+    plan must never seed the resume of a different one — silently loading
+    mismatched outcomes would corrupt the resumed report, so the journal
+    header stores this fingerprint and :class:`~repro.experiments.checkpoint.PlanCheckpoint`
+    rejects a plan whose fingerprint differs.
+    """
+    digest = hashlib.sha256()
+    for job in plan.jobs:
+        digest.update(f"{job.job_id}:{type(job).__name__};".encode())
+    return {
+        "name": plan.name,
+        "num_jobs": len(plan.jobs),
+        "experiment_seed": plan.experiment_seed,
+        "jobs_digest": digest.hexdigest(),
+    }
 
 
 def seed_from_sequence(sequence: np.random.SeedSequence) -> int:

@@ -35,10 +35,22 @@ defers that invalidation for models bridging multi-stage sweeps.
 
 Failure semantics: a job that raises surfaces as a
 :class:`~repro.experiments.engine.JobExecutionError` carrying the
-worker-side traceback; a worker that *dies* is reaped (its leftover
-segments force-unlinked), respawned and its jobs re-dispatched, with a
-per-job crash budget that turns a poison job into a
-:class:`WorkerCrashError` instead of an infinite respawn loop.
+worker-side traceback, and an abort-epoch broadcast makes every worker
+skip jobs of the failed plan that were already queued to it; a worker
+that *dies* is reaped (its leftover segments force-unlinked), respawned
+and its jobs re-dispatched, with a per-job crash budget that turns a
+poison job into a :class:`~repro.experiments.engine.WorkerCrashError`
+instead of an infinite respawn loop.  Idle workers emit periodic
+heartbeats, so liveness is policed continuously — including while the
+parent merely waits for stats from a worker that will never answer.
+Results travel over *per-worker pipes* (multiplexed in the parent with
+``multiprocessing.connection.wait``), each with its worker as sole
+writer, because a shared result queue is not crash-safe: a worker
+SIGKILLed while its (or its feeder thread's) write is in flight would
+leave either a torn message that blocks the parent's next read forever —
+the surviving writers keep EOF from ever arriving — or a dead holder of
+the shared write lock that deadlocks every other worker's sends.  A
+private pipe turns any crash, at any instant, into a local EOF.
 """
 
 from __future__ import annotations
@@ -47,6 +59,7 @@ import atexit
 import multiprocessing
 import os
 import queue as queue_module
+from multiprocessing import connection as mp_connection
 import time
 import traceback
 from collections import deque
@@ -59,6 +72,7 @@ from repro.detectors.activation_cache import SharedMemoryActivationStore
 from repro.experiments.engine import (
     ExecutionBackend,
     JobExecutionError,
+    WorkerCrashError,
     delta_store_size_for_config,
     effective_cache_size,
 )
@@ -84,22 +98,11 @@ from repro.experiments.shm import (
 #: Process-wide counter giving each runtime a unique segment-name prefix.
 _RUNTIME_SEQ = 0
 
-
-class WorkerCrashError(RuntimeError):
-    """A worker died repeatedly while the same job was in flight.
-
-    Raised after the per-job crash budget is exhausted; distinguishes a
-    poison job (kills every worker it lands on) from a transient worker
-    death, which the runtime absorbs by respawning and re-dispatching.
-    """
-
-    def __init__(self, job_id: object, crashes: int) -> None:
-        super().__init__(
-            f"job {job_id!r} was in flight through {crashes} worker deaths; "
-            "giving up instead of respawning forever"
-        )
-        self.job_id = job_id
-        self.crashes = crashes
+__all__ = [
+    "PersistentPoolBackend",
+    "PersistentWorkerRuntime",
+    "WorkerCrashError",
+]
 
 
 # --- worker process ----------------------------------------------------------
@@ -110,10 +113,12 @@ def _worker_main(
     generation: int,
     segment_prefix: str,
     task_queue,
-    result_queue,
+    result_conn,
     use_cache: bool,
     cache_size: int,
     delta_store_size: int = 0,
+    abort_epoch=None,
+    heartbeat_interval: float = 1.0,
 ) -> None:
     """The long-lived worker loop: jobs, lifecycle messages, clean stop.
 
@@ -122,6 +127,19 @@ def _worker_main(
     is what makes the runtime pay off across plans.  Messages arrive on a
     private FIFO queue, so lifecycle broadcasts (invalidate, detach) are
     ordered against the job stream.
+
+    ``abort_epoch`` is a shared value the parent bumps when a plan dies;
+    queued jobs from an epoch at or below it are skipped without being
+    restored or executed, so an aborted plan's backlog cannot burn minutes
+    of compute producing results nobody will collect.  While the queue is
+    idle the worker emits a heartbeat every ``heartbeat_interval`` seconds
+    — the parent's proof of life when no job traffic is flowing.
+
+    ``result_conn`` is this worker's *private* pipe to the parent (this
+    process is its only writer): sends are synchronous, never interleave
+    with other workers and share no lock with them, so a SIGKILL at any
+    moment — even mid-``send`` — can corrupt or block nobody else; the
+    parent just sees this pipe EOF.
     """
     store = (
         SharedMemoryActivationStore(
@@ -134,18 +152,33 @@ def _worker_main(
     )
     attachments = SharedArrayAttachments()
     context = WorkerContext(store=store, worker_id=f"worker-{index}")
+    job_counters = {"executed": 0, "skipped_stale": 0}
     while True:
-        message = task_queue.get()
+        try:
+            message = task_queue.get(timeout=heartbeat_interval)
+        except queue_module.Empty:
+            try:
+                result_conn.send(("heartbeat", index, generation, time.monotonic()))
+            except (OSError, ValueError):  # pragma: no cover - parent gone
+                return
+            continue
         kind = message[0]
         if kind == "job":
             _, epoch, job, refs = message
+            if abort_epoch is not None and epoch <= abort_epoch.value:
+                # The plan this job belongs to already died in the parent;
+                # skipping here (before any restore/execute work) is what
+                # makes abort cheap even with deep prefetch backlogs.
+                job_counters["skipped_stale"] += 1
+                continue
+            job_counters["executed"] += 1
             try:
                 restore_shared_arrays(job, refs, attachments)
                 outcome = job.execute(context)
                 outcome.worker_id = context.worker_id
-                result_queue.put(("done", index, generation, epoch, outcome))
+                result_conn.send(("done", index, generation, epoch, outcome))
             except Exception as exc:
-                result_queue.put(
+                result_conn.send(
                     (
                         "error",
                         index,
@@ -187,19 +220,25 @@ def _worker_main(
         elif kind == "detach":
             attachments.close_all()
         elif kind == "stats":
-            result_queue.put(
+            result_conn.send(
                 (
                     "stats",
                     index,
                     generation,
-                    None if store is None else dict(store.stats),
+                    {
+                        "store": None if store is None else dict(store.stats),
+                        "jobs": dict(job_counters),
+                    },
                 )
             )
         elif kind == "stop":
             if store is not None:
                 store.shutdown()
             attachments.close_all()
-            result_queue.put(("stopped", index, generation))
+            try:
+                result_conn.send(("stopped", index, generation))
+            except (OSError, ValueError):  # pragma: no cover - parent gone
+                pass
             return
 
 
@@ -214,6 +253,7 @@ class _WorkerHandle:
     generation: int
     process: object
     task_queue: object
+    reader: object
     segment_prefix: str
     models: set = field(default_factory=set)
     backlog: deque = field(default_factory=deque)
@@ -243,7 +283,12 @@ class PersistentWorkerRuntime:
         arriving after a worker's whole plan share is queued.
     max_crashes_per_job:
         Worker deaths a single job may witness before the runtime raises
-        :class:`WorkerCrashError` instead of re-dispatching it again.
+        :class:`~repro.experiments.engine.WorkerCrashError` instead of
+        re-dispatching it again.
+    heartbeat_interval:
+        Seconds between idle-worker heartbeats; the parent uses their
+        arrival (or any other message) as proof of life and polices the
+        process table whenever the result queue goes quiet.
     """
 
     def __init__(
@@ -255,6 +300,7 @@ class PersistentWorkerRuntime:
         prefetch: int = 2,
         max_crashes_per_job: int = 3,
         delta_store_size: int = 0,
+        heartbeat_interval: float = 1.0,
     ) -> None:
         global _RUNTIME_SEQ
         if n_jobs < 1:
@@ -269,11 +315,16 @@ class PersistentWorkerRuntime:
         self.delta_store_size = int(delta_store_size)
         self.prefetch = max(1, int(prefetch))
         self.max_crashes_per_job = max(1, int(max_crashes_per_job))
+        self.heartbeat_interval = max(0.05, float(heartbeat_interval))
         self._context = multiprocessing.get_context(start_method)
         self._prefix = f"rpr{os.getpid()}x{_RUNTIME_SEQ}"
         _RUNTIME_SEQ += 1
-        self._result_queue = None
         self._workers: list[_WorkerHandle] = []
+        # Shared with every worker: the highest epoch known to have been
+        # aborted.  Workers compare queued jobs against it and skip stale
+        # ones instead of executing into the void.
+        self._abort_epoch = self._context.Value("q", 0)
+        self._heartbeats: dict[int, tuple[int, float]] = {}
         self._epoch = 0
         self._pinned: set = set()
         self._deferred_invalidation: set = set()
@@ -302,7 +353,6 @@ class PersistentWorkerRuntime:
             raise RuntimeError("runtime is closed")
         if self.started:
             return
-        self._result_queue = self._context.Queue()
         self._workers = [
             self._spawn(index, generation=0) for index in range(self.n_jobs)
         ]
@@ -311,6 +361,16 @@ class PersistentWorkerRuntime:
     def _spawn(self, index: int, generation: int) -> _WorkerHandle:
         segment_prefix = f"{self._prefix}w{index}g{generation}"
         task_queue = self._context.Queue()
+        # Results come back over a per-worker pipe, not a shared queue.
+        # A shared channel is not crash-safe: a worker SIGKILLed while its
+        # (or its feeder thread's) write is in flight leaves either a torn
+        # message — which blocks the parent's next read forever, since the
+        # surviving writers keep EOF from ever arriving — or a dead holder
+        # of the shared write lock, which deadlocks every other worker's
+        # sends.  With a private pipe the worker is its sole writer: sends
+        # are synchronous and unshared, and any crash simply EOFs this one
+        # pipe, which liveness policing turns into a respawn.
+        reader, writer = self._context.Pipe(duplex=False)
         process = self._context.Process(
             target=_worker_main,
             args=(
@@ -318,20 +378,26 @@ class PersistentWorkerRuntime:
                 generation,
                 segment_prefix,
                 task_queue,
-                self._result_queue,
+                writer,
                 self.use_cache,
                 self.effective_cache_size,
                 self.delta_store_size,
+                self._abort_epoch,
+                self.heartbeat_interval,
             ),
             daemon=True,
             name=f"repro-persistent-{index}",
         )
         process.start()
+        # The worker owns the write end now; dropping the parent's copy is
+        # what makes a dead worker's pipe read as EOF instead of hanging.
+        writer.close()
         return _WorkerHandle(
             index=index,
             generation=generation,
             process=process,
             task_queue=task_queue,
+            reader=reader,
             segment_prefix=segment_prefix,
         )
 
@@ -340,6 +406,10 @@ class PersistentWorkerRuntime:
         if self.closed:
             return
         self.closed = True
+        # The safety-net registration from __init__ would otherwise pin
+        # this runtime (workers, queues, segments and all) until
+        # interpreter exit — a real leak for apps cycling many runtimes.
+        atexit.unregister(self.close)
         if not self.started:
             return
         for worker in self._workers:
@@ -360,12 +430,13 @@ class PersistentWorkerRuntime:
                 worker.task_queue.close()
             except (OSError, ValueError):  # pragma: no cover
                 pass
+            if worker.reader is not None:
+                try:
+                    worker.reader.close()
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+                worker.reader = None
         reap_segments(self._prefix)
-        if self._result_queue is not None:
-            try:
-                self._result_queue.close()
-            except (OSError, ValueError):  # pragma: no cover
-                pass
         self._workers = []
 
     def resize_cache(self, max_entries: int) -> None:
@@ -433,12 +504,15 @@ class PersistentWorkerRuntime:
             worker.task_queue.put(("job", epoch, slim, refs))
 
     # -- execution ----------------------------------------------------------
-    def execute(self, jobs: Sequence) -> list[JobOutcome]:
+    def execute(self, jobs: Sequence, on_outcome=None) -> list[JobOutcome]:
         """Run ``jobs`` on the persistent pool; outcomes in ``jobs`` order.
 
         Results are bit-identical to serial execution: jobs are
         deterministic in their own payload, so routing, prefetch and
-        completion order never leak into outcomes.
+        completion order never leak into outcomes.  ``on_outcome`` (if
+        given) is called with each outcome as it streams in — the hook the
+        engine's checkpoint journal rides, so a crash mid-plan loses only
+        the jobs still in flight.
         """
         self.start()
         self._epoch += 1
@@ -487,7 +561,9 @@ class PersistentWorkerRuntime:
                     if outcome.job_id in outcomes:
                         continue  # duplicate completion after a respawn
                     outcomes[outcome.job_id] = outcome
-                    self._finish_models(specs_by_job.get(outcome.job_id, ()), remaining)
+                    if on_outcome is not None:
+                        on_outcome(outcome)
+                    self._finish_models(specs_by_job[outcome.job_id], remaining)
                 elif kind == "error":
                     _, index, generation, msg_epoch, job_id, text, tb = message
                     if msg_epoch != epoch:
@@ -516,7 +592,16 @@ class PersistentWorkerRuntime:
         """
         finished = []
         for spec in specs:
-            remaining[spec] = remaining.get(spec, 1) - 1
+            if spec not in remaining:
+                # Inventing a count here (the old `.get(spec, 1)`) would
+                # silently turn a bookkeeping bug into a premature
+                # invalidation broadcast; a model can only finish if the
+                # plan setup counted it.
+                raise RuntimeError(
+                    f"model lifecycle bookkeeping desynced: spec {spec!r} "
+                    "finished a job but was never counted for this plan"
+                )
+            remaining[spec] -= 1
             if remaining[spec] == 0:
                 if spec in self._pinned:
                     self._deferred_invalidation.add(spec)
@@ -525,26 +610,70 @@ class PersistentWorkerRuntime:
         if finished:
             self._broadcast_invalidate(finished)
 
+    def _get_result(self, timeout: float):
+        """Timed read multiplexed over the per-worker result pipes.
+
+        Raises :class:`queue.Empty` on timeout — and on a pipe that turns
+        out to hold only a dead worker's EOF, so the caller's
+        Empty-handling (liveness policing) reaps the corpse; its reader is
+        closed by the respawn and drops out of the wait set.
+        """
+        readers = [
+            worker.reader for worker in self._workers if worker.reader is not None
+        ]
+        if not readers:  # pragma: no cover - only between spawn batches
+            raise queue_module.Empty
+        for ready in mp_connection.wait(readers, timeout):
+            try:
+                return ready.recv()
+            except (EOFError, OSError):
+                continue
+        raise queue_module.Empty
+
     def _next_message(self, epoch: int, crashes: dict):
         """Block for the next result, policing worker liveness meanwhile."""
         while True:
             try:
-                return self._result_queue.get(timeout=0.2)
+                message = self._get_result(0.2)
             except queue_module.Empty:
-                for worker in list(self._workers):
-                    if not worker.process.is_alive():
-                        self._respawn(worker, epoch, crashes)
+                self._police_liveness(epoch, crashes)
+                continue
+            if message[0] == "heartbeat":
+                self._note_heartbeat(message)
+                continue
+            return message
+
+    def _police_liveness(self, epoch: int, crashes: dict) -> None:
+        """Respawn any dead worker (heartbeat silence ends up here too)."""
+        for worker in list(self._workers):
+            if not worker.process.is_alive():
+                self._respawn(worker, epoch, crashes)
+
+    def _note_heartbeat(self, message) -> None:
+        _, index, generation, stamp = message
+        self._heartbeats[index] = (generation, stamp)
 
     def _respawn(self, worker: _WorkerHandle, epoch: int, crashes: dict) -> None:
-        """Reap a dead worker, replace it, and re-dispatch its jobs."""
+        """Reap a dead worker, replace it, and re-dispatch its jobs.
+
+        The slot is *always* left holding a live replacement — even on the
+        poison path, where the budget-exhausted job is dropped and
+        :class:`~repro.experiments.engine.WorkerCrashError` raised only
+        after the replacement is installed.  Raising first would leave
+        ``self._workers[index]`` pointing at the reaped corpse (closed task
+        queue and all), poisoning every later plan on the same runtime.
+        """
         self.workers_respawned += 1
+        poison: tuple[object, int] | None = None
         for job_id in worker.inflight:
             crashes[job_id] = crashes.get(job_id, 0) + 1
-            if crashes[job_id] >= self.max_crashes_per_job:
-                self._reap_worker(worker)
-                raise WorkerCrashError(job_id, crashes[job_id])
+            if poison is None and crashes[job_id] >= self.max_crashes_per_job:
+                poison = (job_id, crashes[job_id])
         self._reap_worker(worker)
         replacement = self._spawn(worker.index, worker.generation + 1)
+        self._workers[worker.index] = replacement
+        if poison is not None:
+            raise WorkerCrashError(*poison)
         # Re-dispatch in-flight jobs first, then the untouched backlog; the
         # fresh process holds no models, so its affinity set restarts from
         # what it is about to run.
@@ -554,7 +683,6 @@ class PersistentWorkerRuntime:
         replacement.assigned = worker.assigned
         for job_id, slim, refs in replacement.backlog:
             replacement.models.update(job_model_specs(slim))
-        self._workers[worker.index] = replacement
         self._fill(replacement, epoch)
 
     def _reap_worker(self, worker: _WorkerHandle) -> None:
@@ -564,33 +692,63 @@ class PersistentWorkerRuntime:
             worker.task_queue.close()
         except (OSError, ValueError):  # pragma: no cover
             pass
+        # Completed messages still buffered in the dead worker's pipe are
+        # dropped with it: its in-flight jobs are re-dispatched anyway, and
+        # re-execution is bit-identical by the engine's core contract.
+        if worker.reader is not None:
+            try:
+                worker.reader.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+            worker.reader = None
 
     def _abort(self) -> None:
-        """Clear plan state after a failure; stale results die by epoch."""
+        """Clear plan state after a failure; stale results die by epoch.
+
+        Bumping the shared abort-epoch makes workers *skip* this plan's
+        jobs already sitting in their queues — without it, every queued
+        job would still execute to completion (minutes of NSGA compute per
+        job) just to have its result dropped by the parent's epoch filter.
+        """
+        self._abort_epoch.value = max(self._abort_epoch.value, self._epoch)
         for worker in self._workers:
             worker.backlog.clear()
             worker.inflight.clear()
 
     # -- introspection ------------------------------------------------------
-    def worker_cache_stats(self, timeout: float = 30.0) -> dict[str, dict | None]:
-        """Each worker's *cumulative* store counters (test/debug hook).
+    def _collect_worker_stats(self, timeout: float) -> dict[str, dict]:
+        """Gather one stats payload per worker slot, surviving dead workers.
 
-        Only meaningful between plans (the runtime is single-plan at a
-        time); per-job deltas on outcomes remain the source of truth for
-        reported statistics.
+        The wait polices liveness: a worker that died before (or instead
+        of) answering is respawned and the request re-sent to its
+        replacement, so this returns for every slot instead of hanging the
+        full timeout on a corpse.  Only payloads from the slot's *current*
+        generation count — stale generations answered for processes that
+        no longer own the slot.
         """
         self.start()
+        requested: dict[int, int] = {}
         for worker in self._workers:
             worker.task_queue.put(("stats",))
-        collected: dict[str, dict | None] = {}
+            requested[worker.index] = worker.generation
+        collected: dict[str, dict] = {}
+        crashes: dict = {}
         deadline = time.monotonic() + timeout
         while len(collected) < len(self._workers):
             budget = deadline - time.monotonic()
             if budget <= 0:
-                raise TimeoutError("workers did not report cache stats in time")
+                raise TimeoutError("workers did not report stats in time")
             try:
-                message = self._result_queue.get(timeout=budget)
+                message = self._get_result(min(0.2, budget))
             except queue_module.Empty:
+                self._police_liveness(self._epoch, crashes)
+                for worker in self._workers:
+                    if requested.get(worker.index) != worker.generation:
+                        worker.task_queue.put(("stats",))
+                        requested[worker.index] = worker.generation
+                continue
+            if message[0] == "heartbeat":
+                self._note_heartbeat(message)
                 continue
             if message[0] != "stats":
                 continue  # stale plan traffic
@@ -599,6 +757,30 @@ class PersistentWorkerRuntime:
             if worker.generation == generation:
                 collected[worker.worker_id] = payload
         return collected
+
+    def worker_cache_stats(self, timeout: float = 30.0) -> dict[str, dict | None]:
+        """Each worker's *cumulative* store counters (test/debug hook).
+
+        Only meaningful between plans (the runtime is single-plan at a
+        time); per-job deltas on outcomes remain the source of truth for
+        reported statistics.
+        """
+        return {
+            worker_id: payload["store"]
+            for worker_id, payload in self._collect_worker_stats(timeout).items()
+        }
+
+    def worker_job_stats(self, timeout: float = 30.0) -> dict[str, dict]:
+        """Each worker's job counters: ``executed`` and ``skipped_stale``.
+
+        ``skipped_stale`` counts jobs a worker dropped because their epoch
+        was at or below the abort broadcast — the observable proof that an
+        aborted plan's backlog did not keep executing.
+        """
+        return {
+            worker_id: payload["jobs"]
+            for worker_id, payload in self._collect_worker_stats(timeout).items()
+        }
 
 
 # --- engine backend ----------------------------------------------------------
@@ -683,7 +865,7 @@ class PersistentPoolBackend(ExecutionBackend):
         if self.warm_start and not runtime.started and runtime.start_method_is_fork:
             for spec in plan.model_specs():
                 build_cached(spec)
-        return runtime.execute(jobs)
+        return runtime.execute(jobs, on_outcome=self._notify)
 
     def pin_models(self, specs: Sequence) -> None:
         self._pinned.update(specs)

@@ -31,6 +31,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import (
     ExecutionBackend,
     ExecutionReport,
+    RetryPolicy,
     execute_plan,
     resolve_backend,
 )
@@ -112,6 +113,9 @@ def run_architecture_comparison(
     n_jobs: int | None = None,
     backend: "str | ExecutionBackend | None" = None,
     experiment_seed: int | None = None,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> ArchitectureComparison:
     """Run the paper's architecture-comparison protocol.
 
@@ -148,6 +152,16 @@ def run_architecture_comparison(
         ``np.random.SeedSequence(experiment_seed).spawn`` by plan position
         (scheduling-independent); ``None`` keeps the historical behaviour
         where every attack runs ``nsga.seed``.
+    checkpoint_dir:
+        When set, completed jobs are journaled there as they stream in
+        (:class:`~repro.experiments.checkpoint.PlanCheckpoint`).  With
+        ``resume=True`` an interrupted sweep picks up from the journal,
+        skipping journaled jobs — the final report is bit-identical to an
+        uninterrupted run.
+    retry:
+        :class:`~repro.experiments.engine.RetryPolicy` governing in-run
+        requeue of jobs whose worker crashed or raised; ``None`` keeps
+        fail-fast.
     """
     experiment = experiment if experiment is not None else ExperimentConfig.reduced()
     nsga = nsga if nsga is not None else NSGAConfig(num_iterations=8, population_size=16)
@@ -185,9 +199,21 @@ def run_architecture_comparison(
         training=training,
         experiment_seed=experiment_seed,
     )
+    checkpoint = None
+    if checkpoint_dir is not None:
+        # Function-level import: this module is re-exported by the package
+        # __init__, which runs before repro.experiments.checkpoint (and its
+        # payload-codec imports) can finish initialising.
+        from repro.experiments.checkpoint import PlanCheckpoint
+
+        checkpoint = PlanCheckpoint(checkpoint_dir, resume=resume)
     try:
-        execution = execute_plan(plan, engine_backend)
+        execution = execute_plan(
+            plan, engine_backend, checkpoint=checkpoint, retry=retry
+        )
     finally:
+        if checkpoint is not None:
+            checkpoint.close()
         # Keep the process-local detector memo bounded to the live sweep:
         # repeated sweeps in one process would otherwise accumulate every
         # zoo ever trained.

@@ -39,6 +39,7 @@ from repro.core.objectives import objective_degradation
 from repro.detectors.base import Detector
 from repro.experiments.engine import (
     ExecutionBackend,
+    RetryPolicy,
     execute_plan,
     merge_execution_summaries,
     resolve_backend,
@@ -279,6 +280,9 @@ def run_transferability_experiment(
     backend: "str | ExecutionBackend | None" = None,
     experiment_seed: int | None = None,
     release_models: bool = True,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> TransferabilityResult:
     """Optimise one mask per model and evaluate every mask on every model.
 
@@ -293,7 +297,10 @@ def run_transferability_experiment(
     shared configured seed.  ``release_models=False`` keeps the built
     detectors in the process-local memo after the sweep (repeated sweeps
     over the same zoo skip the rebuild; the default bounds memory like the
-    architecture-comparison runner).
+    architecture-comparison runner).  ``checkpoint_dir`` journals completed
+    jobs of *both* stages (one journal per stage name under the directory)
+    so an interrupted sweep resumes with ``resume=True``; ``retry`` governs
+    in-run requeue of crashed/raising jobs.
     """
     if not len(models):
         raise ValueError("at least one model is required")
@@ -302,6 +309,13 @@ def run_transferability_experiment(
     specs = [as_model_spec(model) for model in models]
     owns_backend = not isinstance(backend, ExecutionBackend)
     engine_backend = resolve_backend(backend, n_jobs=n_jobs)
+    checkpoint = None
+    if checkpoint_dir is not None:
+        # Function-level import: repro.experiments.checkpoint imports this
+        # module for the TransferColumn codec.
+        from repro.experiments.checkpoint import PlanCheckpoint
+
+        checkpoint = PlanCheckpoint(checkpoint_dir, resume=resume)
 
     optimise_plan = build_transfer_attack_plan(
         specs, image, attack_config, experiment_seed=experiment_seed
@@ -312,7 +326,9 @@ def run_transferability_experiment(
     # after the matrix stage instead of discarding the state in between.
     engine_backend.pin_models(specs)
     try:
-        optimise = execute_plan(optimise_plan, engine_backend)
+        optimise = execute_plan(
+            optimise_plan, engine_backend, checkpoint=checkpoint, retry=retry
+        )
 
         best_masks: list[np.ndarray] = []
         dirty_bounds: list[BBox] = []
@@ -326,8 +342,14 @@ def run_transferability_experiment(
         eval_plan = build_transfer_eval_plan(
             specs, image, best_masks, dirty_bounds, attack_config
         )
-        evaluate = execute_plan(eval_plan, engine_backend)
+        # The same checkpoint instance serves stage 2: load() rebinds it to
+        # the eval plan's own journal file.
+        evaluate = execute_plan(
+            eval_plan, engine_backend, checkpoint=checkpoint, retry=retry
+        )
     finally:
+        if checkpoint is not None:
+            checkpoint.close()
         engine_backend.unpin_models(specs)
         if release_models:
             release_plan_models(optimise_plan)

@@ -17,10 +17,19 @@ File formats:
 Sweep reports persist the shared execution-provenance summary produced by
 :meth:`repro.experiments.engine.ExecutionReport.summary`, so a saved report
 records the backend, worker count and cache traffic that produced it.
+
+Besides the directory formats, this module exposes *pure JSON* round-trips
+(:func:`array_to_jsonable` / :func:`attack_result_to_jsonable` and their
+inverses): one self-contained dict per object, arrays carried as base64 raw
+bytes with dtype and shape, so the round-trip is bit-exact.  The
+checkpoint journal (:mod:`repro.experiments.checkpoint`) appends these
+dicts as JSONL records — one line per completed job — and reloads them on
+resume.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 from pathlib import Path
 from typing import Any
@@ -83,6 +92,28 @@ def prediction_from_dict(data: list[dict[str, Any]]) -> Prediction:
     )
 
 
+def array_to_jsonable(array: np.ndarray) -> dict[str, Any]:
+    """Encode an array as a JSON-safe dict, bit-exactly.
+
+    The raw buffer travels as base64 (JSON floats would survive a Python
+    round-trip too, but raw bytes also preserve dtype, shape and byte
+    order exactly, for any dtype).
+    """
+    array = np.ascontiguousarray(array)
+    return {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def array_from_jsonable(data: dict[str, Any]) -> np.ndarray:
+    """Rebuild an array encoded by :func:`array_to_jsonable`."""
+    raw = base64.b64decode(data["data"])
+    array = np.frombuffer(raw, dtype=np.dtype(data["dtype"]))
+    return array.reshape([int(size) for size in data["shape"]]).copy()
+
+
 def save_prediction(prediction: Prediction, path: str | Path) -> Path:
     """Save a prediction as JSON."""
     path = Path(path)
@@ -95,12 +126,43 @@ def load_prediction(path: str | Path) -> Prediction:
     return prediction_from_dict(json.loads(Path(path).read_text()))
 
 
-def save_attack_result(result: AttackResult, directory: str | Path) -> Path:
-    """Save an attack result (metadata + masks + image) to a directory."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
+def _solution_meta(solution: ParetoSolution) -> dict[str, Any]:
+    """The JSON-safe metadata of one solution (mask carried separately)."""
+    return {
+        "intensity": solution.intensity,
+        "degradation": solution.degradation,
+        "distance": solution.distance,
+        "rank": solution.rank,
+        "extras": solution.extras,
+        "perturbed_prediction": (
+            prediction_to_dict(solution.perturbed_prediction)
+            if solution.perturbed_prediction is not None
+            else None
+        ),
+    }
 
-    meta: dict[str, Any] = {
+
+def _solution_from_meta(
+    solution_meta: dict[str, Any], mask_values: np.ndarray
+) -> ParetoSolution:
+    """Rebuild one solution from :func:`_solution_meta` output + its mask."""
+    perturbed = solution_meta.get("perturbed_prediction")
+    return ParetoSolution(
+        mask=FilterMask(mask_values),
+        intensity=float(solution_meta["intensity"]),
+        degradation=float(solution_meta["degradation"]),
+        distance=float(solution_meta["distance"]),
+        rank=int(solution_meta["rank"]),
+        extras=dict(solution_meta.get("extras", {})),
+        perturbed_prediction=(
+            prediction_from_dict(perturbed) if perturbed is not None else None
+        ),
+    )
+
+
+def _attack_result_meta(result: AttackResult) -> dict[str, Any]:
+    """The shared JSON-safe metadata of an attack result (no arrays)."""
+    return {
         "detector_name": result.detector_name,
         "num_evaluations": result.num_evaluations,
         "cache_hits": result.cache_hits,
@@ -109,24 +171,71 @@ def save_attack_result(result: AttackResult, directory: str | Path) -> Path:
         "scene_index": result.scene_index,
         "job_id": result.job_id,
         "clean_prediction": prediction_to_dict(result.clean_prediction),
-        "solutions": [],
+        "solutions": [_solution_meta(solution) for solution in result.solutions],
     }
+
+
+def _attack_result_from_meta(
+    meta: dict[str, Any],
+    image: np.ndarray,
+    masks: "list[np.ndarray]",
+) -> AttackResult:
+    """Rebuild an attack result from shared metadata + its arrays."""
+
+    def _optional_int(key: str) -> int | None:
+        value = meta.get(key)
+        return None if value is None else int(value)
+
+    return AttackResult(
+        image=image,
+        clean_prediction=prediction_from_dict(meta["clean_prediction"]),
+        solutions=[
+            _solution_from_meta(solution_meta, mask_values)
+            for solution_meta, mask_values in zip(meta["solutions"], masks)
+        ],
+        detector_name=meta.get("detector_name", ""),
+        num_evaluations=int(meta.get("num_evaluations", 0)),
+        cache_hits=int(meta.get("cache_hits", 0)),
+        architecture=str(meta.get("architecture", "") or ""),
+        model_seed=_optional_int("model_seed"),
+        scene_index=_optional_int("scene_index"),
+        job_id=_optional_int("job_id"),
+    )
+
+
+def attack_result_to_jsonable(result: AttackResult) -> dict[str, Any]:
+    """Encode an attack result as one self-contained JSON-safe dict.
+
+    Same provenance round-trip as :func:`save_attack_result` (history and
+    transitions are dropped; everything :meth:`AttackResult.fingerprint`
+    asserts survives bit-exactly), but arrays travel inline as base64 so
+    the dict fits a single JSONL journal line.
+    """
+    meta = _attack_result_meta(result)
+    meta["image"] = array_to_jsonable(result.image)
+    meta["masks"] = [
+        array_to_jsonable(solution.mask.values) for solution in result.solutions
+    ]
+    return meta
+
+
+def attack_result_from_jsonable(data: dict[str, Any]) -> AttackResult:
+    """Rebuild an attack result from :func:`attack_result_to_jsonable`."""
+    return _attack_result_from_meta(
+        data,
+        image=array_from_jsonable(data["image"]),
+        masks=[array_from_jsonable(mask) for mask in data.get("masks", [])],
+    )
+
+
+def save_attack_result(result: AttackResult, directory: str | Path) -> Path:
+    """Save an attack result (metadata + masks + image) to a directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    meta = _attack_result_meta(result)
     arrays: dict[str, np.ndarray] = {"image": result.image}
     for index, solution in enumerate(result.solutions):
-        meta["solutions"].append(
-            {
-                "intensity": solution.intensity,
-                "degradation": solution.degradation,
-                "distance": solution.distance,
-                "rank": solution.rank,
-                "extras": solution.extras,
-                "perturbed_prediction": (
-                    prediction_to_dict(solution.perturbed_prediction)
-                    if solution.perturbed_prediction is not None
-                    else None
-                ),
-            }
-        )
         arrays[f"mask_{index}"] = solution.mask.values
 
     (directory / "meta.json").write_text(json.dumps(meta, indent=2))
@@ -144,38 +253,10 @@ def load_attack_result(directory: str | Path) -> AttackResult:
     meta = json.loads((directory / "meta.json").read_text())
     with np.load(directory / "arrays.npz") as arrays:
         image = arrays["image"]
-        solutions: list[ParetoSolution] = []
-        for index, solution_meta in enumerate(meta["solutions"]):
-            perturbed = solution_meta.get("perturbed_prediction")
-            solutions.append(
-                ParetoSolution(
-                    mask=FilterMask(arrays[f"mask_{index}"]),
-                    intensity=float(solution_meta["intensity"]),
-                    degradation=float(solution_meta["degradation"]),
-                    distance=float(solution_meta["distance"]),
-                    rank=int(solution_meta["rank"]),
-                    extras=dict(solution_meta.get("extras", {})),
-                    perturbed_prediction=(
-                        prediction_from_dict(perturbed) if perturbed is not None else None
-                    ),
-                )
-            )
-    def _optional_int(key: str) -> int | None:
-        value = meta.get(key)
-        return None if value is None else int(value)
-
-    return AttackResult(
-        image=image,
-        clean_prediction=prediction_from_dict(meta["clean_prediction"]),
-        solutions=solutions,
-        detector_name=meta.get("detector_name", ""),
-        num_evaluations=int(meta.get("num_evaluations", 0)),
-        cache_hits=int(meta.get("cache_hits", 0)),
-        architecture=str(meta.get("architecture", "") or ""),
-        model_seed=_optional_int("model_seed"),
-        scene_index=_optional_int("scene_index"),
-        job_id=_optional_int("job_id"),
-    )
+        masks = [
+            arrays[f"mask_{index}"] for index in range(len(meta["solutions"]))
+        ]
+        return _attack_result_from_meta(meta, image=image, masks=masks)
 
 
 def save_transfer_result(result: TransferabilityResult, directory: str | Path) -> Path:

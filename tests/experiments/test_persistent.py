@@ -7,12 +7,16 @@ The persistent backend's contract has three layers, each enforced here:
 2. **Lifecycle** — the per-model invalidation the serial backend applies is
    broadcast to workers (the PR 6 bugfix), deferred for pinned models so
    multi-stage sweeps keep their bundles warm between stages.
-3. **Failure** — a raising job surfaces a :class:`JobExecutionError`, a
-   killed worker is reaped and replaced without corrupting shared memory,
-   and no segment survives ``close()``.
+3. **Failure** — a raising job surfaces a :class:`JobExecutionError` and
+   broadcasts an abort-epoch so queued stale jobs are skipped, a killed
+   worker is reaped and replaced without corrupting shared memory (the
+   slot always holds a live replacement, even on the poison path), idle
+   liveness is policed through heartbeats, and no segment survives
+   ``close()``.
 """
 
 import os
+import time
 
 import numpy as np
 import pytest
@@ -36,6 +40,7 @@ from repro.experiments.jobs import (
 )
 from repro.experiments.persistent import (
     PersistentPoolBackend,
+    PersistentWorkerRuntime,
     WorkerCrashError,
 )
 from repro.experiments.shm import (
@@ -178,6 +183,18 @@ class _AlwaysKillJob:
 
     def execute(self, context):
         os._exit(13)
+
+
+class _SleepJob:
+    """Burns wall-clock so an abort broadcast can land while it is queued."""
+
+    def __init__(self, job_id: int, seconds: float = 0.3):
+        self.job_id = job_id
+        self.seconds = seconds
+
+    def execute(self, context):
+        time.sleep(self.seconds)
+        return JobOutcome(job_id=self.job_id, result="slept")
 
 
 class _ArrayCarrier:
@@ -445,6 +462,89 @@ class TestFailureHandling:
         finally:
             backend.close()
 
+    def test_backend_survives_poison_job_and_runs_next_plan(self):
+        """Regression: the crash-budget raise used to leave the dead
+        worker's corpse in its slot (closed task queue and all), so the
+        *next* plan on the same backend crashed trying to fill it.  The
+        slot must hold a live replacement before WorkerCrashError surfaces."""
+        poison = ExperimentPlan(
+            jobs=[_AlwaysKillJob(0)],
+            attack_config=_toy_config(),
+            name="poison",
+        )
+        backend = PersistentPoolBackend(n_jobs=1, max_crashes_per_job=2)
+        try:
+            with pytest.raises(WorkerCrashError):
+                execute_plan(poison, backend)
+            runtime = backend.runtime
+            assert all(w.process.is_alive() for w in runtime._workers)
+            healthy = ExperimentPlan(
+                jobs=[_CountingJob(i, i + 1) for i in range(4)],
+                attack_config=_toy_config(),
+                name="after-poison",
+            )
+            report = execute_plan(healthy, backend)
+            assert [o.result for o in report.outcomes] == [1, 4, 9, 16]
+            prefix = runtime.segment_prefix
+        finally:
+            backend.close()
+        assert list_segments(prefix) == []
+
+    def test_abort_epoch_skips_stale_queued_jobs(self):
+        """After a JobExecutionError aborts a plan, jobs of that plan still
+        queued on workers must be *skipped*, not executed into the void."""
+        plan = ExperimentPlan(
+            jobs=[_FailingJob(0), _SleepJob(1), _SleepJob(2), _SleepJob(3)],
+            attack_config=_toy_config(),
+            name="stale-backlog",
+        )
+        backend = PersistentPoolBackend(n_jobs=1, prefetch=4)
+        try:
+            with pytest.raises(JobExecutionError):
+                execute_plan(plan, backend)
+            runtime = backend.runtime
+            # A healthy plan on the same runtime still runs to completion
+            # (its epoch is above the abort mark)...
+            healthy = ExperimentPlan(
+                jobs=[_CountingJob(i, i) for i in range(3)],
+                attack_config=_toy_config(),
+                name="after-abort",
+            )
+            report = execute_plan(healthy, backend)
+            assert [o.result for o in report.outcomes] == [0, 1, 4]
+            # ...and the worker's own counters prove the aborted plan's
+            # backlog was dropped without execution: of the three sleep
+            # jobs queued behind the failing one, at most one (already
+            # dequeued when the abort landed) may have run.
+            job_stats = runtime.worker_job_stats()
+            skipped = sum(p["skipped_stale"] for p in job_stats.values())
+            executed = sum(p["executed"] for p in job_stats.values())
+            assert skipped >= 2
+            assert executed <= 2 + len(healthy.jobs)
+        finally:
+            backend.close()
+
+    def test_worker_cache_stats_survives_dead_idle_worker(self):
+        """The stats wait polices liveness: a worker killed while idle is
+        respawned and the request re-sent, instead of the old behaviour of
+        hanging until the full timeout and raising TimeoutError."""
+        plan = ExperimentPlan(
+            jobs=[_CountingJob(i, i) for i in range(4)],
+            attack_config=_toy_config(),
+            name="stats-liveness",
+        )
+        backend = PersistentPoolBackend(n_jobs=2)
+        try:
+            execute_plan(plan, backend)
+            runtime = backend.runtime
+            runtime._workers[0].process.kill()
+            runtime._workers[0].process.join(timeout=5.0)
+            stats = runtime.worker_cache_stats(timeout=15.0)
+            assert set(stats) == {"worker-0", "worker-1"}
+            assert runtime.workers_respawned >= 1
+        finally:
+            backend.close()
+
     def test_close_leaves_no_shared_memory(self, training, dataset):
         plan = build_attack_plan(
             architectures=("yolo",),
@@ -459,6 +559,50 @@ class TestFailureHandling:
         prefix = backend.runtime.segment_prefix
         backend.close()
         assert list_segments(prefix) == []
+
+
+# --- runtime bookkeeping -----------------------------------------------------
+
+
+class TestRuntimeBookkeeping:
+    def test_close_unregisters_the_atexit_hook(self, monkeypatch):
+        """Every runtime registers close() as an atexit safety net; closing
+        must unregister it, or cycled runtimes pin their resources (and an
+        unbounded list of callbacks) until interpreter exit."""
+        registered = []
+        unregistered = []
+
+        class _FakeAtexit:
+            @staticmethod
+            def register(func):
+                registered.append(func)
+                return func
+
+            @staticmethod
+            def unregister(func):
+                unregistered.append(func)
+
+        monkeypatch.setattr("repro.experiments.persistent.atexit", _FakeAtexit)
+        runtime = PersistentWorkerRuntime(n_jobs=1)
+        assert registered == [runtime.close]
+        runtime.close()
+        assert unregistered == [runtime.close]
+        runtime.close()  # idempotent: no second unregister
+        assert unregistered == [runtime.close]
+
+    def test_finish_models_rejects_uncounted_spec(self):
+        """Regression: an uncounted spec used to get a count invented for it
+        (``remaining.get(spec, 1) - 1`` == 0), silently triggering a bogus
+        invalidation broadcast.  Bookkeeping desync is now a hard error."""
+        runtime = PersistentWorkerRuntime(n_jobs=1)
+        try:
+            remaining = {"counted": 2}
+            runtime._finish_models(["counted"], remaining)
+            assert remaining == {"counted": 1}
+            with pytest.raises(RuntimeError, match="never counted"):
+                runtime._finish_models(["phantom"], remaining)
+        finally:
+            runtime.close()
 
 
 # --- shared-memory plumbing --------------------------------------------------
