@@ -5,6 +5,8 @@
   include feature-level distance as an additional optimization objective"),
 * :mod:`repro.analysis.errors` — aggregation of the Section V-B error
   taxonomy over attack results,
+* :mod:`repro.analysis.front_quality` — Pareto-front quality metrics
+  (hypervolume, damage) for the bounded-error two-phase search,
 * :mod:`repro.analysis.reporting` — tabular summaries for the experiment
   harness (plain-text tables, CSV export),
 * :mod:`repro.analysis.visualization` — text rendering of predictions and
@@ -21,6 +23,12 @@ from repro.analysis.errors import (
     AttackErrorSummary,
     summarize_attack_errors,
     summarize_transitions,
+)
+from repro.analysis.front_quality import (
+    compare_front_quality,
+    damage,
+    front_quality,
+    front_reference,
 )
 from repro.analysis.reporting import (
     ComparisonReport,
@@ -45,6 +53,10 @@ __all__ = [
     "AttackErrorSummary",
     "summarize_attack_errors",
     "summarize_transitions",
+    "compare_front_quality",
+    "damage",
+    "front_quality",
+    "front_reference",
     "budget_sweep",
     "epsilon_sweep",
     "mutation_window_sweep",

@@ -38,6 +38,7 @@ from repro.defenses.augmentation import NoiseAugmentationConfig
 from repro.defenses.evaluation import ensemble_defense_evaluation, evaluate_defense
 from repro.defenses.jobs import DefendedModelSpec
 from repro.detectors.activation_cache import ActivationCacheStore
+from repro.detectors.fidelity import fidelity_names
 from repro.data.dataset import generate_dataset
 from repro.detectors.training import TrainingConfig
 from repro.detectors.zoo import build_detector
@@ -252,6 +253,56 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="entry cap of the per-scene delta-activation store (default 256)",
     )
+    attack.add_argument(
+        "--fast-search",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "two-phase bounded-error search: run the evolutionary search at "
+            "an approximate evaluation fidelity (--search-fidelity) and "
+            "re-score the final population bit-exactly, so the reported "
+            "Pareto front always carries exact objective values.  Default: "
+            "off (fully exact search)"
+        ),
+    )
+    attack.add_argument(
+        "--search-fidelity",
+        choices=sorted(fidelity_names()),
+        default=None,
+        help=(
+            "approximate fidelity preset for the search phase of "
+            "--fast-search: 'windowed' refreshes attention only in a band "
+            "around each mask's dirty cells, 'float32' runs the perturbed "
+            "forward in single precision, 'turbo' combines both, "
+            "'surrogate' searches on a downscaled scene (default: windowed)"
+        ),
+    )
+    attack.add_argument(
+        "--rescore-every",
+        type=_positive_int,
+        default=None,
+        help=(
+            "with --fast-search, additionally re-score the surviving "
+            "population at exact fidelity every N generations (periodic "
+            "drift correction; default: only at the end)"
+        ),
+    )
+    attack.add_argument(
+        "--anneal-final-window",
+        type=float,
+        default=None,
+        help=(
+            "anneal the mutation window fraction from its base value to "
+            "this value across the run (dense exploration early, sparse "
+            "refinement late); default: constant paper schedule"
+        ),
+    )
+    attack.add_argument(
+        "--anneal-shape",
+        choices=["log", "linear"],
+        default="log",
+        help="interpolation shape of --anneal-final-window (default: log)",
+    )
 
     compare = subparsers.add_parser(
         "compare", help="run the reduced Figure 2 architecture comparison"
@@ -330,6 +381,15 @@ def _attack_config(args: argparse.Namespace) -> AttackConfig:
         cache_overrides["use_delta_reuse"] = bool(args.delta_reuse)
     if getattr(args, "delta_store_size", None) is not None:
         cache_overrides["delta_store_size"] = int(args.delta_store_size)
+    if getattr(args, "fast_search", None) is not None:
+        cache_overrides["fast_search"] = bool(args.fast_search)
+    if getattr(args, "search_fidelity", None) is not None:
+        cache_overrides["search_fidelity"] = str(args.search_fidelity)
+    if getattr(args, "rescore_every", None) is not None:
+        cache_overrides["rescore_every"] = int(args.rescore_every)
+    if getattr(args, "anneal_final_window", None) is not None:
+        cache_overrides["anneal_final_window"] = float(args.anneal_final_window)
+        cache_overrides["anneal_shape"] = str(getattr(args, "anneal_shape", "log"))
     if getattr(args, "paper_budget", False):
         base = AttackConfig.paper_defaults(region=region)
         return replace(base, **cache_overrides) if cache_overrides else base

@@ -23,6 +23,7 @@ from repro.detection.prediction import Prediction
 from repro.detectors.activation_cache import ActivationCacheStore
 from repro.detectors.base import Detector
 from repro.nsga.algorithm import NSGAII, NSGAConfig, NSGAResult
+from repro.nsga.mutation import IntensityAnnealing
 
 
 class ButterflyAttack:
@@ -80,8 +81,11 @@ class ButterflyAttack:
 
         ``sparse_init_fraction > 0`` rewrites the initialisation config so
         part of the initial population is drawn as patch-confined sparse
-        masks; at the default ``0.0`` the configuration object is returned
-        unchanged, so default attacks are bit-exact with the original path.
+        masks; ``fast_search``/``rescore_every`` turn on the two-phase
+        bounded-error search; ``anneal_final_window`` installs the
+        mutation-intensity schedule.  At the defaults the configuration
+        object is returned unchanged, so default attacks are bit-exact
+        with the original path.
         """
         nsga = self.config.nsga
         if self.config.sparse_init_fraction > 0.0:
@@ -90,6 +94,21 @@ class ButterflyAttack:
                 initialization=replace(
                     nsga.initialization,
                     sparse_fraction=self.config.sparse_init_fraction,
+                ),
+            )
+        if self.config.fast_search:
+            nsga = replace(
+                nsga,
+                fast_search=True,
+                search_fidelity=self.config.search_fidelity,
+                rescore_every=self.config.rescore_every,
+            )
+        if self.config.anneal_final_window is not None:
+            nsga = replace(
+                nsga,
+                annealing=IntensityAnnealing(
+                    final_window_fraction=self.config.anneal_final_window,
+                    shape=self.config.anneal_shape,
                 ),
             )
         return nsga

@@ -74,6 +74,31 @@ class AttackConfig:
     delta_store_size:
         LRU entry cap of the per-scene delta-activation store feeding the
         cross-generation reuse path.
+    fast_search:
+        Run the NSGA-II search phase at an approximate evaluation fidelity
+        and re-score the final population bit-exactly (two-phase
+        bounded-error search).  The returned Pareto front carries exact
+        objective vectors by construction; only *which* genomes survive the
+        search can differ from an all-exact run.  Default off — the default
+        attack path is bit- and RNG-identical to previous releases.
+    search_fidelity:
+        Named fidelity preset for the search phase (see
+        ``repro.detectors.fidelity.FIDELITY_PRESETS``): ``"windowed"``
+        (banded attention refresh), ``"float32"``, ``"turbo"`` (both) or
+        ``"surrogate"`` (downscaled scene).  Only used when ``fast_search``
+        is on.
+    rescore_every:
+        When positive and ``fast_search`` is on, additionally re-score the
+        surviving population at exact fidelity every this-many generations
+        (periodic drift correction); 0 re-scores only at the end.
+    anneal_final_window:
+        When set, anneal the mutation ``window_fraction`` from its base
+        value down (or up) to this value across the run — dense exploration
+        early, sparse refinement late.  ``None`` (default) keeps the
+        constant paper schedule and the exact historical RNG draw stream.
+    anneal_shape:
+        ``"log"`` (geometric, default) or ``"linear"`` interpolation for
+        the annealing schedule.
     """
 
     nsga: NSGAConfig = field(default_factory=NSGAConfig)
@@ -85,6 +110,11 @@ class AttackConfig:
     sparse_init_fraction: float = 0.0
     use_delta_reuse: bool = field(default_factory=default_use_delta_reuse)
     delta_store_size: int = 256
+    fast_search: bool = False
+    search_fidelity: str = "windowed"
+    rescore_every: int = 0
+    anneal_final_window: float | None = None
+    anneal_shape: str = "log"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.sparse_init_fraction <= 1.0:
@@ -93,6 +123,18 @@ class AttackConfig:
             raise ValueError("activation_cache_size must be at least 1")
         if self.delta_store_size < 1:
             raise ValueError("delta_store_size must be at least 1")
+        if self.rescore_every < 0:
+            raise ValueError("rescore_every must be non-negative")
+        from repro.detectors.fidelity import resolve_fidelity
+
+        resolve_fidelity(self.search_fidelity)
+        if self.anneal_final_window is not None:
+            from repro.nsga.mutation import IntensityAnnealing
+
+            IntensityAnnealing(
+                final_window_fraction=self.anneal_final_window,
+                shape=self.anneal_shape,
+            )
 
     @staticmethod
     def paper_defaults(region: Region | None = None, seed: int = 0) -> "AttackConfig":

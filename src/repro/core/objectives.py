@@ -34,7 +34,7 @@ bit-identical per mask, so ``use_activation_cache`` only changes speed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -50,6 +50,7 @@ from repro.detectors.activation_cache import (
     DeltaActivationStore,
 )
 from repro.detectors.base import Detector
+from repro.detectors.fidelity import EXACT_FIDELITY, FidelityConfig, resolve_fidelity
 from repro.nn.incremental import BBox, bbox_area, bbox_is_empty, mask_nonzero_bbox
 
 
@@ -243,6 +244,8 @@ class ButterflyObjectives:
         self._inc_masks = 0
         self._inc_dirty_area = 0
         self._inc_total_area = 0
+        self._fidelity: FidelityConfig = EXACT_FIDELITY
+        self._surrogates: dict[int, "ButterflyObjectives"] = {}
         self.clean_activations: Optional[CleanActivations] = None
         if self.use_activation_cache and getattr(
             self.detector, "supports_incremental", False
@@ -291,6 +294,80 @@ class ButterflyObjectives:
         return 3 + len(self.extra_objectives)
 
     @property
+    def fidelity(self) -> FidelityConfig:
+        """The evaluation fidelity currently in force (exact by default)."""
+        return self._fidelity
+
+    @property
+    def fidelity_tag(self) -> str:
+        """Value-derived cache key of the current fidelity (see
+        :attr:`~repro.detectors.fidelity.FidelityConfig.tag`)."""
+        return self._fidelity.tag
+
+    def set_fidelity(self, value: FidelityConfig | str | None) -> None:
+        """Switch the evaluation fidelity for subsequent evaluations.
+
+        ``None``/``"exact"`` restores the bit-exact default path; an
+        approximate fidelity routes evaluations through the detector's
+        bounded-error modes (and through a downscaled surrogate scene when
+        ``scene_scale > 1``).  The two-phase NSGA-II driver toggles this
+        around its search and re-scoring phases; values computed at
+        different fidelities must never be compared as equal — callers key
+        their caches by :attr:`fidelity_tag`.
+        """
+        self._fidelity = resolve_fidelity(value)
+
+    def _surrogate_evaluator(self, scale: int) -> "ButterflyObjectives":
+        """The cached evaluator of the ``[::scale, ::scale]`` scene.
+
+        Fully self-consistent on the downscaled scene: its own clean
+        prediction, distance matrix and normalisation scales.  Delta reuse
+        is disabled (surrogate phases are transient, lineage records refer
+        to full-resolution genomes); the activation store is shared so the
+        surrogate bundle participates in the sweep-level cache lifecycle.
+        """
+        evaluator = self._surrogates.get(scale)
+        if evaluator is None:
+            evaluator = ButterflyObjectives(
+                detector=self.detector,
+                image=np.ascontiguousarray(self.image[::scale, ::scale]),
+                epsilon=self.epsilon,
+                extra_objectives=self.extra_objectives,
+                normalize_intensity=self.normalize_intensity,
+                normalize_distance=self.normalize_distance,
+                use_activation_cache=self.use_activation_cache,
+                activation_store=self.activation_store,
+                use_delta_reuse=False,
+            )
+            self._surrogates[scale] = evaluator
+        return evaluator
+
+    def _surrogate_vectors(
+        self, masks: np.ndarray, fidelity: FidelityConfig
+    ) -> np.ndarray:
+        """Objective vectors from the downscaled surrogate scene.
+
+        Degradation and distance are evaluated on the subsampled scene and
+        masks (any residual windowed/precision modes apply there too);
+        intensity is always recomputed *exactly* on the full-resolution
+        mask, so the phase's intensity axis stays comparable with exact
+        values.
+        """
+        scale = fidelity.scene_scale
+        surrogate = self._surrogate_evaluator(scale)
+        inner = replace(fidelity, scene_scale=1)
+        surrogate.set_fidelity(None if inner.is_exact else inner)
+        try:
+            vectors = surrogate.evaluate_population(
+                np.ascontiguousarray(masks[:, ::scale, ::scale])
+            )
+        finally:
+            surrogate.set_fidelity(None)
+        for index in range(masks.shape[0]):
+            vectors[index, 0] = self.intensity(masks[index])
+        return vectors
+
+    @property
     def intensity_scale(self) -> float:
         """L2 norm of the worst-case mask, used to normalise obj_intensity."""
         return self._intensity_scale
@@ -336,7 +413,24 @@ class ButterflyObjectives:
         self, mask: np.ndarray, bbox: BBox | None = None
     ) -> Prediction:
         """Detector prediction on the perturbed image, via the incremental
-        path when clean activations are cached (bit-identical either way)."""
+        path when clean activations are cached (bit-identical either way).
+
+        An approximate fidelity routes through the batch delta API (the
+        fidelity-aware entry point); the default exact path is unchanged.
+        """
+        fidelity = self._fidelity
+        if not fidelity.is_exact and fidelity.scene_scale == 1:
+            if self.clean_activations is not None:
+                return self.detector.predict_delta_batch(
+                    self.image,
+                    mask[None, ...],
+                    [bbox],
+                    self.clean_activations,
+                    fidelity=fidelity,
+                )[0]
+            return self.detector.predict_batch_at(
+                apply_mask(self.image, mask)[None, ...], fidelity
+            )[0]
         if self.clean_activations is not None:
             return self.detector.predict_delta(
                 self.image, mask, bbox, self.clean_activations
@@ -371,6 +465,8 @@ class ButterflyObjectives:
         propagate one per offspring); it never changes the result.
         """
         mask = np.asarray(mask, dtype=np.float64)
+        if self._fidelity.scene_scale > 1:
+            return self._surrogate_vectors(mask[None, ...], self._fidelity)[0]
         bbox = mask_nonzero_bbox(mask, within=dirty_bound)
         if self.clean_activations is not None:
             self._record_incremental([bbox])
@@ -477,6 +573,9 @@ class ButterflyObjectives:
             raise ValueError(
                 f"expected masks of shape (B, *{self.image.shape}), got {masks.shape}"
             )
+        fidelity = self._fidelity
+        if fidelity.scene_scale > 1:
+            return self._surrogate_vectors(masks, fidelity)
         bounds: list[BBox | None]
         if dirty_bounds is None:
             bounds = [None] * masks.shape[0]
@@ -497,7 +596,17 @@ class ButterflyObjectives:
                 # Population boundary: shared-memory mappings of entries
                 # evicted during the previous batch are safe to close now.
                 delta.release_evicted()
-            if self._delta_reuse_active:
+            if not fidelity.is_exact:
+                # Approximate phase: fidelity-aware routing, no ancestry —
+                # the delta store's stored predictions are exact-only.
+                predictions = self.detector.predict_delta_batch(
+                    self.image,
+                    masks,
+                    bboxes,
+                    self.clean_activations,
+                    fidelity=fidelity,
+                )
+            elif self._delta_reuse_active:
                 predictions = self.detector.predict_delta_batch(
                     self.image,
                     masks,
@@ -513,7 +622,11 @@ class ButterflyObjectives:
             perturbed_images = self.apply_masks(
                 masks, out=self._population_scratch(masks.shape)
             )
-            predictions = self.detector.predict_batch(perturbed_images)
+            predictions = (
+                self.detector.predict_batch(perturbed_images)
+                if fidelity.is_exact
+                else self.detector.predict_batch_at(perturbed_images, fidelity)
+            )
         return np.stack(
             [
                 self._vector(mask, prediction, bbox)

@@ -191,12 +191,19 @@ class CleanActivations:
         Attached by the owning :class:`ActivationCacheStore` when delta
         reuse is configured, or lazily by an evaluator; dropped with the
         bundle.
+    fidelity_state:
+        Lazily built, architecture-private derived state for approximate
+        evaluation fidelities (e.g. the transformer's clean attention
+        tensors per activation dtype).  Purely a recompute cache of the
+        clean scene — safe to drop or rebuild at any time; a bundle
+        re-wrapped for shared memory simply starts empty per worker.
     """
 
     clean_image: np.ndarray
     prediction: Prediction
     tensors: dict[str, np.ndarray] = field(default_factory=dict)
     delta: "DeltaActivationStore | None" = None
+    fidelity_state: dict = field(default_factory=dict)
 
 
 #: Default LRU cap of a per-bundle delta store — a couple of generations of

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +24,9 @@ from repro.nn.incremental import (
     bbox_union,
     mask_nonzero_bbox,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.detectors.fidelity import FidelityConfig
 
 #: A "splice item" of the generalised windowed hook: the population index,
 #: the pixel window to recompute, the source grids to splice into, and the
@@ -139,6 +143,19 @@ class Detector(abc.ABC):
         images = validate_image_batch(images)
         return [self.predict(image) for image in images]
 
+    def predict_batch_at(
+        self, images: np.ndarray, fidelity: "FidelityConfig | None" = None
+    ) -> list[Prediction]:
+        """Batch prediction at a requested evaluation fidelity.
+
+        A fidelity is a *permission to approximate*, never an obligation:
+        the generic base ignores it and answers exactly (exact results are
+        within any error budget), so third-party detectors support the
+        fidelity API for free.  Architectures that implement cheap modes
+        (see :mod:`repro.detectors.fidelity`) override this.
+        """
+        return self.predict_batch(images)
+
     def clean_activations(self, image: np.ndarray) -> CleanActivations | None:
         """Precompute the clean scene's activations for the delta path.
 
@@ -231,6 +248,7 @@ class Detector(abc.ABC):
         dirty_bounds: list[BBox | None] | None = None,
         clean: CleanActivations | None = None,
         ancestry: list[dict | None] | None = None,
+        fidelity: "FidelityConfig | None" = None,
     ) -> list[Prediction]:
         """Per-mask predictions on ``clip(image + masks[b], 0, 255)``.
 
@@ -254,8 +272,21 @@ class Detector(abc.ABC):
         outright.  The bound is only a scan window: the exact diff is always
         recomputed, so a loose bound never changes the result, and every
         route remains bit-identical to :meth:`predict`.
+
+        ``fidelity`` opts the whole batch into approximate evaluation
+        (windowed attention / reduced precision; see
+        :mod:`repro.detectors.fidelity`).  Exact (or ``None``) fidelity is
+        the unchanged bit-identical path.  Approximate fidelities disable
+        cross-generation reuse for the batch: the delta store's spliced
+        grids are exact and may be reused later at exact fidelity, but its
+        stored *predictions* (served on an empty relative diff) are not,
+        so approximate batches never touch it in either direction.
         """
         image = validate_image(image)
+        if fidelity is not None and fidelity.is_exact:
+            fidelity = None
+        if fidelity is not None:
+            ancestry = None
         masks = np.asarray(masks, dtype=np.float64)
         if masks.ndim != 4 or masks.shape[1:] != image.shape:
             raise ValueError(
@@ -326,12 +357,25 @@ class Detector(abc.ABC):
             dense = list(range(count))
         if dense:
             stacked = np.clip(image[None, ...] + masks[dense], 0.0, 255.0)
-            for index, prediction in zip(dense, self.predict_batch(stacked)):
+            batch = (
+                self.predict_batch(stacked)
+                if fidelity is None
+                else self.predict_batch_at(stacked, fidelity)
+            )
+            for index, prediction in zip(dense, batch):
                 predictions[index] = prediction
         if sparse:
-            for (index, _), prediction in zip(
-                sparse, self._predict_delta_windowed_batch(image, masks, sparse, clean)
-            ):
+            # The fidelity kwarg is only forwarded when approximate, so
+            # third-party overrides with the pre-fidelity signature keep
+            # working on the (default) exact path.
+            windowed = (
+                self._predict_delta_windowed_batch(image, masks, sparse, clean)
+                if fidelity is None
+                else self._predict_delta_windowed_batch(
+                    image, masks, sparse, clean, fidelity=fidelity
+                )
+            )
+            for (index, _), prediction in zip(sparse, windowed):
                 predictions[index] = prediction
         if spliced_items:
             spliced, states = self._predict_delta_spliced_batch(
@@ -445,12 +489,15 @@ class Detector(abc.ABC):
         masks: np.ndarray,
         items: list[tuple[int, BBox]],
         clean: CleanActivations,
+        fidelity: "FidelityConfig | None" = None,
     ) -> list[Prediction]:
         """Windowed recompute of the sparse members of a population.
 
-        The generic form loops :meth:`_predict_delta_windowed`;
-        architectures override it to batch the shared tail stages
-        (probabilities, attention) across the population.
+        The generic form loops :meth:`_predict_delta_windowed` and ignores
+        ``fidelity`` (approximation is a permission, exact answers are
+        always valid); architectures override it to batch the shared tail
+        stages (probabilities, attention) across the population and to
+        honour approximate fidelities where they implement them.
         """
         return [
             self._predict_delta_windowed(image, masks[index], bbox, clean)

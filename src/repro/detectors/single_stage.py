@@ -154,6 +154,27 @@ class SingleStageDetector(Detector):
             predictions.extend(self._decode_batch(probabilities, image_shape))
         return predictions
 
+    def predict_batch_at(self, images: np.ndarray, fidelity=None) -> list[Prediction]:
+        """Batch prediction at a fidelity.
+
+        The single-stage forward has no attention stage to window, so only
+        reduced precision applies: features are quantised to the requested
+        dtype before the classification head.  Exact/float64 fidelities
+        answer through the unchanged bit-identical path.
+        """
+        if fidelity is None or fidelity.numpy_dtype == np.float64:
+            return self.predict_batch(images)
+        images = validate_image_batch(images)
+        image_shape = (images.shape[1], images.shape[2])
+        dtype = fidelity.numpy_dtype
+        chunk = max(1, int(self.batch_chunk))
+        predictions: list[Prediction] = []
+        for start in range(0, images.shape[0], chunk):
+            features = self.backbone_features_batch(images[start : start + chunk])
+            probabilities = self.prototypes.probabilities(features.astype(dtype))
+            predictions.extend(self._decode_batch(probabilities, image_shape))
+        return predictions
+
     # ------------------------------------------------------------------
     # Incremental (dirty-region) inference
     # ------------------------------------------------------------------
@@ -269,12 +290,16 @@ class SingleStageDetector(Detector):
         masks: np.ndarray,
         items: list[tuple[int, BBox]],
         clean: CleanActivations,
+        fidelity=None,
     ) -> list[Prediction]:
         """Batch the classification head over the sparse population members.
 
         The per-member windowed work happens in a loop (window sizes
         differ), but the prototype probabilities run once over the stacked
         grids — per-cell operations, bit-identical to the per-grid call.
+        A reduced-precision ``fidelity`` quantises the stacked grids before
+        the head (the splice itself is already windowed and stays exact);
+        exact/``None`` is the unchanged parity path.
         """
         grids = [
             self._delta_feature_grid(image, masks[index], bbox, clean)
@@ -283,9 +308,10 @@ class SingleStageDetector(Detector):
         live = [i for i, grid in enumerate(grids) if grid is not None]
         predictions: list[Prediction] = [clean.prediction] * len(items)
         if live:
-            probabilities = self.prototypes.probabilities(
-                np.stack([grids[i] for i in live], axis=0)
-            )
+            stacked = np.stack([grids[i] for i in live], axis=0)
+            if fidelity is not None and fidelity.numpy_dtype != np.float64:
+                stacked = stacked.astype(fidelity.numpy_dtype)
+            probabilities = self.prototypes.probabilities(stacked)
             image_shape = (image.shape[0], image.shape[1])
             decoded = self._decode_batch(probabilities, image_shape)
             for i, prediction in zip(live, decoded):

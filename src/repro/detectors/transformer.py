@@ -34,6 +34,16 @@ from repro.nn.linear import Linear
 from repro.nn.ops import grid_positional_encoding, layer_norm, softmax
 
 
+def _flat_cell_indices(cell_bbox: BBox, cols: int) -> np.ndarray:
+    """Row-major flat token indices of a cell rectangle.
+
+    The rectangle order matches ``window_features``' (wr, wc, dim) reshape,
+    so spliced windows and flat-index scatters agree element for element.
+    """
+    r0, r1, c0, c1 = cell_bbox
+    return (np.arange(r0, r1)[:, None] * cols + np.arange(c0, c1)[None, :]).ravel()
+
+
 class TransformerDetector(Detector):
     """Grid-token detector with global self-attention feature mixing.
 
@@ -144,6 +154,155 @@ class TransformerDetector(Detector):
         """Content-dependent (tokens, tokens) attention matrix for an image."""
         image = validate_image(image)
         return self._attention_from_raw(self.extractor(image))
+
+    def _mixing_weights_rows(
+        self,
+        tokens: np.ndarray,
+        rows: np.ndarray | None = None,
+        dtype: np.dtype = np.float64,
+    ) -> np.ndarray:
+        """Mixing-attention rows for a subset of query tokens at a dtype.
+
+        Same scores/softmax as the tail of :meth:`_attention_from_raw`
+        (python-float temperature so float32 activations stay float32);
+        ``rows=None`` yields the full (tokens, tokens) matrix.
+        """
+        row_tokens = tokens if rows is None else tokens[rows]
+        query = self.query_proj.at(row_tokens, dtype)
+        key = self.key_proj.at(tokens, dtype)
+        temperature = float(np.sqrt(self.embed_dim) / self.attention_sharpness)
+        scores = query @ key.T / temperature
+        return softmax(scores, axis=-1)
+
+    def _fidelity_state(self, clean: CleanActivations, dtype: np.dtype) -> dict:
+        """Clean-scene attention state for the approximate delta path.
+
+        Everything the windowed recompute splices against, derived once per
+        activation dtype from the bundle's cached raw grid and memoized on
+        ``clean.fidelity_state``: the flat raw features, the token
+        embeddings *after each attention layer*, the full mixing-attention
+        matrix and the mixed features.  Pure recompute cache — rebuilt
+        lazily per worker when a bundle crosses a process boundary.
+        """
+        key = f"attn:{dtype.name}"
+        state = clean.fidelity_state.get(key)
+        if state is not None:
+            return state
+        raw = clean.tensors["raw"]
+        rows, cols = raw.shape[0], raw.shape[1]
+        flat = np.asarray(raw.reshape(rows * cols, raw.shape[-1]), dtype=dtype)
+        pos = np.asarray(self._positional(rows, cols), dtype=dtype)
+        tokens = [layer_norm(self.embedding.at(flat, dtype) + pos, axis=-1)]
+        for layer in self.layers:
+            tokens.append(layer.forward_rows(tokens[-1], None, dtype=dtype))
+        weights = self._mixing_weights_rows(tokens[-1], None, dtype)
+        state = {
+            "grid": (rows, cols),
+            "flat": flat,
+            "pos": pos,
+            "tokens": tokens,
+            "weights": weights,
+            "mixed": weights @ flat,
+        }
+        clean.fidelity_state[key] = state
+        return state
+
+    def _approx_windowed_grid(
+        self,
+        image: np.ndarray,
+        mask: np.ndarray,
+        pixel_bbox: BBox,
+        clean: CleanActivations,
+        fidelity,
+    ) -> np.ndarray | None:
+        """Blended (attention-mixed) feature grid under windowed attention.
+
+        The bounded-error counterpart of splice + :meth:`_mix_features`:
+
+        * dirty cells (the mask's spliced window) get exact raw features
+          and exact stage-0 embeddings;
+        * each attention layer refreshes only the rows of the dirty window
+          dilated by ``fidelity.attention_window`` cells — rows outside
+          keep the clean scene's cached outputs (layer-1 window rows are
+          exact, deeper layers accumulate bounded staleness);
+        * mixing rows inside the window are recomputed from the refreshed
+          tokens; rows outside propagate the raw-feature delta *exactly*
+          through the clean scene's stale attention weights.
+
+        ``attention_window=None`` refreshes every row (full recompute at
+        the requested dtype).  Returns ``None`` when no cell is touched.
+        """
+        grid_shape = self.extractor.grid_shape(image)
+        rows, cols = grid_shape
+        cell_bbox = pixel_bbox_to_cell_bbox(
+            dilate_bbox(pixel_bbox, 1, (image.shape[0], image.shape[1])),
+            self.config.cell,
+            grid_shape,
+        )
+        if bbox_is_empty(cell_bbox):
+            return None
+        dtype = fidelity.numpy_dtype
+        state = self._fidelity_state(clean, dtype)
+        dirty = _flat_cell_indices(cell_bbox, cols)
+        if fidelity.attention_window is None:
+            window = np.arange(rows * cols)
+        else:
+            window = _flat_cell_indices(
+                dilate_bbox(cell_bbox, fidelity.attention_window, grid_shape), cols
+            )
+        flat_p = state["flat"].copy()
+        patch = self.extractor.window_features(image, mask, cell_bbox)
+        flat_p[dirty] = np.asarray(
+            patch.reshape(-1, patch.shape[-1]), dtype=dtype
+        )
+        tokens = state["tokens"][0].copy()
+        tokens[dirty] = layer_norm(
+            self.embedding.at(flat_p[dirty], dtype) + state["pos"][dirty], axis=-1
+        )
+        for depth, layer in enumerate(self.layers):
+            refreshed = state["tokens"][depth + 1].copy()
+            refreshed[window] = layer.forward_rows(tokens, window, dtype=dtype)
+            tokens = refreshed
+        window_weights = self._mixing_weights_rows(tokens, window, dtype)
+        raw_delta = flat_p[dirty] - state["flat"][dirty]
+        mixed = state["mixed"] + state["weights"][:, dirty] @ raw_delta
+        mixed[window] = window_weights @ flat_p
+        alpha = float(self.attention_mix)
+        blended = (1.0 - alpha) * flat_p + alpha * mixed
+        return blended.reshape(rows, cols, flat_p.shape[-1])
+
+    def _approx_full_grid(self, raw: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Full blended feature grid of one image at a reduced dtype.
+
+        Dense masks have no dirty window to bound, so the only available
+        approximation is precision; attention itself is computed in full.
+        """
+        rows, cols = raw.shape[0], raw.shape[1]
+        flat = np.asarray(raw.reshape(rows * cols, raw.shape[-1]), dtype=dtype)
+        pos = np.asarray(self._positional(rows, cols), dtype=dtype)
+        tokens = layer_norm(self.embedding.at(flat, dtype) + pos, axis=-1)
+        for layer in self.layers:
+            tokens = layer.forward_rows(tokens, None, dtype=dtype)
+        weights = self._mixing_weights_rows(tokens, None, dtype)
+        mixed = weights @ flat
+        alpha = float(self.attention_mix)
+        blended = (1.0 - alpha) * flat + alpha * mixed
+        return blended.reshape(raw.shape)
+
+    def predict_batch_at(self, images: np.ndarray, fidelity=None) -> list:
+        """Batch prediction at a fidelity; only reduced precision applies
+        to dense (windowless) evaluation — anything else answers exactly."""
+        if fidelity is None or fidelity.numpy_dtype == np.float64:
+            return self.predict_batch(images)
+        images = validate_image_batch(images)
+        image_shape = (images.shape[1], images.shape[2])
+        dtype = fidelity.numpy_dtype
+        predictions = []
+        for image in images:
+            blended = self._approx_full_grid(self.extractor(image), dtype)
+            probabilities = self.prototypes.probabilities(blended)
+            predictions.append(self._decode(probabilities, image_shape))
+        return predictions
 
     def _mix_features(self, raw: np.ndarray) -> np.ndarray:
         """Blend raw cell features with their attention-mixed counterpart."""
@@ -276,6 +435,7 @@ class TransformerDetector(Detector):
         masks: np.ndarray,
         items: list[tuple[int, BBox]],
         clean: CleanActivations,
+        fidelity=None,
     ) -> list[Prediction]:
         """Splice each member's dirty window, then batch the global stages.
 
@@ -285,7 +445,13 @@ class TransformerDetector(Detector):
         cache-friendly chunks as :meth:`predict_batch`.  Attention carries
         the batch axis through every token operation unchanged, so per-grid
         results are bit-identical to the single-image delta path.
+
+        An approximate ``fidelity`` routes through the windowed-attention
+        recompute (:meth:`_approx_windowed_grid`) instead — the opt-in
+        bounded-error path; ``None``/exact is the unchanged parity path.
         """
+        if fidelity is not None and not fidelity.is_exact:
+            return self._approx_delta_batch(image, masks, items, clean, fidelity)
         grids = [
             self._delta_raw_grid(image, masks[index], bbox, clean)
             for index, bbox in items
@@ -305,6 +471,133 @@ class TransformerDetector(Detector):
             for i, prediction in zip(live, decoded):
                 predictions[i] = prediction
         return predictions
+
+    def _approx_delta_batch(
+        self,
+        image: np.ndarray,
+        masks: np.ndarray,
+        items: list[tuple[int, BBox]],
+        clean: CleanActivations,
+        fidelity,
+    ) -> list[Prediction]:
+        """Windowed-attention delta evaluation of a sparse population.
+
+        Members are grouped by their (dirty, window) index shapes — in the
+        NSGA sparse regime most offspring share a patch geometry — and each
+        group runs the bounded-error recompute *batched* over its members
+        (one BLAS call per stage instead of a per-mask Python loop); the
+        classification head and decode then run over the stacked grids in
+        the same chunks as the exact path.  Per-member results match
+        :meth:`_approx_windowed_grid` up to BLAS-blocking noise (pinned by
+        the fidelity test suite).  Untouched members answer the *exact*
+        clean prediction — approximation never degrades an evaluation the
+        cache already answers for free.
+        """
+        plane = (image.shape[0], image.shape[1])
+        grid_shape = self.extractor.grid_shape(image)
+        grid_rows, grid_cols = grid_shape
+        dtype = fidelity.numpy_dtype
+        state = self._fidelity_state(clean, dtype)
+        predictions: list[Prediction] = [clean.prediction] * len(items)
+        groups: dict[tuple[int, int], list] = {}
+        for pos, (index, bbox) in enumerate(items):
+            cell_bbox = pixel_bbox_to_cell_bbox(
+                dilate_bbox(bbox, 1, plane), self.config.cell, grid_shape
+            )
+            if bbox_is_empty(cell_bbox):
+                continue
+            dirty = _flat_cell_indices(cell_bbox, grid_cols)
+            if fidelity.attention_window is None:
+                window = np.arange(grid_rows * grid_cols)
+            else:
+                window = _flat_cell_indices(
+                    dilate_bbox(cell_bbox, fidelity.attention_window, grid_shape),
+                    grid_cols,
+                )
+            groups.setdefault((dirty.size, window.size), []).append(
+                (pos, index, cell_bbox, dirty, window)
+            )
+        live: list[int] = []
+        grids: list[np.ndarray] = []
+        for group in groups.values():
+            blended = self._approx_windowed_group(image, masks, group, state, fidelity)
+            for (pos, _, _, _, _), grid in zip(group, blended):
+                live.append(pos)
+                grids.append(grid.reshape(grid_rows, grid_cols, grid.shape[-1]))
+        if grids:
+            # Head/decode in deterministic population order, independent of
+            # the grouping that produced the grids.
+            order = np.argsort(live, kind="stable")
+            stacked = np.stack([grids[i] for i in order], axis=0)
+            image_shape = plane
+            chunk = max(1, int(self.delta_batch_chunk))
+            decoded: list[Prediction] = []
+            for start in range(0, stacked.shape[0], chunk):
+                probabilities = self.prototypes.probabilities(
+                    stacked[start : start + chunk]
+                )
+                decoded.extend(self._decode_batch(probabilities, image_shape))
+            for i, prediction in zip(order, decoded):
+                predictions[live[i]] = prediction
+        return predictions
+
+    def _approx_windowed_group(
+        self,
+        image: np.ndarray,
+        masks: np.ndarray,
+        group: list,
+        state: dict,
+        fidelity,
+    ) -> np.ndarray:
+        """Batched windowed recompute of one same-shape group.
+
+        ``group`` entries are ``(pos, index, cell_bbox, dirty, window)``
+        with equal ``dirty``/``window`` sizes; returns the ``(B, tokens,
+        dim)`` blended features.  Same algorithm as
+        :meth:`_approx_windowed_grid` with a batch axis: splice dirty raw
+        features, refresh stage-0 embeddings of dirty rows, refresh each
+        attention layer only on the window rows, then recompute mixing
+        rows inside the window and propagate the raw delta exactly through
+        the stale clean weights outside it.
+        """
+        dtype = fidelity.numpy_dtype
+        count = len(group)
+        tokens_n, feature_dim = state["flat"].shape
+        dirty = np.stack([entry[3] for entry in group])
+        window = np.stack([entry[4] for entry in group])
+        batch = np.arange(count)[:, None]
+        flat_p = np.broadcast_to(state["flat"], (count, tokens_n, feature_dim)).copy()
+        for g, (_, index, cell_bbox, dirty_i, _) in enumerate(group):
+            patch = self.extractor.window_features(image, masks[index], cell_bbox)
+            flat_p[g, dirty_i] = np.asarray(
+                patch.reshape(-1, feature_dim), dtype=dtype
+            )
+        flat_dirty = flat_p[batch, dirty]
+        tokens = np.broadcast_to(
+            state["tokens"][0], (count,) + state["tokens"][0].shape
+        ).copy()
+        tokens[batch, dirty] = layer_norm(
+            self.embedding.at(flat_dirty, dtype) + state["pos"][dirty], axis=-1
+        )
+        for depth, layer in enumerate(self.layers):
+            refreshed = np.broadcast_to(state["tokens"][depth + 1], tokens.shape).copy()
+            refreshed[batch, window] = layer.forward_rows_batch(
+                tokens, window, dtype=dtype
+            )
+            tokens = refreshed
+        row_tokens = tokens[batch, window]
+        query = self.query_proj.at(row_tokens, dtype)
+        key = self.key_proj.at(tokens, dtype)
+        temperature = float(np.sqrt(self.embed_dim) / self.attention_sharpness)
+        window_weights = softmax(
+            query @ np.swapaxes(key, -1, -2) / temperature, axis=-1
+        )
+        raw_delta = flat_dirty - state["flat"][dirty]
+        stale = np.swapaxes(state["weights"][:, dirty], 0, 1)
+        mixed = state["mixed"] + stale @ raw_delta
+        mixed[batch, window] = window_weights @ flat_p
+        alpha = float(self.attention_mix)
+        return (1.0 - alpha) * flat_p + alpha * mixed
 
     def _predict_delta_spliced_batch(
         self,

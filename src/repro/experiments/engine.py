@@ -77,19 +77,30 @@ def effective_cache_size(plan: ExperimentPlan) -> int:
     A cap smaller than the plan's distinct-model count guarantees lifecycle
     thrash — every model's bundle is evicted before its next scene arrives —
     so the cap is auto-grown to the model count (with a one-line warning
-    naming both sizes).  Growth never changes results, only hit rates.
+    naming both sizes).  A fast-search plan whose fidelity searches on a
+    downscaled surrogate scene caches *two* scenes per (detector, scene)
+    pair (full plus downscaled), so its floor is twice the model count.
+    Growth never changes results, only hit rates.
     """
     configured = int(plan.attack_config.activation_cache_size)
     distinct = len(plan.model_specs())
-    if distinct > configured:
+    floor = distinct
+    config = plan.attack_config
+    if getattr(config, "fast_search", False):
+        from repro.detectors.fidelity import resolve_fidelity
+
+        fidelity = resolve_fidelity(getattr(config, "search_fidelity", None))
+        if fidelity.scene_scale > 1:
+            floor = distinct * 2
+    if floor > configured:
         warnings.warn(
             f"activation_cache_size={configured} is below the plan's "
-            f"{distinct} distinct models; growing the cache to {distinct} "
-            "entries to avoid lifecycle thrash",
+            f"{floor} concurrently live (model, scene) bundles; growing "
+            f"the cache to {floor} entries to avoid lifecycle thrash",
             RuntimeWarning,
             stacklevel=2,
         )
-        return distinct
+        return floor
     return configured
 
 

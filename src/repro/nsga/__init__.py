@@ -26,6 +26,7 @@ from repro.nsga.crowding import crowding_distance
 from repro.nsga.selection import binary_tournament, crowded_comparison
 from repro.nsga.crossover import one_point_crossover, uniform_crossover
 from repro.nsga.mutation import (
+    IntensityAnnealing,
     MutationConfig,
     complement_mutation,
     inversion_mutation,
@@ -37,7 +38,9 @@ from repro.nsga.initialization import InitializationConfig, initialize_populatio
 from repro.nsga.algorithm import NSGAConfig, NSGAII, NSGAResult
 from repro.nsga.front import (
     best_per_objective,
+    hypervolume,
     hypervolume_2d,
+    nadir_reference,
     pareto_front,
     pareto_front_objectives,
 )
@@ -52,6 +55,7 @@ __all__ = [
     "crowded_comparison",
     "one_point_crossover",
     "uniform_crossover",
+    "IntensityAnnealing",
     "MutationConfig",
     "complement_mutation",
     "inversion_mutation",
@@ -64,7 +68,9 @@ __all__ = [
     "NSGAII",
     "NSGAResult",
     "best_per_objective",
+    "hypervolume",
     "hypervolume_2d",
+    "nadir_reference",
     "pareto_front",
     "pareto_front_objectives",
 ]

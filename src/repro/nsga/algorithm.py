@@ -11,9 +11,11 @@ Evaluation pipeline
 
 Each generation's unevaluated individuals flow through one batched pass:
 
-1. a **keyed evaluation cache** (genome digest → objective vector) answers
-   genomes that were already evaluated this run — duplicated elites and
-   no-op offspring never re-query the detector;
+1. a **keyed evaluation cache** ((fidelity key, genome digest) → objective
+   vector) answers genomes that were already evaluated this run *at the
+   current fidelity* — duplicated elites and no-op offspring never
+   re-query the detector, and approximate vectors never leak into exact
+   requests;
 2. the remaining genomes are stacked and handed to the objective function's
    ``evaluate_population`` fast path when it has one (one vectorised
    detector pass for the whole population), with a sequential per-genome
@@ -39,7 +41,7 @@ from __future__ import annotations
 
 import hashlib
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -49,7 +51,11 @@ from repro.nsga.crossover import one_point_crossover_lineage
 from repro.nsga.crowding import crowding_distance
 from repro.nsga.individual import Individual
 from repro.nsga.initialization import InitializationConfig, initialize_population
-from repro.nsga.mutation import MutationConfig, mutate_tracked_lineage
+from repro.nsga.mutation import (
+    IntensityAnnealing,
+    MutationConfig,
+    mutate_tracked_lineage,
+)
 from repro.nsga.selection import binary_tournament
 from repro.nsga.sorting import fast_non_dominated_sort
 
@@ -90,6 +96,28 @@ class NSGAConfig:
         Reuse objective vectors for genomes already evaluated during this
         run (default).  The objective function must be deterministic in the
         genome — true for all evaluators in this repository.
+    annealing:
+        Optional mutation-intensity schedule
+        (:class:`~repro.nsga.mutation.IntensityAnnealing`).  ``None``
+        (default) keeps the constant ``mutation.window_fraction`` and the
+        exact historical RNG draw stream.
+    fast_search:
+        Run the evolutionary search at an approximate evaluation fidelity
+        and re-score at exact fidelity (two-phase bounded-error search).
+        Requires an objective function exposing ``set_fidelity``; the final
+        population is always re-evaluated bit-exactly, so the returned
+        objective vectors match a from-scratch exact evaluation of the same
+        genomes.  Default off — the default path is bit- and RNG-identical
+        to previous releases.
+    search_fidelity:
+        Name of the approximate fidelity preset used during the search
+        phase when ``fast_search`` is on (see
+        ``repro.detectors.fidelity.FIDELITY_PRESETS``).
+    rescore_every:
+        When positive and ``fast_search`` is on, additionally re-score the
+        surviving population at exact fidelity every this-many generations
+        (periodic drift correction).  0 (default) re-scores only at the
+        end.
     """
 
     num_iterations: int = 100
@@ -100,6 +128,10 @@ class NSGAConfig:
     seed: int = 0
     batch_evaluation: bool = True
     evaluation_cache: bool = True
+    annealing: IntensityAnnealing | None = None
+    fast_search: bool = False
+    search_fidelity: str = "windowed"
+    rescore_every: int = 0
 
     def __post_init__(self) -> None:
         if self.num_iterations < 0:
@@ -108,6 +140,8 @@ class NSGAConfig:
             raise ValueError("population_size must be at least 2")
         if not 0.0 <= self.crossover_probability <= 1.0:
             raise ValueError("crossover_probability must be in [0, 1]")
+        if self.rescore_every < 0:
+            raise ValueError("rescore_every must be non-negative")
 
     @staticmethod
     def paper_defaults(seed: int = 0) -> "NSGAConfig":
@@ -194,7 +228,20 @@ class NSGAII:
         self.rng = np.random.default_rng(self.config.seed)
         self.num_evaluations = 0
         self.cache_hits = 0
-        self._cache: dict[bytes, np.ndarray] = {}
+        # The evaluation cache is keyed by (fidelity key, genome digest):
+        # objective vectors computed at an approximate fidelity must never
+        # answer exact-fidelity requests (or vice versa), so each fidelity
+        # gets its own namespace.  The default exact-only run uses a single
+        # constant key and behaves exactly as before.
+        self._fidelity_key: str = "exact"
+        self._cache: dict[tuple[str, bytes], np.ndarray] = {}
+        self._fidelity_setter = getattr(objective_function, "set_fidelity", None)
+        if self.config.fast_search and not callable(self._fidelity_setter):
+            raise ValueError(
+                "fast_search requires an objective function with a "
+                "set_fidelity method (e.g. ButterflyObjectives); "
+                f"{type(objective_function).__name__} has none"
+            )
         self._batch_evaluator = (
             getattr(objective_function, "evaluate_population", None)
             if self.config.batch_evaluation
@@ -279,7 +326,7 @@ class NSGAII:
                     unique.append(individual)
                     unique_keys.append(key)
                     continue
-                cached = self._cache.get(key)
+                cached = self._cache.get((self._fidelity_key, key))
                 if cached is not None:
                     individual.set_objectives(cached.copy())
                     self.cache_hits += 1
@@ -325,7 +372,9 @@ class NSGAII:
             if self.config.evaluation_cache:
                 for individual, key in zip(unique, unique_keys):
                     if key is not None:
-                        self._cache[key] = individual.objectives.copy()
+                        self._cache[(self._fidelity_key, key)] = (
+                            individual.objectives.copy()
+                        )
 
         for individual, position in duplicates:
             individual.set_objectives(unique[position].objectives.copy())
@@ -335,6 +384,36 @@ class NSGAII:
         for front in fronts:
             crowding_distance(population, front)
         return fronts
+
+    def _enter_fidelity(self, value: str | None) -> None:
+        """Switch the objective function's evaluation fidelity.
+
+        ``None`` means exact.  The cache namespace follows the objective
+        function's own ``fidelity_tag`` when it has one (so semantically
+        identical configurations share entries), falling back to the raw
+        value.  No-op unless fast search is configured.
+        """
+        if not callable(self._fidelity_setter):
+            return
+        self._fidelity_setter(value)
+        tag = getattr(self.objective_function, "fidelity_tag", None)
+        self._fidelity_key = tag if tag is not None else (value or "exact")
+
+    def _rescore(self, population: list[Individual]) -> None:
+        """Re-evaluate a population bit-exactly at full fidelity.
+
+        Enters exact fidelity, discards every approximate objective vector
+        and re-runs the normal evaluation pipeline — the literal code path
+        a from-scratch exact run would take, so the resulting vectors are
+        bit-identical to evaluating the same genomes without fast search.
+        The caller is responsible for restoring the search fidelity if the
+        run continues.
+        """
+        self._enter_fidelity(None)
+        for individual in population:
+            individual.reset_evaluation()
+        self._evaluate(population)
+        self._rank_population(population)
 
     def _initial_population(self) -> list[Individual]:
         init_config = InitializationConfig(
@@ -351,7 +430,21 @@ class NSGAII:
             individual.genome = self._apply_constraint(individual.genome)
         return population
 
-    def _make_offspring(self, population: list[Individual]) -> list[Individual]:
+    def _mutation_config(self, generation: int) -> MutationConfig:
+        """The mutation config for one offspring round, annealed if enabled."""
+        annealing = self.config.annealing
+        if annealing is None:
+            return self.config.mutation
+        fraction = annealing.window_fraction(
+            self.config.mutation.window_fraction,
+            generation,
+            self.config.num_iterations,
+        )
+        return replace(self.config.mutation, window_fraction=fraction)
+
+    def _make_offspring(
+        self, population: list[Individual], generation: int = 0
+    ) -> list[Individual]:
         """Crossover + mutation, propagating dirty-region bounds.
 
         The tracked operator variants consume the same random draws as the
@@ -362,7 +455,10 @@ class NSGAII:
         naming its head parent's fingerprint and a box bounding where it
         can differ from that parent — the cross-generation delta-reuse path
         re-splices only that region into the parent's cached activations.
+        ``generation`` selects the annealed mutation intensity when an
+        :class:`~repro.nsga.mutation.IntensityAnnealing` schedule is set.
         """
+        mutation = self._mutation_config(generation)
         parents = binary_tournament(population, self.rng, self.config.population_size)
         offspring: list[Individual] = []
         for index in range(0, len(parents) - 1, 2):
@@ -378,10 +474,10 @@ class NSGAII:
                 )
             )
             child_a, bound_a, touched_a = mutate_tracked_lineage(
-                child_a, self.rng, self.config.mutation, bound_a
+                child_a, self.rng, mutation, bound_a
             )
             child_b, bound_b, touched_b = mutate_tracked_lineage(
-                child_b, self.rng, self.config.mutation, bound_b
+                child_b, self.rng, mutation, bound_b
             )
             # Constraints (region projection, rounding, clipping) are
             # pixelwise and can only zero pixels out, so both the support
@@ -414,7 +510,7 @@ class NSGAII:
             extra, bound, touched = mutate_tracked_lineage(
                 parents[-1].genome,
                 self.rng,
-                self.config.mutation,
+                mutation,
                 parents[-1].metadata.get("dirty_bound"),
             )
             offspring.append(
@@ -478,6 +574,15 @@ class NSGAII:
         baseline = snapshot() if callable(snapshot) else None
         run_start = baseline
 
+        # Two-phase bounded-error search: the evolutionary loop runs at an
+        # approximate fidelity, the final population (and optionally
+        # periodic checkpoints) are re-scored bit-exactly.  The run always
+        # *ends* at exact fidelity, so every objective vector the caller
+        # sees came from the exact evaluation path.
+        fast = self.config.fast_search
+        if fast:
+            self._enter_fidelity(self.config.search_fidelity)
+
         population = self._initial_population()
         self._evaluate(population)
         self._rank_population(population)
@@ -485,10 +590,21 @@ class NSGAII:
             baseline = snapshot()
 
         history: list[dict] = []
+        rescore_every = self.config.rescore_every if fast else 0
         for generation in range(self.config.num_iterations):
-            offspring = self._make_offspring(population)
+            offspring = self._make_offspring(population, generation)
             self._evaluate(offspring)
             population = self._environmental_selection(population + offspring)
+            if (
+                rescore_every > 0
+                and (generation + 1) % rescore_every == 0
+                and generation + 1 < self.config.num_iterations
+            ):
+                # Periodic drift correction: pin the survivors to their
+                # exact objective values, then continue searching
+                # approximately from the corrected ranking.
+                self._rescore(population)
+                self._enter_fidelity(self.config.search_fidelity)
 
             objectives = np.stack([ind.objectives for ind in population], axis=0)
             history.append(
@@ -499,6 +615,8 @@ class NSGAII:
                     "front_size": sum(1 for ind in population if ind.rank == 1),
                 }
             )
+            if fast:
+                history[-1]["fidelity"] = self._fidelity_key
             if callable(snapshot):
                 current = snapshot()
                 entry = self._incremental_delta(baseline, current)
@@ -508,6 +626,10 @@ class NSGAII:
             if self.callback is not None:
                 self.callback(generation, population)
 
+        if fast:
+            # Final exact re-score: the returned fronts are computed from
+            # bit-exact objective vectors of the searched genomes.
+            self._rescore(population)
         fronts = self._rank_population(population)
         return NSGAResult(
             population=population,

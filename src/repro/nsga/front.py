@@ -83,3 +83,111 @@ def hypervolume_2d(
         volume += (ref_x - x) * (best_y - y)
         best_y = y
     return float(volume)
+
+
+def _non_dominated(points: np.ndarray) -> np.ndarray:
+    """Rows of ``points`` not weakly dominated by an earlier/other row.
+
+    Minimisation convention; duplicate rows keep one representative.  Works
+    on small fronts (quadratic scan) — hypervolume callers hand it Pareto
+    fronts, which are small by construction.
+    """
+    keep: list[int] = []
+    for i, candidate in enumerate(points):
+        dominated = False
+        for j, other in enumerate(points):
+            if i == j:
+                continue
+            if np.all(other <= candidate) and (
+                np.any(other < candidate) or j < i
+            ):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return points[keep]
+
+
+def nadir_reference(points: np.ndarray, margin: float = 0.0) -> np.ndarray:
+    """Componentwise worst (maximum) of a set of minimised points.
+
+    The conventional default hypervolume reference; ``margin`` adds a
+    constant slack in every objective so that boundary points still
+    contribute volume.  Raises on an empty set — there is no meaningful
+    nadir of nothing.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("nadir_reference needs a non-empty (n, d) point set")
+    if not np.isfinite(points).all():
+        raise ValueError("nadir_reference needs finite points")
+    return points.max(axis=0) + float(margin)
+
+
+def hypervolume(points: np.ndarray, reference: Sequence[float] | None = None) -> float:
+    """Hypervolume dominated by a minimisation front in any dimension.
+
+    Parameters
+    ----------
+    points:
+        Array of shape (n, d) of objective vectors (minimised).  Empty
+        fronts (``n == 0``) have volume 0.  Dominated and duplicate points
+        are filtered out first, so any population slice — not only a clean
+        Pareto front — is a valid input.
+    reference:
+        Reference point dominated by the front; contributions are clipped
+        to it.  Defaults to the front's nadir (componentwise max), under
+        which degenerate fronts (single point, collinear points that share
+        a worst coordinate) have volume 0 rather than raising.
+
+    The implementation slices along the last objective (the HSO scheme):
+    each slab's volume is its thickness times the (d-1)-dimensional
+    hypervolume of the points already "active" in that slab, with the 2-D
+    sweep of :func:`hypervolume_2d` as the base case.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"hypervolume expects points of shape (n, d), got {points.shape}")
+    if points.shape[0] == 0:
+        return 0.0
+    if points.shape[1] == 0:
+        raise ValueError("hypervolume needs at least one objective")
+    if not np.isfinite(points).all():
+        raise ValueError("hypervolume needs finite points")
+    if reference is None:
+        ref = nadir_reference(points)
+    else:
+        ref = np.asarray(reference, dtype=np.float64)
+        if ref.shape != (points.shape[1],):
+            raise ValueError(
+                f"reference must have shape ({points.shape[1]},), got {ref.shape}"
+            )
+        if not np.isfinite(ref).all():
+            raise ValueError("reference must be finite")
+    # Only points that weakly dominate the reference contribute volume.
+    points = points[np.all(points <= ref, axis=1)]
+    if points.shape[0] == 0:
+        return 0.0
+    points = _non_dominated(points)
+    return _hypervolume_recursive(points, ref)
+
+
+def _hypervolume_recursive(points: np.ndarray, ref: np.ndarray) -> float:
+    """HSO slab recursion on a non-dominated, reference-dominating set."""
+    dims = points.shape[1]
+    if dims == 1:
+        return float(ref[0] - points[:, 0].min())
+    if dims == 2:
+        return hypervolume_2d(points, (float(ref[0]), float(ref[1])))
+    order = np.argsort(points[:, -1], kind="stable")
+    points = points[order]
+    volume = 0.0
+    for index in range(points.shape[0]):
+        low = points[index, -1]
+        high = points[index + 1, -1] if index + 1 < points.shape[0] else ref[-1]
+        thickness = float(high - low)
+        if thickness <= 0.0:
+            continue
+        active = _non_dominated(points[: index + 1, :-1])
+        volume += thickness * _hypervolume_recursive(active, ref[:-1])
+    return float(volume)

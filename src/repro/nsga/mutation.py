@@ -65,6 +65,54 @@ class MutationConfig:
             raise ValueError("at least one mutation operator must be enabled")
 
 
+@dataclass(frozen=True)
+class IntensityAnnealing:
+    """Dense-exploration → sparse-exploitation mutation-intensity schedule.
+
+    Anneals the mutation ``window_fraction`` from the configured base value
+    at generation 0 towards ``final_window_fraction`` at the last
+    generation: early generations explore with broad, dense mutations,
+    late generations exploit with small sparse refinements (the log-spaced
+    intensity-schedule shape of the degradation literature).
+
+    Annealing changes the *number* of pixels an operator samples, and
+    therefore the RNG draw count — which is why it is strictly opt-in: the
+    default (no annealing) leaves the draw stream untouched, and a
+    constant schedule (``final == base``) is draw-for-draw identical to no
+    annealing (the parity suite pins both properties).
+
+    Attributes
+    ----------
+    final_window_fraction:
+        The window fraction reached at the last generation.
+    shape:
+        ``"log"`` (geometric interpolation, default) or ``"linear"``.
+    """
+
+    final_window_fraction: float
+    shape: str = "log"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.final_window_fraction <= 1.0:
+            raise ValueError("final_window_fraction must be in (0, 1]")
+        if self.shape not in ("log", "linear"):
+            raise ValueError(f"shape must be 'log' or 'linear', got {self.shape!r}")
+
+    def window_fraction(self, base: float, generation: int, total: int) -> float:
+        """The annealed window fraction for one generation.
+
+        ``generation`` counts the offspring round (0-based) out of
+        ``total``; generation 0 returns exactly ``base``, the last
+        generation exactly ``final_window_fraction``.
+        """
+        if total <= 1:
+            return base
+        t = min(max(generation, 0), total - 1) / (total - 1)
+        if self.shape == "linear":
+            return base + (self.final_window_fraction - base) * t
+        return float(base * (self.final_window_fraction / base) ** t)
+
+
 def _sample_pixels(
     genome: np.ndarray, window_fraction: float, rng: np.random.Generator
 ) -> tuple[np.ndarray, np.ndarray]:

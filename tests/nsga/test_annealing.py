@@ -1,0 +1,112 @@
+"""Intensity-annealed mutation schedule: shape, endpoints and draw parity.
+
+Annealing changes the *number* of pixels the mutation operators sample and
+therefore the RNG draw stream, so it is strictly opt-in: the default
+(``annealing=None``) must leave seeded runs bit-identical, and a constant
+schedule (``final == base``) must be draw-for-draw identical to no
+annealing — both pinned here alongside the schedule arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nsga.algorithm import NSGAConfig, NSGAII
+from repro.nsga.initialization import InitializationConfig
+from repro.nsga.mutation import IntensityAnnealing, MutationConfig
+
+
+def _objective(genome):
+    x = float(genome.mean()) / 50.0
+    return np.array([x**2, (x - 2.0) ** 2])
+
+
+def _config(annealing=None, window_fraction=0.05, iterations=6):
+    return NSGAConfig(
+        num_iterations=iterations,
+        population_size=10,
+        mutation=MutationConfig(probability=0.45, window_fraction=window_fraction),
+        initialization=InitializationConfig(population_size=10, gaussian_sigma=60.0),
+        seed=5,
+        annealing=annealing,
+    )
+
+
+def _run(config):
+    return NSGAII(_objective, (6, 8), config, constraint=np.round).run()
+
+
+def _genomes(result):
+    return np.stack([individual.genome for individual in result.population])
+
+
+class TestSchedule:
+    def test_endpoints_are_exact(self):
+        schedule = IntensityAnnealing(final_window_fraction=0.001)
+        assert schedule.window_fraction(0.05, 0, 10) == 0.05
+        assert schedule.window_fraction(0.05, 9, 10) == 0.001
+
+    def test_single_generation_returns_base(self):
+        schedule = IntensityAnnealing(final_window_fraction=0.001)
+        assert schedule.window_fraction(0.05, 0, 1) == 0.05
+        assert schedule.window_fraction(0.05, 0, 0) == 0.05
+
+    def test_log_shape_is_geometric(self):
+        schedule = IntensityAnnealing(final_window_fraction=0.01, shape="log")
+        mid = schedule.window_fraction(0.04, 1, 3)
+        assert mid == pytest.approx(np.sqrt(0.04 * 0.01))
+
+    def test_linear_shape_is_arithmetic(self):
+        schedule = IntensityAnnealing(final_window_fraction=0.01, shape="linear")
+        mid = schedule.window_fraction(0.04, 1, 3)
+        assert mid == pytest.approx(0.025)
+
+    def test_monotone_decreasing_when_final_below_base(self):
+        for shape in ("log", "linear"):
+            schedule = IntensityAnnealing(final_window_fraction=0.001, shape=shape)
+            values = [schedule.window_fraction(0.05, g, 20) for g in range(20)]
+            assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_generation_is_clamped_to_range(self):
+        schedule = IntensityAnnealing(final_window_fraction=0.001)
+        assert schedule.window_fraction(0.05, -3, 10) == 0.05
+        assert schedule.window_fraction(0.05, 99, 10) == 0.001
+
+    def test_constant_schedule_returns_base_exactly(self):
+        schedule = IntensityAnnealing(final_window_fraction=0.05, shape="log")
+        for generation in range(10):
+            assert schedule.window_fraction(0.05, generation, 10) == 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntensityAnnealing(final_window_fraction=0.0)
+        with pytest.raises(ValueError):
+            IntensityAnnealing(final_window_fraction=1.5)
+        with pytest.raises(ValueError, match="shape"):
+            IntensityAnnealing(final_window_fraction=0.1, shape="cosine")
+
+
+class TestDrawParity:
+    def test_default_none_is_bit_identical(self):
+        baseline = _run(_config())
+        again = _run(_config(annealing=None))
+        assert np.array_equal(_genomes(baseline), _genomes(again))
+
+    def test_constant_schedule_is_draw_identical_to_none(self):
+        baseline = _run(_config())
+        constant = _run(
+            _config(annealing=IntensityAnnealing(final_window_fraction=0.05))
+        )
+        assert np.array_equal(_genomes(baseline), _genomes(constant))
+        assert np.array_equal(
+            baseline.objectives_matrix(), constant.objectives_matrix()
+        )
+
+    def test_annealed_run_changes_trajectory_but_stays_seeded(self):
+        annealed = _config(
+            annealing=IntensityAnnealing(final_window_fraction=0.002)
+        )
+        first = _run(annealed)
+        second = _run(annealed)
+        assert np.array_equal(_genomes(first), _genomes(second))
+        baseline = _run(_config())
+        assert not np.array_equal(_genomes(first), _genomes(baseline))

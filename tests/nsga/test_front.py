@@ -5,7 +5,9 @@ import pytest
 
 from repro.nsga.front import (
     best_per_objective,
+    hypervolume,
     hypervolume_2d,
+    nadir_reference,
     pareto_front,
     pareto_front_objectives,
 )
@@ -84,3 +86,77 @@ class TestHypervolume:
         strong = np.array([[1.0, 1.0]])
         reference = (3.0, 3.0)
         assert hypervolume_2d(strong, reference) > hypervolume_2d(weak, reference)
+
+
+class TestGeneralHypervolume:
+    """The any-dimension hypervolume plus its degenerate-front hardening."""
+
+    def test_empty_front_is_zero(self):
+        assert hypervolume(np.zeros((0, 3))) == 0.0
+
+    def test_single_point_against_reference(self):
+        assert hypervolume(np.array([[0.0, 0.0, 0.0]]), [1.0, 1.0, 1.0]) == 1.0
+
+    def test_single_point_default_nadir_is_degenerate_zero(self):
+        assert hypervolume(np.array([[2.0, 3.0]])) == 0.0
+
+    def test_one_dimension(self):
+        assert hypervolume(np.array([[2.0], [5.0]]), [10.0]) == 8.0
+
+    def test_matches_hypervolume_2d(self):
+        points = np.array([[0.1, 0.9], [0.5, 0.5], [0.9, 0.1], [0.7, 0.8]])
+        assert hypervolume(points, [1.0, 1.0]) == pytest.approx(
+            hypervolume_2d(points, (1.0, 1.0))
+        )
+
+    def test_dominated_and_duplicate_points_add_nothing(self):
+        points = np.array([[0.2, 0.4, 0.3], [0.6, 0.1, 0.5]])
+        noisy = np.vstack([points, points[0], [0.9, 0.9, 0.9]])
+        reference = [1.0, 1.0, 1.0]
+        assert hypervolume(noisy, reference) == pytest.approx(
+            hypervolume(points, reference)
+        )
+
+    def test_permutation_invariant(self):
+        rng = np.random.default_rng(3)
+        points = rng.random((7, 3))
+        reference = [1.5, 1.5, 1.5]
+        base = hypervolume(points, reference)
+        for seed in range(3):
+            shuffled = points[np.random.default_rng(seed).permutation(7)]
+            assert hypervolume(shuffled, reference) == pytest.approx(base)
+
+    def test_adding_a_point_never_decreases_volume(self):
+        rng = np.random.default_rng(4)
+        points = rng.random((5, 3))
+        reference = [1.2, 1.2, 1.2]
+        base = hypervolume(points, reference)
+        grown = np.vstack([points, [[0.05, 0.05, 0.05]]])
+        assert hypervolume(grown, reference) >= base
+
+    def test_points_beyond_reference_ignored(self):
+        assert hypervolume(np.array([[2.0, 2.0, 2.0]]), [1.0, 1.0, 1.0]) == 0.0
+
+    def test_collinear_degenerate_front(self):
+        # All points share the second coordinate: zero thickness in that
+        # dimension under the default nadir reference.
+        points = np.array([[0.1, 0.5], [0.4, 0.5], [0.9, 0.5]])
+        assert hypervolume(points) == 0.0
+        assert hypervolume(points, [1.0, 1.0]) == pytest.approx(0.9 * 0.5)
+
+    def test_non_finite_points_rejected(self):
+        with pytest.raises(ValueError):
+            hypervolume(np.array([[np.nan, 1.0]]), [2.0, 2.0])
+        with pytest.raises(ValueError):
+            hypervolume(np.array([[1.0, 1.0]]), [np.inf, 2.0])
+
+    def test_reference_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hypervolume(np.array([[1.0, 1.0]]), [1.0, 1.0, 1.0])
+
+    def test_nadir_reference_margin(self):
+        points = np.array([[1.0, 4.0], [3.0, 2.0]])
+        assert np.array_equal(nadir_reference(points), [3.0, 4.0])
+        assert np.array_equal(nadir_reference(points, margin=0.5), [3.5, 4.5])
+        with pytest.raises(ValueError):
+            nadir_reference(np.zeros((0, 2)))
