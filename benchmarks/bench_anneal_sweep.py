@@ -1,0 +1,198 @@
+"""Sweep of the sparsity-annealing schedule on the quickstart budget.
+
+Closes the ROADMAP measurement item left open by PRs 4 and 9: both
+``sparse_init_fraction`` (patch-confined sparse initial population) and
+``anneal_final_window`` (mutation window annealed from its base 0.01
+down to a final value) shipped default-off because no end-to-end
+quality/speed measurement existed to pick defaults.  This benchmark runs
+the full grid on the quickstart attack budget (single-stage detector,
+10 x 16 NSGA budget, two seeds), scores every cell's Pareto front
+against the stock schedule with the shared-reference hypervolume ratio,
+and reports the best cell so the defaults recorded in ROADMAP.md are
+reproducible numbers, not folklore.
+
+The stock schedule stays the default regardless of the winner — both
+knobs preserve the historical RNG stream only when off — so the gates
+here check measurement sanity, not a quality target: every cell must
+produce a non-empty front, and the recommended cell must not lose more
+than 20% hypervolume against stock.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_anneal_sweep.py \
+        [--output BENCH_pr10_anneal.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import BENCH_LENGTH, BENCH_WIDTH, bench_training_config
+from repro.analysis.front_quality import compare_front_quality
+from repro.core.attack import ButterflyAttack
+from repro.core.config import AttackConfig
+from repro.core.regions import HalfImageRegion
+from repro.data.dataset import generate_dataset
+from repro.detectors.zoo import build_detector
+from repro.nsga.algorithm import NSGAConfig
+
+ATTACK_ITERATIONS = 10
+ATTACK_POPULATION = 16
+ATTACK_SEEDS = (0, 1)
+
+#: The grid: sparse seeding fraction x annealed final mutation window
+#: (base window_fraction is 0.01; ``None`` keeps the constant schedule).
+SPARSE_FRACTIONS = (0.0, 0.5, 1.0)
+ANNEAL_TARGETS = (None, 0.005, 0.0025)
+
+#: Gate: the recommended cell must keep at least this much of the stock
+#: schedule's hypervolume (mean over seeds).
+MIN_RECOMMENDED_RATIO = 0.8
+
+
+def _bench_image():
+    return generate_dataset(
+        num_images=1,
+        seed=5,
+        image_length=BENCH_LENGTH,
+        image_width=BENCH_WIDTH,
+        half="left",
+        num_objects=(2, 3),
+    )[0].image
+
+
+def _attack_config(fraction, target, seed):
+    return AttackConfig(
+        nsga=NSGAConfig(
+            num_iterations=ATTACK_ITERATIONS,
+            population_size=ATTACK_POPULATION,
+            seed=seed,
+        ),
+        region=HalfImageRegion("right"),
+        sparse_init_fraction=fraction,
+        anneal_final_window=target,
+    )
+
+
+def _front_matrix(result):
+    return np.array(
+        [
+            [solution.intensity, solution.degradation, -solution.distance]
+            for solution in result.pareto_front
+        ]
+    )
+
+
+def _cell_name(fraction, target):
+    anneal = "off" if target is None else f"{target:g}"
+    return f"sparse={fraction:g},anneal={anneal}"
+
+
+def run_sweep(image):
+    detector = build_detector("yolo", seed=1, training=bench_training_config())
+
+    # Stock-schedule reference fronts, one per seed.
+    references = {}
+    for seed in ATTACK_SEEDS:
+        result = ButterflyAttack(detector, _attack_config(0.0, None, seed)).attack(
+            image
+        )
+        references[seed] = _front_matrix(result)
+
+    cells = {}
+    for fraction in SPARSE_FRACTIONS:
+        for target in ANNEAL_TARGETS:
+            ratios, seconds, front_sizes, best_degradations = [], [], [], []
+            for seed in ATTACK_SEEDS:
+                start = time.perf_counter()
+                result = ButterflyAttack(
+                    detector, _attack_config(fraction, target, seed)
+                ).attack(image)
+                seconds.append(time.perf_counter() - start)
+                front = _front_matrix(result)
+                front_sizes.append(int(front.shape[0]))
+                best_degradations.append(float(front[:, 1].min()))
+                quality = compare_front_quality(front, references[seed])
+                ratios.append(quality["hypervolume_ratio"])
+            cells[_cell_name(fraction, target)] = {
+                "sparse_init_fraction": fraction,
+                "anneal_final_window": target,
+                "mean_hypervolume_ratio": float(np.mean(ratios)),
+                "mean_attack_seconds": float(np.mean(seconds)),
+                "mean_best_degradation": float(np.mean(best_degradations)),
+                "min_front_size": min(front_sizes),
+            }
+    return cells
+
+
+def recommend(cells):
+    """Best mean hypervolume ratio; speed breaks ties within noise (2%)."""
+    ranked = sorted(
+        cells.items(),
+        key=lambda item: (
+            -round(item[1]["mean_hypervolume_ratio"], 2),
+            item[1]["mean_attack_seconds"],
+        ),
+    )
+    return ranked[0][0]
+
+
+def check_gates(report):
+    failures = []
+    for name, cell in report["cells"].items():
+        if cell["min_front_size"] == 0:
+            failures.append(f"{name}: produced an empty Pareto front")
+    chosen = report["cells"][report["recommended"]]
+    if chosen["mean_hypervolume_ratio"] < MIN_RECOMMENDED_RATIO:
+        failures.append(
+            f"recommended cell {report['recommended']} keeps only "
+            f"{chosen['mean_hypervolume_ratio']:.2f} of stock hypervolume "
+            f"(< {MIN_RECOMMENDED_RATIO})"
+        )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_pr10_anneal.json")
+    args = parser.parse_args(argv)
+
+    image = _bench_image()
+    cells = run_sweep(image)
+    report = {
+        "benchmark": "sparsity-annealing schedule sweep on the quickstart budget",
+        "image_shape": [BENCH_LENGTH, BENCH_WIDTH, 3],
+        "attack_budget": {
+            "iterations": ATTACK_ITERATIONS,
+            "population": ATTACK_POPULATION,
+            "seeds": list(ATTACK_SEEDS),
+        },
+        "base_window_fraction": 0.01,
+        "cells": cells,
+        "recommended": recommend(cells),
+        "min_recommended_ratio": MIN_RECOMMENDED_RATIO,
+    }
+
+    failures = check_gates(report)
+    report["gates_passed"] = not failures
+    if failures:
+        report["gate_failures"] = failures
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if failures:
+        print("\n".join(["GATE FAILURES:"] + failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,10 +11,12 @@ Six subcommands cover the common workflows:
   seed-varied models (the N×N transfer matrix) on the experiment engine,
 * ``repro-attack defend``    — attack undefended / noise-defended (and
   optionally ensemble) variants under the same budget,
+* ``repro-attack sequence``  — attack a streaming scene sequence (one shared
+  mask, track-level objectives, frame-to-frame activation reuse),
 * ``repro-attack figures``   — regenerate the qualitative figure scenarios,
 * ``repro-attack table``     — print Table I / Table II.
 
-The sweep commands (``compare``, ``transfer``, ``defend``) share the
+The sweep commands (``compare``, ``transfer``, ``defend``, ``sequence``) share the
 execution-engine options ``--jobs``, ``--backend``, ``--experiment-seed``,
 ``--checkpoint-dir``/``--resume`` (fault-tolerant journaled execution: an
 interrupted sweep resumes from the journal with bit-identical results) and
@@ -54,8 +56,8 @@ from repro.experiments.figures import (
     figure5_ghost_objects,
 )
 from repro.experiments.engine import RetryPolicy
-from repro.experiments.jobs import ModelSpec
-from repro.experiments.runner import run_architecture_comparison
+from repro.experiments.jobs import ModelSpec, SequenceSpec
+from repro.experiments.runner import run_architecture_comparison, run_sequence_sweep
 from repro.experiments.transfer import run_transferability_experiment
 from repro.io.serialization import (
     save_attack_result,
@@ -186,6 +188,12 @@ def _print_execution_summary(execution: dict | None) -> None:
                 f"Delta reuse (sweep total): {stats['delta_hits']} ancestor "
                 f"hits, {stats['delta_misses']} misses "
                 f"(hit rate {stats.get('delta_hit_rate', 0.0):.1%})"
+            )
+        if stats.get("frame_hits", 0) or stats.get("frame_misses", 0):
+            print(
+                f"Frame cache (sweep total): {stats['frame_hits']} temporal "
+                f"derivations/hits, {stats['frame_misses']} dense rebuilds "
+                f"(hit rate {stats.get('frame_hit_rate', 0.0):.1%})"
             )
     else:
         print("Activation cache: disabled")
@@ -356,6 +364,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(defend)
     defend.add_argument("--output", default=None, help="directory to save the report")
+
+    sequence = subparsers.add_parser(
+        "sequence",
+        help=(
+            "attack a streaming scene sequence: one shared mask, "
+            "track-level objectives, temporally derived activations"
+        ),
+    )
+    sequence.add_argument("--detector", default="yolo", help="yolo or detr")
+    sequence.add_argument(
+        "--models",
+        type=_positive_int,
+        default=1,
+        help="number of seed-varied models (trained with seeds 1..N)",
+    )
+    sequence.add_argument("--scene-seed", type=int, default=7, help="sequence generator seed")
+    sequence.add_argument(
+        "--frames",
+        type=_positive_int,
+        default=4,
+        help="frames per generated sequence (objects drift between frames)",
+    )
+    sequence.add_argument(
+        "--frame-cache-size",
+        type=_positive_int,
+        default=2,
+        help=(
+            "rolling window of per-frame activation bundles the temporal "
+            "cache keeps; frame t's clean activations are derived from "
+            "frame t-1's bundle by recomputing only the moving-object "
+            "region (bit-identical to a dense per-frame build)"
+        ),
+    )
+    sequence.add_argument(
+        "--track-k",
+        type=_positive_int,
+        default=2,
+        help=(
+            "consecutive undetected frames for a ground-truth track to "
+            "count as suppressed (the fourth, track-survival objective)"
+        ),
+    )
+    sequence.add_argument(
+        "--iou-threshold",
+        type=float,
+        default=0.5,
+        help="IoU for matching a detection to a ground-truth track box",
+    )
+    sequence.add_argument(
+        "--max-speed",
+        type=float,
+        default=4.0,
+        help="maximum per-frame object drift in pixels",
+    )
+    sequence.add_argument("--iterations", type=int, default=6)
+    sequence.add_argument("--population", type=int, default=12)
+    _add_engine_options(sequence)
+    sequence.add_argument("--output", default=None, help="directory to save the first result")
 
     figures = subparsers.add_parser("figures", help="regenerate a figure scenario")
     figures.add_argument(
@@ -625,6 +691,60 @@ def _run_defend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sequence(args: argparse.Namespace) -> int:
+    spec = SequenceSpec(
+        num_frames=args.frames,
+        seed=args.scene_seed,
+        image_length=_SWEEP_LENGTH,
+        image_width=_SWEEP_WIDTH,
+        half="left",
+        max_speed=args.max_speed,
+    )
+    training = TrainingConfig(image_length=_SWEEP_LENGTH, image_width=_SWEEP_WIDTH)
+    sweep = run_sequence_sweep(
+        architectures=[args.detector],
+        seeds=range(1, args.models + 1),
+        sequences=[spec],
+        attack_config=_sweep_attack_config(args),
+        training=training,
+        track_k=args.track_k,
+        iou_threshold=args.iou_threshold,
+        frame_cache_size=args.frame_cache_size,
+        **_engine_kwargs(args),
+    )
+    rows = []
+    for result in sweep.results:
+        front = result.pareto_front
+        best_degradation = (
+            min(solution.degradation for solution in front) if front else 1.0
+        )
+        best_survival = (
+            min(solution.extras.get("track_survival", 1.0) for solution in front)
+            if front
+            else 1.0
+        )
+        frame_stats = (result.incremental or {}).get("frame_cache", {})
+        rows.append(
+            {
+                "run": result.detector_name,
+                "front": len(front),
+                "best_degrad": best_degradation,
+                "best_track_survival": best_survival,
+                "frame_hit_rate": f"{frame_stats.get('frame_hit_rate', 0.0):.1%}",
+            }
+        )
+    print(format_table(rows))
+    print(
+        f"mean best track survival: {sweep.mean_track_survival():.3f} "
+        f"(track suppressed = undetected for >= {args.track_k} consecutive frames)"
+    )
+    _print_execution_summary(sweep.provenance())
+    if args.output and sweep.results:
+        path = save_attack_result(sweep.results[0], args.output)
+        print(f"Saved first sequence attack result to {path}")
+    return 0
+
+
 def _run_figures(args: argparse.Namespace) -> int:
     config = AttackConfig(
         nsga=NSGAConfig(
@@ -669,6 +789,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _run_compare,
         "transfer": _run_transfer,
         "defend": _run_defend,
+        "sequence": _run_sequence,
         "figures": _run_figures,
         "table": _run_table,
     }

@@ -209,6 +209,14 @@ class ButterflyObjectives:
         Optional shared :class:`ActivationCacheStore` (e.g. one per
         experiment sweep) supplying the clean activations; without it the
         evaluator builds its own private bundle.
+    activation_bundle:
+        Optional pre-derived :class:`CleanActivations` of ``image`` to use
+        directly instead of consulting the store or rebuilding (the
+        streaming-sequence workload derives each frame's bundle from the
+        previous frame's and injects it here).  The bundle must belong to
+        this image — it is trusted to be bit-identical to what
+        ``detector.clean_activations(image)`` would build, which the
+        temporal derivation guarantees.
     use_delta_reuse:
         Memoise each evaluated mask's spliced activations (keyed by the
         genome fingerprint NSGA-II propagates) and re-splice only the
@@ -231,6 +239,7 @@ class ButterflyObjectives:
     normalize_distance: bool = True
     use_activation_cache: bool = field(default_factory=default_use_activation_cache)
     activation_store: Optional[ActivationCacheStore] = None
+    activation_bundle: Optional[CleanActivations] = None
     use_delta_reuse: bool = field(default_factory=default_use_delta_reuse)
     delta_store_size: int = DEFAULT_DELTA_STORE_ENTRIES
 
@@ -250,7 +259,15 @@ class ButterflyObjectives:
         if self.use_activation_cache and getattr(
             self.detector, "supports_incremental", False
         ):
-            if self.activation_store is not None:
+            if self.activation_bundle is not None:
+                if self.activation_bundle.clean_image.shape != self.image.shape:
+                    raise ValueError(
+                        "injected activation bundle does not match the image: "
+                        f"{self.activation_bundle.clean_image.shape} vs "
+                        f"{self.image.shape}"
+                    )
+                self.clean_activations = self.activation_bundle
+            elif self.activation_store is not None:
                 self.clean_activations = self.activation_store.get(
                     self.detector, self.image
                 )
@@ -576,6 +593,41 @@ class ButterflyObjectives:
         fidelity = self._fidelity
         if fidelity.scene_scale > 1:
             return self._surrogate_vectors(masks, fidelity)
+        predictions, bboxes = self.predict_population(masks, dirty_bounds, ancestry)
+        return np.stack(
+            [
+                self._vector(mask, prediction, bbox)
+                for mask, prediction, bbox in zip(masks, predictions, bboxes)
+            ],
+            axis=0,
+        )
+
+    def predict_population(
+        self,
+        masks: np.ndarray,
+        dirty_bounds: Sequence[BBox | None] | None = None,
+        ancestry: Sequence[dict | None] | None = None,
+    ) -> tuple[list[Prediction], list[BBox]]:
+        """Per-mask perturbed predictions plus exact nonzero bboxes.
+
+        The prediction stage of :meth:`evaluate_population`, exposed so
+        composite evaluators (the sequence workload's track-level scoring)
+        can see each mask's prediction per frame instead of only the folded
+        objective vector.  Same routing, same bit-parity guarantees; the
+        surrogate (``scene_scale > 1``) fidelity has no full-resolution
+        predictions to offer and is rejected.
+        """
+        masks = np.asarray(masks, dtype=np.float64)
+        if masks.ndim != 4 or masks.shape[1:] != self.image.shape:
+            raise ValueError(
+                f"expected masks of shape (B, *{self.image.shape}), got {masks.shape}"
+            )
+        fidelity = self._fidelity
+        if fidelity.scene_scale > 1:
+            raise ValueError(
+                "predict_population has no full-resolution predictions under "
+                "a surrogate (scene_scale > 1) fidelity"
+            )
         bounds: list[BBox | None]
         if dirty_bounds is None:
             bounds = [None] * masks.shape[0]
@@ -627,10 +679,4 @@ class ButterflyObjectives:
                 if fidelity.is_exact
                 else self.detector.predict_batch_at(perturbed_images, fidelity)
             )
-        return np.stack(
-            [
-                self._vector(mask, prediction, bbox)
-                for mask, prediction, bbox in zip(masks, predictions, bboxes)
-            ],
-            axis=0,
-        )
+        return predictions, bboxes

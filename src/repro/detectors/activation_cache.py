@@ -87,6 +87,13 @@ class CacheStats:
     admitted); they stay zero for stores without delta reuse, and
     :meth:`as_dict` omits them in that case so pre-existing persisted
     reports keep their exact shape.
+
+    ``frame_hits``/``frame_misses`` count the temporal traffic of the
+    streaming-sequence workload (:class:`SequenceActivationCache`): a frame
+    whose clean bundle was derived incrementally from the previous frame's
+    cached bundle is a frame hit, a dense rebuild is a frame miss.  Like
+    the delta counters they stay zero for still-image runs and are omitted
+    from :meth:`as_dict` in that case.
     """
 
     hits: int = 0
@@ -96,6 +103,8 @@ class CacheStats:
     delta_hits: int = 0
     delta_misses: int = 0
     delta_bytes: int = 0
+    frame_hits: int = 0
+    frame_misses: int = 0
 
     @property
     def requests(self) -> int:
@@ -117,6 +126,16 @@ class CacheStats:
         """Fraction of delta lookups answered from stored grids."""
         return self.delta_hits / self.delta_requests if self.delta_requests else 0.0
 
+    @property
+    def frame_requests(self) -> int:
+        """Total sequence-frame derivations observed (frame hits + misses)."""
+        return self.frame_hits + self.frame_misses
+
+    @property
+    def frame_hit_rate(self) -> float:
+        """Fraction of frames derived incrementally from the previous frame."""
+        return self.frame_hits / self.frame_requests if self.frame_requests else 0.0
+
     def __add__(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(
             hits=self.hits + other.hits,
@@ -126,6 +145,8 @@ class CacheStats:
             delta_hits=self.delta_hits + other.delta_hits,
             delta_misses=self.delta_misses + other.delta_misses,
             delta_bytes=self.delta_bytes + other.delta_bytes,
+            frame_hits=self.frame_hits + other.frame_hits,
+            frame_misses=self.frame_misses + other.frame_misses,
         )
 
     def __sub__(self, other: "CacheStats") -> "CacheStats":
@@ -137,6 +158,8 @@ class CacheStats:
             delta_hits=self.delta_hits - other.delta_hits,
             delta_misses=self.delta_misses - other.delta_misses,
             delta_bytes=self.delta_bytes - other.delta_bytes,
+            frame_hits=self.frame_hits - other.frame_hits,
+            frame_misses=self.frame_misses - other.frame_misses,
         )
 
     def as_dict(self) -> dict[str, float]:
@@ -157,6 +180,10 @@ class CacheStats:
             counters["delta_misses"] = self.delta_misses
             counters["delta_bytes"] = self.delta_bytes
             counters["delta_hit_rate"] = self.delta_hit_rate
+        if self.frame_hits or self.frame_misses:
+            counters["frame_hits"] = self.frame_hits
+            counters["frame_misses"] = self.frame_misses
+            counters["frame_hit_rate"] = self.frame_hit_rate
         return counters
 
     @staticmethod
@@ -446,6 +473,40 @@ class ActivationCacheStore:
         self._entries[key] = _StoreEntry(detector=detector, activations=activations)
         return activations
 
+    def put(
+        self,
+        detector: "Detector",
+        image: np.ndarray,
+        activations: CleanActivations,
+    ) -> CleanActivations:
+        """Admit an externally built bundle under ``(detector, image)``.
+
+        The streaming-sequence workload derives frame t's bundle from frame
+        t−1's instead of calling ``detector.clean_activations`` — this entry
+        point lets such bundles ride the store's machinery anyway (LRU cap,
+        delta-store attachment, and — on the shared-memory subclass —
+        segment placement and lifecycle broadcasts).  Returns the admitted
+        bundle, which callers must use in place of the one they passed in:
+        the shared-memory store re-wraps tensors as read-only segment
+        views.  Re-admitting a cached key only refreshes its LRU position.
+        Neither ``hits`` nor ``misses`` move — an admission is not a
+        lookup; the temporal traffic is counted by the sequence cache's
+        ``frame_hits``/``frame_misses``.
+        """
+        key = (id(detector), image_digest(image))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries[key] = self._entries.pop(key)
+            return entry.activations
+        activations = self._admit(activations)
+        if self.delta_store_size > 0 and activations.delta is None:
+            activations.delta = self._make_delta_store()
+        while len(self._entries) >= self.max_entries:
+            self._drop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[key] = _StoreEntry(detector=detector, activations=activations)
+        return activations
+
     def _admit(self, activations: CleanActivations) -> CleanActivations:
         """Hook: transform a freshly built bundle before caching it."""
         return activations
@@ -684,6 +745,20 @@ class SharedMemoryActivationStore(ActivationCacheStore):
                 self._retire_now(pending)
         return activations
 
+    def put(self, detector, image, activations):
+        shared = super().put(detector, image, activations)
+        pending = getattr(self, "_pending_segments", None)
+        if pending is not None:
+            # _admit ran for this admission: bind the segments to the entry
+            # the base class just inserted (the MRU key by construction).
+            self._pending_segments = None
+            if self._entries:
+                newest = next(reversed(self._entries))
+                self._segments[newest] = pending
+            else:  # pragma: no cover - cap >= 1 keeps the new entry cached
+                self._retire_now(pending)
+        return shared
+
     def _retire_now(self, segments) -> None:
         for segment in segments:
             try:
@@ -798,3 +873,146 @@ class _SharedMemoryDeltaStore(DeltaActivationStore):
         self._owner._retired.extend(self._evicted)
         self._evicted.clear()
         return count
+
+
+# --- streaming-sequence frame cache -------------------------------------------
+
+
+class SequenceActivationCache:
+    """Rolling cache of clean-activation bundles along one video sequence.
+
+    Frames of a driving sequence arrive in order and differ only where
+    objects moved, so frame t's clean bundle is *derived* from frame t−1's
+    through :meth:`Detector.clean_activations_delta` — the inter-frame diff
+    is spliced like a sparse mask — instead of a full dense forward.  The
+    cache keeps the last ``max_frames`` bundles (a mask evaluated against
+    the sequence touches every live frame, so the window bounds memory, not
+    reuse: derivation only ever needs the newest bundle), evicting oldest
+    first and folding evicted bundles' delta counters into the snapshot.
+
+    ``frame_hits`` counts frames whose bundle was derived incrementally
+    (including identical frames answered by sharing the previous tensors);
+    ``frame_misses`` counts dense rebuilds — the first frame of a sequence
+    is always a miss.  Both fold into :class:`CacheStats` so sequence jobs
+    report temporal reuse through the same per-job snapshot deltas as the
+    still-image caches.
+
+    An optional backing ``store`` (the worker's activation store) admits
+    every derived bundle via :meth:`ActivationCacheStore.put`, so on the
+    persistent runtime frame bundles live in shared-memory segments under
+    the worker's prefix and die with the model's lifecycle broadcast; the
+    cache then holds the store's re-wrapped (read-only) views.  Bundles
+    admitted to a store leave delta-counter folding to the store — the
+    snapshot only adds its own counters, so merging both never
+    double-counts.
+    """
+
+    def __init__(
+        self,
+        detector: "Detector",
+        max_frames: int = 2,
+        store: ActivationCacheStore | None = None,
+    ) -> None:
+        if max_frames < 1:
+            raise ValueError("max_frames must be at least 1")
+        self.detector = detector
+        self.max_frames = int(max_frames)
+        self.store = store
+        self._frames: dict[bytes, CleanActivations] = {}
+        self.frame_hits = 0
+        self.frame_misses = 0
+        self.evictions = 0
+        self._dropped = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def latest(self) -> CleanActivations | None:
+        """The most recently advanced frame's bundle (the splice source)."""
+        if not self._frames:
+            return None
+        return self._frames[next(reversed(self._frames))]
+
+    def advance(
+        self, image: np.ndarray, dirty_bound: BBox | None = None
+    ) -> CleanActivations | None:
+        """The clean bundle of the sequence's next frame.
+
+        Derived from the latest cached frame's bundle by splicing only the
+        inter-frame dirty region (``dirty_bound`` optionally restricts the
+        diff scan — e.g. to the moving-object union bound from consecutive
+        scene specs; the exact diff is still computed, so a loose bound
+        never changes the result) and bit-identical to
+        ``detector.clean_activations(image)`` either way.  Returns ``None``
+        for detectors without incremental support (nothing is cached).
+        """
+        key = image_digest(image)
+        cached = self._frames.get(key)
+        if cached is not None:
+            self.frame_hits += 1
+            self._frames[key] = self._frames.pop(key)
+            return cached
+        bundle, incremental = self.detector.clean_activations_delta(
+            image, self.latest, dirty_bound
+        )
+        if bundle is None:
+            self.frame_misses += 1
+            return None
+        if self.store is not None:
+            bundle = self.store.put(self.detector, image, bundle)
+        if incremental:
+            self.frame_hits += 1
+        else:
+            self.frame_misses += 1
+        while len(self._frames) >= self.max_frames:
+            self._drop(next(iter(self._frames)))
+            self.evictions += 1
+        self._frames[key] = bundle
+        return bundle
+
+    def _drop(self, key: bytes) -> None:
+        """Evict one frame bundle, folding its delta counters.
+
+        Store-admitted bundles are owned by the backing store (which folds
+        their delta counters on its own drop); only privately held bundles
+        fold here, so merging this cache's snapshot with the store's never
+        double-counts.
+        """
+        bundle = self._frames.pop(key)
+        if self.store is None:
+            delta = bundle.delta
+            if delta is not None:
+                self._dropped = self._dropped + delta.counters()
+                delta.reset_counters()
+                delta.clear()
+
+    def clear(self) -> int:
+        """Drop every cached frame (sequence finished); returns the count."""
+        count = len(self._frames)
+        for key in list(self._frames):
+            self._drop(key)
+        return count
+
+    def snapshot(self) -> CacheStats:
+        """The temporal counters (plus privately owned delta traffic)."""
+        totals = (
+            CacheStats(
+                evictions=self.evictions,
+                frame_hits=self.frame_hits,
+                frame_misses=self.frame_misses,
+            )
+            + self._dropped
+        )
+        if self.store is None:
+            for bundle in self._frames.values():
+                if bundle.delta is not None:
+                    totals = totals + bundle.delta.counters()
+        return totals
+
+    @property
+    def stats(self) -> dict[str, float]:
+        """JSON-friendly counters (the snapshot's conditional dict form)."""
+        counters = self.snapshot().as_dict()
+        counters["frames_cached"] = len(self._frames)
+        return counters

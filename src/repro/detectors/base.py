@@ -22,6 +22,7 @@ from repro.nn.incremental import (
     bbox_intersection,
     bbox_is_empty,
     bbox_union,
+    frames_differ_bbox,
     mask_nonzero_bbox,
 )
 
@@ -166,6 +167,72 @@ class Detector(abc.ABC):
         fall back to a full recompute.
         """
         return None
+
+    def clean_activations_delta(
+        self,
+        image: np.ndarray,
+        previous: CleanActivations | None,
+        dirty_bound: BBox | None = None,
+    ) -> tuple[CleanActivations | None, bool]:
+        """Clean bundle of ``image`` derived from a previous frame's bundle.
+
+        The temporal form of :meth:`clean_activations`: the inter-frame
+        diff of a streaming sequence is a dirty region like any mask, so
+        frame t's clean activations are recovered by splicing only the
+        changed window into frame t−1's cached grids.  ``dirty_bound``
+        optionally restricts the diff scan to a window known to contain
+        every changed pixel (e.g. the moving-object union bound derived
+        from consecutive scene specs); the exact diff is still computed,
+        so a loose bound never changes the result.
+
+        Returns ``(bundle, used_incremental)`` where ``used_incremental``
+        reports whether the bundle was derived through the windowed splice
+        (a *frame hit*) or rebuilt densely (``previous`` missing, shapes
+        differing, the diff too large to profit, or the architecture not
+        supporting the spliced hook).  Either way the bundle is
+        bit-identical to :meth:`clean_activations` on ``image`` — the
+        splice runs with an all-zero mask, so the recomputed window sees
+        exactly the new frame's clean pixels, and identical frames share
+        the previous bundle's tensors outright (bundles are read-only by
+        contract).
+        """
+        image = validate_image(image)
+        if (
+            previous is None
+            or not self.supports_incremental
+            or not self.supports_delta_reuse
+        ):
+            return self.clean_activations(image), False
+        clean_image = np.clip(image + 0.0, 0.0, 255.0)
+        if previous.clean_image.shape != clean_image.shape:
+            return self.clean_activations(image), False
+        diff = frames_differ_bbox(previous.clean_image, clean_image, within=dirty_bound)
+        if bbox_is_empty(diff):
+            return (
+                CleanActivations(
+                    clean_image=clean_image,
+                    prediction=previous.prediction,
+                    tensors=previous.tensors,
+                ),
+                True,
+            )
+        plane = (image.shape[0], image.shape[1])
+        if bbox_area_fraction(diff, plane) > self.incremental_dense_fraction:
+            return self.clean_activations(image), False
+        predictions, states = self._predict_delta_spliced_batch(
+            clean_image,
+            np.zeros((1,) + clean_image.shape),
+            [(0, diff, previous.tensors, previous.prediction)],
+        )
+        tensors = previous.tensors if states[0] is None else states[0]
+        return (
+            CleanActivations(
+                clean_image=clean_image,
+                prediction=predictions[0],
+                tensors=tensors,
+            ),
+            True,
+        )
 
     def predict_delta(
         self,

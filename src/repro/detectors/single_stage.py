@@ -331,6 +331,14 @@ class SingleStageDetector(Detector):
         stacked head gives bit-identical results however items mix clean
         and ancestor sources — plus the pre-finalisation grids for the
         delta store.
+
+        The temporal frame-to-frame derivation (:meth:`~repro.detectors.
+        base.Detector.clean_activations_delta`) also routes here, with a
+        *zero* mask and the previous frame's clean tensors as the source:
+        ``clip(image + 0)`` is the new frame's clean image, so the splice
+        over the inter-frame diff window yields the new frame's clean
+        activations bit-exactly, and the returned state dicts use the same
+        stage names (``features``/``smoothed``) as the clean bundle.
         """
         states = [
             self._delta_feature_state(image, masks[index], bbox, source)

@@ -614,6 +614,14 @@ class TransformerDetector(Detector):
         :meth:`_predict_delta_windowed_batch`; attention carries the batch
         axis through every token operation unchanged, so per-grid results
         are bit-identical however items mix clean and ancestor sources.
+
+        The temporal frame-to-frame derivation (:meth:`~repro.detectors.
+        base.Detector.clean_activations_delta`) also routes here, with a
+        *zero* mask and the previous frame's clean tensors as the source:
+        ``clip(image + 0)`` is the new frame's clean image, so splicing the
+        inter-frame diff window into the previous ``raw`` grid yields the
+        new frame's clean activations bit-exactly, and the returned state
+        dicts use the clean bundle's stage name (``raw``).
         """
         grids = [
             self._delta_raw_state(image, masks[index], bbox, source)

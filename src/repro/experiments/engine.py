@@ -79,19 +79,24 @@ def effective_cache_size(plan: ExperimentPlan) -> int:
     so the cap is auto-grown to the model count (with a one-line warning
     naming both sizes).  A fast-search plan whose fidelity searches on a
     downscaled surrogate scene caches *two* scenes per (detector, scene)
-    pair (full plus downscaled), so its floor is twice the model count.
+    pair (full plus downscaled), so its floor is twice the model count;
+    a streaming plan whose jobs keep a rolling window of frame bundles
+    alive (``frame_cache_size``) needs that many entries per model.
     Growth never changes results, only hit rates.
     """
     configured = int(plan.attack_config.activation_cache_size)
     distinct = len(plan.model_specs())
-    floor = distinct
+    per_model = 1
     config = plan.attack_config
     if getattr(config, "fast_search", False):
         from repro.detectors.fidelity import resolve_fidelity
 
         fidelity = resolve_fidelity(getattr(config, "search_fidelity", None))
         if fidelity.scene_scale > 1:
-            floor = distinct * 2
+            per_model = 2
+    for job in plan.jobs:
+        per_model = max(per_model, int(getattr(job, "frame_cache_size", 1)))
+    floor = distinct * per_model
     if floor > configured:
         warnings.warn(
             f"activation_cache_size={configured} is below the plan's "

@@ -53,6 +53,8 @@ import numpy as np
 from repro.core.attack import ButterflyAttack
 from repro.core.config import AttackConfig
 from repro.core.results import AttackResult
+from repro.core.temporal import SequenceAttack
+from repro.data.sequences import SceneSequence, generate_sequence
 from repro.detectors.activation_cache import (
     ActivationCacheStore,
     CacheStats,
@@ -361,6 +363,193 @@ class AttackJob:
             cache_stats=stats,
             duration_seconds=time.perf_counter() - start,
         )
+
+
+@dataclass(frozen=True)
+class SequenceSpec:
+    """Picklable recipe for one generated scene sequence.
+
+    Workers rebuild the sequence locally from the recipe (generation is
+    deterministic in the seed), so no frame stack ever crosses a process
+    boundary — the same ship-the-recipe idiom as :class:`ModelSpec`.
+    Mirrors :func:`~repro.data.sequences.generate_sequence`'s parameters
+    (with the default class mix).
+    """
+
+    num_frames: int = 5
+    seed: int = 0
+    image_length: int = 96
+    image_width: int = 320
+    num_objects: tuple[int, int] = (2, 3)
+    half: str | None = None
+    max_speed: float = 4.0
+
+    def build(self) -> SceneSequence:
+        """Generate the sequence this spec describes."""
+        return generate_sequence(
+            num_frames=self.num_frames,
+            seed=self.seed,
+            image_length=self.image_length,
+            image_width=self.image_width,
+            num_objects=self.num_objects,
+            half=self.half,
+            max_speed=self.max_speed,
+        )
+
+
+@dataclass
+class SequenceAttackJob:
+    """One unit of the streaming workload: attack one model on one sequence.
+
+    Follows the generic job protocol, so it runs unchanged on every
+    backend (serial, process pool, persistent runtime) — the ``model``
+    spec opts it into model-affinity scheduling and cache lifecycle, and
+    the worker store it receives backs the temporal frame cache (sequence
+    bundles ride the same shared-memory segments and lifecycle broadcasts
+    as single-scene bundles).  The outcome's ``cache_stats`` delta folds
+    in the frame cache's counters, so per-model/per-worker report rows
+    carry ``frame_hits``/``frame_misses`` alongside the store traffic.
+
+    Attributes mirror :class:`AttackJob` with the scene swapped for a
+    :class:`SequenceSpec` plus the track-objective knobs (``track_k``
+    consecutive frames to count a ground-truth track as suppressed,
+    ``iou_threshold`` for detection matching, ``frame_cache_size`` rolling
+    frame-bundle window).
+    """
+
+    job_id: int
+    model: ModelSpec
+    sequence: SequenceSpec
+    config: AttackConfig = field(default_factory=AttackConfig)
+    track_k: int = 2
+    iou_threshold: float = 0.5
+    frame_cache_size: int = 2
+    scene_index: int = 0
+    nsga_seed: int | None = None
+
+    def resolved_config(self) -> AttackConfig:
+        """The attack config with this job's derived seed applied (if any)."""
+        if self.nsga_seed is None:
+            return self.config
+        return replace(
+            self.config, nsga=replace(self.config.nsga, seed=int(self.nsga_seed))
+        )
+
+    def execute(self, context: "WorkerContext") -> "JobOutcome":
+        """Run the sequence attack; fold frame-cache counters into the delta."""
+        start = time.perf_counter()
+        detector = build_cached(self.model)
+        config = self.resolved_config()
+        use_store = context.job_store(config)
+        before = use_store.snapshot() if use_store is not None else None
+
+        attack = SequenceAttack(
+            detector,
+            config,
+            activation_store=use_store,
+            track_k=self.track_k,
+            iou_threshold=self.iou_threshold,
+            frame_cache_size=self.frame_cache_size,
+        )
+        result = attack.attack(self.sequence.build())
+        result.architecture = self.model.label
+        result.model_seed = self.model.seed
+        result.scene_index = self.scene_index
+        result.job_id = self.job_id
+
+        stats = use_store.snapshot() - before if use_store is not None else None
+        # The frame cache's counters live outside the store (a store-backed
+        # cache reports only its own eviction/frame traffic, so summing the
+        # two snapshots never double-counts delta-store activity).
+        frame_counters = (result.incremental or {}).get("frame_cache", {})
+        frame_stats = CacheStats(
+            **{
+                name: int(frame_counters.get(name, 0))
+                for name in (
+                    "hits",
+                    "misses",
+                    "evictions",
+                    "invalidations",
+                    "delta_hits",
+                    "delta_misses",
+                    "delta_bytes",
+                    "frame_hits",
+                    "frame_misses",
+                )
+            }
+        )
+        if frame_stats != CacheStats():
+            stats = frame_stats if stats is None else stats + frame_stats
+        return JobOutcome(
+            job_id=self.job_id,
+            result=result,
+            cache_stats=stats,
+            duration_seconds=time.perf_counter() - start,
+        )
+
+
+def build_sequence_plan(
+    architectures: Sequence[str],
+    seeds: Iterable[int],
+    sequences: Sequence[SequenceSpec],
+    attack_config: AttackConfig,
+    training: TrainingConfig | None = None,
+    detector_config: DetectorConfig | None = None,
+    experiment_seed: int | None = None,
+    track_k: int = 2,
+    iou_threshold: float = 0.5,
+    frame_cache_size: int = 2,
+) -> AttackPlan:
+    """Expand the models × sequences grid into an ordered :class:`AttackPlan`.
+
+    The streaming analogue of :func:`build_attack_plan`: same nested order
+    (architectures, model seeds, then sequences), same plan-position seed
+    derivation, with every job a :class:`SequenceAttackJob`.
+    """
+    seeds = list(seeds)
+    jobs: list[SequenceAttackJob] = []
+    labels: list[str] = []
+    job_id = 0
+    for architecture in architectures:
+        spec_label = ARCHITECTURE_ALIASES.get(architecture.lower())
+        if spec_label is None:
+            raise ValueError(
+                f"unknown architecture {architecture!r}; expected one of "
+                f"{sorted(ARCHITECTURE_ALIASES)}"
+            )
+        if spec_label not in labels:
+            labels.append(spec_label)
+        for seed in seeds:
+            model = ModelSpec(
+                architecture=architecture,
+                seed=int(seed),
+                detector=detector_config,
+                training=training,
+            )
+            for scene_index, sequence in enumerate(sequences):
+                jobs.append(
+                    SequenceAttackJob(
+                        job_id=job_id,
+                        model=model,
+                        sequence=sequence,
+                        config=attack_config,
+                        track_k=track_k,
+                        iou_threshold=iou_threshold,
+                        frame_cache_size=frame_cache_size,
+                        scene_index=scene_index,
+                    )
+                )
+                job_id += 1
+
+    apply_experiment_seed(jobs, experiment_seed)
+
+    return AttackPlan(
+        jobs=jobs,
+        labels=tuple(labels),
+        attack_config=attack_config,
+        experiment_seed=experiment_seed,
+        name="sequence-attack",
+    )
 
 
 @dataclass

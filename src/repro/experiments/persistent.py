@@ -51,6 +51,16 @@ leave either a torn message that blocks the parent's next read forever —
 the surviving writers keep EOF from ever arriving — or a dead holder of
 the shared write lock that deadlocks every other worker's sends.  A
 private pipe turns any crash, at any instant, into a local EOF.
+
+The runtime is job-agnostic: anything picklable with a ``job_id`` and an
+``execute(WorkerContext)`` runs here unchanged.  The streaming sequence
+workload (:class:`~repro.experiments.jobs.SequenceAttackJob`) leans on
+that — it ships only a tiny :class:`~repro.experiments.jobs.SequenceSpec`
+recipe (frames are regenerated in-worker, nothing rides the scene pool),
+its per-frame bundles live in the worker's shared-memory store under the
+same lifecycle broadcasts, and ``effective_cache_size`` provisions the
+store for each job's rolling ``frame_cache_size`` window so warm frames
+are not evicted mid-sequence.
 """
 
 from __future__ import annotations

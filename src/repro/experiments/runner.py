@@ -35,7 +35,12 @@ from repro.experiments.engine import (
     execute_plan,
     resolve_backend,
 )
-from repro.experiments.jobs import build_attack_plan, release_plan_models
+from repro.experiments.jobs import (
+    SequenceSpec,
+    build_attack_plan,
+    build_sequence_plan,
+    release_plan_models,
+)
 from repro.nsga.algorithm import NSGAConfig
 
 
@@ -240,5 +245,107 @@ def run_architecture_comparison(
         report=report,
         results=all_results,
         experiment=experiment,
+        execution=execution,
+    )
+
+
+@dataclass
+class SequenceSweep:
+    """Results of the streaming-sequence sweep.
+
+    ``results`` holds one :class:`~repro.core.results.AttackResult` per
+    plan job (plan order); ``execution`` carries backend provenance and
+    the merged cache counters, including the temporal frame-cache traffic
+    (``frame_hits``/``frame_misses``) the sequence jobs fold into their
+    deltas.
+    """
+
+    results: list[AttackResult] = field(default_factory=list)
+    execution: ExecutionReport | None = None
+
+    def provenance(self) -> dict | None:
+        """The shared execution-provenance summary."""
+        return self.execution.summary() if self.execution is not None else None
+
+    def mean_track_survival(self) -> float:
+        """Mean best (lowest) front track survival across the sweep's runs."""
+        values = []
+        for result in self.results:
+            front = result.pareto_front
+            if front:
+                values.append(
+                    min(
+                        solution.extras.get("track_survival", 1.0)
+                        for solution in front
+                    )
+                )
+        return float(np.mean(values)) if values else 1.0
+
+
+def run_sequence_sweep(
+    architectures: Sequence[str] = ("yolo",),
+    seeds: Sequence[int] = (1,),
+    sequences: Sequence[SequenceSpec] = (SequenceSpec(),),
+    attack_config: AttackConfig | None = None,
+    training: TrainingConfig | None = None,
+    track_k: int = 2,
+    iou_threshold: float = 0.5,
+    frame_cache_size: int = 2,
+    n_jobs: int = 1,
+    backend: "str | ExecutionBackend | None" = None,
+    experiment_seed: int | None = None,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+    retry: RetryPolicy | None = None,
+) -> SequenceSweep:
+    """Run the streaming-video attack workload on the experiment engine.
+
+    The models × sequences grid rides the same backends, checkpointing and
+    retry machinery as the single-scene sweeps; sequence frame bundles are
+    derived temporally inside each job (see :class:`~repro.core.temporal.
+    SequenceObjectives`) and share the worker's activation store.  Results
+    are bit-identical across backends and worker counts.
+    """
+    if attack_config is None:
+        attack_config = AttackConfig(
+            nsga=NSGAConfig(num_iterations=6, population_size=12),
+            region=HalfImageRegion("right"),
+        )
+    if training is None:
+        first = sequences[0]
+        training = TrainingConfig(
+            image_length=first.image_length, image_width=first.image_width
+        )
+    owns_backend = not isinstance(backend, ExecutionBackend)
+    engine_backend = resolve_backend(backend, n_jobs=n_jobs)
+    plan = build_sequence_plan(
+        architectures=architectures,
+        seeds=seeds,
+        sequences=sequences,
+        attack_config=attack_config,
+        training=training,
+        experiment_seed=experiment_seed,
+        track_k=track_k,
+        iou_threshold=iou_threshold,
+        frame_cache_size=frame_cache_size,
+    )
+    checkpoint = None
+    if checkpoint_dir is not None:
+        from repro.experiments.checkpoint import PlanCheckpoint
+
+        checkpoint = PlanCheckpoint(checkpoint_dir, resume=resume)
+    try:
+        execution = execute_plan(
+            plan, engine_backend, checkpoint=checkpoint, retry=retry
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+        release_plan_models(plan)
+        if owns_backend:
+            engine_backend.close()
+
+    return SequenceSweep(
+        results=[outcome.result for outcome in execution.outcomes],
         execution=execution,
     )

@@ -232,6 +232,23 @@ def masks_differ_bbox(
     )
 
 
+def frames_differ_bbox(
+    previous: np.ndarray, current: np.ndarray, within: BBox | None = None
+) -> BBox:
+    """Exact bounding box of the pixels where two video frames differ.
+
+    The inter-frame dirty region of the streaming workload: splicing only
+    this window (dilated by the receptive field) into the previous frame's
+    clean activation grids reproduces the current frame's grids bit for
+    bit — the frame delta is a dirty region like any mask.  ``within``
+    restricts the scan to a window known to contain every changed pixel
+    (the moving-object union bound derived from consecutive scene specs);
+    the result is identical to the full scan but costs only O(window).
+    Returns :data:`EMPTY_BBOX` for identical frames.
+    """
+    return masks_differ_bbox(previous, current, within=within)
+
+
 def reflect_indices(start: int, stop: int, size: int) -> np.ndarray:
     """Indices ``start..stop`` mapped into ``[0, size)`` by symmetric reflection.
 

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.data.sequences import generate_sequence
+from repro.data.sequences import (
+    SceneSequence,
+    generate_sequence,
+    moved_objects_bbox,
+)
+from repro.nn.incremental import EMPTY_BBOX, bbox_is_empty, frames_differ_bbox
 
 
 class TestGenerateSequence:
@@ -62,3 +67,70 @@ class TestGenerateSequence:
         b = generate_sequence(num_frames=3, seed=7, image_length=48, image_width=96)
         for frame_a, frame_b in zip(a, b):
             assert np.allclose(frame_a, frame_b)
+
+
+class TestSceneSequenceAccessors:
+    def test_ground_truths_computed_once_and_cached(self):
+        sequence = generate_sequence(num_frames=3, seed=5, image_length=48, image_width=96)
+        first = sequence.ground_truths
+        assert sequence.ground_truths is first  # same list object, no recompute
+        assert first[0].num_valid == len(sequence.scenes[0].objects)
+        assert sequence.ground_truth(1) is first[1]
+
+    def test_int_indexing_returns_frames(self):
+        sequence = generate_sequence(num_frames=3, seed=6, image_length=48, image_width=96)
+        assert np.array_equal(sequence[1], sequence.frame(1))
+        assert np.array_equal(sequence[-1], sequence.frame(2))
+
+    def test_slicing_returns_subsequence(self):
+        sequence = generate_sequence(num_frames=4, seed=6, image_length=48, image_width=96)
+        sliced = sequence[1:3]
+        assert isinstance(sliced, SceneSequence)
+        assert len(sliced) == 2
+        assert sliced.seed == sequence.seed
+        assert sliced.scenes == sequence.scenes[1:3]
+        assert np.array_equal(sliced[0], sequence[1])
+        # The slice recomputes its own ground truths for its own frames.
+        assert len(sliced.ground_truths) == 2
+
+
+class TestMovedObjectsBbox:
+    def _exact_diff(self, sequence, index):
+        return frames_differ_bbox(
+            np.asarray(sequence.frame(index - 1), dtype=np.float64),
+            np.asarray(sequence.frame(index), dtype=np.float64),
+        )
+
+    def test_bound_contains_exact_pixel_diff(self):
+        sequence = generate_sequence(
+            num_frames=5, seed=11, image_length=64, image_width=160, max_speed=6.0
+        )
+        bounds = sequence.dirty_bounds()
+        assert bounds[0] is None
+        for index in range(1, len(sequence)):
+            bound = bounds[index]
+            diff = self._exact_diff(sequence, index)
+            assert bound is not None
+            if bbox_is_empty(diff):
+                continue
+            r0, r1, c0, c1 = diff
+            b0, b1, b2, b3 = bound
+            assert b0 <= r0 and r1 <= b1 and b2 <= c0 and c1 <= b3
+
+    def test_identical_scenes_give_empty_bound(self):
+        sequence = generate_sequence(
+            num_frames=2, seed=11, image_length=48, image_width=96, max_speed=0.0
+        )
+        bound = moved_objects_bbox(sequence.scenes[0], sequence.scenes[1])
+        assert bound == EMPTY_BBOX
+        assert bbox_is_empty(self._exact_diff(sequence, 1))
+
+    def test_unrelated_scenes_return_none(self):
+        a = generate_sequence(num_frames=1, seed=1, image_length=48, image_width=96)
+        b = generate_sequence(num_frames=1, seed=2, image_length=48, image_width=96)
+        assert moved_objects_bbox(a.scenes[0], b.scenes[0]) is None
+
+    def test_dimension_mismatch_returns_none(self):
+        a = generate_sequence(num_frames=1, seed=1, image_length=48, image_width=96)
+        b = generate_sequence(num_frames=1, seed=1, image_length=48, image_width=128)
+        assert moved_objects_bbox(a.scenes[0], b.scenes[0]) is None
